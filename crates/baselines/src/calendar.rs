@@ -1,0 +1,314 @@
+//! Calendar queues — the hardware-friendly bucket schemes of \[14\]–\[16\].
+
+use hwsim::AccessStats;
+use std::collections::VecDeque;
+use tagsort::{PacketRef, Tag};
+
+use crate::queue::{LookupModel, MinTagQueue};
+
+/// A single-level calendar queue: the tag space is divided into equal
+/// buckets; each bucket keeps a sorted list. Inserts pay the intra-bucket
+/// scan; pops scan forward from the current bucket. O(1) on friendly
+/// distributions, but — as the paper notes of \[14\], \[15\] — "limited in
+/// their size and scalability": pathological distributions concentrate
+/// everything in one bucket.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    tag_bits: u32,
+    buckets: Vec<VecDeque<(Tag, u64, PacketRef)>>,
+    bucket_span: u32,
+    cursor: usize,
+    stamp: u64,
+    len: usize,
+    stats: AccessStats,
+}
+
+impl CalendarQueue {
+    /// Creates a calendar of `bucket_count` equal buckets over the
+    /// `2^tag_bits` tag space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is zero or exceeds the tag space.
+    pub fn new(tag_bits: u32, bucket_count: u32) -> Self {
+        let space = 1u64 << tag_bits;
+        assert!(
+            bucket_count > 0 && u64::from(bucket_count) <= space,
+            "bucket count must be 1..=2^W"
+        );
+        Self {
+            tag_bits,
+            buckets: vec![VecDeque::new(); bucket_count as usize],
+            bucket_span: (space / u64::from(bucket_count)) as u32,
+            cursor: 0,
+            stamp: 0,
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    fn bucket_of(&self, tag: Tag) -> usize {
+        (tag.value() / self.bucket_span) as usize
+    }
+}
+
+impl MinTagQueue for CalendarQueue {
+    fn name(&self) -> &'static str {
+        "calendar queue"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Sort
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(1) avg, O(n) worst"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        assert!(
+            u64::from(tag.value()) < (1u64 << self.tag_bits),
+            "tag too wide"
+        );
+        self.stats.begin_op();
+        let b = self.bucket_of(tag);
+        // Sorted insert within the bucket (stable: after equals).
+        let bucket = &mut self.buckets[b];
+        let mut pos = bucket.len();
+        for (i, entry) in bucket.iter().enumerate() {
+            self.stats.record_read();
+            if entry.0 > tag {
+                pos = i;
+                break;
+            }
+        }
+        bucket.insert(pos, (tag, self.stamp, payload));
+        self.stamp += 1;
+        self.stats.record_write();
+        self.len += 1;
+        if b < self.cursor {
+            self.cursor = b;
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.stats.begin_op();
+        // Scan forward from the cursor for the next non-empty bucket.
+        loop {
+            self.stats.record_read();
+            if let Some((tag, _, payload)) = self.buckets[self.cursor].pop_front() {
+                self.len -= 1;
+                return Some((tag, payload));
+            }
+            self.cursor += 1;
+            debug_assert!(self.cursor < self.buckets.len(), "len>0 but no bucket");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+/// The 2-D calendar queue of \[16\] (and the LFVC scheme of \[17\]): a coarse
+/// "day" level over fine "slot" FIFOs. Entries within one slot are *not*
+/// sorted — the aggregation that gives O(1) behaviour but "produces a
+/// degradation of the delay guarantees provided by the WFQ algorithm"
+/// (paper §II-B). [`MinTagQueue::is_exact`] is therefore `false`.
+#[derive(Debug, Clone)]
+pub struct TwoDimCalendarQueue {
+    tag_bits: u32,
+    /// days × slots; each slot is a FIFO.
+    slots: Vec<Vec<VecDeque<(Tag, PacketRef)>>>,
+    days: u32,
+    slots_per_day: u32,
+    slot_span: u32,
+    cursor: (usize, usize),
+    len: usize,
+    stats: AccessStats,
+}
+
+impl TwoDimCalendarQueue {
+    /// Creates a 2-D calendar with `days` coarse divisions, each split
+    /// into `days` slots (a square layout; slot span = 2^W / days²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days`² exceeds the tag space or `days` is zero.
+    pub fn new(tag_bits: u32, days: u32) -> Self {
+        let space = 1u64 << tag_bits;
+        assert!(
+            days > 0 && u64::from(days) * u64::from(days) <= space,
+            "days^2 must be 1..=2^W"
+        );
+        let slots_per_day = days;
+        let slot_span = (space / (u64::from(days) * u64::from(slots_per_day))) as u32;
+        Self {
+            tag_bits,
+            slots: vec![vec![VecDeque::new(); slots_per_day as usize]; days as usize],
+            days,
+            slots_per_day,
+            slot_span,
+            cursor: (0, 0),
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    fn position_of(&self, tag: Tag) -> (usize, usize) {
+        let slot_index = tag.value() / self.slot_span;
+        let day = slot_index / self.slots_per_day;
+        let slot = slot_index % self.slots_per_day;
+        (day as usize, slot as usize)
+    }
+}
+
+impl MinTagQueue for TwoDimCalendarQueue {
+    fn name(&self) -> &'static str {
+        "2-D calendar queue (TCQ)"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Sort
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(1) amortized"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        assert!(
+            u64::from(tag.value()) < (1u64 << self.tag_bits),
+            "tag too wide"
+        );
+        self.stats.begin_op();
+        let pos = self.position_of(tag);
+        // One write: FIFO append, no intra-slot sorting — the source of
+        // both the O(1) cost and the inaccuracy.
+        self.slots[pos.0][pos.1].push_back((tag, payload));
+        self.stats.record_write();
+        self.len += 1;
+        if pos < self.cursor {
+            self.cursor = pos;
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.stats.begin_op();
+        loop {
+            let (d, s) = self.cursor;
+            self.stats.record_read();
+            if let Some((tag, payload)) = self.slots[d][s].pop_front() {
+                self.len -= 1;
+                return Some((tag, payload));
+            }
+            self.cursor = if s + 1 < self.slots_per_day as usize {
+                (d, s + 1)
+            } else {
+                (d + 1, 0)
+            };
+            debug_assert!(self.cursor.0 < self.days as usize, "len>0 but no slot");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_sorts_exactly() {
+        let mut c = CalendarQueue::new(12, 64);
+        for t in [4000u32, 5, 70, 65, 5] {
+            c.insert(Tag(t), PacketRef(t));
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| c.pop_min())
+            .map(|(t, _)| t.value())
+            .collect();
+        assert_eq!(got, vec![5, 5, 65, 70, 4000]);
+    }
+
+    #[test]
+    fn calendar_degrades_when_one_bucket_concentrates() {
+        let mut c = CalendarQueue::new(12, 64);
+        // All tags inside bucket 0 (span 64): inserts scan the bucket.
+        for i in 0..50u32 {
+            c.insert(Tag(i % 64), PacketRef(i));
+        }
+        assert!(
+            c.stats().worst_op_accesses() >= 40,
+            "worst {}",
+            c.stats().worst_op_accesses()
+        );
+    }
+
+    #[test]
+    fn tcq_is_fast_but_reorders_within_slots() {
+        // Slot span = 4096/256 = 16: tags 3 and 9 share slot 0.
+        let mut q = TwoDimCalendarQueue::new(12, 16);
+        q.insert(Tag(9), PacketRef(0));
+        q.insert(Tag(3), PacketRef(1));
+        // FIFO within the slot: 9 (inserted first) comes out before 3 —
+        // the delay-guarantee degradation the paper describes.
+        assert_eq!(q.pop_min(), Some((Tag(9), PacketRef(0))));
+        assert_eq!(q.pop_min(), Some((Tag(3), PacketRef(1))));
+        // But every op was O(1) in accesses.
+        assert!(q.stats().worst_op_accesses() <= 2);
+    }
+
+    #[test]
+    fn tcq_is_accurate_across_slots() {
+        let mut q = TwoDimCalendarQueue::new(12, 16);
+        q.insert(Tag(100), PacketRef(0));
+        q.insert(Tag(20), PacketRef(1));
+        q.insert(Tag(3000), PacketRef(2));
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop_min())
+            .map(|(t, _)| t.value())
+            .collect();
+        assert_eq!(got, vec![20, 100, 3000]);
+    }
+
+    #[test]
+    fn cursor_rewinds_for_earlier_inserts() {
+        let mut c = CalendarQueue::new(12, 64);
+        c.insert(Tag(4000), PacketRef(0));
+        assert_eq!(c.pop_min().unwrap().0, Tag(4000));
+        c.insert(Tag(5), PacketRef(1));
+        assert_eq!(c.pop_min().unwrap().0, Tag(5));
+        let mut q = TwoDimCalendarQueue::new(12, 16);
+        q.insert(Tag(4000), PacketRef(0));
+        assert_eq!(q.pop_min().unwrap().0, Tag(4000));
+        q.insert(Tag(5), PacketRef(1));
+        assert_eq!(q.pop_min().unwrap().0, Tag(5));
+    }
+}

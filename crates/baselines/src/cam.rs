@@ -1,0 +1,297 @@
+//! Content-addressable memory models: binary CAM and TCAM.
+//!
+//! Table I's hardware alternatives. Both store tags associatively with
+//! O(1) insertion; the cost is in *finding the minimum*: "techniques such
+//! as hashing and content addressable memories cannot deliver the
+//! smallest value from a set within a fixed and predictable time period"
+//! (paper §II-B). The binary CAM probes candidate values one by one
+//! (worst case 2^W lookups); the TCAM's masked matching supports a
+//! bitwise binary descent (worst case W lookups).
+
+use hwsim::AccessStats;
+use tagsort::{PacketRef, Tag};
+
+use crate::queue::{LookupModel, MinTagQueue, TagBuckets};
+
+/// Shared associative store: per-value presence plus FIFO payloads; the
+/// CAM flavours differ only in their minimum-search strategy.
+#[derive(Debug, Clone)]
+struct CamStore {
+    tag_bits: u32,
+    present: Vec<bool>,
+    buckets: TagBuckets,
+    stats: AccessStats,
+}
+
+impl CamStore {
+    fn new(tag_bits: u32) -> Self {
+        assert!((1..=24).contains(&tag_bits), "tag width must be 1..=24");
+        Self {
+            tag_bits,
+            present: vec![false; 1 << tag_bits],
+            buckets: TagBuckets::new(1 << tag_bits),
+            stats: AccessStats::new(),
+        }
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        assert!(
+            u64::from(tag.value()) < (1u64 << self.tag_bits),
+            "tag too wide"
+        );
+        self.stats.begin_op();
+        // Associative insert: one write to a free CAM row.
+        self.stats.record_write();
+        if self.buckets.push(tag, payload) {
+            self.present[tag.value() as usize] = true;
+        }
+    }
+
+    fn remove_min(&mut self, min: u32) -> (Tag, PacketRef) {
+        let tag = Tag(min);
+        let (payload, now_absent) = self.buckets.pop(tag);
+        if now_absent {
+            self.present[min as usize] = false;
+        }
+        // Invalidating the CAM row is one write.
+        self.stats.record_write();
+        (tag, payload)
+    }
+}
+
+/// Binary CAM: match-lines answer "is value v present?" in one cycle, so
+/// the minimum search must iterate v = 0, 1, 2, … from the last known
+/// floor. Worst case 2^W probes — the Table I row that rules it out.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{BinaryCam, MinTagQueue};
+/// use tagsort::{PacketRef, Tag};
+///
+/// let mut cam = BinaryCam::new(12);
+/// cam.insert(Tag(500), PacketRef(0));
+/// assert_eq!(cam.pop_min(), Some((Tag(500), PacketRef(0))));
+/// // Finding 500 cost ~500 probes:
+/// assert!(cam.stats().worst_op_accesses() >= 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryCam {
+    store: CamStore,
+    /// Values below this are known absent (tags depart in sorted order
+    /// only when the caller pops, so this floor only helps, never lies).
+    floor: u32,
+}
+
+impl BinaryCam {
+    /// Creates an empty CAM over `2^tag_bits` values.
+    pub fn new(tag_bits: u32) -> Self {
+        Self {
+            store: CamStore::new(tag_bits),
+            floor: 0,
+        }
+    }
+}
+
+impl MinTagQueue for BinaryCam {
+    fn name(&self) -> &'static str {
+        "binary CAM"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Search
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(2^W) probes"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        self.store.insert(tag, payload);
+        if tag.value() < self.floor {
+            self.floor = tag.value();
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        if self.store.buckets.len() == 0 {
+            return None;
+        }
+        self.store.stats.begin_op();
+        let mut v = self.floor;
+        loop {
+            self.store.stats.record_read(); // one match-line probe
+            if self.store.present[v as usize] {
+                break;
+            }
+            v += 1;
+        }
+        self.floor = v;
+        Some(self.store.remove_min(v))
+    }
+
+    fn len(&self) -> usize {
+        self.store.buckets.len()
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.store.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.store.stats.reset();
+    }
+}
+
+/// Ternary CAM: masked probes answer "is any value with prefix p
+/// present?", enabling a bitwise binary descent to the minimum —
+/// W probes, the `O(W)` Table I row.
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    store: CamStore,
+    /// Presence counts per prefix, per level — the match-line aggregation
+    /// a TCAM evaluates in parallel. `prefix_count[l]` has 2^(l+1)
+    /// entries counting stored tags under each (l+1)-bit prefix.
+    prefix_count: Vec<Vec<u32>>,
+}
+
+impl Tcam {
+    /// Creates an empty TCAM over `2^tag_bits` values.
+    pub fn new(tag_bits: u32) -> Self {
+        let prefix_count = (0..tag_bits).map(|l| vec![0u32; 1 << (l + 1)]).collect();
+        Self {
+            store: CamStore::new(tag_bits),
+            prefix_count,
+        }
+    }
+
+    fn adjust(&mut self, tag: Tag, delta: i64) {
+        let w = self.store.tag_bits;
+        for l in 0..w {
+            let prefix = tag.value() >> (w - l - 1);
+            let c = &mut self.prefix_count[l as usize][prefix as usize];
+            *c = (i64::from(*c) + delta) as u32;
+        }
+    }
+}
+
+impl MinTagQueue for Tcam {
+    fn name(&self) -> &'static str {
+        "TCAM"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Search
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(W) probes"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        self.store.insert(tag, payload);
+        self.adjust(tag, 1);
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        if self.store.buckets.len() == 0 {
+            return None;
+        }
+        self.store.stats.begin_op();
+        // Bitwise descent: at each level probe "prefix·0 present?".
+        let w = self.store.tag_bits;
+        let mut prefix = 0u32;
+        for l in 0..w {
+            self.store.stats.record_read(); // one masked probe
+            let zero_branch = prefix << 1;
+            prefix = if self.prefix_count[l as usize][zero_branch as usize] > 0 {
+                zero_branch
+            } else {
+                zero_branch | 1
+            };
+        }
+        let tag = Tag(prefix);
+        self.adjust(tag, -1);
+        Some(self.store.remove_min(prefix))
+    }
+
+    fn len(&self) -> usize {
+        self.store.buckets.len()
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.store.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.store.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cam_iterative_search_counts_probes() {
+        let mut cam = BinaryCam::new(12);
+        cam.insert(Tag(1000), PacketRef(0));
+        cam.insert(Tag(2000), PacketRef(1));
+        cam.reset_stats();
+        assert_eq!(cam.pop_min().unwrap().0, Tag(1000));
+        let first = cam.stats().worst_op_accesses();
+        assert!(first > 900, "expected ~1001 probes, got {first}");
+        // The floor persists: the next search starts from 1000.
+        cam.reset_stats();
+        assert_eq!(cam.pop_min().unwrap().0, Tag(2000));
+        assert!(cam.stats().worst_op_accesses() < 1100);
+    }
+
+    #[test]
+    fn cam_floor_rewinds_on_smaller_insert() {
+        let mut cam = BinaryCam::new(12);
+        cam.insert(Tag(100), PacketRef(0));
+        cam.pop_min().unwrap();
+        cam.insert(Tag(50), PacketRef(1));
+        assert_eq!(cam.pop_min().unwrap().0, Tag(50));
+    }
+
+    #[test]
+    fn tcam_descent_is_exactly_w_probes() {
+        let mut t = Tcam::new(12);
+        for v in [4095u32, 17, 1024, 17] {
+            t.insert(Tag(v), PacketRef(v));
+        }
+        t.reset_stats();
+        assert_eq!(t.pop_min().unwrap().0, Tag(17));
+        // One pop: W probes + the bucket/CAM writes.
+        assert!(
+            (12..=14).contains(&t.stats().worst_op_accesses()),
+            "got {}",
+            t.stats().worst_op_accesses()
+        );
+    }
+
+    #[test]
+    fn tcam_orders_exactly_with_duplicates() {
+        let mut t = Tcam::new(12);
+        t.insert(Tag(5), PacketRef(0));
+        t.insert(Tag(5), PacketRef(1));
+        t.insert(Tag(2), PacketRef(2));
+        let got: Vec<_> = std::iter::from_fn(|| t.pop_min()).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Tag(2), PacketRef(2)),
+                (Tag(5), PacketRef(0)),
+                (Tag(5), PacketRef(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_pops() {
+        assert_eq!(BinaryCam::new(8).pop_min(), None);
+        assert_eq!(Tcam::new(8).pop_min(), None);
+    }
+}

@@ -1,0 +1,248 @@
+//! Every lookup method of the paper's Table I, instrumented.
+//!
+//! Table I compares nine ways of storing finishing tags and retrieving
+//! the smallest, by their worst-case memory accesses per lookup. This
+//! crate implements all of them behind one trait so the table can be
+//! *measured* rather than transcribed:
+//!
+//! | implementation | model | worst-case lookup | exact order? |
+//! |---|---|---|---|
+//! | [`SortedLinkedList`] | sort | O(n) insert scan | yes |
+//! | [`BinaryHeapPq`] | sort | O(log n) | yes |
+//! | [`VebTree`] | sort | O(log W) | yes |
+//! | [`CalendarQueue`] | sort | O(buckets) | yes |
+//! | [`TwoDimCalendarQueue`] | sort | O(days + slots) | **no** (slot aggregation) |
+//! | [`BinningCbfq`] | search | O(bins) | **no** (bin aggregation) |
+//! | [`BinaryCam`] | search | O(2^W) value probes | yes |
+//! | [`HashLookup`] | search | > O(2^W) (probes × chains) | yes |
+//! | [`Tcam`] | search | W masked probes | yes |
+//! | [`BinaryTreeQueue`] | sort | W node reads | yes |
+//! | [`MultiBitTreeQueue`] | sort | W / log₂(BF) node reads | yes |
+//!
+//! "Model" is the paper's §II-C distinction: *sort* structures pay at
+//! insertion and serve the minimum in fixed time; *search* structures pay
+//! at retrieval, so their service time is only bounded by the worst case.
+//! The two aggregating structures ([`TwoDimCalendarQueue`],
+//! [`BinningCbfq`]) trade exact ordering for speed — the inaccuracy the
+//! paper calls out ("this method is unsatisfactory because it aggregates
+//! values together in groups").
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{BinaryHeapPq, MinTagQueue, Tcam};
+//! use tagsort::{PacketRef, Tag};
+//!
+//! let mut heap = BinaryHeapPq::new(12);
+//! let mut tcam = Tcam::new(12);
+//! for (i, t) in [9u32, 3, 200, 3].iter().enumerate() {
+//!     heap.insert(Tag(*t), PacketRef(i as u32));
+//!     tcam.insert(Tag(*t), PacketRef(i as u32));
+//! }
+//! // Exact structures agree on the service order...
+//! assert_eq!(heap.pop_min().unwrap().0, Tag(3));
+//! assert_eq!(tcam.pop_min().unwrap().0, Tag(3));
+//! // ...but pay very differently: the TCAM searches per retrieval.
+//! assert!(tcam.stats().worst_op_accesses() >= 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binning;
+mod calendar;
+mod cam;
+mod hash;
+mod heap;
+mod queue;
+mod sorted_list;
+mod tree;
+mod veb;
+
+pub use binning::BinningCbfq;
+pub use calendar::{CalendarQueue, TwoDimCalendarQueue};
+pub use cam::{BinaryCam, Tcam};
+pub use hash::HashLookup;
+pub use heap::BinaryHeapPq;
+pub use queue::{LookupModel, MinTagQueue};
+pub use sorted_list::SortedLinkedList;
+pub use tree::{BinaryTreeQueue, MultiBitTreeQueue};
+pub use veb::VebTree;
+
+use tagsort::Tag;
+
+/// Builds one instance of every Table I structure for `tag_bits`-wide
+/// tags, in the table's row order.
+pub fn all_methods(tag_bits: u32) -> Vec<Box<dyn MinTagQueue>> {
+    vec![
+        Box::new(SortedLinkedList::new(tag_bits)),
+        Box::new(BinaryHeapPq::new(tag_bits)),
+        Box::new(VebTree::new(tag_bits)),
+        Box::new(CalendarQueue::new(tag_bits, 64)),
+        Box::new(TwoDimCalendarQueue::new(tag_bits, 16)),
+        Box::new(BinningCbfq::new(tag_bits, 64)),
+        Box::new(BinaryCam::new(tag_bits)),
+        Box::new(HashLookup::new(tag_bits, 64)),
+        Box::new(Tcam::new(tag_bits)),
+        Box::new(BinaryTreeQueue::new(tag_bits)),
+        Box::new(MultiBitTreeQueue::new(tag_bits)),
+    ]
+}
+
+/// Convenience: the subset of [`all_methods`] that maintains *exact*
+/// service order (excludes the two aggregating structures).
+pub fn exact_methods(tag_bits: u32) -> Vec<Box<dyn MinTagQueue>> {
+    all_methods(tag_bits)
+        .into_iter()
+        .filter(|m| m.is_exact())
+        .collect()
+}
+
+/// Reference service order for a batch of (tag, payload) inserts: sorted
+/// by tag, first-come-first-served among duplicates.
+pub fn reference_order(items: &[(Tag, tagsort::PacketRef)]) -> Vec<(Tag, tagsort::PacketRef)> {
+    let mut indexed: Vec<(usize, (Tag, tagsort::PacketRef))> =
+        items.iter().copied().enumerate().collect();
+    indexed.sort_by_key(|&(i, (t, _))| (t, i));
+    indexed.into_iter().map(|(_, x)| x).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagsort::PacketRef;
+
+    /// The headline cross-structure test: every exact method serves the
+    /// same (tag, payload) sequence on a mixed workload with duplicates.
+    #[test]
+    fn all_exact_methods_agree_on_service_order() {
+        let mut state = 0xfeed_beef_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let items: Vec<(Tag, PacketRef)> = (0..300)
+            .map(|i| (Tag((next() % 4096) as u32), PacketRef(i)))
+            .collect();
+        let want = reference_order(&items);
+        for mut m in exact_methods(12) {
+            for &(t, p) in &items {
+                m.insert(t, p);
+            }
+            assert_eq!(m.len(), items.len(), "{}", m.name());
+            let got: Vec<(Tag, PacketRef)> = std::iter::from_fn(|| m.pop_min()).collect();
+            assert_eq!(got, want, "{} order mismatch", m.name());
+            assert_eq!(m.len(), 0);
+        }
+    }
+
+    /// Interleaved insert/pop mix: exact methods match a BTreeMap oracle.
+    #[test]
+    fn exact_methods_match_oracle_under_interleaving() {
+        use std::collections::BTreeMap;
+        let mut state = 0x0dd_ba11u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let ops: Vec<Option<(Tag, PacketRef)>> = (0..400)
+            .map(|i| {
+                if next() % 3 == 0 {
+                    None // pop
+                } else {
+                    Some((Tag((next() % 4096) as u32), PacketRef(i)))
+                }
+            })
+            .collect();
+        for mut m in exact_methods(12) {
+            let mut oracle: BTreeMap<(u32, u64), PacketRef> = BTreeMap::new();
+            let mut stamp = 0u64;
+            for op in &ops {
+                match op {
+                    Some((t, p)) => {
+                        m.insert(*t, *p);
+                        oracle.insert((t.value(), stamp), *p);
+                        stamp += 1;
+                    }
+                    None => {
+                        let got = m.pop_min();
+                        let want = oracle.iter().next().map(|(&(t, s), &p)| ((t, s), p));
+                        match (got, want) {
+                            (Some((gt, gp)), Some(((wt, ws), wp))) => {
+                                assert_eq!((gt.value(), gp), (wt, wp), "{}", m.name());
+                                oracle.remove(&(wt, ws));
+                            }
+                            (None, None) => {}
+                            (g, w) => panic!("{}: {g:?} vs {w:?}", m.name()),
+                        }
+                    }
+                }
+            }
+            assert_eq!(m.len(), oracle.len(), "{}", m.name());
+        }
+    }
+
+    /// Table I's central claim, measured: the multi-bit tree's worst-case
+    /// accesses per lookup beat every other exact method on a dense
+    /// workload.
+    #[test]
+    fn multibit_tree_has_lowest_worst_case_accesses() {
+        let items: Vec<(Tag, PacketRef)> = (0..512)
+            .map(|i| (Tag((i * 7) % 4096), PacketRef(i)))
+            .collect();
+        let mut results = Vec::new();
+        for mut m in exact_methods(12) {
+            for &(t, p) in &items {
+                m.insert(t, p);
+            }
+            while m.pop_min().is_some() {}
+            results.push((m.name().to_string(), m.stats().worst_op_accesses()));
+        }
+        let tree_worst = results
+            .iter()
+            .find(|(n, _)| n.contains("multi-bit"))
+            .expect("multi-bit tree present")
+            .1;
+        for (name, worst) in &results {
+            if !name.contains("multi-bit") {
+                assert!(
+                    tree_worst <= *worst,
+                    "multi-bit tree ({tree_worst}) lost to {name} ({worst})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregating_methods_are_flagged_inexact() {
+        let inexact: Vec<String> = all_methods(12)
+            .iter()
+            .filter(|m| !m.is_exact())
+            .map(|m| m.name().to_string())
+            .collect();
+        assert_eq!(inexact.len(), 2, "{inexact:?}");
+        assert!(inexact.iter().any(|n| n.contains("binning")));
+        assert!(inexact.iter().any(|n| n.contains("2-D")));
+    }
+
+    #[test]
+    fn reference_order_is_fcfs_among_duplicates() {
+        let items = vec![
+            (Tag(5), PacketRef(0)),
+            (Tag(3), PacketRef(1)),
+            (Tag(5), PacketRef(2)),
+        ];
+        assert_eq!(
+            reference_order(&items),
+            vec![
+                (Tag(3), PacketRef(1)),
+                (Tag(5), PacketRef(0)),
+                (Tag(5), PacketRef(2))
+            ]
+        );
+    }
+}

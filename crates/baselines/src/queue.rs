@@ -1,0 +1,137 @@
+//! The common instrumented min-tag queue interface.
+
+use hwsim::AccessStats;
+use tagsort::{PacketRef, Tag};
+
+/// Which of the paper's §II-C models a structure follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupModel {
+    /// Sorting happens at insertion; the minimum is served in fixed time.
+    Sort,
+    /// Entries are stored as they arrive; retrieval searches for the
+    /// minimum, so service time varies up to the worst case.
+    Search,
+}
+
+impl std::fmt::Display for LookupModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LookupModel::Sort => "sort",
+            LookupModel::Search => "search",
+        })
+    }
+}
+
+/// A priority structure holding (tag, packet reference) pairs and serving
+/// the smallest tag, with memory-access instrumentation.
+///
+/// Every access a real implementation would make to its backing memory is
+/// recorded in [`MinTagQueue::stats`]; one logical operation (insert or
+/// pop) is one `op` in the counters, so `worst_op_accesses` is directly
+/// the Table I column.
+pub trait MinTagQueue {
+    /// Row name as it appears in Table I.
+    fn name(&self) -> &'static str;
+
+    /// Sort vs search model (Table I column).
+    fn model(&self) -> LookupModel;
+
+    /// The closed-form worst-case lookup cost from Table I.
+    fn complexity(&self) -> &'static str;
+
+    /// Whether the structure preserves exact tag order (the aggregating
+    /// structures do not — the paper's accuracy objection).
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    /// Stores a tag with its packet reference.
+    fn insert(&mut self, tag: Tag, payload: PacketRef);
+
+    /// Removes and returns the smallest stored tag (FCFS among equals for
+    /// exact structures).
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether the structure is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access instrumentation.
+    fn stats(&self) -> &AccessStats;
+
+    /// Clears the instrumentation counters.
+    fn reset_stats(&mut self);
+}
+
+/// Per-tag-value FIFO payload buckets — shared by the structures that
+/// natively store only tag *presence* (vEB, CAMs, trees, bins).
+///
+/// Keeps duplicates in arrival order so those structures still serve
+/// first-come-first-served among equal tags.
+#[derive(Debug, Clone)]
+pub(crate) struct TagBuckets {
+    queues: Vec<std::collections::VecDeque<PacketRef>>,
+    len: usize,
+}
+
+impl TagBuckets {
+    pub fn new(tag_space: usize) -> Self {
+        Self {
+            queues: vec![std::collections::VecDeque::new(); tag_space],
+            len: 0,
+        }
+    }
+
+    /// Appends a payload; returns `true` if the tag value was previously
+    /// absent (the presence structure must be updated).
+    pub fn push(&mut self, tag: Tag, payload: PacketRef) -> bool {
+        let q = &mut self.queues[tag.value() as usize];
+        let was_empty = q.is_empty();
+        q.push_back(payload);
+        self.len += 1;
+        was_empty
+    }
+
+    /// Pops the oldest payload of `tag`; returns it and whether the tag
+    /// value is now absent.
+    pub fn pop(&mut self, tag: Tag) -> (PacketRef, bool) {
+        let q = &mut self.queues[tag.value() as usize];
+        let payload = q.pop_front().expect("pop from empty tag bucket");
+        self.len -= 1;
+        (payload, q.is_empty())
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_display() {
+        assert_eq!(LookupModel::Sort.to_string(), "sort");
+        assert_eq!(LookupModel::Search.to_string(), "search");
+    }
+
+    #[test]
+    fn buckets_fifo_and_presence() {
+        let mut b = TagBuckets::new(16);
+        assert!(b.push(Tag(3), PacketRef(1)));
+        assert!(!b.push(Tag(3), PacketRef(2)));
+        assert_eq!(b.len(), 2);
+        let (p, empty) = b.pop(Tag(3));
+        assert_eq!(p, PacketRef(1));
+        assert!(!empty);
+        let (p, empty) = b.pop(Tag(3));
+        assert_eq!(p, PacketRef(2));
+        assert!(empty);
+        assert_eq!(b.len(), 0);
+    }
+}

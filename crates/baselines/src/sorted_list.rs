@@ -1,0 +1,182 @@
+//! The software sorted linked list — Table I's O(n) baseline.
+
+use hwsim::AccessStats;
+use tagsort::{PacketRef, Tag};
+
+use crate::queue::{LookupModel, MinTagQueue};
+
+/// A singly linked list kept in tag order, as a software router would
+/// implement it: inserting scans from the head, one memory access per
+/// node visited.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{MinTagQueue, SortedLinkedList};
+/// use tagsort::{PacketRef, Tag};
+///
+/// let mut l = SortedLinkedList::new(12);
+/// l.insert(Tag(30), PacketRef(0));
+/// l.insert(Tag(10), PacketRef(1));
+/// assert_eq!(l.pop_min(), Some((Tag(10), PacketRef(1))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedLinkedList {
+    tag_bits: u32,
+    // Arena-based singly linked list: (tag, payload, next).
+    nodes: Vec<(Tag, PacketRef, Option<usize>)>,
+    head: Option<usize>,
+    free: Vec<usize>,
+    len: usize,
+    stats: AccessStats,
+}
+
+impl SortedLinkedList {
+    /// Creates an empty list for `tag_bits`-wide tags.
+    pub fn new(tag_bits: u32) -> Self {
+        Self {
+            tag_bits,
+            nodes: Vec::new(),
+            head: None,
+            free: Vec::new(),
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+}
+
+impl MinTagQueue for SortedLinkedList {
+    fn name(&self) -> &'static str {
+        "sorted linked list"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Sort
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(n)"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        assert!(
+            u64::from(tag.value()) < (1u64 << self.tag_bits),
+            "tag too wide"
+        );
+        self.stats.begin_op();
+        // Scan for the last node with tag <= new tag (FCFS among equals).
+        let mut prev: Option<usize> = None;
+        let mut cursor = self.head;
+        while let Some(i) = cursor {
+            self.stats.record_read();
+            if self.nodes[i].0 > tag {
+                break;
+            }
+            prev = Some(i);
+            cursor = self.nodes[i].2;
+        }
+        let next = match prev {
+            Some(p) => self.nodes[p].2,
+            None => self.head,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = (tag, payload, next);
+                i
+            }
+            None => {
+                self.nodes.push((tag, payload, next));
+                self.nodes.len() - 1
+            }
+        };
+        self.stats.record_write();
+        match prev {
+            Some(p) => {
+                self.nodes[p].2 = Some(idx);
+                self.stats.record_write();
+            }
+            None => self.head = Some(idx),
+        }
+        self.len += 1;
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        let head = self.head?;
+        self.stats.begin_op();
+        self.stats.record_read();
+        let (tag, payload, next) = self.nodes[head];
+        self.head = next;
+        self.free.push(head);
+        self.len -= 1;
+        Some((tag, payload))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_is_fcfs() {
+        let mut l = SortedLinkedList::new(12);
+        l.insert(Tag(5), PacketRef(0));
+        l.insert(Tag(1), PacketRef(1));
+        l.insert(Tag(5), PacketRef(2));
+        l.insert(Tag(3), PacketRef(3));
+        let got: Vec<_> = std::iter::from_fn(|| l.pop_min()).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Tag(1), PacketRef(1)),
+                (Tag(3), PacketRef(3)),
+                (Tag(5), PacketRef(0)),
+                (Tag(5), PacketRef(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_cost_grows_linearly() {
+        let mut l = SortedLinkedList::new(12);
+        for i in 0..100u32 {
+            l.insert(Tag(i), PacketRef(i));
+        }
+        // Inserting at the tail scans all 100 nodes.
+        l.reset_stats();
+        l.insert(Tag(4000), PacketRef(999));
+        assert!(l.stats().worst_op_accesses() >= 100);
+        // Pop is O(1).
+        l.reset_stats();
+        l.pop_min();
+        assert!(l.stats().worst_op_accesses() <= 2);
+    }
+
+    #[test]
+    fn freed_nodes_are_reused() {
+        let mut l = SortedLinkedList::new(12);
+        for i in 0..10u32 {
+            l.insert(Tag(i), PacketRef(i));
+        }
+        for _ in 0..10 {
+            l.pop_min();
+        }
+        let arena = l.nodes.len();
+        for i in 0..10u32 {
+            l.insert(Tag(i), PacketRef(i));
+        }
+        assert_eq!(l.nodes.len(), arena, "arena should not grow");
+        assert_eq!(l.len(), 10);
+    }
+}

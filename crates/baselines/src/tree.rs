@@ -1,0 +1,243 @@
+//! Tree-based queues: the 1-bit binary tree and the paper's multi-bit
+//! tree, both as adapters over the [`tagsort`] core.
+
+use hwsim::AccessStats;
+use tagsort::{Geometry, MultiBitTrie, PacketRef, Tag};
+
+use crate::queue::{LookupModel, MinTagQueue, TagBuckets};
+
+/// Shared adapter: a [`MultiBitTrie`] of any geometry plus FIFO payload
+/// buckets, giving the Table I "tree" rows their measured access counts.
+#[derive(Debug, Clone)]
+struct TrieQueue {
+    trie: MultiBitTrie,
+    buckets: TagBuckets,
+    stats: AccessStats,
+}
+
+impl TrieQueue {
+    fn new(geometry: Geometry) -> Self {
+        Self {
+            trie: MultiBitTrie::new(geometry),
+            buckets: TagBuckets::new(geometry.tag_space() as usize),
+            stats: AccessStats::new(),
+        }
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        self.stats.begin_op();
+        // The lookup that positions the tag: one node read per level
+        // (primary and backup paths run in parallel; paper §III-A).
+        self.stats
+            .record_batch(u64::from(self.trie.geometry().levels()));
+        if self.buckets.push(tag, payload) {
+            self.trie.insert_marker(tag);
+            self.stats.record_write();
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        let min = self.trie.min()?;
+        self.stats.begin_op();
+        // Serving the head is a fixed-cost read (sort model).
+        self.stats.record_read();
+        let (payload, now_absent) = self.buckets.pop(min);
+        if now_absent {
+            self.trie.remove_marker(min);
+            self.stats.record_write();
+        }
+        Some((min, payload))
+    }
+}
+
+/// A plain binary (1-bit-literal) tree: W node reads per lookup — the
+/// Table I "tree" row that the multi-bit variant improves on.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{BinaryTreeQueue, MinTagQueue};
+/// use tagsort::{PacketRef, Tag};
+///
+/// let mut t = BinaryTreeQueue::new(12);
+/// t.insert(Tag(9), PacketRef(0));
+/// t.reset_stats();
+/// t.insert(Tag(3), PacketRef(1));
+/// assert_eq!(t.stats().worst_op_accesses(), 13); // 12 levels + marker
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryTreeQueue {
+    inner: TrieQueue,
+}
+
+impl BinaryTreeQueue {
+    /// Creates a binary tree over `tag_bits`-wide tags.
+    pub fn new(tag_bits: u32) -> Self {
+        Self {
+            inner: TrieQueue::new(Geometry::new(1, tag_bits)),
+        }
+    }
+}
+
+impl MinTagQueue for BinaryTreeQueue {
+    fn name(&self) -> &'static str {
+        "binary tree"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Sort
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(W)"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        self.inner.insert(tag, payload);
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        self.inner.pop_min()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.buckets.len()
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.inner.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.stats.reset();
+    }
+}
+
+/// The paper's multi-bit tree: `W / log₂(BF)` node reads per lookup —
+/// three for the fabricated 12-bit, 16-way geometry. The winning Table I
+/// row.
+#[derive(Debug, Clone)]
+pub struct MultiBitTreeQueue {
+    inner: TrieQueue,
+}
+
+impl MultiBitTreeQueue {
+    /// Creates the tree with the fabricated geometry scaled to
+    /// `tag_bits` (4-bit literals; `tag_bits` must be a multiple of 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag_bits` is not a positive multiple of 4.
+    pub fn new(tag_bits: u32) -> Self {
+        assert!(
+            tag_bits >= 4 && tag_bits.is_multiple_of(4),
+            "tag width must be a positive multiple of 4"
+        );
+        Self {
+            inner: TrieQueue::new(Geometry::new(4, tag_bits / 4)),
+        }
+    }
+
+    /// Creates the tree with an explicit geometry (for the branching
+    /// ablation experiment).
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        Self {
+            inner: TrieQueue::new(geometry),
+        }
+    }
+}
+
+impl MinTagQueue for MultiBitTreeQueue {
+    fn name(&self) -> &'static str {
+        "multi-bit tree"
+    }
+
+    fn model(&self) -> LookupModel {
+        LookupModel::Sort
+    }
+
+    fn complexity(&self) -> &'static str {
+        "O(W / log2 BF)"
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) {
+        self.inner.insert(tag, payload);
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        self.inner.pop_min()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.buckets.len()
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.inner.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multibit_lookup_is_three_reads_at_paper_geometry() {
+        let mut t = MultiBitTreeQueue::new(12);
+        t.insert(Tag(100), PacketRef(0));
+        t.reset_stats();
+        t.insert(Tag(200), PacketRef(1));
+        // 3 level reads + up to 3 marker writes.
+        assert!(t.stats().worst_op_accesses() <= 6);
+        t.reset_stats();
+        t.insert(Tag(201), PacketRef(2));
+        assert!(t.stats().worst_op_accesses() <= 4 + 1);
+    }
+
+    #[test]
+    fn binary_tree_costs_w_reads() {
+        let mut t = BinaryTreeQueue::new(12);
+        t.insert(Tag(100), PacketRef(0));
+        t.reset_stats();
+        t.insert(Tag(4095), PacketRef(1));
+        assert!(t.stats().worst_op_accesses() >= 12);
+    }
+
+    #[test]
+    fn both_trees_sort_with_fcfs_duplicates() {
+        for mut t in [
+            Box::new(BinaryTreeQueue::new(12)) as Box<dyn MinTagQueue>,
+            Box::new(MultiBitTreeQueue::new(12)),
+        ] {
+            t.insert(Tag(8), PacketRef(0));
+            t.insert(Tag(8), PacketRef(1));
+            t.insert(Tag(2), PacketRef(2));
+            let got: Vec<_> = std::iter::from_fn(|| t.pop_min()).collect();
+            assert_eq!(
+                got,
+                vec![
+                    (Tag(2), PacketRef(2)),
+                    (Tag(8), PacketRef(0)),
+                    (Tag(8), PacketRef(1))
+                ],
+                "{}",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_geometry_for_ablation() {
+        let mut t = MultiBitTreeQueue::with_geometry(Geometry::new(2, 6));
+        t.insert(Tag(100), PacketRef(0));
+        t.reset_stats();
+        t.insert(Tag(50), PacketRef(1));
+        // 6 levels with 2-bit literals.
+        assert!(t.stats().worst_op_accesses() >= 6);
+        assert_eq!(t.pop_min().unwrap().0, Tag(50));
+    }
+}

@@ -1,0 +1,35 @@
+//! Wall-clock companion to experiment E1 (Table I): insert + pop-min
+//! throughput of every lookup method on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use baselines::all_methods;
+use bench::tag_workload;
+
+fn bench_methods(c: &mut Criterion) {
+    let items = tag_workload(1024, 12, 7);
+    let mut group = c.benchmark_group("table1_lookup_methods");
+    for method_idx in 0..all_methods(12).len() {
+        let name = all_methods(12)[method_idx].name().to_string();
+        group.bench_with_input(
+            BenchmarkId::new("insert_pop_1024", name),
+            &method_idx,
+            |b, &idx| {
+                b.iter(|| {
+                    let mut m = all_methods(12).swap_remove(idx);
+                    for &(t, p) in &items {
+                        m.insert(black_box(t), black_box(p));
+                    }
+                    while let Some(x) = m.pop_min() {
+                        black_box(x);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wall-clock companion to experiments E2/E3 (Figs. 7–8): elaboration
+//! and gate-level evaluation cost of the five matcher designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use matcher::{MatcherCircuit, MatcherKind};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_build_16bit");
+    for kind in MatcherKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| black_box(MatcherCircuit::build(k, 16)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_evaluate_16bit");
+    for kind in MatcherKind::ALL {
+        let circuit = MatcherCircuit::build(kind, 16);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &circuit,
+            |b, circuit| {
+                let mut v: u64 = 0xace1;
+                b.iter(|| {
+                    v = v.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    let word = v & 0xffff;
+                    let lit = (v >> 16) as u32 % 16;
+                    black_box(circuit.evaluate(word, lit))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    c.bench_function("matcher_reference_model_16bit", |b| {
+        let mut v: u64 = 0xace1;
+        b.iter(|| {
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let word = v & 0xffff;
+            let lit = (v >> 16) as u32 % 16;
+            black_box(matcher::reference::closest_match(word, 16, lit))
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_evaluate, bench_reference);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Wall-clock companion to experiment E9: end-to-end scheduler
+//! enqueue+dequeue throughput (the full Fig. 1 pipeline per packet),
+//! and the software scheduler family for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fairq::{Scheduler, Wfq};
+use scheduler::{HwScheduler, SchedulerConfig};
+use traffic::{FlowId, FlowSpec, Packet, Time};
+
+fn flows(n: usize) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec::new(FlowId(i as u32), 1.0 + (i % 5) as f64, 1e6))
+        .collect()
+}
+
+fn bench_hw_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_scheduler_packet");
+    group.throughput(Throughput::Elements(1));
+    for sessions in [16usize, 256, 4096] {
+        let fl = flows(sessions);
+        group.bench_with_input(BenchmarkId::new("sessions", sessions), &fl, |b, fl| {
+            let mut s = HwScheduler::new(
+                fl,
+                40e9,
+                SchedulerConfig {
+                    tick_scale: 2000.0,
+                    capacity: 1 << 14,
+                    ..SchedulerConfig::default()
+                },
+            );
+            let mut t = 0.0;
+            let mut seq = 0u64;
+            for _ in 0..128 {
+                t += 28e-9;
+                s.enqueue(Packet {
+                    flow: FlowId((seq % fl.len() as u64) as u32),
+                    size_bytes: 140,
+                    arrival: Time(t),
+                    seq,
+                })
+                .unwrap();
+                seq += 1;
+            }
+            b.iter(|| {
+                t += 28e-9;
+                s.enqueue(Packet {
+                    flow: FlowId((seq % fl.len() as u64) as u32),
+                    size_bytes: 140,
+                    arrival: Time(t),
+                    seq,
+                })
+                .unwrap();
+                seq += 1;
+                black_box(s.dequeue().unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_software_wfq(c: &mut Criterion) {
+    c.bench_function("software_wfq_packet", |b| {
+        let fl = flows(256);
+        let mut s = Wfq::new(&fl, 40e9);
+        let mut t = 0.0;
+        let mut seq = 0u64;
+        for _ in 0..128 {
+            t += 28e-9;
+            s.on_arrival(Packet {
+                flow: FlowId((seq % 256) as u32),
+                size_bytes: 140,
+                arrival: Time(t),
+                seq,
+            });
+            seq += 1;
+        }
+        b.iter(|| {
+            t += 28e-9;
+            s.on_arrival(Packet {
+                flow: FlowId((seq % 256) as u32),
+                size_bytes: 140,
+                arrival: Time(t),
+                seq,
+            });
+            seq += 1;
+            black_box(s.select(Time(t)).unwrap());
+        });
+    });
+}
+
+criterion_group!(benches, bench_hw_scheduler, bench_software_wfq);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Wall-clock companion to experiment E10: per-packet software cost of
+//! every scheduler in the family — the processing burden the paper's
+//! hardware removes from the data path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fairq::{
+    Cbq, ClassMap, Drr, Fbfq, Fifo, HierarchicalWf2q, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr,
+    Wf2q, Wf2qPlus, Wfq, Wrr,
+};
+use traffic::{FlowId, FlowSpec, Packet, Time};
+
+fn flows(n: usize) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec::new(FlowId(i as u32), 1.0 + (i % 5) as f64, 1e6))
+        .collect()
+}
+
+fn class_map(n: usize) -> ClassMap {
+    ClassMap::new((0..n).map(|i| i % 4).collect(), vec![8.0, 4.0, 2.0, 1.0])
+}
+
+type Factory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+fn bench_schedulers(c: &mut Criterion) {
+    const FLOWS: usize = 64;
+    let fl = flows(FLOWS);
+    let rate = 1e9;
+    let make: Vec<(&str, Factory)> = vec![
+        (
+            "fifo",
+            Box::new({
+                let _fl = fl.clone();
+                move || Box::new(Fifo::new())
+            }),
+        ),
+        (
+            "wrr",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Wrr::new(&fl))
+            }),
+        ),
+        (
+            "drr",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Drr::new(&fl, 1500.0))
+            }),
+        ),
+        (
+            "mdrr",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Mdrr::new(&fl, 1500.0, FlowId(0)))
+            }),
+        ),
+        (
+            "srr",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(StratifiedRr::new(&fl))
+            }),
+        ),
+        (
+            "fbfq",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Fbfq::new(&fl, rate, 1500.0))
+            }),
+        ),
+        (
+            "scfq",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Scfq::new(&fl))
+            }),
+        ),
+        (
+            "sfq",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Sfq::new(&fl))
+            }),
+        ),
+        (
+            "wfq",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Wfq::new(&fl, rate))
+            }),
+        ),
+        (
+            "wf2q",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Wf2q::new(&fl, rate))
+            }),
+        ),
+        (
+            "wf2q+",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Wf2qPlus::new(&fl))
+            }),
+        ),
+        (
+            "h-wf2q+",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(HierarchicalWf2q::new(&fl, class_map(FLOWS)))
+            }),
+        ),
+        (
+            "cbq",
+            Box::new({
+                let fl = fl.clone();
+                move || Box::new(Cbq::new(&fl, class_map(FLOWS), 1500.0))
+            }),
+        ),
+    ];
+    let mut group = c.benchmark_group("scheduler_packet_cost");
+    group.throughput(Throughput::Elements(1));
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, factory| {
+            let mut s = factory();
+            let mut t = 0.0;
+            let mut seq = 0u64;
+            // Warm backlog.
+            for _ in 0..128 {
+                t += 1e-6;
+                s.on_arrival(Packet {
+                    flow: FlowId((seq % FLOWS as u64) as u32),
+                    size_bytes: 300 + (seq as u32 % 1200),
+                    arrival: Time(t),
+                    seq,
+                });
+                seq += 1;
+            }
+            b.iter(|| {
+                t += 1e-6;
+                s.on_arrival(Packet {
+                    flow: FlowId((seq % FLOWS as u64) as u32),
+                    size_bytes: 300 + (seq as u32 % 1200),
+                    arrival: Time(t),
+                    seq,
+                });
+                seq += 1;
+                black_box(s.select(Time(t)).expect("backlogged"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

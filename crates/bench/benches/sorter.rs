@@ -1,0 +1,84 @@
+//! Wall-clock companion to experiments E5/E7 and the branching ablation:
+//! sort/retrieve circuit operation cost across geometries and occupancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::drifting_workload;
+use tagsort::{Geometry, PacketRef, SortRetrieveCircuit, Tag};
+
+fn bench_insert_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorter_insert_pop");
+    group.throughput(Throughput::Elements(2048));
+    for (label, geometry) in [
+        ("paper_12bit_bf16", Geometry::paper()),
+        ("wide_15bit_bf32", Geometry::paper_wide()),
+        ("binary_12bit_bf2", Geometry::new(1, 12)),
+        ("deep_20bit_bf16", Geometry::new(4, 5)),
+    ] {
+        let items = drifting_workload(2048, geometry.tag_bits(), 256, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &geometry, |b, &g| {
+            b.iter(|| {
+                let mut c = SortRetrieveCircuit::new(g, 4096);
+                for &(t, p) in &items {
+                    c.insert(black_box(t), black_box(p)).unwrap();
+                }
+                while let Some(x) = c.pop_min() {
+                    black_box(x);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_combined_slot(c: &mut Criterion) {
+    // The §III-C simultaneous store+serve path at steady occupancy.
+    c.bench_function("sorter_insert_and_pop_slot", |b| {
+        let mut circuit = SortRetrieveCircuit::new(Geometry::paper(), 8192);
+        for i in 0..1024u32 {
+            circuit.insert(Tag(i * 3 % 4096), PacketRef(i)).unwrap();
+        }
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let min = circuit.peek_min().map(|(t, _)| t.value()).unwrap_or(0);
+            let tag = Tag((min + (v % 512) as u32).min(4095));
+            black_box(circuit.insert_and_pop(tag, PacketRef(9)).unwrap());
+        });
+    });
+}
+
+fn bench_occupancy_independence(c: &mut Criterion) {
+    // The scalability claim: per-op cost must not grow with occupancy.
+    let mut group = c.benchmark_group("sorter_op_vs_occupancy");
+    for occupancy in [64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(occupancy),
+            &occupancy,
+            |b, &n| {
+                let mut circuit = SortRetrieveCircuit::new(Geometry::new(4, 5), 1 << 17);
+                let items = drifting_workload(n, 20, 4096, 5);
+                for &(t, p) in &items {
+                    circuit.insert(t, p).unwrap();
+                }
+                let mut v = 1u64;
+                b.iter(|| {
+                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let min = circuit.peek_min().map(|(t, _)| t.value()).unwrap_or(0);
+                    let tag = Tag((min + (v % 4096) as u32).min((1 << 20) - 1));
+                    black_box(circuit.insert_and_pop(tag, PacketRef(1)).unwrap());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_pop,
+    bench_combined_slot,
+    bench_occupancy_independence
+);
+criterion_main!(benches);

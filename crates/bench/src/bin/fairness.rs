@@ -1,0 +1,192 @@
+//! **Experiment E10 — §I/§II motivation:** fair queueing vs round robin
+//! delay bounds.
+//!
+//! The paper's case for building WFQ hardware at all: round robin "cannot
+//! provide for effective bounded delays" for variable-size packets, while
+//! WFQ "approximates GPS within one packet transmission time regardless
+//! of the arrival patterns". This binary runs every scheduler over the
+//! same mixed workload and reports per-flow worst-case delay, the GPS
+//! lag, and weighted fairness.
+
+use bench::{eng, print_table};
+use fairq::{
+    metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
+    Wf2qPlus, Wfq, Wrr,
+};
+use traffic::{generate, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist};
+
+fn flows() -> Vec<FlowSpec> {
+    vec![
+        // A weighted VoIP-like flow with small packets needing low delay.
+        FlowSpec::new(FlowId(0), 4.0, 400_000.0)
+            .size(SizeDist::Fixed(140))
+            .arrivals(ArrivalProcess::Cbr),
+        // A bursty data flow with big packets.
+        FlowSpec::new(FlowId(1), 1.0, 1_200_000.0)
+            .size(SizeDist::Bimodal {
+                small: 40,
+                large: 1500,
+                p_small: 0.2,
+            })
+            .arrivals(ArrivalProcess::OnOff {
+                on_mean_s: 0.03,
+                off_mean_s: 0.03,
+            }),
+        // Steady IMIX background.
+        FlowSpec::new(FlowId(2), 2.0, 800_000.0)
+            .size(SizeDist::Imix)
+            .arrivals(ArrivalProcess::Poisson),
+    ]
+}
+
+fn run(
+    name: &str,
+    mut sim: LinkSim<Box<dyn Scheduler>>,
+    fl: &[FlowSpec],
+    trace: &[Packet],
+    rate: f64,
+) -> Vec<String> {
+    let deps: Vec<Departure> = sim.run(trace);
+    score(name, &deps, fl, trace, rate)
+}
+
+fn score(
+    name: &str,
+    deps: &[Departure],
+    fl: &[FlowSpec],
+    trace: &[Packet],
+    rate: f64,
+) -> Vec<String> {
+    let report = metrics::analyze(fl, trace, deps);
+    let lag = metrics::gps_lag(fl, trace, deps, rate);
+    let lmax_over_r = trace.iter().map(|p| p.size_bits()).fold(0.0, f64::max) / rate;
+    // Weighted shares over the continuously backlogged first second.
+    let mut bytes = vec![0u64; fl.len()];
+    for d in deps.iter().filter(|d| d.finish.seconds() <= 1.0) {
+        // (departures within the saturated first second)
+        bytes[d.packet.flow.0 as usize] += u64::from(d.packet.size_bytes);
+    }
+    let shares: Vec<f64> = bytes
+        .iter()
+        .zip(fl)
+        .map(|(&b, f)| b as f64 / f.weight)
+        .collect();
+    vec![
+        name.to_string(),
+        format!("{}s", eng(report[0].max_delay_s)),
+        format!("{}s", eng(report[1].max_delay_s)),
+        format!("{}s", eng(report[2].max_delay_s)),
+        format!("{}s", eng(lag)),
+        format!("{:.2}x", lag / lmax_over_r),
+        format!("{:.3}", metrics::jain_index(&shares)),
+    ]
+}
+
+fn main() {
+    let fl = flows();
+    let rate = 2.0e6; // oversubscribed: 2.4 Mb/s offered on a 2 Mb/s link
+    let trace = generate(&fl, 2.0, 21);
+    println!(
+        "workload: {} packets over 2 s, 3 flows, link {}b/s",
+        trace.len(),
+        eng(rate)
+    );
+
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("FIFO", Box::new(Fifo::new())),
+        ("WRR", Box::new(Wrr::new(&fl))),
+        ("DRR", Box::new(Drr::new(&fl, 1500.0))),
+        (
+            "MDRR (LLQ=flow 0)",
+            Box::new(Mdrr::new(&fl, 1500.0, FlowId(0))),
+        ),
+        ("SRR", Box::new(StratifiedRr::new(&fl))),
+        ("FBFQ", Box::new(Fbfq::new(&fl, rate, 1500.0))),
+        ("SCFQ", Box::new(Scfq::new(&fl))),
+        ("SFQ", Box::new(Sfq::new(&fl))),
+        ("WFQ", Box::new(Wfq::new(&fl, rate))),
+        ("WF2Q", Box::new(Wf2q::new(&fl, rate))),
+        ("WF2Q+", Box::new(Wf2qPlus::new(&fl))),
+    ];
+    let mut rows = Vec::new();
+    for (name, sched) in schedulers {
+        rows.push(run(name, LinkSim::new(rate, sched), &fl, &trace, rate));
+    }
+    // The same WFQ policy through the full hardware pipeline (Fig. 1):
+    // quantized tags, the sort/retrieve circuit, and the shared buffer.
+    {
+        use scheduler::{HwLinkSim, HwScheduler, SchedulerConfig};
+        use tagsort::Geometry;
+        let hw = HwScheduler::new(
+            &fl,
+            rate,
+            SchedulerConfig {
+                geometry: Geometry::new(4, 5),
+                tick_scale: 30.0,
+                capacity: 1 << 14,
+                ..SchedulerConfig::default()
+            },
+        );
+        let deps = HwLinkSim::new(rate, hw).run(&trace).expect("hardware path");
+        rows.push(score("WFQ (hw circuit)", &deps, &fl, &trace, rate));
+    }
+    print_table(
+        "E10 — delay bounds and fairness across schedulers",
+        &[
+            "scheduler",
+            "voip max delay",
+            "bursty max delay",
+            "imix max delay",
+            "GPS lag",
+            "lag / (Lmax/R)",
+            "Jain (weighted)",
+        ],
+        &rows,
+    );
+    // --- End to end: the same story across three hops --------------------
+    {
+        use fairq::{end_to_end_delays, pg_end_to_end_bound, NetworkSim};
+        use traffic::TokenBucket;
+        let hop_rates = [rate, rate, rate];
+        let mut rows = Vec::new();
+        for name in ["FIFO", "WFQ"] {
+            let mut net = NetworkSim::new();
+            for _ in 0..hop_rates.len() {
+                match name {
+                    "FIFO" => net.add_hop(rate, Fifo::new()),
+                    _ => net.add_hop(rate, Wfq::new(&fl, rate)),
+                };
+            }
+            let deps = net.run(&trace);
+            let delays = end_to_end_delays(&trace, &deps);
+            let worst_voip = trace
+                .iter()
+                .zip(&delays)
+                .filter(|(p, _)| p.flow == FlowId(0))
+                .map(|(_, d)| *d)
+                .fold(0.0, f64::max);
+            rows.push(vec![name.to_string(), format!("{}s", eng(worst_voip))]);
+        }
+        let g = metrics::guaranteed_rate(&fl, FlowId(0), rate);
+        let bucket = TokenBucket::fit(&trace, FlowId(0), fl[0].rate_bps).expect("voip packets");
+        let lmax = trace.iter().map(|p| p.size_bits()).fold(0.0, f64::max);
+        let bound = pg_end_to_end_bound(bucket.burst_bits(), g, 140.0 * 8.0, lmax, &hop_rates);
+        rows.push(vec![
+            "PG end-to-end bound (WFQ)".into(),
+            format!("{}s", eng(bound)),
+        ]);
+        print_table(
+            "E10b — VoIP worst end-to-end delay across 3 hops",
+            &["path", "worst delay"],
+            &rows,
+        );
+    }
+
+    println!(
+        "\nShape to reproduce: WFQ and WF2Q keep the GPS lag within one maximum\n\
+         packet transmission time (ratio <= 1, the Parekh-Gallager bound); the\n\
+         self-clocked family lands within a small constant of it; FIFO and the\n\
+         round-robin family blow the VoIP flow's worst-case delay up by an\n\
+         order of magnitude under bursty cross-traffic."
+    );
+}

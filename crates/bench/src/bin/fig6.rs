@@ -1,0 +1,194 @@
+//! **Experiment E4 — Fig. 6:** the distribution of new tag values moves
+//! as time increases.
+//!
+//! Drives the full hardware scheduler with two traffic profiles — the
+//! paper's "streaming VoIP" (left-weighted distribution) and a "diverse
+//! mix" (bell curve) — and prints histograms of newly allocated tag
+//! values per time window, plus the section-recycling activity as the
+//! window advances around the circular tag space.
+
+use bench::print_table;
+use scheduler::{TagQuantizer, WrapPolicy};
+use tagsort::Geometry;
+use traffic::{generate, profiles, FlowSpec, Packet};
+
+/// Quantizes a whole trace through a WFQ clock and collects, per time
+/// window, the histogram of allocated tag values (16 section-sized bins)
+/// and the recycled sections.
+fn run_profile(
+    name: &str,
+    flows: &[FlowSpec],
+    trace: &[Packet],
+    rate: f64,
+    scale: f64,
+) -> (Vec<Vec<u32>>, usize, u64) {
+    let weights: Vec<f64> = {
+        let mut w = vec![0.0; flows.len()];
+        for f in flows {
+            w[f.id.0 as usize] = f.weight;
+        }
+        w
+    };
+    let mut clock = fairq::GpsVirtualClock::new(&weights, rate);
+    let mut quant = TagQuantizer::with_policy(Geometry::paper(), scale, WrapPolicy::Wrap);
+    let horizon = trace.last().map(|p| p.arrival.seconds()).unwrap_or(0.0);
+    let windows = 6usize;
+    let mut hist = vec![vec![0u32; 16]; windows];
+    let mut recycles = 0usize;
+    let mut inversions_possible = 0u64;
+    // Emulate a nearly-drained sorter: the minimum outstanding tick
+    // trails the newest by a small backlog.
+    let mut recent: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    for pkt in trace {
+        let (_, finish) = clock.on_arrival(pkt.flow, pkt.size_bits(), pkt.arrival);
+        let min_tick = recent.front().copied();
+        let out = quant.quantize(finish, min_tick);
+        recycles += out.recycle.len();
+        recent.push_back(out.tick);
+        if recent.len() > 32 {
+            recent.pop_front();
+        }
+        let w =
+            ((pkt.arrival.seconds() / horizon) * windows as f64).min(windows as f64 - 1.0) as usize;
+        hist[w][(out.tag.value() / 256) as usize] += 1;
+        if out.tag.value() < 256 && out.tick >= 4096 {
+            inversions_possible += 1;
+        }
+    }
+    println!("\nprofile: {name}");
+    (hist, recycles, inversions_possible)
+}
+
+fn render(hist: &[Vec<u32>]) {
+    let mut rows = Vec::new();
+    for (w, bins) in hist.iter().enumerate() {
+        let peak = *bins.iter().max().unwrap_or(&1) as f64;
+        let mut row = vec![format!("window {w}")];
+        for &b in bins {
+            let level = if b == 0 {
+                ' '
+            } else {
+                let frac = b as f64 / peak.max(1.0);
+                match (frac * 4.0).ceil() as u32 {
+                    0 | 1 => '.',
+                    2 => ':',
+                    3 => '+',
+                    _ => '#',
+                }
+            };
+            row.push(level.to_string());
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("time".to_string())
+        .chain((0..16).map(|s| format!("s{s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "tag-value distribution per time window (columns = tree sections)",
+        &header_refs,
+        &rows,
+    );
+}
+
+fn main() {
+    let rate = 20e6;
+
+    // VoIP: small fixed packets, steady rates — a narrow, left-leaning
+    // tag distribution that drifts rightward.
+    let voip = profiles::voip(24);
+    let trace = generate(&voip, 0.5, 11);
+    let (hist, recycles, inv) = run_profile(
+        "VoIP (Fig. 6 'weighted to the left')",
+        &voip,
+        &trace,
+        rate,
+        40.0,
+    );
+    render(&hist);
+    println!("sections recycled: {recycles}; wrap-boundary allocations: {inv}");
+
+    // Diverse mix: IMIX sizes, varied weights — the 'classic bell curve'.
+    let mix = profiles::diverse_mix(24, 400_000.0);
+    let trace = generate(&mix, 0.5, 13);
+    let (hist, recycles, inv) = run_profile(
+        "diverse mix (Fig. 6 'classic bell curve')",
+        &mix,
+        &trace,
+        rate,
+        280.0,
+    );
+    render(&hist);
+    println!("sections recycled: {recycles}; wrap-boundary allocations: {inv}");
+
+    println!(
+        "\nReproduces Fig. 6: the occupied band of tag values shifts forward as\n\
+         time progresses; sections falling behind the window are recycled and\n\
+         reused when the circular tag space wraps."
+    );
+
+    // --- Wrap-policy ablation: what the paper's linear sorter does at the
+    // lap boundary, measured end to end through the hardware scheduler.
+    use scheduler::{HwScheduler, SchedulerConfig};
+    use traffic::{FlowId, FlowSpec, Packet, Time};
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("Wrap (paper-literal)", WrapPolicy::Wrap),
+        ("Saturate (order-preserving)", WrapPolicy::Saturate),
+    ] {
+        let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+        let mut s = HwScheduler::new(
+            &flows,
+            1e6,
+            SchedulerConfig {
+                tick_scale: 10.0,
+                wrap_policy: policy,
+                ..SchedulerConfig::default()
+            },
+        );
+        let mut t = 0.0;
+        let mut seq = 0u64;
+        let enq = |s: &mut HwScheduler, t: &mut f64, seq: &mut u64| {
+            *t += 1e-3;
+            s.enqueue(Packet {
+                flow: FlowId(0),
+                size_bytes: 125,
+                arrival: Time(*t),
+                seq: *seq,
+            })
+            .expect("capacity");
+            *seq += 1;
+        };
+        for _ in 0..120 {
+            // A warm backlog of 8 straddles each lap boundary.
+            for _ in 0..8 {
+                enq(&mut s, &mut t, &mut seq);
+            }
+            for _ in 0..25 {
+                enq(&mut s, &mut t, &mut seq);
+                s.dequeue().expect("backlogged");
+            }
+            while s.dequeue().is_some() {}
+        }
+        let stats = s.stats();
+        rows.push(vec![
+            label.to_string(),
+            stats.dequeued.to_string(),
+            stats.inversions.to_string(),
+            stats.clamped.to_string(),
+        ]);
+    }
+    print_table(
+        "wrap-policy ablation — ~4000 packets across ~90 laps, backlog 8",
+        &["policy", "served", "order inversions", "tags clamped"],
+        &rows,
+    );
+    println!(
+        "The paper's circular reuse (Wrap) pays for full range utilization with\n\
+         boundary inversions — substantial here because a 12-bit space at 100\n\
+         ticks/packet laps every ~41 packets. Wider geometries shrink the\n\
+         boundary exposure proportionally; Saturate eliminates it outright by\n\
+         clamping at the lap top. EXPERIMENTS.md 'gaps found' has the full\n\
+         discussion."
+    );
+}

@@ -1,0 +1,43 @@
+//! **Experiment E2 — Fig. 7:** matcher circuit delay vs word length.
+//!
+//! Elaborates all five matching-circuit designs at each word width and
+//! reports the measured critical path (fan-out-buffered gate levels).
+//! The paper's curve shows the select & look-ahead design performing
+//! "exceptionally well over a range of word widths up to 128 bits"; in
+//! this structural model it is the fastest among the sub-quadratic-area
+//! designs at every width and within a few levels of the flat look-ahead
+//! (whose area disqualifies it — see Fig. 8 / E3).
+
+use bench::print_table;
+use matcher::{MatcherCircuit, MatcherKind};
+
+fn main() {
+    let widths = [4usize, 8, 16, 32, 64, 128];
+    let mut rows = Vec::new();
+    for kind in MatcherKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        for w in widths {
+            let c = MatcherCircuit::build(kind, w);
+            row.push(format!("{} ({})", c.delay(), c.delay_unit()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 7 — matcher delay in gate levels, buffered (unit-delay) model",
+        &["design", "w=4", "w=8", "w=16", "w=32", "w=64", "w=128"],
+        &rows,
+    );
+
+    // The fabricated configuration: a 16-bit select & look-ahead matcher.
+    let select16 = MatcherCircuit::build(MatcherKind::SelectLookAhead, 16);
+    let ripple16 = MatcherCircuit::build(MatcherKind::Ripple, 16);
+    println!(
+        "\n16-bit node (fabricated): select & look-ahead path = {} levels vs ripple {} — {:.1}x faster.",
+        select16.delay(),
+        ripple16.delay(),
+        f64::from(ripple16.delay()) / f64::from(select16.delay()),
+    );
+    println!(
+        "Paper reference point: the 16-bit select & look-ahead matcher closed timing at 154 MHz on a Stratix II (>44 Gb/s at 140-byte packets)."
+    );
+}

@@ -1,0 +1,54 @@
+//! **Experiment E3 — Fig. 8:** matcher circuit area vs word length.
+//!
+//! Reports the LUT-style gate count of each design across word widths.
+//! The paper's shape to reproduce: ripple cheapest and linear, flat
+//! look-ahead quadratic (prohibitive past ~32 bits), select & look-ahead
+//! in between — the delay-area sweet spot that put it in the fabricated
+//! circuit.
+
+use bench::{print_bars, print_table};
+use matcher::{MatcherCircuit, MatcherKind};
+
+fn main() {
+    let widths = [4usize, 8, 16, 32, 64, 128];
+    let mut rows = Vec::new();
+    for kind in MatcherKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        for w in widths {
+            row.push(MatcherCircuit::build(kind, w).area().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 8 — matcher area in gate-equivalents (LUT-style model)",
+        &["design", "w=4", "w=8", "w=16", "w=32", "w=64", "w=128"],
+        &rows,
+    );
+
+    let bars: Vec<(String, f64)> = MatcherKind::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k.name().to_string(),
+                f64::from(MatcherCircuit::build(k, 64).area()),
+            )
+        })
+        .collect();
+    print_bars("area at 64 bits", &bars, "gates");
+
+    let bars: Vec<(String, f64)> = MatcherKind::ALL
+        .iter()
+        .map(|&k| {
+            let c = MatcherCircuit::build(k, 16);
+            (
+                k.name().to_string(),
+                f64::from(c.delay()) * f64::from(c.area()),
+            )
+        })
+        .collect();
+    print_bars(
+        "delay x area at the fabricated width (16) — select wins",
+        &bars,
+        "",
+    );
+}

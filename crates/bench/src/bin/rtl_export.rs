@@ -1,0 +1,24 @@
+//! Exports the matching circuits as structural Verilog — the round trip
+//! back toward the paper's VHDL/Synopsys flow. Pipe to a file and feed
+//! to yosys/verilator for an independent check of the gate counts.
+//!
+//! ```sh
+//! cargo run -p bench --bin rtl_export > matchers.v
+//! ```
+
+use matcher::{MatcherCircuit, MatcherKind};
+
+fn main() {
+    for kind in MatcherKind::ALL {
+        let circuit = MatcherCircuit::build(kind, 16);
+        let module = kind.name().replace([' ', '&', '-'], "_").replace("__", "_");
+        let name = format!("matcher_{}_16", module.trim_matches('_'));
+        print!("{}", circuit.netlist_verilog(&name));
+        println!();
+    }
+    eprintln!(
+        "emitted the five 16-bit matching circuits; inputs are in0..in15 \
+         (occupancy, LSB first) then in16..in19 (search literal), outputs \
+         out0..out15 (primary one-hot) then out16..out31 (backup one-hot)."
+    );
+}

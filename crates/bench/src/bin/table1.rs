@@ -1,0 +1,71 @@
+//! **Experiment E1 — Table I:** comparing lookup methods available.
+//!
+//! Runs an identical tag workload through every method of the paper's
+//! Table I and reports the measured worst-case memory accesses per
+//! insert and per retrieval, next to the closed-form bound the table
+//! quotes. The multi-bit tree must come out with the lowest worst case
+//! among the exact methods.
+
+use baselines::{all_methods, MinTagQueue};
+use bench::{print_table, tag_workload};
+
+fn measure(method: &mut dyn MinTagQueue, items: &[(tagsort::Tag, tagsort::PacketRef)]) -> [u64; 3] {
+    method.reset_stats();
+    for &(t, p) in items {
+        method.insert(t, p);
+    }
+    let worst_insert = method.stats().worst_op_accesses();
+    method.reset_stats();
+    while method.pop_min().is_some() {}
+    let worst_pop = method.stats().worst_op_accesses();
+    let mean = method.stats().mean_op_accesses().round() as u64;
+    [worst_insert, worst_pop, mean]
+}
+
+fn main() {
+    const TAG_BITS: u32 = 12;
+    const N: usize = 2000;
+    // Two workloads: a uniform mix and an adversarial one (sparse tags at
+    // the top of the range, which is the worst case for the search-model
+    // methods and the calendar buckets).
+    let uniform = tag_workload(N, TAG_BITS, 1);
+    let adversarial: Vec<_> = tag_workload(N, TAG_BITS, 2)
+        .into_iter()
+        .map(|(t, p)| (tagsort::Tag(t.value() / 64 + 4032), p))
+        .collect();
+
+    let mut rows = Vec::new();
+    // Fresh instances per workload so warm-state optimizations (e.g. the
+    // CAM's floor register) do not leak between measurements.
+    for (mut method, mut fresh) in all_methods(TAG_BITS).into_iter().zip(all_methods(TAG_BITS)) {
+        let u = measure(method.as_mut(), &uniform);
+        let a = measure(fresh.as_mut(), &adversarial);
+        rows.push(vec![
+            method.name().to_string(),
+            method.model().to_string(),
+            method.complexity().to_string(),
+            u[0].max(a[0]).to_string(),
+            u[1].max(a[1]).to_string(),
+            u[2].max(a[2]).to_string(),
+            if method.is_exact() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Table I — lookup methods (12-bit tags, 2000 entries, measured)",
+        &[
+            "method",
+            "model",
+            "paper bound",
+            "worst insert",
+            "worst retrieve",
+            "mean/op",
+            "exact order",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper's conclusion to reproduce: the multi-bit tree performs lookups\n\
+         \"with the lowest complexity compared to all the other options\" while\n\
+         conforming to the sort model (fixed-time retrieval of the minimum)."
+    );
+}

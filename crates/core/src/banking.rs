@@ -1,0 +1,178 @@
+//! Leaf-level memory banking (paper §IV).
+//!
+//! The fabricated chip builds the bottom tree level from "32 small
+//! distributed memory blocks". The reason is the parallel search: the
+//! primary descent and the backup/redirect descent can touch *two*
+//! different leaf nodes in the same pipeline step, and two accesses can
+//! only proceed in one cycle if they land in different single-port
+//! banks. This module measures how often they collide for a given bank
+//! count — the data behind choosing 32 banks.
+
+use crate::geometry::Geometry;
+use crate::trie::SearchTrace;
+
+/// Bank-conflict accounting for the leaf tree level.
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{BankModel, Geometry, MultiBitTrie, Tag};
+///
+/// let geometry = Geometry::paper();
+/// let mut trie = MultiBitTrie::new(geometry);
+/// for v in [100u32, 3000] {
+///     trie.insert_marker(Tag(v));
+/// }
+/// let mut banks = BankModel::new(geometry, 32);
+/// let (_, trace) = trie.closest_with_trace(Tag(2000));
+/// banks.record(&trace);
+/// assert_eq!(banks.searches(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankModel {
+    geometry: Geometry,
+    banks: u32,
+    searches: u64,
+    dual_access_searches: u64,
+    conflicts: u64,
+}
+
+impl BankModel {
+    /// Creates a model with `banks` equal leaf-level banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or exceeds the leaf node count.
+    pub fn new(geometry: Geometry, banks: u32) -> Self {
+        let leaves = geometry.nodes_at_level(geometry.levels() - 1);
+        assert!(
+            banks > 0 && u64::from(banks) <= leaves,
+            "banks must be 1..={leaves}"
+        );
+        Self {
+            geometry,
+            banks,
+            searches: 0,
+            dual_access_searches: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// The bank a leaf node lives in (block-cyclic assignment).
+    pub fn bank_of(&self, leaf_node: u32) -> u32 {
+        leaf_node % self.banks
+    }
+
+    /// Accounts one search's leaf-level accesses.
+    pub fn record(&mut self, trace: &SearchTrace) {
+        self.searches += 1;
+        let leaf = self.geometry.levels() - 1;
+        let nodes: Vec<u32> = trace.at_level(leaf).collect();
+        if nodes.len() >= 2 {
+            self.dual_access_searches += 1;
+            if self.bank_of(nodes[0]) == self.bank_of(nodes[1]) && nodes[0] != nodes[1] {
+                self.conflicts += 1;
+            }
+        }
+    }
+
+    /// Total searches recorded.
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Searches that needed two distinct leaf accesses in one step.
+    pub fn dual_access_searches(&self) -> u64 {
+        self.dual_access_searches
+    }
+
+    /// Dual accesses that collided in one bank (each costs one stall
+    /// cycle on single-port banks).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Fraction of searches that would stall.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.searches as f64
+        }
+    }
+
+    /// Mean search-stage cycles including stalls, against the paper's
+    /// four-cycle beat.
+    pub fn mean_stage_cycles(&self) -> f64 {
+        4.0 + self.conflict_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+    use crate::trie::MultiBitTrie;
+
+    /// A redirect workload: markers scattered so probes often take the
+    /// next-smaller branch and touch two leaves.
+    fn conflict_stats(banks: u32, seed: u64) -> BankModel {
+        let geometry = Geometry::paper();
+        let mut trie = MultiBitTrie::new(geometry);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            trie.insert_marker(Tag((next() % 4096) as u32));
+        }
+        let mut model = BankModel::new(geometry, banks);
+        for _ in 0..2000 {
+            let (_, trace) = trie.closest_with_trace(Tag((next() % 4096) as u32));
+            model.record(&trace);
+        }
+        model
+    }
+
+    #[test]
+    fn more_banks_fewer_conflicts() {
+        let one = conflict_stats(1, 7);
+        let eight = conflict_stats(8, 7);
+        let thirty_two = conflict_stats(32, 7);
+        // One bank: every dual access conflicts. More banks: strictly
+        // fewer (the workload is identical across runs).
+        assert_eq!(one.conflicts(), one.dual_access_searches());
+        assert!(eight.conflicts() < one.conflicts());
+        assert!(thirty_two.conflicts() <= eight.conflicts());
+        assert!(one.dual_access_searches() > 100, "workload too tame");
+    }
+
+    #[test]
+    fn paper_choice_keeps_stage_near_four_cycles() {
+        let m = conflict_stats(32, 99);
+        assert!(
+            m.mean_stage_cycles() < 4.1,
+            "32 banks should stall <10% of searches: {}",
+            m.mean_stage_cycles()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let geometry = Geometry::paper();
+        let m = BankModel::new(geometry, 32);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(33), 1);
+        assert_eq!(m.conflict_rate(), 0.0);
+        assert_eq!(m.searches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "banks must be")]
+    fn zero_banks_rejected() {
+        let _ = BankModel::new(Geometry::paper(), 0);
+    }
+}

@@ -1,0 +1,696 @@
+//! The integrated tag sort/retrieve circuit (paper Fig. 3).
+
+use std::error::Error;
+use std::fmt;
+
+use hwsim::{AccessStats, Cycle, SramStats};
+
+use crate::geometry::Geometry;
+use crate::tag::{PacketRef, Tag};
+use crate::tagstore::{LinkAddr, TagStore};
+use crate::translation::TranslationTable;
+use crate::trie::MultiBitTrie;
+
+/// When tree markers of fully departed tag values are cleared.
+///
+/// The paper's hardware leaves markers in place when tags depart and
+/// reclaims them in bulk by recycling whole top-level sections as the
+/// virtual clock wraps (Fig. 6). That is correct under the WFQ contract —
+/// every new tag is at or above the smallest tag in the system, so any
+/// live minimum shadows the stale markers below it — but it makes the
+/// circuit *depend* on that contract. This crate implements both options:
+///
+/// * [`Lazy`](CleanupPolicy::Lazy) — the paper's design, verbatim.
+///   Requires WFQ-conforming inserts and periodic
+///   [`SortRetrieveCircuit::recycle_section`] calls before tag values are
+///   reused.
+/// * [`Eager`](CleanupPolicy::Eager) — additionally compares the popped
+///   link's address against the translation table and clears the marker
+///   when the last instance of a value departs (one on-chip translation
+///   read per pop, in parallel with the storage slot). Correct for
+///   arbitrary insert patterns; the default for the general-purpose API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CleanupPolicy {
+    /// Clear markers as the last duplicate of a value departs.
+    #[default]
+    Eager,
+    /// Leave markers for bulk section recycling, as fabricated.
+    Lazy,
+}
+
+/// Errors returned by [`SortRetrieveCircuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortError {
+    /// The tag does not fit the configured geometry.
+    TagOutOfRange {
+        /// The offending tag.
+        tag: Tag,
+        /// The geometry's tag width.
+        tag_bits: u32,
+    },
+    /// The tag storage memory has no free link.
+    Full {
+        /// Configured capacity in links.
+        capacity: usize,
+    },
+    /// Under [`CleanupPolicy::Lazy`], the tag violates the WFQ contract
+    /// (it is below the current minimum), which the paper's circuit
+    /// cannot sort correctly.
+    BelowMinimum {
+        /// The offending tag.
+        tag: Tag,
+        /// The current smallest stored tag.
+        minimum: Tag,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::TagOutOfRange { tag, tag_bits } => {
+                write!(f, "{tag} does not fit a {tag_bits}-bit geometry")
+            }
+            SortError::Full { capacity } => {
+                write!(f, "tag storage memory full ({capacity} links)")
+            }
+            SortError::BelowMinimum { tag, minimum } => {
+                write!(
+                    f,
+                    "{tag} is below the current minimum ({minimum}); lazy cleanup requires WFQ-ordered tags"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SortError {}
+
+/// Aggregated instrumentation across the circuit's three components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitStats {
+    /// Logical operations (inserts + pops + combined slots).
+    pub ops: u64,
+    /// Clock cycles consumed by the tag storage memory FSM.
+    pub store_cycles: u64,
+    /// Search-tree access counters.
+    pub trie: AccessStats,
+    /// Translation-table access counters.
+    pub translation: AccessStats,
+    /// External SRAM (tag storage) counters.
+    pub sram: SramStats,
+}
+
+impl CircuitStats {
+    /// Mean storage cycles per operation — the paper's fixed-throughput
+    /// claim is that this equals 4 exactly.
+    pub fn cycles_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.store_cycles as f64 / self.ops as f64
+        }
+    }
+
+    /// Packets per second at a given circuit clock (Table II derivation:
+    /// 143.2 MHz / 4 cycles ⇒ 35.8 Mpps).
+    pub fn packets_per_second(&self, clock_hz: f64) -> f64 {
+        let cpo = self.cycles_per_op();
+        if cpo == 0.0 {
+            0.0
+        } else {
+            clock_hz / cpo
+        }
+    }
+
+    /// Line rate in bits per second for a mean packet size (§IV uses a
+    /// conservative 140-byte average IP packet ⇒ 40 Gb/s).
+    pub fn line_rate_bps(&self, clock_hz: f64, mean_packet_bytes: f64) -> f64 {
+        self.packets_per_second(clock_hz) * mean_packet_bytes * 8.0
+    }
+}
+
+/// The clock frequency of the fabricated circuit implied by Table II's
+/// throughput (35.8 Mpps × 4 cycles per packet).
+pub const PAPER_CLOCK_HZ: f64 = 143.2e6;
+
+/// The paper's conservative estimate for an average IP packet, in bytes.
+pub const PAPER_MEAN_PACKET_BYTES: f64 = 140.0;
+
+/// The complete tag sort/retrieve circuit: search tree + translation
+/// table + tag storage memory, wired as in paper Fig. 3.
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{Geometry, PacketRef, SortRetrieveCircuit, Tag};
+///
+/// # fn main() -> Result<(), tagsort::SortError> {
+/// let mut c = SortRetrieveCircuit::new(Geometry::paper(), 256);
+/// for (i, t) in [30u32, 10, 20, 10].iter().enumerate() {
+///     c.insert(Tag(*t), PacketRef(i as u32))?;
+/// }
+/// // Duplicate 10s come out first-come-first-served.
+/// assert_eq!(c.pop_min(), Some((Tag(10), PacketRef(1))));
+/// assert_eq!(c.pop_min(), Some((Tag(10), PacketRef(3))));
+/// assert_eq!(c.pop_min(), Some((Tag(20), PacketRef(2))));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortRetrieveCircuit {
+    geometry: Geometry,
+    trie: MultiBitTrie,
+    translation: TranslationTable,
+    store: TagStore,
+    policy: CleanupPolicy,
+    ops: u64,
+}
+
+impl SortRetrieveCircuit {
+    /// Creates a circuit with [`CleanupPolicy::Eager`] and room for
+    /// `capacity` tags.
+    pub fn new(geometry: Geometry, capacity: usize) -> Self {
+        Self::with_policy(geometry, capacity, CleanupPolicy::Eager)
+    }
+
+    /// Creates a circuit with an explicit cleanup policy.
+    pub fn with_policy(geometry: Geometry, capacity: usize, policy: CleanupPolicy) -> Self {
+        Self::with_policy_and_memory(
+            geometry,
+            capacity,
+            policy,
+            crate::tagstore::MemoryKind::SinglePort,
+        )
+    }
+
+    /// Creates a circuit with explicit cleanup policy and tag-storage
+    /// memory technology (the paper's QDR variant halves the slot to two
+    /// cycles; see [`crate::MemoryKind`]).
+    pub fn with_policy_and_memory(
+        geometry: Geometry,
+        capacity: usize,
+        policy: CleanupPolicy,
+        memory: crate::tagstore::MemoryKind,
+    ) -> Self {
+        Self {
+            geometry,
+            trie: MultiBitTrie::new(geometry),
+            translation: TranslationTable::new(geometry),
+            store: TagStore::with_geometry_and_memory(geometry, capacity, memory),
+            policy,
+            ops: 0,
+        }
+    }
+
+    /// The tree geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The cleanup policy in force.
+    pub fn policy(&self) -> CleanupPolicy {
+        self.policy
+    }
+
+    /// Number of stored tags.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no tag is stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Storage capacity in tags.
+    pub fn capacity(&self) -> usize {
+        self.store.capacity()
+    }
+
+    /// The smallest stored tag and its packet reference — register-fast,
+    /// feeding the scheduler's eq. (1) continuously.
+    pub fn peek_min(&self) -> Option<(Tag, PacketRef)> {
+        self.store.peek_min()
+    }
+
+    /// Total tag-storage cycles consumed.
+    pub fn cycles(&self) -> Cycle {
+        self.store.cycles()
+    }
+
+    /// Aggregated instrumentation.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            ops: self.ops,
+            store_cycles: self.store.cycles().value(),
+            trie: *self.trie.stats(),
+            translation: *self.translation.stats(),
+            sram: self.store.sram_stats(),
+        }
+    }
+
+    /// Sorts `tag` into the system with its packet reference.
+    ///
+    /// One four-cycle storage slot; the tree search and translation
+    /// lookup execute in the pipeline stage ahead of it (paper §III-A:
+    /// the two stages are balanced at four cycles each).
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::TagOutOfRange`] if the tag is too wide,
+    /// [`SortError::Full`] if no link is free, and — under lazy cleanup —
+    /// [`SortError::BelowMinimum`] if the WFQ contract is violated.
+    pub fn insert(&mut self, tag: Tag, payload: PacketRef) -> Result<(), SortError> {
+        let prev = self.locate_predecessor(tag)?;
+        let addr = self
+            .store
+            .insert(prev, tag, payload)
+            .map_err(|e| SortError::Full {
+                capacity: e.capacity,
+            })?;
+        self.commit_insert(tag, addr);
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the smallest tag, in one four-cycle slot.
+    pub fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        let (tag, payload, addr) = self.store.pop_min()?;
+        self.reconcile_pop(tag, addr);
+        self.ops += 1;
+        Some((tag, payload))
+    }
+
+    /// The simultaneous case of paper §III-C: serves the smallest tag and
+    /// sorts `tag` in, in a *single* four-cycle slot, reusing the freed
+    /// link.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SortRetrieveCircuit::insert`].
+    pub fn insert_and_pop(
+        &mut self,
+        tag: Tag,
+        payload: PacketRef,
+    ) -> Result<Option<(Tag, PacketRef)>, SortError> {
+        let prev = self.locate_predecessor(tag)?;
+        if prev.is_none() {
+            // No stored value at or below the incoming tag: it is the
+            // union minimum (strictly below the head, or the store is
+            // empty) and departs in the same slot it arrived —
+            // cut-through; the storage memory is never touched but the
+            // slot is still consumed.
+            self.store.pass_slot();
+            self.ops += 1;
+            return Ok(Some((tag, payload)));
+        }
+        let (addr, popped) =
+            self.store
+                .insert_and_pop(prev, tag, payload)
+                .map_err(|e| SortError::Full {
+                    capacity: e.capacity,
+                })?;
+        let served = popped.map(|(ptag, ppayload, paddr)| {
+            self.reconcile_pop(ptag, paddr);
+            (ptag, ppayload)
+        });
+        self.commit_insert(tag, addr);
+        self.ops += 1;
+        Ok(served)
+    }
+
+    /// Bulk-recycles one top-level section of the tag range (Fig. 6),
+    /// clearing its tree markers and translation entries so the WFQ
+    /// virtual clock can wrap into it. Returns the number of markers
+    /// cleared (always 0 under eager cleanup — the safety net is the
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any *live* tag still occupies the section (debug builds
+    /// scan the store; release builds check the cheap head/section
+    /// bound).
+    pub fn recycle_section(&mut self, section: u32) -> usize {
+        debug_assert!(
+            !self
+                .store
+                .iter_sorted()
+                .any(|(t, _)| self.geometry.section_of(t) == section),
+            "recycling section {section} with live tags"
+        );
+        let removed = self.trie.clear_section(section);
+        self.translation.clear_section(section);
+        removed
+    }
+
+    /// Read-only view of the sorted contents (test/debug; no cycle
+    /// accounting).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (Tag, PacketRef)> + '_ {
+        self.store.iter_sorted()
+    }
+
+    /// The largest stored tag value at or below `tag` — the tree's
+    /// closest-match query, exposed for diagnostics and pipeline hazard
+    /// analysis. Counts as a tree lookup in the access statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::TagOutOfRange`] if the tag is too wide.
+    pub fn predecessor(&mut self, tag: Tag) -> Result<Option<Tag>, SortError> {
+        if !self.geometry.contains(tag) {
+            return Err(SortError::TagOutOfRange {
+                tag,
+                tag_bits: self.geometry.tag_bits(),
+            });
+        }
+        Ok(self.trie.closest_at_or_below(tag))
+    }
+
+    /// Locates the list predecessor via tree + translation table.
+    fn locate_predecessor(&mut self, tag: Tag) -> Result<Option<LinkAddr>, SortError> {
+        if !self.geometry.contains(tag) {
+            return Err(SortError::TagOutOfRange {
+                tag,
+                tag_bits: self.geometry.tag_bits(),
+            });
+        }
+        // Initialization mode (paper §III-A): an empty system skips the
+        // search entirely; only the tree write is needed. Under lazy
+        // cleanup, stale markers survive the drain, so the restart must
+        // resume at or above the highest of them (the paper's monotone
+        // virtual time) — otherwise later searches could land on a stale
+        // marker *above* the new live minimum and dereference a freed
+        // link.
+        if self.store.is_empty() {
+            if self.policy == CleanupPolicy::Lazy {
+                if let Some(stale_max) = self.trie.max() {
+                    if tag < stale_max {
+                        return Err(SortError::BelowMinimum {
+                            tag,
+                            minimum: stale_max,
+                        });
+                    }
+                }
+            }
+            return Ok(None);
+        }
+        if self.policy == CleanupPolicy::Lazy {
+            let minimum = self.store.peek_min().expect("non-empty store").0;
+            if tag < minimum {
+                return Err(SortError::BelowMinimum { tag, minimum });
+            }
+        }
+        match self.trie.closest_at_or_below(tag) {
+            Some(value) => {
+                let addr = self
+                    .translation
+                    .get(value)
+                    .expect("tree marker without translation entry");
+                Ok(Some(addr))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn commit_insert(&mut self, tag: Tag, addr: LinkAddr) {
+        self.translation.set(tag, addr);
+        self.trie.insert_marker(tag);
+    }
+
+    fn reconcile_pop(&mut self, tag: Tag, addr: LinkAddr) {
+        if self.policy == CleanupPolicy::Eager && self.translation.get(tag) == Some(addr) {
+            // The departing link was the most recent instance of its
+            // value: the value has fully left the system.
+            self.translation.clear(tag);
+            self.trie.remove_marker(tag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(c: &mut SortRetrieveCircuit) -> Vec<(u32, u32)> {
+        std::iter::from_fn(|| c.pop_min())
+            .map(|(t, p)| (t.value(), p.index()))
+            .collect()
+    }
+
+    #[test]
+    fn sorts_arbitrary_insert_order() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        for (i, t) in [500u32, 3, 1000, 42, 999, 4, 4095, 0].iter().enumerate() {
+            c.insert(Tag(*t), PacketRef(i as u32)).unwrap();
+        }
+        let tags: Vec<u32> = drain(&mut c).iter().map(|&(t, _)| t).collect();
+        assert_eq!(tags, vec![0, 3, 4, 42, 500, 999, 1000, 4095]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicates_served_fcfs_via_translation_table() {
+        // Paper Fig. 11's scenario: 5, 5, then 6 — the second 5 lands
+        // after the first, and 6 lands after the *newest* 5.
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 16);
+        c.insert(Tag(5), PacketRef(1)).unwrap();
+        c.insert(Tag(5), PacketRef(2)).unwrap();
+        c.insert(Tag(6), PacketRef(3)).unwrap();
+        assert_eq!(
+            drain(&mut c),
+            vec![(5, 1), (5, 2), (6, 3)],
+            "first come first served among equal tags"
+        );
+    }
+
+    #[test]
+    fn eager_cleanup_keeps_tree_and_store_coherent() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 16);
+        c.insert(Tag(7), PacketRef(0)).unwrap();
+        c.insert(Tag(9), PacketRef(1)).unwrap();
+        c.pop_min().unwrap(); // 7 leaves; its marker must go too
+                              // A new 8 must sort after nothing (7's marker gone) but before 9.
+        c.insert(Tag(8), PacketRef(2)).unwrap();
+        assert_eq!(drain(&mut c), vec![(8, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn eager_cleanup_allows_below_minimum_inserts() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 16);
+        c.insert(Tag(100), PacketRef(0)).unwrap();
+        c.insert(Tag(5), PacketRef(1)).unwrap(); // fine under Eager
+        assert_eq!(drain(&mut c), vec![(5, 1), (100, 0)]);
+    }
+
+    #[test]
+    fn lazy_policy_rejects_contract_violations() {
+        let mut c = SortRetrieveCircuit::with_policy(Geometry::paper(), 16, CleanupPolicy::Lazy);
+        c.insert(Tag(100), PacketRef(0)).unwrap();
+        assert_eq!(
+            c.insert(Tag(5), PacketRef(1)),
+            Err(SortError::BelowMinimum {
+                tag: Tag(5),
+                minimum: Tag(100)
+            })
+        );
+        // At-the-minimum duplicates are allowed by the WFQ contract.
+        c.insert(Tag(100), PacketRef(2)).unwrap();
+        assert_eq!(drain(&mut c), vec![(100, 0), (100, 2)]);
+    }
+
+    #[test]
+    fn lazy_policy_correct_for_contract_conforming_stream() {
+        // Under the paper's contract — every new tag at or above the
+        // smallest tag in the system — departures ascend, so every stale
+        // marker sits at or below the live minimum and can never win a
+        // closest-match search. A long conforming mix must stay sorted.
+        let mut c = SortRetrieveCircuit::with_policy(Geometry::paper(), 256, CleanupPolicy::Lazy);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut popped = Vec::new();
+        for i in 0..400u32 {
+            let min = c.peek_min().map_or(0, |(t, _)| t.value());
+            let tag = min + (next() % 64) as u32;
+            if tag < 4096 {
+                c.insert(Tag(tag), PacketRef(i)).unwrap();
+            }
+            if next() % 2 == 0 {
+                if let Some((t, _)) = c.pop_min() {
+                    popped.push(t.value());
+                }
+            }
+        }
+        popped.extend(drain(&mut c).iter().map(|&(t, _)| t));
+        assert!(
+            popped.windows(2).all(|w| w[0] <= w[1]),
+            "lazy-mode service order regressed"
+        );
+    }
+
+    #[test]
+    fn lazy_stale_markers_are_shadowed_by_live_minimum() {
+        let mut c = SortRetrieveCircuit::with_policy(Geometry::paper(), 64, CleanupPolicy::Lazy);
+        for t in [10u32, 11, 12, 40] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        for _ in 0..3 {
+            c.pop_min().unwrap(); // 10, 11, 12 depart; markers remain
+        }
+        // 45's closest live value is 40; the stale 10/11/12 markers are
+        // below the live minimum and cannot be returned.
+        c.insert(Tag(45), PacketRef(45)).unwrap();
+        let tags: Vec<u32> = c.iter_sorted().map(|(t, _)| t.value()).collect();
+        assert_eq!(tags, vec![40, 45]);
+        // 35 would land *between* a stale marker and the live minimum —
+        // exactly the case the paper's contract excludes and eager
+        // cleanup exists for. Lazy mode must refuse rather than corrupt.
+        assert!(matches!(
+            c.insert(Tag(35), PacketRef(35)),
+            Err(SortError::BelowMinimum { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_pop_single_slot() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 16);
+        c.insert(Tag(10), PacketRef(0)).unwrap();
+        c.insert(Tag(20), PacketRef(1)).unwrap();
+        let before = c.cycles();
+        let served = c.insert_and_pop(Tag(15), PacketRef(2)).unwrap();
+        assert_eq!(c.cycles().since(before), 4, "combined op is one slot");
+        assert_eq!(served, Some((Tag(10), PacketRef(0))));
+        assert_eq!(drain(&mut c), vec![(15, 2), (20, 1)]);
+    }
+
+    #[test]
+    fn insert_and_pop_duplicate_of_departing_minimum() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 16);
+        c.insert(Tag(5), PacketRef(0)).unwrap();
+        c.insert(Tag(9), PacketRef(1)).unwrap();
+        // A new 5 arrives as the old 5 departs.
+        let served = c.insert_and_pop(Tag(5), PacketRef(2)).unwrap();
+        assert_eq!(served, Some((Tag(5), PacketRef(0))));
+        assert_eq!(drain(&mut c), vec![(5, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn fixed_four_cycles_per_operation_in_steady_state() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 4096);
+        for t in 0..1000u32 {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        for _ in 0..500 {
+            c.pop_min().unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.ops, 1500);
+        assert_eq!(stats.cycles_per_op(), 4.0);
+    }
+
+    #[test]
+    fn qdr_circuit_doubles_throughput() {
+        // §III-C's "QDRII ... under development" + §V's "suitable for
+        // throughput speeds beyond 40 Gb/s": two-cycle slots double the
+        // packet rate at the same clock.
+        let mut c = SortRetrieveCircuit::with_policy_and_memory(
+            Geometry::paper(),
+            1024,
+            CleanupPolicy::Eager,
+            crate::tagstore::MemoryKind::QdrLike,
+        );
+        for t in 0..512u32 {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        for _ in 0..256 {
+            c.pop_min().unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.cycles_per_op(), 2.0);
+        let mpps = stats.packets_per_second(PAPER_CLOCK_HZ) / 1e6;
+        assert!((mpps - 71.6).abs() < 0.1, "got {mpps} Mpps");
+        let gbps = stats.line_rate_bps(PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES) / 1e9;
+        assert!(gbps > 80.0, "got {gbps} Gb/s");
+    }
+
+    #[test]
+    fn table2_throughput_derivation() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 1024);
+        for t in 0..512u32 {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        let stats = c.stats();
+        let mpps = stats.packets_per_second(PAPER_CLOCK_HZ) / 1e6;
+        assert!((mpps - 35.8).abs() < 0.1, "got {mpps} Mpps");
+        let gbps = stats.line_rate_bps(PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES) / 1e9;
+        assert!((40.0..41.0).contains(&gbps), "got {gbps} Gb/s");
+    }
+
+    #[test]
+    fn recycle_section_clears_stale_markers_in_lazy_mode() {
+        let mut c = SortRetrieveCircuit::with_policy(Geometry::paper(), 64, CleanupPolicy::Lazy);
+        // Fill and drain section 0 (tags 0..256).
+        for t in [1u32, 2, 3] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        while c.pop_min().is_some() {}
+        // Stale markers linger...
+        let removed = c.recycle_section(0);
+        assert_eq!(removed, 3, "lazy mode leaves markers for recycling");
+        // ...and the range is clean for reuse.
+        c.insert(Tag(1), PacketRef(9)).unwrap();
+        assert_eq!(drain(&mut c), vec![(1, 9)]);
+    }
+
+    #[test]
+    fn recycle_section_is_noop_under_eager() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        for t in [1u32, 2, 3] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        while c.pop_min().is_some() {}
+        assert_eq!(c.recycle_section(0), 0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 2);
+        assert_eq!(
+            c.insert(Tag(5000), PacketRef(0)),
+            Err(SortError::TagOutOfRange {
+                tag: Tag(5000),
+                tag_bits: 12
+            })
+        );
+        c.insert(Tag(1), PacketRef(0)).unwrap();
+        c.insert(Tag(2), PacketRef(1)).unwrap();
+        assert_eq!(
+            c.insert(Tag(3), PacketRef(2)),
+            Err(SortError::Full { capacity: 2 })
+        );
+        assert_eq!(
+            SortError::Full { capacity: 2 }.to_string(),
+            "tag storage memory full (2 links)"
+        );
+    }
+
+    #[test]
+    fn empty_circuit_behaviour() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 4);
+        assert_eq!(c.pop_min(), None);
+        assert_eq!(c.peek_min(), None);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.capacity(), 4);
+        // insert_and_pop on an empty circuit cuts through.
+        assert_eq!(
+            c.insert_and_pop(Tag(9), PacketRef(0)).unwrap(),
+            Some((Tag(9), PacketRef(0)))
+        );
+        assert_eq!(c.peek_min(), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Tree geometry: levels, branching factor, and the memory-sizing
+//! equations of paper §III-A.
+
+use crate::tag::Tag;
+
+/// Shape of the multi-bit search tree.
+///
+/// A geometry is `levels` tree levels of `2^literal_bits`-bit nodes; it
+/// determines the tag width (`levels × literal_bits`), the branching
+/// factor, and — through the paper's equations (2) and (3) — the tree
+/// and translation-table memory budgets reported in Table II.
+///
+/// # Example
+///
+/// ```
+/// use tagsort::Geometry;
+///
+/// let g = Geometry::paper(); // 3 levels × 16-bit nodes
+/// assert_eq!(g.tag_bits(), 12);
+/// assert_eq!(g.branching(), 16);
+/// // §III-A: "the first two levels ... 272 bits in total" and
+/// // "the third level is 4 kbits".
+/// assert_eq!(g.tree_bits_at_level(0) + g.tree_bits_at_level(1), 272);
+/// assert_eq!(g.tree_bits_at_level(2), 4096);
+/// assert_eq!(g.translation_entries(), 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    literal_bits: u32,
+    levels: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry of `levels` levels with `literal_bits`-bit
+    /// literals (so nodes are `2^literal_bits` bits wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= literal_bits <= 6` (nodes of 2–64 bits) and
+    /// `1 <= levels` with a total tag width of at most 30 bits.
+    pub fn new(literal_bits: u32, levels: u32) -> Self {
+        assert!(
+            (1..=6).contains(&literal_bits),
+            "literal width must be 1..=6 bits, got {literal_bits}"
+        );
+        assert!(levels >= 1, "tree must have at least one level");
+        let tag_bits = literal_bits * levels;
+        assert!(
+            tag_bits <= 30,
+            "tag width {tag_bits} too large (max 30 bits)"
+        );
+        Self {
+            literal_bits,
+            levels,
+        }
+    }
+
+    /// The fabricated geometry: three levels of 16-bit nodes handling
+    /// 12-bit words (paper §III-A).
+    pub fn paper() -> Self {
+        Self::new(4, 3)
+    }
+
+    /// The widened variant the paper discusses: 32-bit nodes and 15-bit
+    /// words, with the 32-k-entry translation table it prices.
+    pub fn paper_wide() -> Self {
+        Self::new(5, 3)
+    }
+
+    /// Bits per literal.
+    pub fn literal_bits(self) -> u32 {
+        self.literal_bits
+    }
+
+    /// Number of tree levels.
+    pub fn levels(self) -> u32 {
+        self.levels
+    }
+
+    /// Branching factor — node width in bits (`2^literal_bits`).
+    pub fn branching(self) -> u32 {
+        1 << self.literal_bits
+    }
+
+    /// Tag width in bits.
+    pub fn tag_bits(self) -> u32 {
+        self.literal_bits * self.levels
+    }
+
+    /// Number of distinct tag values (and translation-table entries):
+    /// the paper's `N_T = B^L`.
+    pub fn tag_space(self) -> u64 {
+        1u64 << self.tag_bits()
+    }
+
+    /// Number of nodes at `level` (0 = root).
+    pub fn nodes_at_level(self, level: u32) -> u64 {
+        assert!(level < self.levels, "level {level} out of range");
+        1u64 << (self.literal_bits * level)
+    }
+
+    /// Paper eq. (2): memory, in bits, required at one tree level —
+    /// `LM(l) = B^(l+1)` with the root counted as level 0.
+    pub fn tree_bits_at_level(self, level: u32) -> u64 {
+        self.nodes_at_level(level) * u64::from(self.branching())
+    }
+
+    /// Paper eq. (3): total tree memory in bits, summed over levels.
+    pub fn tree_bits_total(self) -> u64 {
+        (0..self.levels).map(|l| self.tree_bits_at_level(l)).sum()
+    }
+
+    /// Size of the translation table (one entry per representable tag).
+    pub fn translation_entries(self) -> u64 {
+        self.tag_space()
+    }
+
+    /// Number of top-level sections available for recycling (Fig. 6) —
+    /// the branching factor: each bit of the root node isolates one
+    /// section of the tag range.
+    pub fn sections(self) -> u32 {
+        self.branching()
+    }
+
+    /// The section (top-level literal) a tag belongs to.
+    pub fn section_of(self, tag: Tag) -> u32 {
+        tag.literal(0, self.literal_bits, self.levels)
+    }
+
+    /// Whether `tag` fits this geometry's width.
+    pub fn contains(self, tag: Tag) -> bool {
+        u64::from(tag.value()) < self.tag_space()
+    }
+
+    /// Worst-case node reads per tree lookup — the `W / log2(BF)` row of
+    /// Table I.
+    pub fn lookup_accesses(self) -> u32 {
+        self.levels
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_numbers() {
+        let g = Geometry::paper();
+        assert_eq!(g.branching(), 16);
+        assert_eq!(g.levels(), 3);
+        assert_eq!(g.tag_bits(), 12);
+        assert_eq!(g.tag_space(), 4096);
+        assert_eq!(g.nodes_at_level(0), 1);
+        assert_eq!(g.nodes_at_level(1), 16);
+        assert_eq!(g.nodes_at_level(2), 256);
+        // Upper two levels: 16 + 256 = 272 bits in registers (§III-A).
+        assert_eq!(g.tree_bits_at_level(0) + g.tree_bits_at_level(1), 272);
+        // Third level: 4 kbit of SRAM (§III-A).
+        assert_eq!(g.tree_bits_at_level(2), 4096);
+        assert_eq!(g.tree_bits_total(), 272 + 4096);
+        assert_eq!(g.lookup_accesses(), 3);
+        assert_eq!(g.sections(), 16);
+    }
+
+    #[test]
+    fn wide_variant_matches_paper_discussion() {
+        // "The width of the nodes could also be expanded to 32 bits to
+        // enable 15-bit words ... a larger translation table with 32-k
+        // entries."
+        let g = Geometry::paper_wide();
+        assert_eq!(g.branching(), 32);
+        assert_eq!(g.tag_bits(), 15);
+        assert_eq!(g.translation_entries(), 32 * 1024);
+    }
+
+    #[test]
+    fn section_of_uses_top_literal() {
+        let g = Geometry::paper();
+        assert_eq!(g.section_of(Tag(0xabc)), 0xa);
+        assert_eq!(g.section_of(Tag(0x00f)), 0);
+    }
+
+    #[test]
+    fn contains_checks_width() {
+        let g = Geometry::paper();
+        assert!(g.contains(Tag(4095)));
+        assert!(!g.contains(Tag(4096)));
+    }
+
+    #[test]
+    fn binary_tree_special_case() {
+        // A 1-bit-literal geometry is a plain binary tree: lookups cost
+        // W accesses, the Table-I "tree" row.
+        let g = Geometry::new(1, 12);
+        assert_eq!(g.branching(), 2);
+        assert_eq!(g.tag_bits(), 12);
+        assert_eq!(g.lookup_accesses(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag width")]
+    fn oversized_geometry_rejected() {
+        let _ = Geometry::new(6, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "literal width")]
+    fn zero_literal_rejected() {
+        let _ = Geometry::new(0, 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! The two-stage pipeline timing model of paper §III-A.
+//!
+//! "Together the three level tree and translation table require four
+//! clock cycles to throughput one tag" and "the tag storage memory
+//! requires four clock cycles to complete a read/write cycle ... this
+//! arrangement allows the operations of the separate components to be
+//! synchronized most efficiently." — i.e. the circuit is a two-stage
+//! pipeline with a four-cycle beat:
+//!
+//! ```text
+//! cycle:      0    4    8    12   16
+//! op k  :   [ tree+xlat ][ storage  ]
+//! op k+1:        [ tree+xlat ][ storage  ]
+//! op k+2:             [ tree+xlat ][ storage  ]
+//! ```
+//!
+//! Throughput is one operation per four cycles; *latency* is eight. The
+//! overlap creates one read-after-write hazard the paper does not
+//! mention: operation *k*'s translation-table entry is written in its
+//! storage stage (the link address is only known then), concurrent with
+//! operation *k+1*'s tree/translation stage — so when *k+1*'s closest
+//! match is exactly the tag *k* inserted (duplicates, or adjacent
+//! values), the address must be *forwarded* from the pipeline latch.
+//! [`PipelinedSorter`] models the timing, detects those forwards, and
+//! proves functional equivalence with the unpipelined circuit (the
+//! forward path makes the pipeline transparent).
+
+use hwsim::{Clock, Cycle};
+
+use crate::circuit::{SortError, SortRetrieveCircuit};
+use crate::geometry::Geometry;
+use crate::tag::{PacketRef, Tag};
+
+/// Timing receipt for one pipelined operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issue {
+    /// Cycle the operation entered the tree/translation stage.
+    pub issued: Cycle,
+    /// Cycle its storage stage completed (result architecturally
+    /// visible).
+    pub completed: Cycle,
+}
+
+impl Issue {
+    /// End-to-end latency in cycles (always the two-stage depth × slot).
+    pub fn latency(&self) -> u64 {
+        self.completed.since(self.issued)
+    }
+}
+
+/// Pipeline instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Operations issued.
+    pub issued: u64,
+    /// Translation-table read-after-write forwards (op's closest match
+    /// was the immediately preceding insert).
+    pub forwards: u64,
+    /// Cycles from first issue to last completion.
+    pub busy_cycles: u64,
+}
+
+impl PipelineStats {
+    /// Sustained cycles per operation over the run (approaches the
+    /// four-cycle beat as the pipeline fills).
+    pub fn cycles_per_op(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.issued as f64
+        }
+    }
+}
+
+/// The sort/retrieve circuit with the paper's two-stage pipeline timing.
+///
+/// Functionally identical to [`SortRetrieveCircuit`] (the forward path
+/// hides the overlap); additionally reports issue/completion cycles and
+/// hazard counts.
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{Geometry, PacketRef, PipelinedSorter, Tag};
+///
+/// # fn main() -> Result<(), tagsort::SortError> {
+/// let mut p = PipelinedSorter::new(Geometry::paper(), 1024);
+/// let first = p.insert(Tag(10), PacketRef(0))?;
+/// let second = p.insert(Tag(20), PacketRef(1))?;
+/// assert_eq!(first.latency(), 8); // two 4-cycle stages
+/// // Back-to-back issues are only 4 cycles apart: the stages overlap.
+/// assert_eq!(second.issued.since(first.issued), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedSorter {
+    circuit: SortRetrieveCircuit,
+    clock: Clock,
+    /// Issue cycle of the most recent operation.
+    last_issue: Option<Cycle>,
+    /// Tag inserted by the op currently in its storage stage, for hazard
+    /// detection.
+    in_flight_tag: Option<Tag>,
+    stats: PipelineStats,
+}
+
+/// Stage beat in cycles (the paper's synchronized four).
+const SLOT: u64 = 4;
+/// Pipeline depth in stages.
+const DEPTH: u64 = 2;
+
+impl PipelinedSorter {
+    /// Creates a pipelined sorter of the given geometry and capacity.
+    pub fn new(geometry: Geometry, capacity: usize) -> Self {
+        Self {
+            circuit: SortRetrieveCircuit::new(geometry, capacity),
+            clock: Clock::new(),
+            last_issue: None,
+            in_flight_tag: None,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The wrapped circuit (read access).
+    pub fn circuit(&self) -> &SortRetrieveCircuit {
+        &self.circuit
+    }
+
+    /// Number of stored tags.
+    pub fn len(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Whether no tag is stored.
+    pub fn is_empty(&self) -> bool {
+        self.circuit.is_empty()
+    }
+
+    /// The smallest stored tag (head register; no pipeline involvement).
+    pub fn peek_min(&self) -> Option<(Tag, PacketRef)> {
+        self.circuit.peek_min()
+    }
+
+    /// Pipeline instrumentation.
+    pub fn stats(&self) -> PipelineStats {
+        let mut s = self.stats;
+        if let Some(first_window) = self.stats.issued.checked_sub(1) {
+            // busy = from cycle 0 to the last op's completion.
+            s.busy_cycles = first_window * SLOT + SLOT * DEPTH;
+        }
+        s
+    }
+
+    /// Pipelined insert; returns the timing receipt.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SortRetrieveCircuit::insert`].
+    pub fn insert(&mut self, tag: Tag, payload: PacketRef) -> Result<Issue, SortError> {
+        // Hazard check against the op still in its storage stage: its
+        // translation write has not landed when this op's search reads.
+        if let Some(in_flight) = self.in_flight_tag {
+            if self.circuit.predecessor(tag)? == Some(in_flight) {
+                self.stats.forwards += 1;
+            }
+        }
+        self.circuit.insert(tag, payload)?;
+        Ok(self.advance(Some(tag)))
+    }
+
+    /// Pipelined pop of the smallest tag with its timing receipt.
+    pub fn pop_min(&mut self) -> Option<((Tag, PacketRef), Issue)> {
+        let served = self.circuit.pop_min()?;
+        Some((served, self.advance(None)))
+    }
+
+    /// Pipelined combined insert + serve (paper §III-C) with timing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SortRetrieveCircuit::insert_and_pop`].
+    pub fn insert_and_pop(
+        &mut self,
+        tag: Tag,
+        payload: PacketRef,
+    ) -> Result<(Option<(Tag, PacketRef)>, Issue), SortError> {
+        if let Some(in_flight) = self.in_flight_tag {
+            if self.circuit.predecessor(tag)? == Some(in_flight) {
+                self.stats.forwards += 1;
+            }
+        }
+        let served = self.circuit.insert_and_pop(tag, payload)?;
+        Ok((served, self.advance(Some(tag))))
+    }
+
+    fn advance(&mut self, inserted: Option<Tag>) -> Issue {
+        let issued = match self.last_issue {
+            // Stages overlap: the next op issues one beat later.
+            Some(prev) => prev + SLOT,
+            None => self.clock.now(),
+        };
+        self.last_issue = Some(issued);
+        self.in_flight_tag = inserted;
+        self.stats.issued += 1;
+        Issue {
+            issued,
+            completed: issued + SLOT * DEPTH,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_eight_throughput_is_four() {
+        let mut p = PipelinedSorter::new(Geometry::paper(), 256);
+        let mut prev: Option<Issue> = None;
+        for i in 0..50u32 {
+            let r = p.insert(Tag(i * 3), PacketRef(i)).unwrap();
+            assert_eq!(r.latency(), 8);
+            if let Some(prev) = prev {
+                assert_eq!(r.issued.since(prev.issued), 4, "one op per beat");
+            }
+            prev = Some(r);
+        }
+        // Sustained cost approaches the 4-cycle beat: 50 ops in 49*4+8.
+        let cpo = p.stats().cycles_per_op();
+        assert!((4.0..=4.2).contains(&cpo), "cycles/op {cpo}");
+    }
+
+    #[test]
+    fn duplicate_back_to_back_forwards_the_translation_write() {
+        let mut p = PipelinedSorter::new(Geometry::paper(), 64);
+        p.insert(Tag(7), PacketRef(0)).unwrap();
+        assert_eq!(p.stats().forwards, 0);
+        // The second 7's closest match is the 7 still in the storage
+        // stage: its address must be forwarded.
+        p.insert(Tag(7), PacketRef(1)).unwrap();
+        assert_eq!(p.stats().forwards, 1);
+        // An adjacent value whose predecessor is the in-flight tag also
+        // needs the forward.
+        p.insert(Tag(8), PacketRef(2)).unwrap();
+        assert_eq!(p.stats().forwards, 2);
+        // A value below everything stored has no predecessor: no forward.
+        p.insert(Tag(5), PacketRef(3)).unwrap();
+        assert_eq!(p.stats().forwards, 2);
+        // A value whose predecessor is an *older* (already landed) tag
+        // reads the translation table normally.
+        p.insert(Tag(3000), PacketRef(4)).unwrap();
+        assert_eq!(p.stats().forwards, 2, "predecessor 8 landed two beats ago");
+    }
+
+    #[test]
+    fn pipeline_is_functionally_transparent() {
+        // Same op stream through pipelined and plain circuits: identical
+        // service order.
+        let mut plain = SortRetrieveCircuit::new(Geometry::paper(), 512);
+        let mut piped = PipelinedSorter::new(Geometry::paper(), 512);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..400u32 {
+            let tag = Tag((next() % 4096) as u32);
+            match next() % 3 {
+                0 | 1 => {
+                    plain.insert(tag, PacketRef(i)).unwrap();
+                    piped.insert(tag, PacketRef(i)).unwrap();
+                }
+                _ => {
+                    let a = plain.pop_min();
+                    let b = piped.pop_min().map(|(s, _)| s);
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        let a: Vec<_> = std::iter::from_fn(|| plain.pop_min()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| piped.pop_min().map(|(s, _)| s)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combined_slot_keeps_the_beat() {
+        let mut p = PipelinedSorter::new(Geometry::paper(), 64);
+        let a = p.insert(Tag(5), PacketRef(0)).unwrap();
+        let (served, b) = p.insert_and_pop(Tag(9), PacketRef(1)).unwrap();
+        assert_eq!(served, Some((Tag(5), PacketRef(0))));
+        assert_eq!(b.issued.since(a.issued), 4);
+        assert_eq!(b.latency(), 8);
+    }
+
+    #[test]
+    fn empty_pop_does_not_occupy_the_pipeline() {
+        let mut p = PipelinedSorter::new(Geometry::paper(), 16);
+        assert!(p.pop_min().is_none());
+        assert_eq!(p.stats().issued, 0);
+    }
+}

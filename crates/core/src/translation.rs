@@ -1,0 +1,191 @@
+//! The address translation table (paper §III-D, Fig. 11).
+//!
+//! The table bridges the search tree and the tag storage memory: for each
+//! tag value the tree can represent, it records the physical address of
+//! the **most recently inserted** link carrying that value. Tracking the
+//! most recent duplicate is what keeps tree results valid when several
+//! packets share a (rounded) tag value, and it is the property that lets
+//! the search and storage sides scale independently.
+
+use hwsim::AccessStats;
+
+use crate::geometry::Geometry;
+use crate::tag::Tag;
+use crate::tagstore::LinkAddr;
+
+/// Tag value → most-recent link address.
+///
+/// The table has exactly `B^L` entries (paper: "for each possible tag
+/// value that the tree can store, there must be a corresponding entry").
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{Geometry, Tag, TranslationTable, LinkAddr};
+///
+/// let mut table = TranslationTable::new(Geometry::paper());
+/// assert_eq!(table.entries(), 4096);
+/// table.set(Tag(5), LinkAddr(42));
+/// assert_eq!(table.get(Tag(5)), Some(LinkAddr(42)));
+/// table.set(Tag(5), LinkAddr(99)); // a duplicate arrived later
+/// assert_eq!(table.get(Tag(5)), Some(LinkAddr(99)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslationTable {
+    geometry: Geometry,
+    slots: Vec<Option<LinkAddr>>,
+    stats: AccessStats,
+}
+
+impl TranslationTable {
+    /// Creates an empty table sized for the geometry's tag space.
+    pub fn new(geometry: Geometry) -> Self {
+        Self {
+            geometry,
+            slots: vec![None; geometry.translation_entries() as usize],
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Number of entries (the paper's `N_T = B^L`).
+    pub fn entries(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The geometry the table was sized for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Memory-access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Address of the most recent link with value `tag`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn get(&mut self, tag: Tag) -> Option<LinkAddr> {
+        self.stats.record_read();
+        self.slots[self.index(tag)]
+    }
+
+    /// Records `addr` as the most recent link carrying `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn set(&mut self, tag: Tag, addr: LinkAddr) {
+        self.stats.record_write();
+        let i = self.index(tag);
+        self.slots[i] = Some(addr);
+    }
+
+    /// Clears `tag`'s entry (its last instance left the system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn clear(&mut self, tag: Tag) {
+        self.stats.record_write();
+        let i = self.index(tag);
+        self.slots[i] = None;
+    }
+
+    /// Clears every entry in one top-level section, mirroring
+    /// [`MultiBitTrie::clear_section`](crate::MultiBitTrie::clear_section).
+    /// Accounted as a single isolation write, like the tree's bulk delete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not below the branching factor.
+    pub fn clear_section(&mut self, section: u32) {
+        assert!(
+            section < self.geometry.branching(),
+            "section {section} out of range"
+        );
+        self.stats.record_write();
+        let span = self.slots.len() / self.geometry.branching() as usize;
+        let start = section as usize * span;
+        for slot in &mut self.slots[start..start + span] {
+            *slot = None;
+        }
+    }
+
+    fn index(&self, tag: Tag) -> usize {
+        assert!(
+            self.geometry.contains(tag),
+            "{tag} does not fit a {}-bit geometry",
+            self.geometry.tag_bits()
+        );
+        tag.value() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_by_geometry() {
+        assert_eq!(TranslationTable::new(Geometry::paper()).entries(), 4096);
+        assert_eq!(
+            TranslationTable::new(Geometry::paper_wide()).entries(),
+            32 * 1024
+        );
+    }
+
+    #[test]
+    fn duplicate_tracking_keeps_most_recent() {
+        // Paper Fig. 11: when a second "5" is inserted, the pointer moves
+        // from the older link to the newest one.
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(5), LinkAddr(1));
+        t.set(Tag(5), LinkAddr(2));
+        assert_eq!(t.get(Tag(5)), Some(LinkAddr(2)));
+    }
+
+    #[test]
+    fn clear_removes_entry() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(9), LinkAddr(3));
+        t.clear(Tag(9));
+        assert_eq!(t.get(Tag(9)), None);
+    }
+
+    #[test]
+    fn clear_section_wipes_range() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(0xa00), LinkAddr(1));
+        t.set(Tag(0xaff), LinkAddr(2));
+        t.set(Tag(0xb00), LinkAddr(3));
+        t.clear_section(0xa);
+        assert_eq!(t.get(Tag(0xa00)), None);
+        assert_eq!(t.get(Tag(0xaff)), None);
+        assert_eq!(t.get(Tag(0xb00)), Some(LinkAddr(3)));
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(1), LinkAddr(1));
+        let _ = t.get(Tag(1));
+        t.clear(Tag(1));
+        assert_eq!(t.stats().reads(), 1);
+        assert_eq!(t.stats().writes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_tag_rejected() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        let _ = t.get(Tag(4096));
+    }
+}

@@ -1,0 +1,741 @@
+//! The multi-bit search tree (paper §III-A, Figs. 4–6).
+//!
+//! The tree stores one *tag marker* bit per tag value present in the
+//! system, spread over `levels` levels of `B`-bit nodes. A search for an
+//! incoming tag descends once, level by level; at each node the matching
+//! circuitry returns both the primary match (exact literal, or the next
+//! smaller one present) and a backup (the next set bit below the
+//! primary). If the primary search dead-ends at some level, the deepest
+//! recorded backup redirects the descent, after which every remaining
+//! level follows its maximum set bit — yielding the closest existing tag
+//! at or below the request in a single fixed-length pass.
+//!
+//! Memory-access accounting follows the paper's model: the primary and
+//! backup searches proceed level-synchronized through *distributed* level
+//! memories, so one lookup costs exactly `levels` node reads
+//! (`W / log₂ BF`, the multi-bit-tree row of Table I) no matter which
+//! path wins.
+
+use hwsim::AccessStats;
+use matcher::reference::{closest_match, leading_one};
+use matcher::MatchResult;
+
+use crate::geometry::Geometry;
+use crate::tag::Tag;
+
+/// The multi-bit trie of tag markers.
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{Geometry, MultiBitTrie, Tag};
+///
+/// // The paper's Fig. 4 example: a 6-bit tree of 2-bit literals storing
+/// // 001001, 110101, and 110111.
+/// let mut trie = MultiBitTrie::new(Geometry::new(2, 3));
+/// trie.insert_marker(Tag(0b001001));
+/// trie.insert_marker(Tag(0b110101));
+/// trie.insert_marker(Tag(0b110111));
+/// // Searching 110110 returns the closest match 110101.
+/// assert_eq!(trie.closest_at_or_below(Tag(0b110110)), Some(Tag(0b110101)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiBitTrie {
+    geometry: Geometry,
+    /// `nodes[l]` holds the occupancy words of level `l` (0 = root),
+    /// indexed by the tag's `l`-literal prefix.
+    nodes: Vec<Vec<u64>>,
+    len: usize,
+    stats: AccessStats,
+}
+
+impl MultiBitTrie {
+    /// Creates an empty tree of the given geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        let nodes = (0..geometry.levels())
+            .map(|l| vec![0u64; geometry.nodes_at_level(l) as usize])
+            .collect();
+        Self {
+            geometry,
+            nodes,
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// The tree geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of distinct tag values marked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no marker is set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Memory-access statistics (reads/writes per operation).
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Whether `tag`'s marker is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn contains(&self, tag: Tag) -> bool {
+        self.check(tag);
+        let (level, _) = self.walk_exact(tag);
+        level == self.geometry.levels()
+    }
+
+    /// Sets `tag`'s marker, returning `true` if it was newly set.
+    ///
+    /// Only the nodes whose bit was previously clear are written — in the
+    /// common case (paper Fig. 4) a single node update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn insert_marker(&mut self, tag: Tag) -> bool {
+        self.check(tag);
+        self.stats.begin_op();
+        let b = self.geometry.literal_bits();
+        let levels = self.geometry.levels();
+        let mut prefix = 0usize;
+        let mut added = false;
+        for level in 0..levels {
+            let lit = tag.literal(level, b, levels);
+            let word = &mut self.nodes[level as usize][prefix];
+            if *word & (1 << lit) == 0 {
+                *word |= 1 << lit;
+                self.stats.record_write();
+                added = true;
+            }
+            prefix = (prefix << b) | lit as usize;
+        }
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Clears `tag`'s marker, returning `true` if it was set.
+    ///
+    /// Emptied nodes propagate the clear upward so that a set bit always
+    /// guarantees a non-empty subtree — the invariant the backup path
+    /// relies on ("the tree will always have a smaller value available").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn remove_marker(&mut self, tag: Tag) -> bool {
+        self.check(tag);
+        if !self.contains(tag) {
+            return false;
+        }
+        self.stats.begin_op();
+        let b = self.geometry.literal_bits();
+        let levels = self.geometry.levels();
+        // Clear from the leaf level upward while nodes empty out.
+        for level in (0..levels).rev() {
+            let lit = tag.literal(level, b, levels);
+            let prefix = (tag.value() >> ((levels - level) * b)) as usize;
+            let word = &mut self.nodes[level as usize][prefix];
+            *word &= !(1u64 << lit);
+            self.stats.record_write();
+            if *word != 0 {
+                break;
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The closest marked tag at or below `tag`, in one descent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn closest_at_or_below(&mut self, tag: Tag) -> Option<Tag> {
+        let b = self.geometry.branching();
+        self.closest_at_or_below_with(tag, |word, lit| closest_match(word, b, lit))
+    }
+
+    /// [`closest_at_or_below`](Self::closest_at_or_below) with an
+    /// injectable per-node matcher — lets tests drive the descent through
+    /// the gate-level matching circuits of the [`matcher`] crate instead
+    /// of the software reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry, or if the matcher
+    /// violates the closest-match contract.
+    pub fn closest_at_or_below_with(
+        &mut self,
+        tag: Tag,
+        mut node_match: impl FnMut(u64, u32) -> MatchResult,
+    ) -> Option<Tag> {
+        self.check(tag);
+        self.stats.begin_op();
+        // Paper access model: primary and backup searches run in parallel
+        // through distributed level memories — one access per level.
+        self.stats.record_batch(u64::from(self.geometry.levels()));
+        let b = self.geometry.literal_bits();
+        let levels = self.geometry.levels();
+        let mut prefix = 0u32;
+        // Deepest level that offered a backup literal, with the prefix
+        // redirected through it.
+        let mut backup: Option<(u32, u32)> = None;
+        for level in 0..levels {
+            let word = self.nodes[level as usize][prefix as usize];
+            let lit = tag.literal(level, b, levels);
+            let m = node_match(word, lit);
+            match m.primary {
+                Some(p) if p == lit => {
+                    if let Some(bk) = m.backup {
+                        backup = Some((level, (prefix << b) | bk));
+                    }
+                    prefix = (prefix << b) | lit;
+                }
+                Some(p) => {
+                    // Next-smaller literal: all deeper levels return their
+                    // maximum value (paper Fig. 4 rule).
+                    return Some(self.max_descend(level + 1, (prefix << b) | p));
+                }
+                None => {
+                    // Primary dead end (paper Fig. 5 point "A"): follow
+                    // the deepest ancestor backup, then maxima.
+                    return backup.map(|(blevel, bprefix)| self.max_descend(blevel + 1, bprefix));
+                }
+            }
+        }
+        Some(tag)
+    }
+
+    /// [`closest_at_or_below`](Self::closest_at_or_below) that also
+    /// returns the nodes visited — the raw material for memory-banking
+    /// analysis (paper §IV: the leaf level is built from "32 small
+    /// distributed memory blocks" precisely so the parallel primary and
+    /// backup descents rarely contend for one block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn closest_with_trace(&mut self, tag: Tag) -> (Option<Tag>, SearchTrace) {
+        self.check(tag);
+        let b = self.geometry.literal_bits();
+        let bf = self.geometry.branching();
+        let levels = self.geometry.levels();
+        let mut visits = Vec::with_capacity(levels as usize + 2);
+        let mut prefix = 0u32;
+        let mut backup: Option<(u32, u32)> = None;
+        let mut result = None;
+        let mut resolved = false;
+        self.stats.begin_op();
+        self.stats.record_batch(u64::from(levels));
+        for level in 0..levels {
+            visits.push((level, prefix));
+            let word = self.nodes[level as usize][prefix as usize];
+            let lit = tag.literal(level, b, levels);
+            let m = closest_match(word, bf, lit);
+            match m.primary {
+                Some(p) if p == lit => {
+                    if let Some(bk) = m.backup {
+                        backup = Some((level, (prefix << b) | bk));
+                    }
+                    prefix = (prefix << b) | lit;
+                }
+                Some(p) => {
+                    result =
+                        Some(self.max_descend_traced(level + 1, (prefix << b) | p, &mut visits));
+                    resolved = true;
+                    break;
+                }
+                None => {
+                    result = backup.map(|(blevel, bprefix)| {
+                        self.max_descend_traced(blevel + 1, bprefix, &mut visits)
+                    });
+                    resolved = true;
+                    break;
+                }
+            }
+        }
+        if !resolved {
+            result = Some(tag);
+        }
+        (result, SearchTrace { visits })
+    }
+
+    fn max_descend_traced(
+        &self,
+        from_level: u32,
+        mut prefix: u32,
+        visits: &mut Vec<(u32, u32)>,
+    ) -> Tag {
+        let b = self.geometry.literal_bits();
+        for level in from_level..self.geometry.levels() {
+            visits.push((level, prefix));
+            let word = self.nodes[level as usize][prefix as usize];
+            let top =
+                leading_one(word).expect("backup-path invariant violated: descend into empty node");
+            prefix = (prefix << b) | top;
+        }
+        Tag(prefix)
+    }
+
+    /// Bulk-deletes one top-level section (paper Fig. 6): the root bit is
+    /// cleared and every child node under it is isolated at once, making
+    /// the value range reusable when the virtual clock wraps. Returns the
+    /// number of markers removed.
+    ///
+    /// The paper's hardware performs this as a single isolation step, so
+    /// it is accounted as one root write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not below the branching factor.
+    pub fn clear_section(&mut self, section: u32) -> usize {
+        assert!(
+            section < self.geometry.branching(),
+            "section {section} out of range"
+        );
+        self.stats.begin_op();
+        self.stats.record_write();
+        let root_bit_was_set = self.nodes[0][0] & (1u64 << section) != 0;
+        self.nodes[0][0] &= !(1u64 << section);
+        let b = self.geometry.literal_bits();
+        let mut removed = 0usize;
+        let levels = self.geometry.levels();
+        for level in 1..levels {
+            // Nodes under `section` at this level occupy one contiguous
+            // index range: prefixes starting with the section literal.
+            let span = 1usize << (b * (level - 1));
+            let start = (section as usize) << (b * (level - 1));
+            for word in &mut self.nodes[level as usize][start..start + span] {
+                if level == levels - 1 {
+                    removed += word.count_ones() as usize;
+                }
+                *word = 0;
+            }
+        }
+        if levels == 1 && root_bit_was_set {
+            // Single-level tree: the root bit itself was the marker.
+            removed = 1;
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Smallest marked tag, if any (a max/min descend, used by tests and
+    /// the recycling policy).
+    pub fn min(&self) -> Option<Tag> {
+        self.extreme(|w| w.trailing_zeros())
+    }
+
+    /// Largest marked tag, if any.
+    pub fn max(&self) -> Option<Tag> {
+        self.extreme(|w| leading_one(w).unwrap_or(0))
+    }
+
+    fn extreme(&self, pick: impl Fn(u64) -> u32) -> Option<Tag> {
+        if self.is_empty() {
+            return None;
+        }
+        let b = self.geometry.literal_bits();
+        let mut prefix = 0u32;
+        for level in 0..self.geometry.levels() {
+            let word = self.nodes[level as usize][prefix as usize];
+            debug_assert_ne!(word, 0, "set bit with empty subtree");
+            prefix = (prefix << b) | pick(word);
+        }
+        Some(Tag(prefix))
+    }
+
+    /// Descends from `from_level` under `prefix`, taking the maximum set
+    /// literal at every remaining level.
+    fn max_descend(&self, from_level: u32, mut prefix: u32) -> Tag {
+        let b = self.geometry.literal_bits();
+        for level in from_level..self.geometry.levels() {
+            let word = self.nodes[level as usize][prefix as usize];
+            let top =
+                leading_one(word).expect("backup-path invariant violated: descend into empty node");
+            prefix = (prefix << b) | top;
+        }
+        Tag(prefix)
+    }
+
+    /// Iterates the marked tag values in ascending order (a software
+    /// traversal; no access accounting — diagnostics and tests).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tagsort::{Geometry, MultiBitTrie, Tag};
+    ///
+    /// let mut t = MultiBitTrie::new(Geometry::paper());
+    /// for v in [900u32, 4, 77] {
+    ///     t.insert_marker(Tag(v));
+    /// }
+    /// let marked: Vec<u32> = t.iter_marked().map(|t| t.value()).collect();
+    /// assert_eq!(marked, vec![4, 77, 900]);
+    /// ```
+    pub fn iter_marked(&self) -> IterMarked<'_> {
+        IterMarked {
+            trie: self,
+            stack: vec![(0, 0, 0)],
+        }
+    }
+
+    /// Walks the exact path of `tag`; returns how many levels matched and
+    /// the last prefix.
+    fn walk_exact(&self, tag: Tag) -> (u32, u32) {
+        let b = self.geometry.literal_bits();
+        let levels = self.geometry.levels();
+        let mut prefix = 0u32;
+        for level in 0..levels {
+            let word = self.nodes[level as usize][prefix as usize];
+            let lit = tag.literal(level, b, levels);
+            if word & (1 << lit) == 0 {
+                return (level, prefix);
+            }
+            prefix = (prefix << b) | lit;
+        }
+        (levels, prefix)
+    }
+
+    fn check(&self, tag: Tag) {
+        assert!(
+            self.geometry.contains(tag),
+            "{tag} does not fit a {}-bit geometry",
+            self.geometry.tag_bits()
+        );
+    }
+}
+
+/// The nodes one search touched: `(level, node index)` pairs, primary
+/// descent first, then any backup/maximum descent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchTrace {
+    /// Visited nodes in visit order.
+    pub visits: Vec<(u32, u32)>,
+}
+
+impl SearchTrace {
+    /// Node indices visited at `level`.
+    pub fn at_level(&self, level: u32) -> impl Iterator<Item = u32> + '_ {
+        self.visits
+            .iter()
+            .filter(move |&&(l, _)| l == level)
+            .map(|&(_, n)| n)
+    }
+}
+
+/// In-order iterator over a [`MultiBitTrie`]'s marked tags.
+///
+/// Produced by [`MultiBitTrie::iter_marked`].
+#[derive(Debug, Clone)]
+pub struct IterMarked<'a> {
+    trie: &'a MultiBitTrie,
+    /// Depth-first work stack: (level, node prefix, next literal to try).
+    stack: Vec<(u32, u32, u32)>,
+}
+
+impl Iterator for IterMarked<'_> {
+    type Item = Tag;
+
+    fn next(&mut self) -> Option<Tag> {
+        let g = self.trie.geometry;
+        let b = g.literal_bits();
+        while let Some((level, prefix, lit)) = self.stack.pop() {
+            if lit >= g.branching() {
+                continue; // node exhausted
+            }
+            let word = self.trie.nodes[level as usize][prefix as usize];
+            // Find the next set literal at or after `lit`.
+            let masked = word >> lit;
+            if masked == 0 {
+                continue;
+            }
+            let found = lit + masked.trailing_zeros();
+            // Resume this node after `found` later.
+            self.stack.push((level, prefix, found + 1));
+            let child_prefix = (prefix << b) | found;
+            if level + 1 == g.levels() {
+                return Some(Tag(child_prefix));
+            }
+            self.stack.push((level + 1, child_prefix, 0));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn fig4_trie() -> MultiBitTrie {
+        // 6-bit values, 2-bit literals, storing 001001, 110101, 110111.
+        let mut t = MultiBitTrie::new(Geometry::new(2, 3));
+        assert!(t.insert_marker(Tag(0b001001)));
+        assert!(t.insert_marker(Tag(0b110101)));
+        assert!(t.insert_marker(Tag(0b110111)));
+        t
+    }
+
+    #[test]
+    fn paper_fig4_walkthrough() {
+        // "The final result is that the tree returns a closest match of
+        // 110101 for the incoming tag 110110."
+        let mut t = fig4_trie();
+        assert_eq!(t.closest_at_or_below(Tag(0b110110)), Some(Tag(0b110101)));
+    }
+
+    #[test]
+    fn paper_fig5_backup_path() {
+        // Fig. 5 searches 110100: levels 1 and 2 match exactly, level 3
+        // fails (no bit at or below "00"), and the backup path must
+        // return the next lowest value — 001001 in the Fig. 4 tree.
+        let mut t = fig4_trie();
+        assert_eq!(t.closest_at_or_below(Tag(0b110100)), Some(Tag(0b001001)));
+    }
+
+    #[test]
+    fn exact_match_returned_when_present() {
+        let mut t = fig4_trie();
+        assert_eq!(t.closest_at_or_below(Tag(0b110101)), Some(Tag(0b110101)));
+        assert_eq!(t.closest_at_or_below(Tag(0b001001)), Some(Tag(0b001001)));
+    }
+
+    #[test]
+    fn empty_tree_misses() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        assert_eq!(t.closest_at_or_below(Tag(4095)), None);
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn miss_when_all_markers_above() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(100));
+        assert_eq!(t.closest_at_or_below(Tag(99)), None);
+        assert_eq!(t.closest_at_or_below(Tag(100)), Some(Tag(100)));
+        assert_eq!(t.closest_at_or_below(Tag(101)), Some(Tag(100)));
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_counts() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        assert!(t.insert_marker(Tag(7)));
+        assert!(!t.insert_marker(Tag(7)));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(Tag(7)));
+        assert!(!t.contains(Tag(8)));
+    }
+
+    #[test]
+    fn remove_clears_upward() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(0x123));
+        assert!(t.remove_marker(Tag(0x123)));
+        assert!(!t.remove_marker(Tag(0x123)));
+        assert!(t.is_empty());
+        // The whole path must be clear again: a fresh search misses.
+        assert_eq!(t.closest_at_or_below(Tag(0xfff)), None);
+    }
+
+    #[test]
+    fn remove_keeps_shared_prefixes() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(0x120));
+        t.insert_marker(Tag(0x121));
+        t.remove_marker(Tag(0x121));
+        assert!(t.contains(Tag(0x120)));
+        assert_eq!(t.closest_at_or_below(Tag(0x12f)), Some(Tag(0x120)));
+    }
+
+    #[test]
+    fn min_and_max() {
+        let mut t = fig4_trie();
+        assert_eq!(t.min(), Some(Tag(0b001001)));
+        assert_eq!(t.max(), Some(Tag(0b110111)));
+        t.insert_marker(Tag(0));
+        assert_eq!(t.min(), Some(Tag(0)));
+    }
+
+    #[test]
+    fn clear_section_removes_whole_range() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        // Section 0xa covers tags 0xa00..=0xaff.
+        t.insert_marker(Tag(0xa00));
+        t.insert_marker(Tag(0xa7f));
+        t.insert_marker(Tag(0xaff));
+        t.insert_marker(Tag(0xb00));
+        assert_eq!(t.clear_section(0xa), 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains(Tag(0xa7f)));
+        assert!(t.contains(Tag(0xb00)));
+        // Searches in the cleared range fall through to nothing below.
+        assert_eq!(t.closest_at_or_below(Tag(0xaff)), None);
+    }
+
+    #[test]
+    fn clear_empty_section_is_noop() {
+        let mut t = fig4_trie();
+        let before = t.len();
+        assert_eq!(t.clear_section(0b01), 0);
+        assert_eq!(t.len(), before);
+    }
+
+    #[test]
+    fn search_cost_is_levels_reads() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(5));
+        t.reset_stats();
+        let _ = t.closest_at_or_below(Tag(4095));
+        assert_eq!(t.stats().worst_op_accesses(), 3);
+        let _ = t.closest_at_or_below(Tag(0)); // miss — same fixed cost
+        assert_eq!(t.stats().worst_op_accesses(), 3);
+        assert_eq!(t.stats().mean_op_accesses(), 3.0);
+    }
+
+    /// Oracle equivalence: the trie's one-pass search with backup path is
+    /// exactly `BTreeSet` predecessor-or-equal, across a dense random mix.
+    #[test]
+    fn matches_btreeset_oracle() {
+        let geom = Geometry::new(2, 4); // 8-bit tags: exhaustive checks
+        let mut t = MultiBitTrie::new(geom);
+        let mut oracle = BTreeSet::new();
+        // Deterministic pseudo-random insert/remove mix.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let v = (next() % 256) as u32;
+            match next() % 3 {
+                0 => {
+                    assert_eq!(t.insert_marker(Tag(v)), oracle.insert(v));
+                }
+                1 => {
+                    assert_eq!(t.remove_marker(Tag(v)), oracle.remove(&v));
+                }
+                _ => {
+                    let got = t.closest_at_or_below(Tag(v));
+                    let want = oracle.range(..=v).next_back().map(|&x| Tag(x));
+                    assert_eq!(got, want, "query {v}, set {oracle:?}");
+                }
+            }
+            assert_eq!(t.len(), oracle.len());
+        }
+        // Exhaustive final sweep.
+        for v in 0..256u32 {
+            let got = t.closest_at_or_below(Tag(v));
+            let want = oracle.range(..=v).next_back().map(|&x| Tag(x));
+            assert_eq!(got, want, "final sweep at {v}");
+        }
+    }
+
+    #[test]
+    fn iter_marked_matches_btreeset_in_order() {
+        let mut t = MultiBitTrie::new(Geometry::new(2, 4)); // 8-bit
+        let mut oracle = BTreeSet::new();
+        let mut state = 0xfeedu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let v = (next() % 256) as u32;
+            if next() % 4 == 0 {
+                t.remove_marker(Tag(v));
+                oracle.remove(&v);
+            } else {
+                t.insert_marker(Tag(v));
+                oracle.insert(v);
+            }
+        }
+        let got: Vec<u32> = t.iter_marked().map(|t| t.value()).collect();
+        let want: Vec<u32> = oracle.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn iter_marked_empty_and_full_sections() {
+        let t = MultiBitTrie::new(Geometry::paper());
+        assert_eq!(t.iter_marked().count(), 0);
+        let mut t = MultiBitTrie::new(Geometry::new(2, 2)); // 16 values
+        for v in 0..16u32 {
+            t.insert_marker(Tag(v));
+        }
+        let got: Vec<u32> = t.iter_marked().map(|t| t.value()).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_search_agrees_with_plain_search() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        for v in [10u32, 300, 301, 2100, 4000] {
+            t.insert_marker(Tag(v));
+        }
+        for probe in [0u32, 10, 11, 299, 305, 2100, 2101, 4095] {
+            let plain = t.closest_at_or_below(Tag(probe));
+            let (traced, trace) = t.closest_with_trace(Tag(probe));
+            assert_eq!(plain, traced, "probe {probe}");
+            // Every search starts at the root.
+            assert_eq!(trace.visits[0], (0, 0));
+            // At most two nodes per level (primary + one redirect).
+            for level in 0..3 {
+                assert!(trace.at_level(level).count() <= 2, "probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn backup_search_touches_two_leaf_nodes() {
+        // Fig. 5: the failing primary and the backup descent visit
+        // different leaf-level nodes — the case distributed banks serve
+        // in parallel.
+        let mut t = MultiBitTrie::new(Geometry::new(2, 3));
+        t.insert_marker(Tag(0b001001));
+        t.insert_marker(Tag(0b110101));
+        t.insert_marker(Tag(0b110111));
+        let (res, trace) = t.closest_with_trace(Tag(0b110100));
+        assert_eq!(res, Some(Tag(0b001001)));
+        let leaf_nodes: Vec<u32> = trace.at_level(2).collect();
+        assert_eq!(leaf_nodes.len(), 2);
+        assert_ne!(leaf_nodes[0], leaf_nodes[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_tag_rejected() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "section 16 out of range")]
+    fn bad_section_rejected() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.clear_section(16);
+    }
+}

@@ -1,0 +1,129 @@
+//! The exact GPS fluid reference model.
+//!
+//! GPS serves "an infinitesimally small amount of data ... from each
+//! non-empty queue in turn" (paper §I-B) — unimplementable, but the
+//! theoretical standard every fair-queueing algorithm is judged against.
+//! This module computes, for a complete arrival trace, the exact fluid
+//! finish time of every packet, by running the
+//! [`GpsVirtualClock`](crate::GpsVirtualClock) over the arrivals and
+//! inverting the recorded piecewise-linear V(t) at each packet's
+//! finishing tag.
+
+use traffic::{Packet, Time};
+
+use crate::virtual_time::GpsVirtualClock;
+
+/// Exact GPS finish time of each packet in `trace` (parallel array).
+///
+/// `weights[i]` is flow *i*'s GPS weight; flow ids must be dense indices
+/// into it. The trace must be sorted by arrival time.
+///
+/// # Panics
+///
+/// Panics if a flow id is out of range or arrivals are out of order.
+///
+/// # Example
+///
+/// ```
+/// use fairq::gps_finish_times;
+/// use traffic::{FlowId, Packet, Time};
+///
+/// // Two equal flows sending one 1000-bit packet each at t=0 on a
+/// // 1 Mb/s link: under fluid sharing both finish at t = 2 ms.
+/// let trace = vec![
+///     Packet { flow: FlowId(0), size_bytes: 125, arrival: Time(0.0), seq: 0 },
+///     Packet { flow: FlowId(1), size_bytes: 125, arrival: Time(0.0), seq: 1 },
+/// ];
+/// let finish = gps_finish_times(&trace, &[1.0, 1.0], 1e6);
+/// assert!((finish[0].seconds() - 0.002).abs() < 1e-9);
+/// assert!((finish[1].seconds() - 0.002).abs() < 1e-9);
+/// ```
+pub fn gps_finish_times(trace: &[Packet], weights: &[f64], rate_bps: f64) -> Vec<Time> {
+    let mut clock = GpsVirtualClock::new(weights, rate_bps).recording();
+    let mut tags = Vec::with_capacity(trace.len());
+    for pkt in trace {
+        let (_, finish) = clock.on_arrival(pkt.flow, pkt.size_bits(), pkt.arrival);
+        tags.push(finish);
+    }
+    clock.drain();
+    tags.into_iter().map(|f| clock.real_time_of(f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::FlowId;
+
+    fn pkt(seq: u64, flow: u32, at: f64, bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: bytes,
+            arrival: Time(at),
+            seq,
+        }
+    }
+
+    #[test]
+    fn single_flow_is_plain_transmission() {
+        // One flow alone: GPS == dedicated link.
+        let trace = vec![pkt(0, 0, 0.0, 1250), pkt(1, 0, 0.0, 1250)];
+        let f = gps_finish_times(&trace, &[1.0], 1e6);
+        assert!((f[0].seconds() - 0.01).abs() < 1e-9);
+        assert!((f[1].seconds() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_divide_the_fluid() {
+        // Flow 0 (weight 3) and flow 1 (weight 1) both backlogged: flow 0
+        // gets 750 kb/s, flow 1 gets 250 kb/s.
+        let trace = vec![pkt(0, 0, 0.0, 7500), pkt(1, 1, 0.0, 2500)];
+        let f = gps_finish_times(&trace, &[3.0, 1.0], 1e6);
+        // 60 kb at 750 kb/s = 80 ms; 20 kb at 250 kb/s = 80 ms.
+        assert!((f[0].seconds() - 0.08).abs() < 1e-9, "{}", f[0]);
+        assert!((f[1].seconds() - 0.08).abs() < 1e-9, "{}", f[1]);
+    }
+
+    #[test]
+    fn early_finisher_frees_capacity() {
+        // Equal weights; flow 0 sends 1000 bits, flow 1 sends 9000 bits.
+        // Phase 1: both at 500 kb/s until flow 0 finishes at 2 ms.
+        // Phase 2: flow 1 alone at 1 Mb/s: remaining 8000 bits in 8 ms.
+        let trace = vec![pkt(0, 0, 0.0, 125), pkt(1, 1, 0.0, 1125)];
+        let f = gps_finish_times(&trace, &[1.0, 1.0], 1e6);
+        assert!((f[0].seconds() - 0.002).abs() < 1e-9, "{}", f[0]);
+        assert!((f[1].seconds() - 0.010).abs() < 1e-9, "{}", f[1]);
+    }
+
+    #[test]
+    fn idle_gaps_restart_cleanly() {
+        let trace = vec![pkt(0, 0, 0.0, 125), pkt(1, 0, 1.0, 125)];
+        let f = gps_finish_times(&trace, &[1.0], 1e6);
+        assert!((f[0].seconds() - 0.001).abs() < 1e-9);
+        assert!((f[1].seconds() - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_arrival_shares_remaining_capacity() {
+        // Flow 0 starts alone at t=0 with 10000 bits; flow 1 arrives at
+        // t=2ms with 4000 bits. Phase 1 (0..2ms): flow 0 alone sends
+        // 2000 bits. Phase 2: both share 500 kb/s each. Flow 1 finishes
+        // 4000 bits at t = 2ms + 8ms = 10ms; flow 0 has 8000 bits left at
+        // phase-2 start, sends 4000 by t=10ms, then finishes the last
+        // 4000 alone by t = 14ms.
+        let trace = vec![pkt(0, 0, 0.0, 1250), pkt(1, 1, 0.002, 500)];
+        let f = gps_finish_times(&trace, &[1.0, 1.0], 1e6);
+        assert!((f[1].seconds() - 0.010).abs() < 1e-9, "{}", f[1]);
+        assert!((f[0].seconds() - 0.014).abs() < 1e-9, "{}", f[0]);
+    }
+
+    #[test]
+    fn gps_is_work_conserving() {
+        // Total service time equals total bits / rate when continuously
+        // backlogged, regardless of weights.
+        let trace: Vec<Packet> = (0..20).map(|i| pkt(i, (i % 3) as u32, 0.0, 1000)).collect();
+        let f = gps_finish_times(&trace, &[1.0, 2.0, 5.0], 1e6);
+        let last = f.iter().map(|t| t.seconds()).fold(0.0, f64::max);
+        let expect = 20.0 * 8000.0 / 1e6;
+        assert!((last - expect).abs() < 1e-9, "{last} vs {expect}");
+    }
+}

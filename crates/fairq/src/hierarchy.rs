@@ -1,0 +1,613 @@
+//! Hierarchical link sharing: H-WF²Q+ and CBQ.
+//!
+//! The paper cites both: class-based queueing "adopts a hierarchical
+//! approach" to DRR (ref. \[4\]), and the WF²Q+ paper it builds on is
+//! titled *"Hierarchical packet fair queueing algorithms"* (ref. \[6\]).
+//! Both share one shape — a two-level tree where *classes* share the
+//! link and *flows* share their class — and both slot straight into the
+//! sort/retrieve architecture, since each level just produces more tags
+//! to sort.
+//!
+//! * [`HierarchicalWf2q`] — WF²Q+ at both levels: the class level treats
+//!   each class's next departure as a packet of a weighted super-flow;
+//!   the flow level is an independent WF²Q+ instance per class.
+//! * [`Cbq`] — deficit round robin at both levels: byte-quantum rounds
+//!   across classes, then across the flows of the chosen class.
+
+use std::collections::VecDeque;
+
+use traffic::{FlowId, FlowSpec, Packet, Time};
+
+use crate::scheduler::Scheduler;
+use crate::virtual_time::VirtualTime;
+
+/// Assignment of flows to link-sharing classes.
+///
+/// `class_of[i]` is the class index of flow *i*; `class_weights[k]` the
+/// share of class *k* at the link level.
+#[derive(Debug, Clone)]
+pub struct ClassMap {
+    class_of: Vec<usize>,
+    class_weights: Vec<f64>,
+}
+
+impl ClassMap {
+    /// Builds a class map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class index is out of range, a class has no flows,
+    /// or a weight is not positive.
+    pub fn new(class_of: Vec<usize>, class_weights: Vec<f64>) -> Self {
+        assert!(!class_weights.is_empty(), "at least one class required");
+        assert!(
+            class_weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "class weights must be positive and finite"
+        );
+        assert!(
+            class_of.iter().all(|&k| k < class_weights.len()),
+            "class index out of range"
+        );
+        for k in 0..class_weights.len() {
+            assert!(class_of.contains(&k), "class {k} has no member flows");
+        }
+        Self {
+            class_of,
+            class_weights,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_weights.len()
+    }
+
+    /// The class of a flow.
+    pub fn class_of(&self, flow: FlowId) -> usize {
+        self.class_of[flow.0 as usize]
+    }
+}
+
+/// One flow's queue with WF²Q+ tags, inside a class.
+#[derive(Debug, Clone)]
+struct FlowState {
+    queue: VecDeque<(Packet, VirtualTime, VirtualTime)>,
+    last_finish: VirtualTime,
+    weight: f64,
+}
+
+/// WF²Q+ state for one class's flows.
+#[derive(Debug, Clone)]
+struct ClassInner {
+    flows: Vec<FlowState>,
+    /// Original flow id → index into `flows`.
+    local_of: Vec<Option<usize>>,
+    v: VirtualTime,
+    phi_total: f64,
+    last_bits: f64,
+    backlog: usize,
+}
+
+impl ClassInner {
+    fn new(members: Vec<usize>, specs: &[FlowSpec], all: usize) -> Self {
+        let mut local_of = vec![None; all];
+        let mut flows = Vec::with_capacity(members.len());
+        let mut phi_total = 0.0;
+        for (local, &orig) in members.iter().enumerate() {
+            local_of[orig] = Some(local);
+            let w = specs
+                .iter()
+                .find(|f| f.id.0 as usize == orig)
+                .expect("member flow present")
+                .weight;
+            phi_total += w;
+            flows.push(FlowState {
+                queue: VecDeque::new(),
+                last_finish: VirtualTime::ZERO,
+                weight: w,
+            });
+        }
+        Self {
+            flows,
+            local_of,
+            v: VirtualTime::ZERO,
+            phi_total,
+            last_bits: 0.0,
+            backlog: 0,
+        }
+    }
+
+    fn push(&mut self, pkt: Packet) {
+        let local = self.local_of[pkt.flow.0 as usize].expect("flow in class");
+        let f = &mut self.flows[local];
+        let start = self.v.max(f.last_finish);
+        let finish = VirtualTime(start.0 + pkt.size_bits() / f.weight);
+        f.last_finish = finish;
+        f.queue.push_back((pkt, start, finish));
+        self.backlog += 1;
+    }
+
+    /// The flow WF²Q+ would serve next, without mutating state.
+    fn peek(&self) -> Option<usize> {
+        let v_eps = VirtualTime(self.v.0 + self.v.0.abs() * 1e-9 + 1e-9);
+        let mut best: Option<(VirtualTime, usize)> = None;
+        let mut fallback: Option<(VirtualTime, usize)> = None;
+        for (local, f) in self.flows.iter().enumerate() {
+            if let Some(&(_, s, fin)) = f.queue.front() {
+                if s <= v_eps && best.is_none_or(|(bf, _)| fin < bf) {
+                    best = Some((fin, local));
+                }
+                if fallback.is_none_or(|(bf, _)| fin < bf) {
+                    fallback = Some((fin, local));
+                }
+            }
+        }
+        best.or(fallback).map(|(_, local)| local)
+    }
+
+    /// Size in bits of the packet [`ClassInner::peek`] would emit.
+    fn head_bits(&self) -> Option<f64> {
+        self.peek()
+            .and_then(|local| self.flows[local].queue.front())
+            .map(|(p, _, _)| p.size_bits())
+    }
+
+    fn pop(&mut self) -> Option<Packet> {
+        if self.backlog == 0 {
+            return None;
+        }
+        // WF²Q+ clock update first: the previous packet's service has
+        // completed by this service opportunity.
+        let advanced = VirtualTime(self.v.0 + self.last_bits / self.phi_total);
+        let floor = self
+            .flows
+            .iter()
+            .filter_map(|f| f.queue.front())
+            .map(|&(_, s, _)| s)
+            .min()
+            .unwrap_or(advanced);
+        self.v = advanced.max(floor);
+        self.last_bits = 0.0; // consumed
+        let local = self.peek()?;
+        let (pkt, _, _) = self.flows[local].queue.pop_front().expect("peeked head");
+        self.backlog -= 1;
+        self.last_bits = pkt.size_bits();
+        Some(pkt)
+    }
+}
+
+/// Two-level hierarchical WF²Q+ (paper ref. \[6\]).
+///
+/// # Example
+///
+/// ```
+/// use fairq::{ClassMap, HierarchicalWf2q, Scheduler};
+/// use traffic::{FlowId, FlowSpec, Packet, Time};
+///
+/// // Two classes: premium (3/4 of the link) and best-effort (1/4).
+/// let flows = [
+///     FlowSpec::new(FlowId(0), 1.0, 1e6),
+///     FlowSpec::new(FlowId(1), 1.0, 1e6),
+/// ];
+/// let map = ClassMap::new(vec![0, 1], vec![3.0, 1.0]);
+/// let mut h = HierarchicalWf2q::new(&flows, map);
+/// h.on_arrival(Packet { flow: FlowId(0), size_bytes: 500, arrival: Time(0.0), seq: 0 });
+/// h.on_arrival(Packet { flow: FlowId(1), size_bytes: 500, arrival: Time(0.0), seq: 1 });
+/// // The premium class's finishing tag is smaller: it goes first.
+/// assert_eq!(h.select(Time(0.0)).unwrap().seq, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchicalWf2q {
+    map: ClassMap,
+    inner: Vec<ClassInner>,
+    /// Class-level WF²Q+ tags: (start, finish, head-seq used for tag).
+    class_tags: Vec<Option<(VirtualTime, VirtualTime)>>,
+    class_last_finish: Vec<VirtualTime>,
+    v: VirtualTime,
+    phi_total: f64,
+    last_bits: f64,
+    backlog: usize,
+}
+
+impl HierarchicalWf2q {
+    /// Creates the hierarchy for `flows` with the given class map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow ids are not dense or the map does not cover them.
+    pub fn new(flows: &[FlowSpec], map: ClassMap) -> Self {
+        let n = flows.len();
+        assert_eq!(map.class_of.len(), n, "class map must cover every flow");
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); map.classes()];
+        for f in flows {
+            members[map.class_of(f.id)].push(f.id.0 as usize);
+        }
+        let inner = members
+            .into_iter()
+            .map(|m| ClassInner::new(m, flows, n))
+            .collect();
+        let phi_total = map.class_weights.iter().sum();
+        Self {
+            class_tags: vec![None; map.classes()],
+            class_last_finish: vec![VirtualTime::ZERO; map.classes()],
+            inner,
+            map,
+            v: VirtualTime::ZERO,
+            phi_total,
+            last_bits: 0.0,
+            backlog: 0,
+        }
+    }
+
+    /// Recomputes class `k`'s link-level tag from its current head.
+    fn retag(&mut self, k: usize) {
+        match self.inner[k].head_bits() {
+            Some(bits) => {
+                let start = self.v.max(self.class_last_finish[k]);
+                let finish = VirtualTime(start.0 + bits / self.map.class_weights[k]);
+                self.class_tags[k] = Some((start, finish));
+            }
+            None => self.class_tags[k] = None,
+        }
+    }
+}
+
+impl Scheduler for HierarchicalWf2q {
+    fn name(&self) -> &'static str {
+        "H-WF2Q+"
+    }
+
+    fn on_arrival(&mut self, pkt: Packet) {
+        let k = self.map.class_of(pkt.flow);
+        let head_before = self.inner[k].peek();
+        self.inner[k].push(pkt);
+        self.backlog += 1;
+        // A new head (or a previously idle class) needs a fresh tag.
+        if self.class_tags[k].is_none() || self.inner[k].peek() != head_before {
+            self.retag(k);
+        }
+    }
+
+    fn select(&mut self, _now: Time) -> Option<Packet> {
+        if self.backlog == 0 {
+            return None;
+        }
+        // Link-level clock update first (the previous service is done).
+        let advanced = VirtualTime(self.v.0 + self.last_bits / self.phi_total);
+        let floor = self
+            .class_tags
+            .iter()
+            .filter_map(|t| t.map(|(s, _)| s))
+            .min()
+            .unwrap_or(advanced);
+        self.v = advanced.max(floor);
+        // WF²Q+ across classes.
+        let v_eps = VirtualTime(self.v.0 + self.v.0.abs() * 1e-9 + 1e-9);
+        let mut best: Option<(VirtualTime, usize)> = None;
+        let mut fallback: Option<(VirtualTime, usize)> = None;
+        for (k, tag) in self.class_tags.iter().enumerate() {
+            if let Some((s, f)) = *tag {
+                if s <= v_eps && best.is_none_or(|(bf, _)| f < bf) {
+                    best = Some((f, k));
+                }
+                if fallback.is_none_or(|(bf, _)| f < bf) {
+                    fallback = Some((f, k));
+                }
+            }
+        }
+        let (finish, k) = best.or(fallback)?;
+        let pkt = self.inner[k].pop().expect("tagged class has backlog");
+        self.backlog -= 1;
+        self.class_last_finish[k] = finish;
+        self.last_bits = pkt.size_bits();
+        self.retag(k);
+        Some(pkt)
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+/// Per-flow DRR state inside a CBQ class (Shreedhar–Varghese visits:
+/// one quantum top-up per visit, rotate when it is spent).
+#[derive(Debug, Clone)]
+struct DrrLevel {
+    queues: Vec<VecDeque<Packet>>,
+    quantum: Vec<f64>,
+    deficit: Vec<f64>,
+    active: VecDeque<usize>,
+    visiting: Option<usize>,
+    backlog: usize,
+}
+
+impl DrrLevel {
+    fn new(quanta: Vec<f64>) -> Self {
+        Self {
+            queues: vec![VecDeque::new(); quanta.len()],
+            deficit: vec![0.0; quanta.len()],
+            quantum: quanta,
+            active: VecDeque::new(),
+            visiting: None,
+            backlog: 0,
+        }
+    }
+
+    fn push(&mut self, idx: usize, pkt: Packet) {
+        if self.queues[idx].is_empty() && self.visiting != Some(idx) && !self.active.contains(&idx)
+        {
+            self.active.push_back(idx);
+        }
+        self.queues[idx].push_back(pkt);
+        self.backlog += 1;
+    }
+
+    /// Serves one packet by DRR rounds.
+    fn pop(&mut self) -> Option<Packet> {
+        if self.backlog == 0 {
+            return None;
+        }
+        loop {
+            let idx = match self.visiting {
+                Some(i) => i,
+                None => {
+                    let i = self
+                        .active
+                        .pop_front()
+                        .expect("backlog implies active entries");
+                    self.deficit[i] += self.quantum[i]; // once per visit
+                    self.visiting = Some(i);
+                    i
+                }
+            };
+            let hol = f64::from(
+                self.queues[idx]
+                    .front()
+                    .expect("visited queue has packets")
+                    .size_bytes,
+            );
+            if self.deficit[idx] >= hol {
+                self.deficit[idx] -= hol;
+                self.backlog -= 1;
+                let pkt = self.queues[idx].pop_front();
+                if self.queues[idx].is_empty() {
+                    // Emptied flows forfeit their deficit and leave.
+                    self.deficit[idx] = 0.0;
+                    self.visiting = None;
+                }
+                return pkt;
+            }
+            // Quantum spent: the visit ends, rotate to the round's tail.
+            self.visiting = None;
+            self.active.push_back(idx);
+        }
+    }
+}
+
+/// Class-based queueing: hierarchical DRR (paper ref. \[4\]).
+///
+/// Classes share the link by byte quanta proportional to class weights;
+/// flows share their class likewise. Round-robin simplicity at both
+/// levels — and round-robin's delay behaviour at both levels, which is
+/// the paper's §I-B point about the whole family.
+#[derive(Debug, Clone)]
+pub struct Cbq {
+    map: ClassMap,
+    /// Top level: classes as DRR "flows"; byte deficits at class level.
+    class_level: DrrLevel,
+    /// Bottom level: per-class DRR over member flows (local ids).
+    inner: Vec<DrrLevel>,
+    local_of: Vec<usize>,
+    backlog: usize,
+}
+
+impl Cbq {
+    /// Creates a CBQ scheduler; `base_quantum_bytes` is the quantum of a
+    /// weight-1.0 entity at either level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow ids are not dense or the map does not cover them.
+    pub fn new(flows: &[FlowSpec], map: ClassMap, base_quantum_bytes: f64) -> Self {
+        assert!(base_quantum_bytes > 0.0, "quantum must be positive");
+        let n = flows.len();
+        assert_eq!(map.class_of.len(), n, "class map must cover every flow");
+        let class_quanta: Vec<f64> = map
+            .class_weights
+            .iter()
+            .map(|w| w * base_quantum_bytes)
+            .collect();
+        let mut local_of = vec![0usize; n];
+        let mut inner = Vec::with_capacity(map.classes());
+        for k in 0..map.classes() {
+            let mut quanta = Vec::new();
+            for f in flows.iter().filter(|f| map.class_of(f.id) == k) {
+                local_of[f.id.0 as usize] = quanta.len();
+                quanta.push(f.weight * base_quantum_bytes);
+            }
+            inner.push(DrrLevel::new(quanta));
+        }
+        Self {
+            class_level: DrrLevel::new(class_quanta),
+            inner,
+            local_of,
+            map,
+            backlog: 0,
+        }
+    }
+}
+
+impl Scheduler for Cbq {
+    fn name(&self) -> &'static str {
+        "CBQ"
+    }
+
+    fn on_arrival(&mut self, pkt: Packet) {
+        let k = self.map.class_of(pkt.flow);
+        let local = self.local_of[pkt.flow.0 as usize];
+        // The class level tracks a shadow packet per real packet so its
+        // byte deficits stay exact.
+        self.class_level.push(k, pkt);
+        self.inner[k].push(local, pkt);
+        self.backlog += 1;
+    }
+
+    fn select(&mut self, _now: Time) -> Option<Packet> {
+        // The class level decides which class's bytes go next; the class
+        // decides which of its flows supplies them.
+        let shadow = self.class_level.pop()?;
+        let k = self.map.class_of(shadow.flow);
+        let pkt = self.inner[k].pop().expect("levels stay in sync");
+        self.backlog -= 1;
+        Some(pkt)
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, flow: u32, bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: bytes,
+            arrival: Time(0.0),
+            seq,
+        }
+    }
+
+    fn specs(weights: &[f64]) -> Vec<FlowSpec> {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| FlowSpec::new(FlowId(i as u32), w, 1e6))
+            .collect()
+    }
+
+    /// Four flows, two classes: class 0 gets 3/4 of the link; within
+    /// each class, equal flows.
+    fn two_classes() -> (Vec<FlowSpec>, ClassMap) {
+        (
+            specs(&[1.0, 1.0, 1.0, 1.0]),
+            ClassMap::new(vec![0, 0, 1, 1], vec![3.0, 1.0]),
+        )
+    }
+
+    fn byte_shares(sched: &mut dyn Scheduler, serves: usize, flows: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; flows];
+        for _ in 0..serves {
+            let p = sched.select(Time(0.0)).expect("backlogged");
+            bytes[p.flow.0 as usize] += u64::from(p.size_bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn hwf2q_divides_link_by_class_then_flow() {
+        let (fl, map) = two_classes();
+        let mut h = HierarchicalWf2q::new(&fl, map);
+        for i in 0..400 {
+            for f in 0..4u32 {
+                h.on_arrival(pkt(u64::from(f) * 1000 + i, f, 500));
+            }
+        }
+        let bytes = byte_shares(&mut h, 160, 4);
+        let class0 = bytes[0] + bytes[1];
+        let class1 = bytes[2] + bytes[3];
+        let ratio = class0 as f64 / class1 as f64;
+        assert!(
+            (2.4..3.6).contains(&ratio),
+            "class ratio {ratio}: {bytes:?}"
+        );
+        // Equal flows within a class.
+        assert!(
+            (bytes[0] as f64 / bytes[1] as f64 - 1.0).abs() < 0.3,
+            "{bytes:?}"
+        );
+        assert!(
+            (bytes[2] as f64 / bytes[3] as f64 - 1.0).abs() < 0.3,
+            "{bytes:?}"
+        );
+    }
+
+    #[test]
+    fn hwf2q_isolation_within_class() {
+        // A hog in class 0 cannot take bandwidth from class 1, and within
+        // class 0 its sibling still gets its share.
+        let (fl, map) = two_classes();
+        let mut h = HierarchicalWf2q::new(&fl, map);
+        for i in 0..1000 {
+            h.on_arrival(pkt(i, 0, 1500)); // hog
+        }
+        for i in 0..50 {
+            h.on_arrival(pkt(10_000 + i, 1, 100));
+            h.on_arrival(pkt(20_000 + i, 2, 100));
+        }
+        let bytes = byte_shares(&mut h, 120, 4);
+        assert!(bytes[1] > 0, "sibling starved: {bytes:?}");
+        assert!(bytes[2] > 0, "other class starved: {bytes:?}");
+    }
+
+    #[test]
+    fn hwf2q_drains_completely() {
+        let (fl, map) = two_classes();
+        let mut h = HierarchicalWf2q::new(&fl, map);
+        for i in 0..80 {
+            h.on_arrival(pkt(i, (i % 4) as u32, 200 + (i as u32 % 5) * 200));
+        }
+        let mut n = 0;
+        while h.select(Time(0.0)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 80);
+        assert_eq!(h.backlog(), 0);
+    }
+
+    #[test]
+    fn cbq_divides_bytes_by_class_quanta() {
+        let (fl, map) = two_classes();
+        let mut c = Cbq::new(&fl, map, 1500.0);
+        for i in 0..400 {
+            for f in 0..4u32 {
+                c.on_arrival(pkt(u64::from(f) * 1000 + i, f, 500));
+            }
+        }
+        let bytes = byte_shares(&mut c, 160, 4);
+        let ratio = (bytes[0] + bytes[1]) as f64 / (bytes[2] + bytes[3]) as f64;
+        assert!(
+            (2.3..3.7).contains(&ratio),
+            "class ratio {ratio}: {bytes:?}"
+        );
+    }
+
+    #[test]
+    fn cbq_drains_with_mixed_sizes() {
+        let (fl, map) = two_classes();
+        let mut c = Cbq::new(&fl, map, 1500.0);
+        for i in 0..100 {
+            c.on_arrival(pkt(i, (i % 4) as u32, 40 + (i as u32 * 13) % 1460));
+        }
+        let mut n = 0;
+        while c.select(Time(0.0)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "class 1 has no member flows")]
+    fn empty_class_rejected() {
+        let _ = ClassMap::new(vec![0, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn class_map_accessors() {
+        let map = ClassMap::new(vec![0, 1, 0], vec![2.0, 1.0]);
+        assert_eq!(map.classes(), 2);
+        assert_eq!(map.class_of(FlowId(1)), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-hop network simulation: chained schedulers.
+//!
+//! The paper's guarantee is stated *end to end*: "WFQ … allow[s] a worst
+//! case end-to-end queueing delay to be guaranteed for connections"
+//! (§I-B). This module chains per-hop link simulations so that claim can
+//! be measured: departures from hop *h* become arrivals at hop *h+1*,
+//! and the Parekh–Gallager multi-node bound
+//!
+//! `D ≤ σ/g + H·L_max/g' + Σ_h L_max/R_h`  (all hops WFQ, ρ ≤ g)
+//!
+//! — in its common simplified equal-hop form `σ/g + H·L_max/R` for g
+//! equal to the bottleneck share — bounds the measured worst case.
+
+use traffic::{Packet, Time};
+
+use crate::link::{Departure, LinkSim};
+use crate::scheduler::Scheduler;
+
+/// A path of store-and-forward hops, each a rate + scheduler pair.
+///
+/// # Example
+///
+/// ```
+/// use fairq::{NetworkSim, Wfq};
+/// use traffic::{FlowId, FlowSpec, Packet, Time};
+///
+/// let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+/// let mut net = NetworkSim::new();
+/// net.add_hop(1e6, Wfq::new(&flows, 1e6));
+/// net.add_hop(1e6, Wfq::new(&flows, 1e6));
+/// let trace = vec![Packet { flow: FlowId(0), size_bytes: 125, arrival: Time(0.0), seq: 0 }];
+/// let deps = net.run(&trace);
+/// // Two hops of 1 ms transmission each.
+/// assert_eq!(deps[0].finish, Time(0.002));
+/// ```
+#[derive(Default)]
+pub struct NetworkSim {
+    hops: Vec<(f64, Box<dyn Scheduler>)>,
+}
+
+impl std::fmt::Debug for NetworkSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetworkSim({} hops)", self.hops.len())
+    }
+}
+
+impl NetworkSim {
+    /// Creates an empty path.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a hop served at `rate_bps` by `scheduler`.
+    pub fn add_hop(&mut self, rate_bps: f64, scheduler: impl Scheduler + 'static) -> &mut Self {
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        self.hops.push((rate_bps, Box::new(scheduler)));
+        self
+    }
+
+    /// Number of hops on the path.
+    pub fn hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Runs the trace through every hop in order; returns the final-hop
+    /// departures (per packet, in final service order). Intermediate
+    /// departures become the next hop's arrivals with their original
+    /// flow, size, and sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hops were added or the trace is unsorted.
+    pub fn run(&mut self, trace: &[Packet]) -> Vec<Departure> {
+        assert!(!self.hops.is_empty(), "add at least one hop");
+        let mut arrivals: Vec<Packet> = trace.to_vec();
+        let mut departures = Vec::new();
+        for (rate, sched) in self.hops.drain(..) {
+            let mut sim = LinkSim::new(rate, sched);
+            departures = sim.run(&arrivals);
+            // Next hop sees this hop's finish times as arrivals.
+            arrivals = departures
+                .iter()
+                .map(|d| Packet {
+                    arrival: d.finish,
+                    ..d.packet
+                })
+                .collect();
+            arrivals.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.seq.cmp(&b.seq)));
+        }
+        departures
+    }
+}
+
+/// End-to-end delay of each packet across a [`NetworkSim::run`]: final
+/// departure minus original arrival, keyed by sequence number.
+pub fn end_to_end_delays(trace: &[Packet], final_departures: &[Departure]) -> Vec<f64> {
+    let finish: std::collections::HashMap<u64, Time> = final_departures
+        .iter()
+        .map(|d| (d.packet.seq, d.finish))
+        .collect();
+    trace
+        .iter()
+        .map(|p| (finish[&p.seq] - p.arrival).seconds())
+        .collect()
+}
+
+/// The multi-node Parekh–Gallager bound in its equal-guarantee form:
+/// `σ/g + (H−1)·L_i,max/g + Σ_h L_max/R_h` for a (σ, ρ)-shaped flow with
+/// guaranteed rate `g` at every one of `hop_rates.len()` WFQ hops
+/// (valid when ρ ≤ g; `li_max` is the flow's own largest packet,
+/// `l_max` the largest packet on the path).
+pub fn pg_end_to_end_bound(
+    sigma_bits: f64,
+    g_bps: f64,
+    li_max_bits: f64,
+    l_max_bits: f64,
+    hop_rates: &[f64],
+) -> f64 {
+    assert!(!hop_rates.is_empty() && g_bps > 0.0);
+    let hops = hop_rates.len() as f64;
+    sigma_bits / g_bps
+        + (hops - 1.0) * li_max_bits / g_bps
+        + hop_rates.iter().map(|r| l_max_bits / r).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::scheduler::Fifo;
+    use crate::timestamp::Wfq;
+    use traffic::{generate, ArrivalProcess, FlowId, FlowSpec, SizeDist, TokenBucket};
+
+    fn pkt(seq: u64, flow: u32, at: f64, bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: bytes,
+            arrival: Time(at),
+            seq,
+        }
+    }
+
+    #[test]
+    fn single_hop_equals_link_sim() {
+        let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+        let trace = vec![pkt(0, 0, 0.0, 125), pkt(1, 0, 0.0, 125)];
+        let mut net = NetworkSim::new();
+        net.add_hop(1e6, Wfq::new(&flows, 1e6));
+        let a = net.run(&trace);
+        let b = LinkSim::new(1e6, Wfq::new(&flows, 1e6)).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hops_add_store_and_forward_latency() {
+        let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+        let trace = vec![pkt(0, 0, 0.0, 1250)]; // 10 ms per hop
+        let mut net = NetworkSim::new();
+        for _ in 0..3 {
+            net.add_hop(1e6, Wfq::new(&flows, 1e6));
+        }
+        let deps = net.run(&trace);
+        assert!((deps[0].finish.seconds() - 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_hop_rates_bottleneck_cleanly() {
+        let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+        let trace: Vec<Packet> = (0..10).map(|i| pkt(i, 0, 0.0, 1250)).collect();
+        let mut net = NetworkSim::new();
+        net.add_hop(2e6, Wfq::new(&flows, 2e6)); // fast ingress
+        net.add_hop(1e6, Wfq::new(&flows, 1e6)); // 1 Mb/s bottleneck
+        let deps = net.run(&trace);
+        // Makespan set by the bottleneck: 100 kb at 1 Mb/s, plus one
+        // 5 ms store-and-forward offset from hop 1.
+        let last = deps.iter().map(|d| d.finish.seconds()).fold(0.0, f64::max);
+        assert!((last - 0.105).abs() < 1e-9, "makespan {last}");
+    }
+
+    /// The end-to-end guarantee, measured: a shaped flow through three
+    /// WFQ hops with hostile cross-traffic at every hop stays within the
+    /// multi-node PG bound; the same path with FIFO hops does not.
+    #[test]
+    fn shaped_flow_meets_the_end_to_end_bound() {
+        let rate = 1e6;
+        let flows = vec![
+            FlowSpec::new(FlowId(0), 1.0, 200_000.0).size(SizeDist::Fixed(500)),
+            FlowSpec::new(FlowId(1), 1.0, 900_000.0)
+                .size(SizeDist::Fixed(1500))
+                .arrivals(ArrivalProcess::OnOff {
+                    on_mean_s: 0.04,
+                    off_mean_s: 0.02,
+                }),
+        ];
+        let trace = generate(&flows, 1.0, 17);
+        let hop_rates = [rate, rate, rate];
+
+        let mut wfq_net = NetworkSim::new();
+        for _ in 0..hop_rates.len() {
+            wfq_net.add_hop(rate, Wfq::new(&flows, rate));
+        }
+        let deps = wfq_net.run(&trace);
+        let delays = end_to_end_delays(&trace, &deps);
+        let worst_flow0 = trace
+            .iter()
+            .zip(&delays)
+            .filter(|(p, _)| p.flow == FlowId(0))
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max);
+
+        let g = metrics::guaranteed_rate(&flows, FlowId(0), rate);
+        let bucket = TokenBucket::fit(&trace, FlowId(0), 200_000.0).unwrap();
+        let bound = pg_end_to_end_bound(
+            bucket.burst_bits(),
+            g,
+            500.0 * 8.0,
+            1500.0 * 8.0,
+            &hop_rates,
+        );
+        assert!(
+            worst_flow0 <= bound + 1e-9,
+            "measured {worst_flow0} exceeds end-to-end bound {bound}"
+        );
+
+        // FIFO hops: the burst at each hop compounds past the bound.
+        let mut fifo_net = NetworkSim::new();
+        for _ in 0..hop_rates.len() {
+            fifo_net.add_hop(rate, Fifo::new());
+        }
+        let deps = fifo_net.run(&trace);
+        let delays = end_to_end_delays(&trace, &deps);
+        let fifo_worst = trace
+            .iter()
+            .zip(&delays)
+            .filter(|(p, _)| p.flow == FlowId(0))
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max);
+        assert!(
+            fifo_worst > bound,
+            "FIFO ({fifo_worst}) unexpectedly within the WFQ bound ({bound})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "add at least one hop")]
+    fn empty_path_rejected() {
+        let _ = NetworkSim::new().run(&[]);
+    }
+}

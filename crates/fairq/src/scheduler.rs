@@ -1,0 +1,127 @@
+//! The scheduler abstraction and the FIFO baseline.
+
+use std::collections::VecDeque;
+
+use traffic::{Packet, Time};
+
+/// A work-conserving packet scheduler for one output link.
+///
+/// The driving [`LinkSim`](crate::LinkSim) feeds arrivals in time order
+/// via [`Scheduler::on_arrival`] and, whenever the link goes idle, asks
+/// [`Scheduler::select`] for the next packet to transmit. Selection is
+/// non-preemptive: once selected, a packet occupies the link for its full
+/// transmission time.
+///
+/// Implementations must be work-conserving — `select` returns `Some`
+/// whenever [`Scheduler::backlog`] is non-zero.
+pub trait Scheduler {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accepts a packet at its arrival time (`pkt.arrival`). Arrivals are
+    /// fed in non-decreasing time order.
+    fn on_arrival(&mut self, pkt: Packet);
+
+    /// Chooses (and removes) the next packet to transmit at `now`.
+    fn select(&mut self, now: Time) -> Option<Packet>;
+
+    /// Number of queued packets.
+    fn backlog(&self) -> usize;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_arrival(&mut self, pkt: Packet) {
+        (**self).on_arrival(pkt);
+    }
+
+    fn select(&mut self, now: Time) -> Option<Packet> {
+        (**self).select(now)
+    }
+
+    fn backlog(&self) -> usize {
+        (**self).backlog()
+    }
+}
+
+/// First-in first-out: the no-QoS baseline of the best-effort Internet
+/// the paper's introduction contrasts against.
+///
+/// # Example
+///
+/// ```
+/// use fairq::{Fifo, Scheduler};
+/// use traffic::{FlowId, Packet, Time};
+///
+/// let mut s = Fifo::new();
+/// s.on_arrival(Packet { flow: FlowId(1), size_bytes: 100, arrival: Time(0.0), seq: 0 });
+/// s.on_arrival(Packet { flow: FlowId(2), size_bytes: 50, arrival: Time(0.1), seq: 1 });
+/// assert_eq!(s.select(Time(0.2)).unwrap().seq, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    queue: VecDeque<Packet>,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn on_arrival(&mut self, pkt: Packet) {
+        self.queue.push_back(pkt);
+    }
+
+    fn select(&mut self, _now: Time) -> Option<Packet> {
+        self.queue.pop_front()
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::FlowId;
+
+    fn pkt(seq: u64, flow: u32, at: f64) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: 100,
+            arrival: Time(at),
+            seq,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order_across_flows() {
+        let mut s = Fifo::new();
+        for (i, f) in [3u32, 1, 2, 1].iter().enumerate() {
+            s.on_arrival(pkt(i as u64, *f, i as f64));
+        }
+        assert_eq!(s.backlog(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| s.select(Time(10.0)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(s.backlog(), 0);
+        assert_eq!(s.select(Time(10.0)), None);
+    }
+
+    #[test]
+    fn fifo_name() {
+        assert_eq!(Fifo::new().name(), "FIFO");
+    }
+}

@@ -1,0 +1,390 @@
+//! The GPS virtual clock — the algorithm inside the paper's WFQ tag
+//! computation circuit (eq. (1), reference \[8\]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use traffic::{FlowId, Time};
+
+/// GPS virtual time, in bits-per-unit-weight.
+///
+/// Finishing tags are virtual times: packet *k* of flow *i* gets
+/// `F = max(V(arrival), F_prev) + L/φᵢ`. The sorter stores a quantized
+/// form of these values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VirtualTime(pub f64);
+
+impl VirtualTime {
+    /// Virtual time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two virtual times.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for VirtualTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for VirtualTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V={:.6}", self.0)
+    }
+}
+
+/// Incremental tracker of the GPS virtual time V(t) of paper eq. (1).
+///
+/// V advances at rate `R / Σφᵢ` over the *busy* sessions — sessions whose
+/// GPS backlog has not yet drained. Draining a session is itself a
+/// virtual-time event, so advancing real time runs the classic iterated
+/// deletion: repeatedly find the next session whose last finishing tag V
+/// will reach, advance to it, and drop the session from the busy set.
+///
+/// This is exactly the computation the paper's tag computation circuit
+/// \[8\] performs, including its dependence on `F_min` — the smallest tag
+/// still in the sorter — via the session-drain events.
+///
+/// # Example
+///
+/// ```
+/// use fairq::GpsVirtualClock;
+/// use traffic::{FlowId, Time};
+///
+/// let mut clock = GpsVirtualClock::new(&[1.0, 1.0], 1_000_000.0);
+/// // 500-byte packet on flow 0 at t=0: F = 0 + 4000 bits / weight 1.
+/// let (s, f) = clock.on_arrival(FlowId(0), 4000.0, Time(0.0));
+/// assert_eq!(s.value(), 0.0);
+/// assert_eq!(f.value(), 4000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpsVirtualClock {
+    weights: Vec<f64>,
+    rate_bps: f64,
+    v: f64,
+    t_last: f64,
+    /// Per-flow largest finishing tag handed out so far.
+    last_finish: Vec<f64>,
+    /// Busy sessions keyed by their drain virtual time (last finish tag).
+    /// Values are flow indices; keys are unique per flow by construction
+    /// (ties broken with the flow index in the key).
+    busy: BTreeMap<(VirtualTime, u32), ()>,
+    /// Current key of each busy flow, if busy.
+    busy_key: Vec<Option<VirtualTime>>,
+    sum_phi_busy: f64,
+    /// Breakpoints of the piecewise-linear V(t) trajectory, recorded for
+    /// virtual→real inversion when enabled (the fluid GPS reference
+    /// needs it). Monotone in both coordinates.
+    breakpoints: Vec<(f64, f64)>,
+    record_segments: bool,
+}
+
+impl GpsVirtualClock {
+    /// Creates a clock for flows `0..weights.len()` on a link of
+    /// `rate_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is non-positive, or the
+    /// rate is non-positive.
+    pub fn new(weights: &[f64], rate_bps: f64) -> Self {
+        assert!(!weights.is_empty(), "at least one flow required");
+        assert!(
+            weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        Self {
+            weights: weights.to_vec(),
+            rate_bps,
+            v: 0.0,
+            t_last: 0.0,
+            last_finish: vec![0.0; weights.len()],
+            busy: BTreeMap::new(),
+            busy_key: vec![None; weights.len()],
+            sum_phi_busy: 0.0,
+            breakpoints: vec![(0.0, 0.0)],
+            record_segments: false,
+        }
+    }
+
+    /// Enables segment recording for virtual→real inversion (used by the
+    /// fluid GPS reference).
+    pub(crate) fn recording(mut self) -> Self {
+        self.record_segments = true;
+        self
+    }
+
+    /// The current virtual time (as of the last processed event).
+    pub fn virtual_now(&self) -> VirtualTime {
+        VirtualTime(self.v)
+    }
+
+    /// Number of GPS-busy sessions.
+    pub fn busy_sessions(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Advances the clock to real time `to`, processing session drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is before a previously processed event.
+    pub fn advance(&mut self, to: Time) {
+        let to = to.seconds();
+        assert!(
+            to >= self.t_last - 1e-12,
+            "time went backwards: {to} < {}",
+            self.t_last
+        );
+        let to = to.max(self.t_last);
+        loop {
+            if self.busy.is_empty() {
+                // Idle: V holds (a zero-slope plateau).
+                self.t_last = to;
+                self.push_breakpoint();
+                return;
+            }
+            let slope = self.rate_bps / self.sum_phi_busy;
+            let (&(drain_v, flow_idx), _) = self.busy.iter().next().expect("non-empty");
+            let t_hit = self.t_last + (drain_v.0 - self.v) / slope;
+            if t_hit <= to {
+                // The head session drains before (or at) `to`.
+                self.v = drain_v.0;
+                self.t_last = t_hit;
+                self.push_breakpoint();
+                self.busy.remove(&(drain_v, flow_idx));
+                self.busy_key[flow_idx as usize] = None;
+                self.sum_phi_busy -= self.weights[flow_idx as usize];
+                if self.busy.is_empty() {
+                    self.sum_phi_busy = 0.0; // kill accumulated error
+                }
+            } else {
+                self.v += (to - self.t_last) * slope;
+                self.t_last = to;
+                self.push_breakpoint();
+                return;
+            }
+        }
+    }
+
+    /// Processes a packet arrival: advances to `at`, computes the GPS
+    /// start and finishing tags, and updates the busy set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is out of range or `at` precedes an earlier
+    /// event.
+    pub fn on_arrival(
+        &mut self,
+        flow: FlowId,
+        size_bits: f64,
+        at: Time,
+    ) -> (VirtualTime, VirtualTime) {
+        let idx = flow.0 as usize;
+        assert!(idx < self.weights.len(), "unknown {flow}");
+        self.advance(at);
+        let start = self.v.max(self.last_finish[idx]);
+        let finish = start + size_bits / self.weights[idx];
+        self.last_finish[idx] = finish;
+        // Reposition the flow in the busy set under its new drain tag.
+        if let Some(old) = self.busy_key[idx].take() {
+            self.busy.remove(&(old, flow.0));
+        } else {
+            self.sum_phi_busy += self.weights[idx];
+        }
+        self.busy.insert((VirtualTime(finish), flow.0), ());
+        self.busy_key[idx] = Some(VirtualTime(finish));
+        (VirtualTime(start), VirtualTime(finish))
+    }
+
+    /// Advances until every busy session drains; returns the real time at
+    /// which the GPS system empties.
+    pub fn drain(&mut self) -> Time {
+        while let Some((&(drain_v, _), _)) = self.busy.iter().next().map(|kv| (kv.0, ())) {
+            let slope = self.rate_bps / self.sum_phi_busy;
+            let t_hit = self.t_last + (drain_v.0 - self.v) / slope;
+            self.advance(Time(t_hit));
+        }
+        Time(self.t_last)
+    }
+
+    /// Maps a virtual time to the earliest real time at which V reaches
+    /// it. Requires segment recording and `vt` at or below the current V.
+    pub(crate) fn real_time_of(&self, vt: VirtualTime) -> Time {
+        debug_assert!(self.record_segments, "recording not enabled");
+        let target = vt.0;
+        // First breakpoint at or above the target V.
+        let idx = self.breakpoints.partition_point(|&(_, v)| v < target);
+        if idx == 0 {
+            return Time(self.breakpoints[0].0);
+        }
+        assert!(
+            idx < self.breakpoints.len(),
+            "virtual time {target} not reached yet (V = {})",
+            self.v
+        );
+        let (t0, v0) = self.breakpoints[idx - 1];
+        let (t1, v1) = self.breakpoints[idx];
+        if v1 == v0 {
+            Time(t0)
+        } else {
+            Time(t0 + (target - v0) / (v1 - v0) * (t1 - t0))
+        }
+    }
+
+    fn push_breakpoint(&mut self) {
+        if !self.record_segments {
+            return;
+        }
+        let point = (self.t_last, self.v);
+        if self.breakpoints.last() != Some(&point) {
+            self.breakpoints.push(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_tags_accumulate() {
+        let mut c = GpsVirtualClock::new(&[2.0], 1e6);
+        let (s1, f1) = c.on_arrival(FlowId(0), 8000.0, Time(0.0));
+        assert_eq!(s1, VirtualTime(0.0));
+        assert_eq!(f1, VirtualTime(4000.0)); // 8000 bits / weight 2
+                                             // Back-to-back arrival queues behind the first.
+        let (s2, f2) = c.on_arrival(FlowId(0), 8000.0, Time(0.0));
+        assert_eq!(s2, f1);
+        assert_eq!(f2, VirtualTime(8000.0));
+    }
+
+    #[test]
+    fn virtual_time_slows_with_more_busy_sessions() {
+        let mut c = GpsVirtualClock::new(&[1.0, 1.0], 1e6);
+        // Keep both flows busy with big packets.
+        c.on_arrival(FlowId(0), 1e6, Time(0.0));
+        c.on_arrival(FlowId(1), 1e6, Time(0.0));
+        // Two unit-weight sessions: V advances at R/2 per second.
+        c.advance(Time(1.0));
+        assert!((c.virtual_now().value() - 0.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sessions_drain_and_speed_recovers() {
+        let mut c = GpsVirtualClock::new(&[1.0, 1.0], 1e6);
+        c.on_arrival(FlowId(0), 100_000.0, Time(0.0)); // F = 100k
+        c.on_arrival(FlowId(1), 500_000.0, Time(0.0)); // F = 500k
+        assert_eq!(c.busy_sessions(), 2);
+        // Flow 0 drains when V = 100k: at t = 0.2 s (slope R/2 = 500k/s).
+        c.advance(Time(0.2));
+        assert_eq!(c.busy_sessions(), 1);
+        // After that V runs at full rate for flow 1: V(0.3) = 100k + 0.1*1e6.
+        c.advance(Time(0.3));
+        assert!((c.virtual_now().value() - 200_000.0).abs() < 1.0);
+        let drained_at = c.drain();
+        // Flow 1 finishes at V=500k: 0.3 + 300k/1e6 = 0.6 s.
+        assert!((drained_at.seconds() - 0.6).abs() < 1e-9);
+        assert_eq!(c.busy_sessions(), 0);
+    }
+
+    #[test]
+    fn arrival_after_idle_starts_at_current_v() {
+        let mut c = GpsVirtualClock::new(&[1.0], 1e6);
+        c.on_arrival(FlowId(0), 1000.0, Time(0.0));
+        c.drain();
+        let v_after = c.virtual_now();
+        let (s, _) = c.on_arrival(FlowId(0), 1000.0, Time(10.0));
+        // V froze during idle; the new start tag is the frozen V, not the
+        // flow's old finish (which V already passed).
+        assert_eq!(s, v_after);
+    }
+
+    #[test]
+    fn new_tags_never_precede_smallest_in_system() {
+        // The property the paper's backup path relies on (§III-A): tags
+        // are >= the smallest tag yet to depart.
+        let mut c = GpsVirtualClock::new(&[1.0, 5.0, 2.0], 1e6);
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let mut t = 0.0;
+        let mut outstanding: Vec<(f64, f64)> = Vec::new(); // (finish, tag)
+        for _ in 0..500 {
+            t += (rnd() % 1000) as f64 * 1e-6;
+            let flow = (rnd() % 3) as u32;
+            let bits = 400.0 + (rnd() % 12000) as f64;
+            let (_, f) = c.on_arrival(FlowId(flow), bits, Time(t));
+            // Smallest outstanding tag (GPS still to finish): any tag
+            // with virtual finish > V now.
+            let v = c.virtual_now().value();
+            outstanding.retain(|&(fin, _)| fin > v);
+            if let Some(min_out) = outstanding
+                .iter()
+                .map(|&(_, tag)| tag)
+                .min_by(f64::total_cmp)
+            {
+                assert!(
+                    f.value() >= min_out - 1e-6,
+                    "tag {f} precedes smallest outstanding {min_out}"
+                );
+            }
+            outstanding.push((f.value(), f.value()));
+        }
+    }
+
+    #[test]
+    fn recording_inverts_virtual_to_real() {
+        let mut c = GpsVirtualClock::new(&[1.0, 1.0], 1e6).recording();
+        c.on_arrival(FlowId(0), 200_000.0, Time(0.0));
+        c.on_arrival(FlowId(1), 200_000.0, Time(0.0));
+        c.drain();
+        // Both flows busy: V slope 500k/s until both drain at V=200k.
+        let t = c.real_time_of(VirtualTime(100_000.0));
+        assert!((t.seconds() - 0.2).abs() < 1e-9, "got {t}");
+        let t = c.real_time_of(VirtualTime(200_000.0));
+        assert!((t.seconds() - 0.4).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_reversal_rejected() {
+        let mut c = GpsVirtualClock::new(&[1.0], 1e6);
+        c.advance(Time(1.0));
+        c.advance(Time(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn unknown_flow_rejected() {
+        let mut c = GpsVirtualClock::new(&[1.0], 1e6);
+        c.on_arrival(FlowId(9), 100.0, Time(0.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the GPS fluid reference — the yardstick every
+//! scheduler in the workspace is measured against, so its own invariants
+//! get the heaviest scrutiny.
+
+use proptest::prelude::*;
+
+use fairq::gps_finish_times;
+use traffic::{FlowId, Packet, Time};
+
+#[derive(Debug, Clone)]
+struct Arrival {
+    flow: u8,
+    gap_us: u16,
+    bytes: u16,
+}
+
+fn arrivals() -> impl Strategy<Value = Vec<Arrival>> {
+    proptest::collection::vec(
+        (0u8..3, 0u16..5000, 40u16..1500).prop_map(|(flow, gap_us, bytes)| Arrival {
+            flow,
+            gap_us,
+            bytes,
+        }),
+        1..80,
+    )
+}
+
+fn build(arrivals: &[Arrival]) -> Vec<Packet> {
+    let mut t = 0.0;
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            t += f64::from(a.gap_us) * 1e-6;
+            Packet {
+                flow: FlowId(u32::from(a.flow)),
+                size_bytes: u32::from(a.bytes),
+                arrival: Time(t),
+                seq: i as u64,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GPS never finishes a packet before it could be transmitted alone:
+    /// finish >= arrival + L/R, and per-flow finishes are FIFO-monotone.
+    #[test]
+    fn finishes_respect_physics_and_fifo(
+        arrivals in arrivals(),
+        weights in proptest::collection::vec(1u8..9, 3),
+    ) {
+        let rate = 1e6;
+        let w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        let trace = build(&arrivals);
+        let fin = gps_finish_times(&trace, &w, rate);
+        let mut last_per_flow = [f64::NEG_INFINITY; 3];
+        for (p, f) in trace.iter().zip(&fin) {
+            prop_assert!(
+                f.seconds() + 1e-12 >= p.arrival.seconds() + p.size_bits() / rate,
+                "{:?} finished impossibly early: {} < {} + {}",
+                p, f.seconds(), p.arrival.seconds(), p.size_bits() / rate
+            );
+            let i = p.flow.0 as usize;
+            prop_assert!(
+                f.seconds() >= last_per_flow[i] - 1e-12,
+                "flow {i} finishes out of FIFO order"
+            );
+            last_per_flow[i] = f.seconds();
+        }
+    }
+
+    /// Work conservation: the last GPS finish equals total bits over the
+    /// link rate whenever arrivals never let the system go idle, and is
+    /// never earlier than that in general.
+    #[test]
+    fn work_conservation(arrivals in arrivals()) {
+        let rate = 1e6;
+        let mut trace = build(&arrivals);
+        // Force a single busy period: everything arrives at t=0.
+        for p in &mut trace {
+            p.arrival = Time(0.0);
+        }
+        let fin = gps_finish_times(&trace, &[1.0, 2.0, 3.0], rate);
+        let total_bits: f64 = trace.iter().map(|p| p.size_bits()).sum();
+        let last = fin.iter().map(|t| t.seconds()).fold(0.0, f64::max);
+        prop_assert!(
+            (last - total_bits / rate).abs() < 1e-9,
+            "busy-period makespan {last} vs {}",
+            total_bits / rate
+        );
+    }
+
+    /// Scale invariance: doubling every weight changes nothing (weights
+    /// are shares, not absolutes).
+    #[test]
+    fn weights_are_scale_invariant(arrivals in arrivals()) {
+        let rate = 1e6;
+        let trace = build(&arrivals);
+        let a = gps_finish_times(&trace, &[1.0, 2.0, 5.0], rate);
+        let b = gps_finish_times(&trace, &[2.0, 4.0, 10.0], rate);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.seconds() - y.seconds()).abs() < 1e-9);
+        }
+    }
+
+    /// A flow served alongside competitors never finishes earlier than
+    /// when it has the link to itself (isolation sanity).
+    #[test]
+    fn competition_never_helps(arrivals in arrivals()) {
+        let rate = 1e6;
+        let trace = build(&arrivals);
+        let together = gps_finish_times(&trace, &[1.0, 1.0, 1.0], rate);
+        // Flow 0 alone: filter the trace, re-run, compare its packets.
+        let solo: Vec<Packet> = trace
+            .iter()
+            .filter(|p| p.flow == FlowId(0))
+            .cloned()
+            .collect();
+        if solo.is_empty() {
+            return Ok(());
+        }
+        let solo_fin = gps_finish_times(&solo, &[1.0], rate);
+        let mut k = 0;
+        for (p, f) in trace.iter().zip(&together) {
+            if p.flow == FlowId(0) {
+                prop_assert!(
+                    f.seconds() + 1e-9 >= solo_fin[k].seconds(),
+                    "competition sped flow 0 up"
+                );
+                k += 1;
+            }
+        }
+    }
+}

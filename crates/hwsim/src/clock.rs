@@ -1,0 +1,147 @@
+//! Simulation clock.
+
+use std::fmt;
+
+/// A simulation cycle index.
+///
+/// Cycles are plain counters; the mapping to wall-clock time is decided by
+/// whoever owns the clock (the paper's circuit runs at 143.2 MHz, so one
+/// cycle is ~6.98 ns there). A newtype keeps cycle arithmetic from mixing
+/// with unrelated integers.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Cycle;
+/// let c = Cycle::ZERO;
+/// assert_eq!(c + 4, Cycle::from(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Number of cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("`earlier` must not be after `self`")
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+impl std::ops::Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A free-running simulation clock.
+///
+/// The clock is deliberately dumb: it only counts. Components receive the
+/// current [`Cycle`] with each operation, which lets the SRAM model detect
+/// two accesses racing for one port in the same cycle.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Clock;
+/// let mut clk = Clock::new();
+/// assert_eq!(clk.now().value(), 0);
+/// clk.tick();
+/// clk.advance(3);
+/// assert_eq!(clk.now().value(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the clock by one cycle and returns the new cycle.
+    pub fn tick(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances the clock by `n` cycles and returns the new cycle.
+    pub fn advance(&mut self, n: u64) -> Cycle {
+        self.now += n;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_counts() {
+        let mut clk = Clock::new();
+        assert_eq!(clk.now(), Cycle::ZERO);
+        assert_eq!(clk.tick(), Cycle(1));
+        assert_eq!(clk.advance(10), Cycle(11));
+        assert_eq!(clk.now().value(), 11);
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle(5);
+        assert_eq!(a + 3, Cycle(8));
+        assert_eq!(Cycle(8).since(a), 3);
+        let mut b = Cycle(1);
+        b += 2;
+        assert_eq!(b, Cycle(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be after")]
+    fn since_panics_on_reversed_order() {
+        let _ = Cycle(1).since(Cycle(2));
+    }
+
+    #[test]
+    fn cycle_display_and_conversions() {
+        assert_eq!(Cycle::from(7).to_string(), "cycle 7");
+        assert_eq!(Cycle::from(7).value(), 7);
+    }
+}

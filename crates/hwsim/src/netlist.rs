@@ -1,0 +1,664 @@
+//! Gate-level combinational netlists with delay and area extraction.
+//!
+//! The paper's Figs. 7 and 8 compare five matching-circuit architectures
+//! by propagation delay and logic area (FPGA LUTs). Rather than assert
+//! those curves, this module lets circuits be *constructed* gate by gate
+//! and then measured:
+//!
+//! * **Function** — [`Netlist::eval`] evaluates the circuit on concrete
+//!   inputs, so every netlist can be checked exhaustively against a
+//!   software reference model.
+//! * **Delay** — [`Netlist::delay`] is the critical-path depth under a
+//!   unit-delay model (each 2-input gate or 2:1 mux costs 1, inverters
+//!   are free, wires are free). Unit delays preserve the *relative*
+//!   ordering and growth rates the paper reports; absolute nanoseconds
+//!   belong to the abandoned 130-nm flow.
+//! * **Area** — [`Netlist::area`] counts 2-input gates and muxes, a
+//!   LUT-style proxy for the paper's area axis.
+//!
+//! Netlists are built append-only, so gate indices are already in
+//! topological order and evaluation is a single forward pass.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::Netlist;
+//!
+//! // A full adder: sum and carry from a, b, cin.
+//! let mut n = Netlist::new();
+//! let a = n.input();
+//! let b = n.input();
+//! let cin = n.input();
+//! let ab = n.xor2(a, b);
+//! let sum = n.xor2(ab, cin);
+//! let carry = {
+//!     let t1 = n.and2(ab, cin);
+//!     let t2 = n.and2(a, b);
+//!     n.or2(t1, t2)
+//! };
+//! n.mark_output(sum);
+//! n.mark_output(carry);
+//! assert_eq!(n.eval(&[true, true, false]), vec![false, true]);
+//! assert_eq!(n.delay(), 3); // xor -> and -> or
+//! assert_eq!(n.area(), 5);
+//! ```
+
+use std::fmt;
+
+/// A handle to one gate output within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    Input(u32),
+    Const(bool),
+    Not(Signal),
+    And(Signal, Signal),
+    Or(Signal, Signal),
+    Xor(Signal, Signal),
+    /// 2:1 multiplexer: output = if sel { a } else { b }.
+    Mux {
+        sel: Signal,
+        a: Signal,
+        b: Signal,
+    },
+}
+
+/// A combinational gate network.
+///
+/// See the [module documentation](self) for the timing and area model.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    input_count: u32,
+    outputs: Vec<Signal>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of primary inputs created so far.
+    pub fn input_count(&self) -> usize {
+        self.input_count as usize
+    }
+
+    /// Number of primary outputs marked so far.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Adds a primary input and returns its signal.
+    pub fn input(&mut self) -> Signal {
+        let idx = self.input_count;
+        self.input_count += 1;
+        self.push(Gate::Input(idx))
+    }
+
+    /// Adds `n` primary inputs as a little-endian [`Word`].
+    pub fn input_word(&mut self, n: usize) -> Word {
+        Word {
+            bits: (0..n).map(|_| self.input()).collect(),
+        }
+    }
+
+    /// A constant-valued signal.
+    pub fn constant(&mut self, value: bool) -> Signal {
+        self.push(Gate::Const(value))
+    }
+
+    /// Logical NOT. Free in both the delay and area models (inverters are
+    /// absorbed into adjacent cells in standard-cell flows).
+    pub fn not(&mut self, a: Signal) -> Signal {
+        self.check(a);
+        self.push(Gate::Not(a))
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::And(a, b))
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::Or(a, b))
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// 2:1 multiplexer: `sel ? a : b`.
+    pub fn mux(&mut self, sel: Signal, a: Signal, b: Signal) -> Signal {
+        self.check(sel);
+        self.check(a);
+        self.check(b);
+        self.push(Gate::Mux { sel, a, b })
+    }
+
+    /// Balanced AND over any number of signals.
+    ///
+    /// An empty slice yields constant `true` (the AND identity).
+    pub fn reduce_and(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce(signals, true, Self::and2)
+    }
+
+    /// Balanced OR over any number of signals.
+    ///
+    /// An empty slice yields constant `false` (the OR identity).
+    pub fn reduce_or(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce(signals, false, Self::or2)
+    }
+
+    fn reduce(
+        &mut self,
+        signals: &[Signal],
+        identity: bool,
+        op: fn(&mut Self, Signal, Signal) -> Signal,
+    ) -> Signal {
+        match signals.len() {
+            0 => self.constant(identity),
+            1 => signals[0],
+            _ => {
+                // Balanced binary tree keeps depth logarithmic.
+                let mut layer: Vec<Signal> = signals.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Marks a signal as a primary output. Outputs are reported by
+    /// [`Netlist::eval`] in the order they were marked.
+    pub fn mark_output(&mut self, s: Signal) {
+        self.check(s);
+        self.outputs.push(s);
+    }
+
+    /// Marks every bit of a word as an output, LSB first.
+    pub fn mark_output_word(&mut self, w: &Word) {
+        for &b in &w.bits {
+            self.mark_output(b);
+        }
+    }
+
+    /// Evaluates the netlist on `inputs` (one `bool` per primary input, in
+    /// creation order) and returns the marked outputs in marking order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Netlist::input_count`].
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count as usize,
+            "expected {} inputs, got {}",
+            self.input_count,
+            inputs.len()
+        );
+        let mut values = vec![false; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            values[i] = match *gate {
+                Gate::Input(idx) => inputs[idx as usize],
+                Gate::Const(v) => v,
+                Gate::Not(a) => !values[a.index()],
+                Gate::And(a, b) => values[a.index()] && values[b.index()],
+                Gate::Or(a, b) => values[a.index()] || values[b.index()],
+                Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
+                Gate::Mux { sel, a, b } => {
+                    if values[sel.index()] {
+                        values[a.index()]
+                    } else {
+                        values[b.index()]
+                    }
+                }
+            };
+        }
+        self.outputs.iter().map(|s| values[s.index()]).collect()
+    }
+
+    /// Evaluates with the low `n` bits of `x` as inputs (LSB = input 0).
+    pub fn eval_u64(&self, x: u64) -> Vec<bool> {
+        let bits: Vec<bool> = (0..self.input_count).map(|i| (x >> i) & 1 == 1).collect();
+        self.eval(&bits)
+    }
+
+    /// Critical-path depth from any input to any marked output, in unit
+    /// gate delays.
+    pub fn delay(&self) -> u32 {
+        let depths = self.all_depths();
+        self.outputs
+            .iter()
+            .map(|s| depths[s.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Critical-path depth including fan-out buffering.
+    ///
+    /// Real gates slow down with load: a signal driving `f` sinks needs a
+    /// balanced buffer tree of depth ⌈log₄ f⌉ (four loads per buffer
+    /// stage, a standard-cell rule of thumb). This model adds that
+    /// penalty to every edge leaving a multiply-loaded signal, which is
+    /// what separates architectures with bounded fan-out (ripple, select)
+    /// from flat look-ahead structures whose inputs drive O(B) gates.
+    /// The paper's Fig. 7 delays are post-synthesis and therefore include
+    /// exactly this effect.
+    pub fn delay_buffered(&self) -> u32 {
+        // Fan-out of each node: number of gate inputs it feeds.
+        let mut fanout = vec![0u32; self.gates.len()];
+        let bump = |s: Signal, fanout: &mut Vec<u32>| fanout[s.index()] += 1;
+        for gate in &self.gates {
+            match *gate {
+                Gate::Input(_) | Gate::Const(_) => {}
+                Gate::Not(a) => bump(a, &mut fanout),
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                    bump(a, &mut fanout);
+                    bump(b, &mut fanout);
+                }
+                Gate::Mux { sel, a, b } => {
+                    bump(sel, &mut fanout);
+                    bump(a, &mut fanout);
+                    bump(b, &mut fanout);
+                }
+            }
+        }
+        let branch = |s: Signal| -> u32 {
+            let f = fanout[s.index()];
+            if f <= 1 {
+                0
+            } else {
+                // ceil(log4(f))
+                let mut depth = 0;
+                let mut cap = 1u32;
+                while cap < f {
+                    cap = cap.saturating_mul(4);
+                    depth += 1;
+                }
+                depth
+            }
+        };
+        let mut arrivals = vec![0u32; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            let edge = |s: Signal, arrivals: &[u32]| arrivals[s.index()] + branch(s);
+            arrivals[i] = match *gate {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => edge(a, &arrivals),
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                    edge(a, &arrivals).max(edge(b, &arrivals)) + 1
+                }
+                Gate::Mux { sel, a, b } => {
+                    edge(sel, &arrivals)
+                        .max(edge(a, &arrivals))
+                        .max(edge(b, &arrivals))
+                        + 1
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|s| arrivals[s.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Depth of one signal under the unit-delay model.
+    pub fn depth_of(&self, s: Signal) -> u32 {
+        self.check(s);
+        self.all_depths()[s.index()]
+    }
+
+    /// Gate count under the LUT-style area model: 2-input gates and muxes
+    /// cost 1 each; inputs, constants, and inverters are free.
+    pub fn area(&self) -> u32 {
+        self.gates
+            .iter()
+            .filter(|g| {
+                matches!(
+                    g,
+                    Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Mux { .. }
+                )
+            })
+            .count() as u32
+    }
+
+    fn all_depths(&self) -> Vec<u32> {
+        let mut depths = vec![0u32; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            depths[i] = match *gate {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => depths[a.index()],
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                    depths[a.index()].max(depths[b.index()]) + 1
+                }
+                Gate::Mux { sel, a, b } => {
+                    depths[sel.index()]
+                        .max(depths[a.index()])
+                        .max(depths[b.index()])
+                        + 1
+                }
+            };
+        }
+        depths
+    }
+
+    fn push(&mut self, gate: Gate) -> Signal {
+        let id = u32::try_from(self.gates.len()).expect("netlist too large");
+        self.gates.push(gate);
+        Signal(id)
+    }
+
+    fn check(&self, s: Signal) {
+        assert!(
+            s.index() < self.gates.len(),
+            "signal {s:?} does not belong to this netlist"
+        );
+    }
+}
+
+/// Read-only structural view of one gate, for exporters (indices refer
+/// to gate positions in creation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateView {
+    /// Primary input number `usize`.
+    Input(usize),
+    /// Constant driver.
+    Const(bool),
+    /// Inverter of the gate at the index.
+    Not(usize),
+    /// 2-input AND of the gates at the indices.
+    And(usize, usize),
+    /// 2-input OR of the gates at the indices.
+    Or(usize, usize),
+    /// 2-input XOR of the gates at the indices.
+    Xor(usize, usize),
+    /// 2:1 multiplexer.
+    Mux {
+        /// Select index.
+        sel: usize,
+        /// Selected when `sel` is true.
+        a: usize,
+        /// Selected when `sel` is false.
+        b: usize,
+    },
+}
+
+impl Netlist {
+    /// Iterates the gates in creation (topological) order as structural
+    /// views — the hook structural exporters build on.
+    pub fn gates_view(&self) -> impl Iterator<Item = GateView> + '_ {
+        self.gates.iter().map(|g| match *g {
+            Gate::Input(i) => GateView::Input(i as usize),
+            Gate::Const(v) => GateView::Const(v),
+            Gate::Not(a) => GateView::Not(a.index()),
+            Gate::And(a, b) => GateView::And(a.index(), b.index()),
+            Gate::Or(a, b) => GateView::Or(a.index(), b.index()),
+            Gate::Xor(a, b) => GateView::Xor(a.index(), b.index()),
+            Gate::Mux { sel, a, b } => GateView::Mux {
+                sel: sel.index(),
+                a: a.index(),
+                b: b.index(),
+            },
+        })
+    }
+
+    /// Gate indices of the marked outputs, in marking order.
+    pub fn output_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.outputs.iter().map(|s| s.index())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} outputs, {} gates, depth {}",
+            self.input_count,
+            self.outputs.len(),
+            self.area(),
+            self.delay()
+        )
+    }
+}
+
+/// A little-endian bundle of signals representing a multi-bit value.
+///
+/// Bit 0 is the least significant bit.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let w = n.input_word(4);
+/// assert_eq!(w.width(), 4);
+/// let msb = w.bit(3);
+/// n.mark_output(msb);
+/// assert_eq!(n.eval_u64(0b1000), vec![true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<Signal>,
+}
+
+impl Word {
+    /// Builds a word from explicit bits, LSB first.
+    pub fn from_bits(bits: Vec<Signal>) -> Self {
+        Self { bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The signal for bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> Signal {
+        self.bits[i]
+    }
+
+    /// All bits, LSB first.
+    pub fn bits(&self) -> &[Signal] {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive check of a 4-bit ripple-carry adder built from full
+    /// adders — exercises every gate type and the evaluator.
+    #[test]
+    fn ripple_adder_is_correct_exhaustively() {
+        let mut n = Netlist::new();
+        let a = n.input_word(4);
+        let b = n.input_word(4);
+        let mut carry = n.constant(false);
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let (ai, bi) = (a.bit(i), b.bit(i));
+            let axb = n.xor2(ai, bi);
+            let s = n.xor2(axb, carry);
+            let t1 = n.and2(axb, carry);
+            let t2 = n.and2(ai, bi);
+            carry = n.or2(t1, t2);
+            sums.push(s);
+        }
+        n.mark_output_word(&Word::from_bits(sums));
+        n.mark_output(carry);
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                let out = n.eval_u64(x | (y << 4));
+                let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+                assert_eq!(got, x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_counts_gate_levels_not_gates() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let d = n.input();
+        let ab = n.and2(a, b);
+        let cd = n.and2(c, d);
+        let all = n.and2(ab, cd);
+        n.mark_output(all);
+        assert_eq!(n.delay(), 2); // balanced tree: 2 levels, 3 gates
+        assert_eq!(n.area(), 3);
+    }
+
+    #[test]
+    fn inverters_are_free() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let na = n.not(a);
+        let nna = n.not(na);
+        n.mark_output(nna);
+        assert_eq!(n.delay(), 0);
+        assert_eq!(n.area(), 0);
+        assert_eq!(n.eval(&[true]), vec![true]);
+        assert_eq!(n.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new();
+        let sel = n.input();
+        let a = n.input();
+        let b = n.input();
+        let m = n.mux(sel, a, b);
+        n.mark_output(m);
+        assert_eq!(n.eval(&[true, true, false]), vec![true]);
+        assert_eq!(n.eval(&[false, true, false]), vec![false]);
+        assert_eq!(n.eval(&[false, false, true]), vec![true]);
+        assert_eq!(n.delay(), 1);
+    }
+
+    #[test]
+    fn reduce_or_has_log_depth() {
+        let mut n = Netlist::new();
+        let w = n.input_word(16);
+        let any = n.reduce_or(w.bits());
+        n.mark_output(any);
+        assert_eq!(n.delay(), 4); // log2(16)
+        assert_eq!(n.area(), 15);
+        assert_eq!(n.eval_u64(0), vec![false]);
+        assert_eq!(n.eval_u64(1 << 9), vec![true]);
+    }
+
+    #[test]
+    fn reduce_over_empty_and_single() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let empty_and = n.reduce_and(&[]);
+        let empty_or = n.reduce_or(&[]);
+        let single = n.reduce_and(&[a]);
+        n.mark_output(empty_and);
+        n.mark_output(empty_or);
+        n.mark_output(single);
+        assert_eq!(n.eval(&[true]), vec![true, false, true]);
+        assert_eq!(n.eval(&[false]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn reduce_and_odd_count() {
+        let mut n = Netlist::new();
+        let w = n.input_word(5);
+        let all = n.reduce_and(w.bits());
+        n.mark_output(all);
+        assert_eq!(n.eval_u64(0b11111), vec![true]);
+        assert_eq!(n.eval_u64(0b11011), vec![false]);
+        assert_eq!(n.delay(), 3); // ceil(log2 5)
+    }
+
+    #[test]
+    fn eval_u64_maps_lsb_to_input_zero() {
+        let mut n = Netlist::new();
+        let w = n.input_word(3);
+        n.mark_output_word(&w);
+        assert_eq!(n.eval_u64(0b101), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 inputs")]
+    fn eval_rejects_wrong_arity() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let o = n.and2(a, b);
+        n.mark_output(o);
+        let _ = n.eval(&[true]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let o = n.or2(a, b);
+        n.mark_output(o);
+        assert_eq!(
+            n.to_string(),
+            "netlist: 2 inputs, 1 outputs, 1 gates, depth 1"
+        );
+    }
+
+    #[test]
+    fn constants_do_not_contribute_delay_or_area() {
+        let mut n = Netlist::new();
+        let c = n.constant(true);
+        let a = n.input();
+        let o = n.and2(c, a);
+        n.mark_output(o);
+        assert_eq!(n.delay(), 1);
+        assert_eq!(n.area(), 1);
+        assert_eq!(n.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn depth_of_individual_signal() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.and2(a, b);
+        let y = n.or2(x, a);
+        assert_eq!(n.depth_of(a), 0);
+        assert_eq!(n.depth_of(x), 1);
+        assert_eq!(n.depth_of(y), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Clocked register model.
+
+/// A D-type register with explicit next-value staging.
+///
+/// The sort/retrieve circuit keeps several architectural registers: the
+/// head-of-list pointer, the empty-list head, and the initialization
+/// counter of the tag storage memory. Modelling them with staged updates
+/// (`load` then `clock_edge`) keeps read-after-write semantics identical
+/// to hardware: a value loaded in cycle *n* is visible from cycle *n+1*.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Register;
+///
+/// let mut head = Register::new(0u16);
+/// head.load(42);
+/// assert_eq!(*head.q(), 0);   // not yet visible
+/// head.clock_edge();
+/// assert_eq!(*head.q(), 42);  // visible after the edge
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Register<T> {
+    current: T,
+    next: Option<T>,
+}
+
+impl<T: Clone> Register<T> {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: T) -> Self {
+        Self {
+            current: initial,
+            next: None,
+        }
+    }
+
+    /// The currently visible (registered) value.
+    pub fn q(&self) -> &T {
+        &self.current
+    }
+
+    /// Stages `value` to become visible at the next clock edge.
+    ///
+    /// A second `load` before the edge overwrites the first, matching a
+    /// multiplexed D input.
+    pub fn load(&mut self, value: T) {
+        self.next = Some(value);
+    }
+
+    /// Commits the staged value, if any. Returns `true` if the register
+    /// changed its visible value's slot (i.e. a load was pending).
+    pub fn clock_edge(&mut self) -> bool {
+        match self.next.take() {
+            Some(v) => {
+                self.current = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Combinationally bypasses the register: loads and commits at once.
+    ///
+    /// Useful in behavioural (non-cycle-accurate) models where staging is
+    /// irrelevant.
+    pub fn set_now(&mut self, value: T) {
+        self.next = None;
+        self.current = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_value_visible_only_after_edge() {
+        let mut r = Register::new(1u8);
+        r.load(2);
+        assert_eq!(*r.q(), 1);
+        assert!(r.clock_edge());
+        assert_eq!(*r.q(), 2);
+        assert!(!r.clock_edge());
+        assert_eq!(*r.q(), 2);
+    }
+
+    #[test]
+    fn later_load_wins() {
+        let mut r = Register::new(0u8);
+        r.load(1);
+        r.load(7);
+        r.clock_edge();
+        assert_eq!(*r.q(), 7);
+    }
+
+    #[test]
+    fn set_now_bypasses_and_clears_pending() {
+        let mut r = Register::new(0u8);
+        r.load(5);
+        r.set_now(9);
+        assert_eq!(*r.q(), 9);
+        assert!(!r.clock_edge());
+        assert_eq!(*r.q(), 9);
+    }
+
+    #[test]
+    fn works_with_non_copy_types() {
+        let mut r = Register::new(String::from("a"));
+        r.load(String::from("b"));
+        r.clock_edge();
+        assert_eq!(r.q(), "b");
+    }
+}

@@ -1,0 +1,597 @@
+//! Cycle-accurate SRAM model with per-cycle port arbitration.
+//!
+//! The tag storage memory of the paper is an external SRAM accessed through
+//! a fixed four-cycle schedule (two reads followed by two writes, Fig. 9).
+//! The point of this model is to make that schedule *enforceable*: each
+//! port may carry at most one access per clock cycle, and a second access
+//! in the same cycle is a simulation error, not a silently absorbed one.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::clock::Cycle;
+use crate::stats::AccessStats;
+
+/// One recorded memory access (tracing must be enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramEvent {
+    /// Cycle the access occupied.
+    pub cycle: Cycle,
+    /// Port that carried it.
+    pub port: usize,
+    /// True for writes, false for reads.
+    pub is_write: bool,
+    /// Word address accessed.
+    pub addr: usize,
+    /// Data written, or the value read.
+    pub data: u64,
+}
+
+impl fmt::Display for SramEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: port {} {} @{:<4} = {:#x}",
+            self.cycle,
+            self.port,
+            if self.is_write { "WR" } else { "RD" },
+            self.addr,
+            self.data
+        )
+    }
+}
+
+/// Which operations a memory port may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// The port accepts both reads and writes (one per cycle in total).
+    ReadWrite,
+    /// The port accepts only reads.
+    ReadOnly,
+    /// The port accepts only writes.
+    WriteOnly,
+}
+
+/// Static configuration of an [`Sram`] instance.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{SramConfig, PortKind};
+///
+/// // The paper's level-3 tree memory: 4 kbit of single-port on-chip SRAM.
+/// let cfg = SramConfig::single_port(256, 16);
+/// assert_eq!(cfg.total_bits(), 4096);
+///
+/// // A QDR-style part: one read port and one write port.
+/// let qdr = SramConfig::new(1 << 20, 36, vec![PortKind::ReadOnly, PortKind::WriteOnly]);
+/// assert_eq!(qdr.ports().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramConfig {
+    words: usize,
+    width_bits: u32,
+    ports: Vec<PortKind>,
+}
+
+impl SramConfig {
+    /// A memory with an explicit port list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero, `width_bits` is zero or above 64, or no
+    /// ports are given.
+    pub fn new(words: usize, width_bits: u32, ports: Vec<PortKind>) -> Self {
+        assert!(words > 0, "memory must have at least one word");
+        assert!(
+            (1..=64).contains(&width_bits),
+            "word width must be 1..=64 bits, got {width_bits}"
+        );
+        assert!(!ports.is_empty(), "memory must have at least one port");
+        Self {
+            words,
+            width_bits,
+            ports,
+        }
+    }
+
+    /// A single read/write port memory — the paper's on-chip SRAM flavour.
+    pub fn single_port(words: usize, width_bits: u32) -> Self {
+        Self::new(words, width_bits, vec![PortKind::ReadWrite])
+    }
+
+    /// A dual-port memory with two independent read/write ports.
+    pub fn dual_port(words: usize, width_bits: u32) -> Self {
+        Self::new(
+            words,
+            width_bits,
+            vec![PortKind::ReadWrite, PortKind::ReadWrite],
+        )
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Width of one word in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// The configured ports.
+    pub fn ports(&self) -> &[PortKind] {
+        &self.ports
+    }
+
+    /// Total storage capacity in bits (the unit Table II reports).
+    pub fn total_bits(&self) -> u64 {
+        self.words as u64 * u64::from(self.width_bits)
+    }
+}
+
+/// Errors returned by the SRAM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SramError {
+    /// The address is outside the configured word count.
+    AddressOutOfRange {
+        /// Offending address.
+        addr: usize,
+        /// Configured number of words.
+        words: usize,
+    },
+    /// The written value does not fit the configured word width.
+    ValueTooWide {
+        /// Offending value.
+        value: u64,
+        /// Configured word width in bits.
+        width_bits: u32,
+    },
+    /// A port was asked to carry a second access within one cycle.
+    PortConflict {
+        /// The port index that was double-booked.
+        port: usize,
+        /// The cycle in which the conflict occurred.
+        cycle: Cycle,
+    },
+    /// The requested port does not exist.
+    NoSuchPort {
+        /// Requested port index.
+        port: usize,
+        /// Number of configured ports.
+        ports: usize,
+    },
+    /// The requested port cannot carry this operation (e.g. write on a
+    /// read-only port).
+    PortKindMismatch {
+        /// Requested port index.
+        port: usize,
+        /// The port's configured kind.
+        kind: PortKind,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::AddressOutOfRange { addr, words } => {
+                write!(f, "address {addr} out of range for {words}-word memory")
+            }
+            SramError::ValueTooWide { value, width_bits } => {
+                write!(f, "value {value:#x} does not fit in {width_bits} bits")
+            }
+            SramError::PortConflict { port, cycle } => {
+                write!(f, "port {port} already used in {cycle}")
+            }
+            SramError::NoSuchPort { port, ports } => {
+                write!(f, "port {port} does not exist ({ports} ports configured)")
+            }
+            SramError::PortKindMismatch { port, kind } => {
+                write!(f, "port {port} ({kind:?}) cannot carry this operation")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}
+
+/// Per-memory access statistics.
+///
+/// `busy_cycles` counts distinct cycles during which at least one port was
+/// active, which is the utilization figure the scheduler experiments use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SramStats {
+    /// Total read operations served.
+    pub reads: u64,
+    /// Total write operations served.
+    pub writes: u64,
+    /// Number of distinct cycles with at least one access.
+    pub busy_cycles: u64,
+}
+
+impl SramStats {
+    /// Total accesses of either kind.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A cycle-accurate word-addressed static RAM.
+///
+/// Reads are modelled as same-cycle (the surrounding FSM accounts for
+/// latency by how it schedules accesses across cycles, exactly as the
+/// paper's four-cycle insert schedule does). What the model enforces is
+/// *port bandwidth*: one access per port per cycle.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{Clock, Sram, SramConfig};
+///
+/// # fn main() -> Result<(), hwsim::SramError> {
+/// let mut clk = Clock::new();
+/// let mut mem = Sram::new(SramConfig::single_port(16, 12));
+/// mem.write(clk.now(), 3, 0xabc)?;
+/// // A second access in the same cycle on the single port is refused:
+/// assert!(mem.read(clk.now(), 3).is_err());
+/// clk.tick();
+/// assert_eq!(mem.read(clk.now(), 3)?, 0xabc);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sram {
+    config: SramConfig,
+    data: Vec<u64>,
+    /// Last cycle each port carried an access, if any.
+    port_last_use: Vec<Option<Cycle>>,
+    last_busy_cycle: Option<Cycle>,
+    stats: SramStats,
+    access_stats: AccessStats,
+    trace: Option<Vec<SramEvent>>,
+}
+
+impl Sram {
+    /// Creates a zero-initialized memory.
+    pub fn new(config: SramConfig) -> Self {
+        let words = config.words();
+        let ports = config.ports().len();
+        Self {
+            config,
+            data: vec![0; words],
+            port_last_use: vec![None; ports],
+            last_busy_cycle: None,
+            stats: SramStats::default(),
+            access_stats: AccessStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing: every subsequent access is recorded and
+    /// retrievable with [`Sram::take_trace`]. Use for waveform-style
+    /// inspection of FSM schedules; off by default (zero cost).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drains and returns the recorded events (empty if tracing is off).
+    pub fn take_trace(&mut self) -> Vec<SramEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> SramStats {
+        self.stats
+    }
+
+    /// Fine-grained access statistics shared with the instrumentation layer.
+    pub fn access_stats(&self) -> &AccessStats {
+        &self.access_stats
+    }
+
+    /// Resets the statistics counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = SramStats::default();
+        self.access_stats = AccessStats::default();
+    }
+
+    /// Reads the word at `addr` through port 0.
+    ///
+    /// # Errors
+    ///
+    /// Fails on address range violations or if port 0 is already busy in
+    /// `cycle`.
+    pub fn read(&mut self, cycle: Cycle, addr: usize) -> Result<u64, SramError> {
+        self.read_port(cycle, 0, addr)
+    }
+
+    /// Writes `value` at `addr` through port 0.
+    ///
+    /// # Errors
+    ///
+    /// Fails on range/width violations or if port 0 is already busy in
+    /// `cycle`.
+    pub fn write(&mut self, cycle: Cycle, addr: usize, value: u64) -> Result<(), SramError> {
+        self.write_port(cycle, 0, addr, value)
+    }
+
+    /// Reads the word at `addr` through the given port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port does not exist, is write-only, is already busy in
+    /// `cycle`, or `addr` is out of range.
+    pub fn read_port(&mut self, cycle: Cycle, port: usize, addr: usize) -> Result<u64, SramError> {
+        self.check_addr(addr)?;
+        self.claim_port(cycle, port, /*is_write=*/ false)?;
+        self.stats.reads += 1;
+        self.access_stats.record_read();
+        let value = self.data[addr];
+        if let Some(trace) = &mut self.trace {
+            trace.push(SramEvent {
+                cycle,
+                port,
+                is_write: false,
+                addr,
+                data: value,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Writes `value` at `addr` through the given port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port does not exist, is read-only, is already busy in
+    /// `cycle`, `addr` is out of range, or `value` does not fit the word
+    /// width.
+    pub fn write_port(
+        &mut self,
+        cycle: Cycle,
+        port: usize,
+        addr: usize,
+        value: u64,
+    ) -> Result<(), SramError> {
+        self.check_addr(addr)?;
+        let width = self.config.width_bits();
+        if width < 64 && value >> width != 0 {
+            return Err(SramError::ValueTooWide {
+                value,
+                width_bits: width,
+            });
+        }
+        self.claim_port(cycle, port, /*is_write=*/ true)?;
+        self.stats.writes += 1;
+        self.access_stats.record_write();
+        self.data[addr] = value;
+        if let Some(trace) = &mut self.trace {
+            trace.push(SramEvent {
+                cycle,
+                port,
+                is_write: true,
+                addr,
+                data: value,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads without cycle accounting — for test assertions and snapshot
+    /// inspection only, never from modelled hardware.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is out of range.
+    pub fn peek(&self, addr: usize) -> Result<u64, SramError> {
+        self.check_addr(addr)?;
+        Ok(self.data[addr])
+    }
+
+    fn check_addr(&self, addr: usize) -> Result<(), SramError> {
+        if addr >= self.config.words() {
+            return Err(SramError::AddressOutOfRange {
+                addr,
+                words: self.config.words(),
+            });
+        }
+        Ok(())
+    }
+
+    fn claim_port(&mut self, cycle: Cycle, port: usize, is_write: bool) -> Result<(), SramError> {
+        let kinds = self.config.ports();
+        let kind = *kinds.get(port).ok_or(SramError::NoSuchPort {
+            port,
+            ports: kinds.len(),
+        })?;
+        let allowed = match kind {
+            PortKind::ReadWrite => true,
+            PortKind::ReadOnly => !is_write,
+            PortKind::WriteOnly => is_write,
+        };
+        if !allowed {
+            return Err(SramError::PortKindMismatch { port, kind });
+        }
+        if self.port_last_use[port] == Some(cycle) {
+            return Err(SramError::PortConflict { port, cycle });
+        }
+        self.port_last_use[port] = Some(cycle);
+        if self.last_busy_cycle != Some(cycle) {
+            self.last_busy_cycle = Some(cycle);
+            self.stats.busy_cycles += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clock;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 2, 0xbeef).unwrap();
+        clk.tick();
+        assert_eq!(mem.read(clk.now(), 2).unwrap(), 0xbeef);
+        assert_eq!(mem.peek(2).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn single_port_refuses_two_accesses_per_cycle() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 0, 1).unwrap();
+        let err = mem.read(clk.now(), 0).unwrap_err();
+        assert!(matches!(err, SramError::PortConflict { port: 0, .. }));
+    }
+
+    #[test]
+    fn dual_port_allows_two_accesses_per_cycle() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::dual_port(8, 16));
+        mem.write_port(clk.now(), 0, 0, 1).unwrap();
+        // Writes commit same-edge in this model, so the other port already
+        // observes the new value; what matters is that both ports were
+        // usable within one cycle.
+        assert_eq!(mem.read_port(clk.now(), 1, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn port_becomes_free_next_cycle() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 0, 1).unwrap();
+        clk.tick();
+        assert_eq!(mem.read(clk.now(), 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn qdr_style_ports_reject_wrong_operation() {
+        let clk = Clock::new();
+        let cfg = SramConfig::new(8, 16, vec![PortKind::ReadOnly, PortKind::WriteOnly]);
+        let mut mem = Sram::new(cfg);
+        assert!(matches!(
+            mem.write_port(clk.now(), 0, 0, 1),
+            Err(SramError::PortKindMismatch { port: 0, .. })
+        ));
+        assert!(matches!(
+            mem.read_port(clk.now(), 1, 0),
+            Err(SramError::PortKindMismatch { port: 1, .. })
+        ));
+        mem.write_port(clk.now(), 1, 0, 9).unwrap();
+        assert_eq!(mem.read_port(clk.now(), 0, 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn address_and_width_violations() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(4, 4));
+        assert!(matches!(
+            mem.read(clk.now(), 4),
+            Err(SramError::AddressOutOfRange { addr: 4, words: 4 })
+        ));
+        assert!(matches!(
+            mem.write(clk.now(), 0, 16),
+            Err(SramError::ValueTooWide { value: 16, .. })
+        ));
+        // A failed access must not consume the port.
+        mem.write(clk.now(), 0, 15).unwrap();
+    }
+
+    #[test]
+    fn no_such_port() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(4, 8));
+        assert!(matches!(
+            mem.read_port(clk.now(), 3, 0),
+            Err(SramError::NoSuchPort { port: 3, ports: 1 })
+        ));
+    }
+
+    #[test]
+    fn stats_count_reads_writes_and_busy_cycles() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::dual_port(8, 16));
+        mem.write_port(clk.now(), 0, 0, 1).unwrap();
+        mem.read_port(clk.now(), 1, 0).unwrap(); // same cycle: one busy cycle
+        clk.tick();
+        mem.read(clk.now(), 0).unwrap();
+        let s = mem.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.busy_cycles, 2);
+        mem.reset_stats();
+        assert_eq!(mem.stats(), SramStats::default());
+    }
+
+    #[test]
+    fn tracing_records_accesses_in_order() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.enable_tracing();
+        mem.write(clk.now(), 3, 0xa).unwrap();
+        clk.tick();
+        mem.read(clk.now(), 3).unwrap();
+        let trace = mem.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].is_write && !trace[1].is_write);
+        assert_eq!(trace[0].addr, 3);
+        assert_eq!(trace[1].data, 0xa);
+        assert_eq!(trace[0].to_string(), "cycle 0: port 0 WR @3    = 0xa");
+        // Trace drained; subsequent accesses accumulate afresh.
+        assert!(mem.take_trace().is_empty());
+        clk.tick();
+        mem.read(clk.now(), 3).unwrap();
+        assert_eq!(mem.take_trace().len(), 1);
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 0, 1).unwrap();
+        assert!(mem.take_trace().is_empty());
+    }
+
+    #[test]
+    fn total_bits_matches_paper_level3_example() {
+        // Paper §III-A: the third tree level is 4 kbit of on-chip SRAM —
+        // 256 nodes of 16 bits.
+        let cfg = SramConfig::single_port(256, 16);
+        assert_eq!(cfg.total_bits(), 4096);
+    }
+
+    #[test]
+    fn full_width_64_bit_words_accept_any_value() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(2, 64));
+        mem.write(clk.now(), 0, u64::MAX).unwrap();
+        assert_eq!(mem.peek(0).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width must be 1..=64")]
+    fn zero_width_rejected() {
+        let _ = SramConfig::single_port(8, 0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SramError::PortConflict {
+            port: 0,
+            cycle: Cycle(7),
+        };
+        assert_eq!(e.to_string(), "port 0 already used in cycle 7");
+    }
+}

@@ -1,0 +1,205 @@
+//! Memory-access instrumentation shared across the workspace.
+//!
+//! Table I of the paper compares lookup methods by their **worst-case
+//! number of memory accesses per operation**. Every structure in the
+//! `baselines` crate and the sort/retrieve circuit itself therefore
+//! funnels its accesses through an [`AccessStats`] so the table can be
+//! regenerated from measurements instead of being transcribed.
+
+/// Read/write access counters with per-operation worst-case tracking.
+///
+/// The typical pattern is: call [`AccessStats::begin_op`] at the start of
+/// each logical operation (insert, pop-min, search), record the accesses
+/// the operation performs, and read the worst case off
+/// [`AccessStats::worst_op_accesses`] at the end of the experiment.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::AccessStats;
+///
+/// let mut stats = AccessStats::default();
+/// stats.begin_op();
+/// stats.record_read();
+/// stats.record_read();
+/// stats.begin_op();
+/// stats.record_write();
+/// assert_eq!(stats.reads(), 2);
+/// assert_eq!(stats.writes(), 1);
+/// assert_eq!(stats.worst_op_accesses(), 2);
+/// assert_eq!(stats.ops(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    reads: u64,
+    writes: u64,
+    ops: u64,
+    current_op_accesses: u64,
+    worst_op_accesses: u64,
+}
+
+impl AccessStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a new logical operation.
+    pub fn begin_op(&mut self) {
+        self.flush_op();
+        self.ops += 1;
+    }
+
+    /// Records one read access.
+    pub fn record_read(&mut self) {
+        self.reads += 1;
+        self.current_op_accesses += 1;
+    }
+
+    /// Records one write access.
+    pub fn record_write(&mut self) {
+        self.writes += 1;
+        self.current_op_accesses += 1;
+    }
+
+    /// Records `n` accesses at once (reads by convention).
+    pub fn record_batch(&mut self, n: u64) {
+        self.reads += n;
+        self.current_op_accesses += n;
+    }
+
+    /// Total reads recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total accesses of either kind.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Number of logical operations started.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The largest number of accesses any single operation performed.
+    ///
+    /// Includes the operation in progress, so it is safe to read at any
+    /// point.
+    pub fn worst_op_accesses(&self) -> u64 {
+        self.worst_op_accesses.max(self.current_op_accesses)
+    }
+
+    /// Mean accesses per operation (0 if no operation was started).
+    pub fn mean_op_accesses(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.accesses() as f64 / self.ops as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merges another counter set into this one.
+    ///
+    /// Worst cases take the maximum; totals add.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.ops += other.ops;
+        self.worst_op_accesses = self.worst_op_accesses().max(other.worst_op_accesses());
+        self.current_op_accesses = 0;
+    }
+
+    fn flush_op(&mut self) {
+        if self.current_op_accesses > self.worst_op_accesses {
+            self.worst_op_accesses = self.current_op_accesses;
+        }
+        self.current_op_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut s = AccessStats::new();
+        s.record_read();
+        s.record_write();
+        s.record_batch(3);
+        assert_eq!(s.reads(), 4);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.accesses(), 5);
+    }
+
+    #[test]
+    fn worst_op_tracks_maximum() {
+        let mut s = AccessStats::new();
+        s.begin_op();
+        s.record_read();
+        s.begin_op();
+        s.record_read();
+        s.record_read();
+        s.record_read();
+        s.begin_op();
+        s.record_write();
+        assert_eq!(s.worst_op_accesses(), 3);
+        assert_eq!(s.ops(), 3);
+    }
+
+    #[test]
+    fn worst_op_includes_in_progress_operation() {
+        let mut s = AccessStats::new();
+        s.begin_op();
+        s.record_batch(10);
+        assert_eq!(s.worst_op_accesses(), 10);
+    }
+
+    #[test]
+    fn mean_op_accesses() {
+        let mut s = AccessStats::new();
+        assert_eq!(s.mean_op_accesses(), 0.0);
+        s.begin_op();
+        s.record_read();
+        s.begin_op();
+        s.record_read();
+        s.record_read();
+        s.record_read();
+        assert_eq!(s.mean_op_accesses(), 2.0);
+    }
+
+    #[test]
+    fn merge_adds_totals_and_maxes_worst_case() {
+        let mut a = AccessStats::new();
+        a.begin_op();
+        a.record_read();
+        let mut b = AccessStats::new();
+        b.begin_op();
+        b.record_batch(5);
+        a.merge(&b);
+        assert_eq!(a.accesses(), 6);
+        assert_eq!(a.ops(), 2);
+        assert_eq!(a.worst_op_accesses(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = AccessStats::new();
+        s.begin_op();
+        s.record_read();
+        s.reset();
+        assert_eq!(s, AccessStats::default());
+    }
+}

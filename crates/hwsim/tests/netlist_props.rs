@@ -1,0 +1,112 @@
+//! Property tests for the netlist substrate: structural measures are
+//! consistent and generated logic evaluates like its software model.
+
+use proptest::prelude::*;
+
+use hwsim::Netlist;
+
+/// Builds a balanced popcount-compare circuit: out = (popcount(x) >= k).
+/// Exercises adders, comparators, and reduction trees together.
+fn popcount_ge(width: usize, k: u32) -> Netlist {
+    let mut n = Netlist::new();
+    let w = n.input_word(width);
+    // Chain of ripple increments: count in binary registers.
+    let bits = u32::BITS - (width as u32).leading_zeros();
+    let mut count: Vec<hwsim::Signal> = (0..bits).map(|_| n.constant(false)).collect();
+    for i in 0..width {
+        // count += w[i]  (ripple-carry increment gated by the bit).
+        let mut carry = w.bit(i);
+        for c in count.iter_mut() {
+            let sum = n.xor2(*c, carry);
+            let new_carry = n.and2(*c, carry);
+            *c = sum;
+            carry = new_carry;
+        }
+    }
+    // count >= k comparator (k constant).
+    let mut gt = n.constant(false);
+    let mut eq = n.constant(true);
+    for bit in (0..bits as usize).rev() {
+        let cb = count[bit];
+        if (k >> bit) & 1 == 0 {
+            let t = n.and2(eq, cb);
+            gt = n.or2(gt, t);
+            let ncb = n.not(cb);
+            eq = n.and2(eq, ncb);
+        } else {
+            eq = n.and2(eq, cb);
+        }
+    }
+    let ge = n.or2(gt, eq);
+    n.mark_output(ge);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn popcount_circuit_matches_software(x in 0u64..(1 << 12), k in 0u32..13) {
+        let n = popcount_ge(12, k);
+        let got = n.eval_u64(x)[0];
+        prop_assert_eq!(got, x.count_ones() >= k);
+    }
+
+    #[test]
+    fn buffered_delay_dominates_unit_delay(width in 2usize..24) {
+        let n = popcount_ge(width, (width / 2) as u32);
+        prop_assert!(n.delay_buffered() >= n.delay());
+        prop_assert!(n.delay() > 0);
+        prop_assert!(n.area() > 0);
+    }
+
+    #[test]
+    fn reduction_trees_match_iterators(bits in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let mut n = Netlist::new();
+        let w = n.input_word(bits.len());
+        let all = n.reduce_and(w.bits());
+        let any_ = n.reduce_or(w.bits());
+        n.mark_output(all);
+        n.mark_output(any_);
+        let out = n.eval(&bits);
+        prop_assert_eq!(out[0], bits.iter().all(|&b| b));
+        prop_assert_eq!(out[1], bits.iter().any(|&b| b));
+        // Balanced trees: depth is the ceiling log.
+        let expect = (bits.len() as f64).log2().ceil() as u32;
+        prop_assert!(n.delay() <= expect.max(1) + 1, "depth {} for {} bits", n.delay(), bits.len());
+    }
+}
+
+#[test]
+fn delay_models_agree_on_fanout_free_chains() {
+    // A pure chain has no fan-out: the two models coincide.
+    let mut n = Netlist::new();
+    let a = n.input();
+    let mut x = a;
+    for _ in 0..17 {
+        let one = n.constant(true);
+        x = n.and2(x, one);
+    }
+    n.mark_output(x);
+    assert_eq!(n.delay(), 17);
+    assert_eq!(n.delay_buffered(), 17);
+}
+
+#[test]
+fn heavy_fanout_pays_buffer_levels() {
+    // One signal driving 64 gates costs ⌈log₄ 64⌉ = 3 buffer levels.
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let hot = n.and2(a, b);
+    let mut outs = Vec::new();
+    for _ in 0..64 {
+        let one = n.constant(true);
+        outs.push(n.and2(hot, one));
+    }
+    let all = n.reduce_and(&outs);
+    n.mark_output(all);
+    // unit: 1 (hot) + 1 (load) + 6 (reduce tree) = 8
+    assert_eq!(n.delay(), 8);
+    assert_eq!(n.delay_buffered(), 8 + 3);
+}

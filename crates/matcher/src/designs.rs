@@ -1,0 +1,420 @@
+//! The five leading-one/second-leading-one extraction chains.
+//!
+//! Each design consumes the candidate vector from the shared frontend and
+//! produces two one-hot outputs:
+//!
+//! * `m[i]` — position *i* holds the **primary** match: `c[i]` is set and
+//!   no candidate exists above *i*;
+//! * `b[i]` — position *i* holds the **backup** match: `c[i]` is set and
+//!   *exactly one* candidate exists above *i*.
+//!
+//! The scan direction is from the most significant bit downward, mirroring
+//! the "search for the next smallest literal" behaviour of the paper's
+//! node matching circuitry. All designs implement the same two-bit state
+//! machine — `a` = "no candidate seen yet", `e` = "exactly one seen" —
+//! and differ only in how the state chain is accelerated, exactly as adder
+//! carry chains differ in carry acceleration.
+
+use hwsim::{Netlist, Signal};
+
+/// One-hot primary and backup outputs of a chain.
+pub(crate) struct ChainOutputs {
+    /// Primary one-hot: `m[i]` ⇔ `c[i]` is the leading candidate.
+    pub m: Vec<Signal>,
+    /// Backup one-hot: `b[i]` ⇔ `c[i]` is the second-leading candidate.
+    pub b: Vec<Signal>,
+}
+
+/// Plain ripple chain: the two-bit state advances one candidate bit per
+/// step, the direct analogue of a ripple-carry adder.
+pub(crate) fn ripple_chain(n: &mut Netlist, c: &[Signal]) -> ChainOutputs {
+    let width = c.len();
+    let mut a = n.constant(true);
+    let mut e = n.constant(false);
+    let mut m = vec![a; width];
+    let mut b = vec![a; width];
+    for i in (0..width).rev() {
+        m[i] = n.and2(c[i], a);
+        b[i] = n.and2(c[i], e);
+        let nc = n.not(c[i]);
+        let a_next = n.and2(a, nc);
+        let one_here = n.and2(a, c[i]);
+        let still_one = n.and2(e, nc);
+        e = n.or2(one_here, still_one);
+        a = a_next;
+    }
+    ChainOutputs { m, b }
+}
+
+/// Standard (flat) look-ahead: every position computes its own
+/// "none above" and "exactly one above" with private OR trees —
+/// logarithmic depth, quadratic area, the carry-look-ahead analogue.
+pub(crate) fn lookahead_chain(n: &mut Netlist, c: &[Signal]) -> ChainOutputs {
+    let width = c.len();
+    // z[i]: no candidate above i. nonlead[i]: c[i] set but not leading.
+    let mut z = Vec::with_capacity(width);
+    for i in 0..width {
+        let above: Vec<Signal> = c[i + 1..].to_vec();
+        let any_above = n.reduce_or(&above);
+        z.push(n.not(any_above));
+    }
+    let m: Vec<Signal> = (0..width).map(|i| n.and2(c[i], z[i])).collect();
+    let nonlead: Vec<Signal> = (0..width)
+        .map(|i| {
+            let nz = n.not(z[i]);
+            n.and2(c[i], nz)
+        })
+        .collect();
+    let b = (0..width)
+        .map(|i| {
+            // Exactly one candidate above i: the leading candidate is
+            // above i, and no non-leading candidate is above i.
+            let lead_above = n.reduce_or(&m[i + 1..]);
+            let two_above = n.reduce_or(&nonlead[i + 1..]);
+            let no_two = n.not(two_above);
+            let exactly_one = n.and2(lead_above, no_two);
+            n.and2(c[i], exactly_one)
+        })
+        .collect();
+    ChainOutputs { m, b }
+}
+
+/// Block look-ahead with fixed 4-bit blocks: flat look-ahead inside each
+/// block, two-gate state ripple between blocks — the 4-bit-group CLA
+/// analogue.
+pub(crate) fn block_lookahead_chain(n: &mut Netlist, c: &[Signal]) -> ChainOutputs {
+    blocked_chain(n, c, 4, BlockStyle::Tree, InterChain::Ripple)
+}
+
+/// Skip & look-ahead with √B blocks: cheap ripple prefixes inside each
+/// block, and the inter-block state carried by a two-gate bypass per
+/// block — the carry-skip analogue (empty blocks cost only the bypass).
+pub(crate) fn skip_lookahead_chain(n: &mut Netlist, c: &[Signal]) -> ChainOutputs {
+    let g = sqrt_block(c.len());
+    blocked_chain(n, c, g, BlockStyle::Ripple, InterChain::Ripple)
+}
+
+/// Select & look-ahead with √B blocks: flat prefixes inside each block,
+/// a logarithmic parallel-prefix network over the block summaries, and
+/// per-block output selection muxes — the carry-select analogue and the
+/// design the paper fabricates.
+pub(crate) fn select_lookahead_chain(n: &mut Netlist, c: &[Signal]) -> ChainOutputs {
+    let g = pow2_block(c.len());
+    blocked_chain(n, c, g, BlockStyle::Tree, InterChain::PrefixNetwork)
+}
+
+fn sqrt_block(width: usize) -> usize {
+    ((width as f64).sqrt().round() as usize).max(2)
+}
+
+/// Nearest power of two to √width — even partitions keep the select
+/// design's block boundaries aligned and its mux tree balanced.
+fn pow2_block(width: usize) -> usize {
+    let target = (width as f64).sqrt();
+    let mut best = 2usize;
+    let mut g = 2usize;
+    while g <= width {
+        if (g as f64 / target - 1.0).abs() < (best as f64 / target - 1.0).abs() {
+            best = g;
+        }
+        g *= 2;
+    }
+    best.max(2)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BlockStyle {
+    /// Flat trees inside the block (fast, more gates).
+    Tree,
+    /// Rippled state inside the block (slow, fewest gates).
+    Ripple,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InterChain {
+    /// State ripples block to block (two gate levels per block).
+    Ripple,
+    /// Kogge–Stone parallel prefix over block summaries.
+    PrefixNetwork,
+}
+
+/// Per-block intermediate results, positions within the block descending.
+struct BlockPrefixes {
+    /// For each bit: no candidate above it *within the block*.
+    z_local: Vec<Signal>,
+    /// For each bit: exactly one candidate above it *within the block*.
+    o_local: Vec<Signal>,
+    /// Block summary: block holds no candidate.
+    blk_z: Signal,
+    /// Block summary: block holds exactly one candidate.
+    blk_o: Signal,
+}
+
+/// Shared skeleton of the three blocked designs.
+fn blocked_chain(
+    n: &mut Netlist,
+    c: &[Signal],
+    block_size: usize,
+    style: BlockStyle,
+    inter: InterChain,
+) -> ChainOutputs {
+    let width = c.len();
+    assert!(block_size >= 1);
+    // Blocks from MSB down: block 0 covers the highest positions.
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut pos: isize = width as isize - 1;
+    while pos >= 0 {
+        let lo = (pos - block_size as isize + 1).max(0);
+        blocks.push((lo..=pos).rev().map(|p| p as usize).collect());
+        pos = lo - 1;
+    }
+
+    let prefixes: Vec<BlockPrefixes> = blocks
+        .iter()
+        .map(|blk| match style {
+            BlockStyle::Tree => block_prefixes_tree(n, c, blk),
+            BlockStyle::Ripple => block_prefixes_ripple(n, c, blk),
+        })
+        .collect();
+
+    // Incoming (a, e) state for each block.
+    let states: Vec<(Signal, Signal)> = match inter {
+        InterChain::Ripple => {
+            let mut acc = Vec::with_capacity(blocks.len());
+            let mut a = n.constant(true);
+            let mut e = n.constant(false);
+            for p in &prefixes {
+                acc.push((a, e));
+                let a_next = n.and2(a, p.blk_z);
+                let one_here = n.and2(a, p.blk_o);
+                let still_one = n.and2(e, p.blk_z);
+                e = n.or2(one_here, still_one);
+                a = a_next;
+            }
+            acc
+        }
+        InterChain::PrefixNetwork => prefix_states(n, &prefixes),
+    };
+
+    let mut m = vec![c[0]; width];
+    let mut b = vec![c[0]; width];
+    for (blk_idx, blk) in blocks.iter().enumerate() {
+        let (a_in, e_in) = states[blk_idx];
+        let p = &prefixes[blk_idx];
+        for (k, &i) in blk.iter().enumerate() {
+            // Primary: virgin entry and locally leading.
+            let lead = n.and2(c[i], p.z_local[k]);
+            m[i] = n.and2(lead, a_in);
+            // Backup: select between the two precomputed block variants
+            // by the incoming state (the "select" of carry-select).
+            let second_if_virgin = n.and2(c[i], p.o_local[k]);
+            let lead_if_one_seen = n.and2(lead, e_in);
+            b[i] = n.mux(a_in, second_if_virgin, lead_if_one_seen);
+        }
+    }
+    ChainOutputs { m, b }
+}
+
+/// Flat per-bit prefixes inside one block (positions descending).
+fn block_prefixes_tree(n: &mut Netlist, c: &[Signal], blk: &[usize]) -> BlockPrefixes {
+    let k = blk.len();
+    let mut z_local = Vec::with_capacity(k);
+    for idx in 0..k {
+        let above: Vec<Signal> = blk[..idx].iter().map(|&p| c[p]).collect();
+        let any = n.reduce_or(&above);
+        z_local.push(n.not(any));
+    }
+    let lead: Vec<Signal> = (0..k)
+        .map(|idx| n.and2(c[blk[idx]], z_local[idx]))
+        .collect();
+    let nonlead: Vec<Signal> = (0..k)
+        .map(|idx| {
+            let nz = n.not(z_local[idx]);
+            n.and2(c[blk[idx]], nz)
+        })
+        .collect();
+    let mut o_local = Vec::with_capacity(k);
+    for idx in 0..k {
+        let lead_above = n.reduce_or(&lead[..idx]);
+        let two_above = n.reduce_or(&nonlead[..idx]);
+        let no_two = n.not(two_above);
+        o_local.push(n.and2(lead_above, no_two));
+    }
+    let any_all = n.reduce_or(&blk.iter().map(|&p| c[p]).collect::<Vec<_>>());
+    let blk_z = n.not(any_all);
+    let lead_any = n.reduce_or(&lead);
+    let two_any = n.reduce_or(&nonlead);
+    let no_two_any = n.not(two_any);
+    let blk_o = n.and2(lead_any, no_two_any);
+    BlockPrefixes {
+        z_local,
+        o_local,
+        blk_z,
+        blk_o,
+    }
+}
+
+/// Rippled per-bit prefixes inside one block (positions descending).
+fn block_prefixes_ripple(n: &mut Netlist, c: &[Signal], blk: &[usize]) -> BlockPrefixes {
+    let mut a = n.constant(true);
+    let mut e = n.constant(false);
+    let mut z_local = Vec::with_capacity(blk.len());
+    let mut o_local = Vec::with_capacity(blk.len());
+    for &i in blk {
+        z_local.push(a);
+        o_local.push(e);
+        let nc = n.not(c[i]);
+        let a_next = n.and2(a, nc);
+        let one_here = n.and2(a, c[i]);
+        let still_one = n.and2(e, nc);
+        e = n.or2(one_here, still_one);
+        a = a_next;
+    }
+    BlockPrefixes {
+        z_local,
+        o_local,
+        blk_z: a,
+        blk_o: e,
+    }
+}
+
+/// Kogge–Stone parallel prefix of the block (z, o) summaries.
+///
+/// The summary pair forms a monoid under "group 1 sits above group 2":
+/// `z12 = z1 & z2`, `o12 = (o1 & z2) | (z1 & o2)`. An exclusive prefix
+/// scan of it yields each block's incoming `(a, e)` state in logarithmic
+/// depth.
+fn prefix_states(n: &mut Netlist, prefixes: &[BlockPrefixes]) -> Vec<(Signal, Signal)> {
+    let count = prefixes.len();
+    // Exclusive scan: element k of the working vector holds the combined
+    // summary of blocks 0..k, seeded with the identity (z=1, o=0).
+    let ident = (n.constant(true), n.constant(false));
+    let mut scan: Vec<(Signal, Signal)> = Vec::with_capacity(count);
+    scan.push(ident);
+    for p in &prefixes[..count.saturating_sub(1)] {
+        scan.push((p.blk_z, p.blk_o));
+    }
+    let mut d = 1;
+    while d < count {
+        let snapshot = scan.clone();
+        for k in d..count {
+            let (z1, o1) = snapshot[k - d];
+            let (z2, o2) = snapshot[k];
+            let z = n.and2(z1, z2);
+            let t1 = n.and2(o1, z2);
+            let t2 = n.and2(z1, o2);
+            let o = n.or2(t1, t2);
+            scan[k] = (z, o);
+        }
+        d *= 2;
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle for the chains: leading and second-leading candidate.
+    fn oracle(cand: u64, width: usize) -> (Option<usize>, Option<usize>) {
+        let set: Vec<usize> = (0..width).rev().filter(|&i| cand >> i & 1 == 1).collect();
+        (set.first().copied(), set.get(1).copied())
+    }
+
+    fn run_chain(
+        build: fn(&mut Netlist, &[Signal]) -> ChainOutputs,
+        width: usize,
+        cand: u64,
+    ) -> (Option<usize>, Option<usize>) {
+        let mut n = Netlist::new();
+        let w = n.input_word(width);
+        let out = build(&mut n, w.bits());
+        for &s in &out.m {
+            n.mark_output(s);
+        }
+        for &s in &out.b {
+            n.mark_output(s);
+        }
+        let bits = n.eval_u64(cand);
+        let decode = |slice: &[bool]| {
+            let ones: Vec<usize> = slice
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &v)| v.then_some(i))
+                .collect();
+            assert!(ones.len() <= 1, "output not one-hot: {ones:?}");
+            ones.first().copied()
+        };
+        (decode(&bits[..width]), decode(&bits[width..]))
+    }
+
+    fn exhaustive(build: fn(&mut Netlist, &[Signal]) -> ChainOutputs, width: usize) {
+        for cand in 0..(1u64 << width) {
+            assert_eq!(
+                run_chain(build, width, cand),
+                oracle(cand, width),
+                "width {width}, candidates {cand:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_chain_exhaustive_to_10_bits() {
+        for width in 1..=10 {
+            exhaustive(ripple_chain, width);
+        }
+    }
+
+    #[test]
+    fn lookahead_chain_exhaustive_to_10_bits() {
+        for width in 1..=10 {
+            exhaustive(lookahead_chain, width);
+        }
+    }
+
+    #[test]
+    fn block_chain_exhaustive_to_10_bits() {
+        for width in 1..=10 {
+            exhaustive(block_lookahead_chain, width);
+        }
+    }
+
+    #[test]
+    fn skip_chain_exhaustive_to_10_bits() {
+        for width in 1..=10 {
+            exhaustive(skip_lookahead_chain, width);
+        }
+    }
+
+    #[test]
+    fn select_chain_exhaustive_to_10_bits() {
+        for width in 1..=10 {
+            exhaustive(select_lookahead_chain, width);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_node_spot_checks_all_designs() {
+        // The fabricated node width, checked on structured patterns.
+        let patterns: [u64; 6] = [0, 1, 1 << 15, (1 << 15) | 1, 0b1010_1010_1010_1010, 0xffff];
+        for build in [
+            ripple_chain,
+            lookahead_chain,
+            block_lookahead_chain,
+            skip_lookahead_chain,
+            select_lookahead_chain,
+        ] {
+            for &p in &patterns {
+                assert_eq!(run_chain(build, 16, p), oracle(p, 16));
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_block_sizing() {
+        assert_eq!(sqrt_block(4), 2);
+        assert_eq!(sqrt_block(16), 4);
+        assert_eq!(sqrt_block(64), 8);
+        assert_eq!(sqrt_block(2), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared matcher frontend: literal decoding and candidate masking.
+//!
+//! All five matcher designs consume the same *candidate* vector
+//! `c[i] = v[i] AND (literal >= i)`: the node occupancy restricted to
+//! positions at or below the requested literal. The comparison against
+//! each constant position is built directly from the binary literal bits
+//! (a thermometer decoder), so the frontend depth is logarithmic in the
+//! node width and identical across designs — the designs differ only in
+//! the leading-one extraction chain behind it.
+
+use hwsim::{Netlist, Signal};
+
+/// Number of literal input bits for a `width`-bit node.
+pub(crate) fn literal_bits(width: usize) -> usize {
+    assert!(width >= 2, "node width must be at least 2");
+    (usize::BITS - (width - 1).leading_zeros()) as usize
+}
+
+/// Builds the shared frontend.
+///
+/// Creates `width` occupancy inputs (LSB first) followed by
+/// [`literal_bits`] literal inputs (LSB first), and returns the candidate
+/// signals `c[0..width]`.
+pub(crate) fn build_frontend(n: &mut Netlist, width: usize) -> Vec<Signal> {
+    let v = n.input_word(width);
+    let lit = n.input_word(literal_bits(width));
+    (0..width)
+        .map(|i| {
+            let ge = ge_const(n, lit.bits(), i as u64);
+            n.and2(v.bit(i), ge)
+        })
+        .collect()
+}
+
+/// Signal for `value(p_bits) >= k`, with `k` a compile-time constant.
+///
+/// Built as a divide-and-conquer comparator — `(gt, eq)` pairs merge as
+/// `gt = gt_hi | (eq_hi & gt_lo)`, `eq = eq_hi & eq_lo` — so the depth is
+/// logarithmic in the literal width and the frontend never dominates a
+/// design's chain.
+fn ge_const(n: &mut Netlist, p_bits: &[Signal], k: u64) -> Signal {
+    if k == 0 {
+        return n.constant(true);
+    }
+    let (gt, eq) = cmp_range(n, p_bits, k, 0, p_bits.len());
+    n.or2(gt, eq)
+}
+
+/// `(p > k, p == k)` restricted to bit positions `lo..hi`.
+fn cmp_range(n: &mut Netlist, p_bits: &[Signal], k: u64, lo: usize, hi: usize) -> (Signal, Signal) {
+    debug_assert!(lo < hi);
+    if hi - lo == 1 {
+        let bit = p_bits[lo];
+        return if (k >> lo) & 1 == 0 {
+            let ne = n.not(bit);
+            (bit, ne) // p bit 1 beats k bit 0; equal iff p bit 0
+        } else {
+            (n.constant(false), bit) // can't beat a 1; equal iff p bit 1
+        };
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (gt_lo, eq_lo) = cmp_range(n, p_bits, k, lo, mid);
+    let (gt_hi, eq_hi) = cmp_range(n, p_bits, k, mid, hi);
+    let carry = n.and2(eq_hi, gt_lo);
+    let gt = n.or2(gt_hi, carry);
+    let eq = n.and2(eq_hi, eq_lo);
+    (gt, eq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_bits_covers_common_widths() {
+        assert_eq!(literal_bits(2), 1);
+        assert_eq!(literal_bits(4), 2);
+        assert_eq!(literal_bits(16), 4); // the fabricated circuit's nodes
+        assert_eq!(literal_bits(32), 5); // the 15-bit-word variant
+        assert_eq!(literal_bits(5), 3);
+        assert_eq!(literal_bits(64), 6);
+    }
+
+    #[test]
+    fn ge_const_is_a_correct_comparator() {
+        for width in [1usize, 3, 4] {
+            for k in 0..(1u64 << width) {
+                let mut n = Netlist::new();
+                let p = n.input_word(width);
+                let s = ge_const(&mut n, p.bits(), k);
+                n.mark_output(s);
+                for pv in 0..(1u64 << width) {
+                    assert_eq!(
+                        n.eval_u64(pv),
+                        vec![pv >= k],
+                        "width {width}, p {pv} >= k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_mask_occupancy_by_thermometer() {
+        let width = 8;
+        let mut n = Netlist::new();
+        let c = build_frontend(&mut n, width);
+        for &s in &c {
+            n.mark_output(s);
+        }
+        let word: u64 = 0b1011_0101;
+        for literal in 0..width as u64 {
+            let inputs = word | (literal << width);
+            let out = n.eval_u64(inputs);
+            for (i, &bit) in out.iter().enumerate() {
+                let expected = (word >> i) & 1 == 1 && (i as u64) <= literal;
+                assert_eq!(bit, expected, "literal {literal}, bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontend_depth_is_logarithmic() {
+        // The frontend must not dominate any design's chain: its depth
+        // grows with log(width), not width.
+        let depth_of = |width: usize| {
+            let mut n = Netlist::new();
+            let c = build_frontend(&mut n, width);
+            for &s in &c {
+                n.mark_output(s);
+            }
+            n.delay()
+        };
+        let d16 = depth_of(16);
+        let d64 = depth_of(64);
+        assert!(d16 <= 12, "16-bit frontend too deep: {d16}");
+        assert!(
+            d64 <= d16 + 6,
+            "frontend depth not logarithmic: {d16} -> {d64}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Closest-match matching circuits for multi-bit tree nodes.
+//!
+//! Every node of the paper's multi-bit search tree is a *B*-bit occupancy
+//! word (B = 16 in the fabricated circuit). Searching a node means, given
+//! a requested literal *p*:
+//!
+//! * **primary match** — the highest set bit at position ≤ *p* (the exact
+//!   literal if present, else the next smaller one present), and
+//! * **backup match** — the next set bit strictly below the primary, used
+//!   when the search fails in a deeper level and must fall back (paper
+//!   Fig. 5, point "B").
+//!
+//! Both lookups happen in parallel inside one node (paper §III-A). The
+//! companion study (\[13\] in the paper) compares five circuit designs for
+//! this operation, all derived from adder carry-chain acceleration; this
+//! crate reconstructs all five as [`hwsim`] gate netlists sharing one
+//! frontend (literal decoder → thermometer mask → candidate bits) and
+//! differing in how the leading-one / second-leading-one extraction chain
+//! is accelerated:
+//!
+//! | design | chain structure | delay model | area model |
+//! |---|---|---|---|
+//! | [`MatcherKind::Ripple`] | 2-bit state ripples bit by bit | Θ(B) | Θ(B) |
+//! | [`MatcherKind::LookAhead`] | flat per-position trees | Θ(log B) | Θ(B²) |
+//! | [`MatcherKind::BlockLookAhead`] | flat inside 4-bit blocks, state ripples between blocks | Θ(B) (¼ slope) | Θ(B) |
+//! | [`MatcherKind::SkipLookAhead`] | ripple inside √B blocks, empty blocks skipped by mux | Θ(√B) | Θ(B) |
+//! | [`MatcherKind::SelectLookAhead`] | flat inside √B blocks, flat look-ahead across blocks, per-block select muxes | Θ(log B) small constant | Θ(B^1.5) |
+//!
+//! Delay is measured with the fan-out-aware model of
+//! [`hwsim::Netlist::delay_buffered`] and area with the LUT-style gate
+//! count of [`hwsim::Netlist::area`]. These preserve the growth shapes of
+//! the paper's Figs. 7–8: ripple is linear and slowest, the flat
+//! look-ahead pays quadratic area, and select & look-ahead delivers
+//! near-minimal (logarithmic) delay at a fraction of the flat design's
+//! gates — the best delay–area product of the five, which is why the
+//! paper fabricates it. (Under a purely structural model the flat design
+//! retains a few gate-levels of depth advantage; on the authors' FPGA the
+//! same design loses outright to routing and fan-in effects. See
+//! EXPERIMENTS.md, experiment E2.)
+//!
+//! # Example
+//!
+//! ```
+//! use matcher::{MatcherKind, MatcherCircuit, reference};
+//!
+//! // The paper's Fig. 4 third-level node: literals "00" and "11" present.
+//! let word = 0b1001;
+//! let circuit = MatcherCircuit::build(MatcherKind::SelectLookAhead, 4);
+//! let hw = circuit.evaluate(word, 0b10); // search literal "10"
+//! let sw = reference::closest_match(word, 4, 0b10);
+//! assert_eq!(hw, sw);
+//! assert_eq!(hw.primary, Some(0)); // "00" is the next-smallest literal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod designs;
+mod frontend;
+pub mod reference;
+
+pub use circuit::{MatcherCircuit, MatcherKind};
+pub use reference::MatchResult;

@@ -1,0 +1,213 @@
+//! Software reference model for the node matching operation.
+//!
+//! This is the oracle every gate-level design is verified against, and
+//! also the implementation the fast behavioural trie uses when cycle
+//! accuracy is not required.
+
+/// Outcome of a closest-match lookup within one node.
+///
+/// # Example
+///
+/// ```
+/// use matcher::reference::closest_match;
+///
+/// // Occupancy 0b0110 (literals 1 and 2 present), searching for 3:
+/// let r = closest_match(0b0110, 4, 3);
+/// assert_eq!(r.primary, Some(2)); // next-smallest present literal
+/// assert_eq!(r.backup, Some(1));  // fallback if the child search fails
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchResult {
+    /// Highest set bit at position ≤ the requested literal, if any.
+    pub primary: Option<u32>,
+    /// Next set bit strictly below the primary, if any.
+    pub backup: Option<u32>,
+}
+
+impl MatchResult {
+    /// True when the primary match hit the requested literal exactly.
+    pub fn is_exact(&self, literal: u32) -> bool {
+        self.primary == Some(literal)
+    }
+
+    /// A result with neither primary nor backup.
+    pub const MISS: MatchResult = MatchResult {
+        primary: None,
+        backup: None,
+    };
+}
+
+/// Position of the highest set bit of `x`, if any.
+#[inline]
+pub fn leading_one(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(63 - x.leading_zeros())
+    }
+}
+
+/// Closest match with backup: the paper's per-node search (§III-A).
+///
+/// `word` is the node occupancy (bit *i* set ⇔ literal *i* present),
+/// `width` the node width in bits, `literal` the requested literal.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or over 64, if `word` has bits above `width`,
+/// or if `literal` is not below `width`.
+pub fn closest_match(word: u64, width: u32, literal: u32) -> MatchResult {
+    assert!((1..=64).contains(&width), "node width must be 1..=64");
+    if width < 64 {
+        assert!(
+            word >> width == 0,
+            "occupancy word {word:#x} wider than {width} bits"
+        );
+    }
+    assert!(
+        literal < width,
+        "literal {literal} out of range for {width}-bit node"
+    );
+    // Candidates: occupancy restricted to positions <= literal.
+    let mask = if literal == 63 {
+        u64::MAX
+    } else {
+        (1u64 << (literal + 1)) - 1
+    };
+    let candidates = word & mask;
+    let primary = leading_one(candidates);
+    let backup = primary.and_then(|p| {
+        let below = candidates & !(1u64 << p);
+        leading_one(below)
+    });
+    MatchResult { primary, backup }
+}
+
+/// Highest set bit strictly below `pos`, if any.
+///
+/// This is the "next smallest bit in the parent node" lookup the backup
+/// path performs when it has to climb levels (paper Fig. 5).
+pub fn next_below(word: u64, pos: u32) -> Option<u32> {
+    if pos == 0 {
+        return None;
+    }
+    let mask = (1u64 << pos) - 1;
+    leading_one(word & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_with_backup() {
+        // Paper Fig. 4 step 3: node 0b0011-ish cases.
+        let r = closest_match(0b0011, 4, 1);
+        assert_eq!(r.primary, Some(1));
+        assert!(r.is_exact(1));
+        assert_eq!(r.backup, Some(0));
+    }
+
+    #[test]
+    fn next_smallest_when_exact_absent() {
+        // Fig. 4 walkthrough: searching "10" in a node holding "01" and
+        // "11" returns "01".
+        let r = closest_match(0b1010, 4, 2);
+        assert_eq!(r.primary, Some(1));
+        assert!(!r.is_exact(2));
+        assert_eq!(r.backup, None);
+    }
+
+    #[test]
+    fn miss_when_nothing_at_or_below() {
+        // Fig. 5 point "A": no bit at or below the request.
+        let r = closest_match(0b1000, 4, 2);
+        assert_eq!(r, MatchResult::MISS);
+    }
+
+    #[test]
+    fn full_word_request_sees_everything() {
+        let r = closest_match(0b0101, 4, 3);
+        assert_eq!(r.primary, Some(2));
+        assert_eq!(r.backup, Some(0));
+    }
+
+    #[test]
+    fn empty_node_misses() {
+        assert_eq!(closest_match(0, 16, 9), MatchResult::MISS);
+    }
+
+    #[test]
+    fn sixteen_bit_node_like_fabricated_circuit() {
+        // Occupancy with literals {2, 7, 11} present.
+        let word = (1 << 2) | (1 << 7) | (1 << 11);
+        let r = closest_match(word, 16, 10);
+        assert_eq!(r.primary, Some(7));
+        assert_eq!(r.backup, Some(2));
+        let r = closest_match(word, 16, 15);
+        assert_eq!(r.primary, Some(11));
+        assert_eq!(r.backup, Some(7));
+        let r = closest_match(word, 16, 1);
+        assert_eq!(r, MatchResult::MISS);
+    }
+
+    #[test]
+    fn width_64_and_literal_63_do_not_overflow() {
+        let word = u64::MAX;
+        let r = closest_match(word, 64, 63);
+        assert_eq!(r.primary, Some(63));
+        assert_eq!(r.backup, Some(62));
+        let r = closest_match(1, 64, 63);
+        assert_eq!(r.primary, Some(0));
+        assert_eq!(r.backup, None);
+    }
+
+    #[test]
+    fn leading_one_basics() {
+        assert_eq!(leading_one(0), None);
+        assert_eq!(leading_one(1), Some(0));
+        assert_eq!(leading_one(0b100100), Some(5));
+        assert_eq!(leading_one(u64::MAX), Some(63));
+    }
+
+    #[test]
+    fn next_below_basics() {
+        let word = 0b10110;
+        assert_eq!(next_below(word, 4), Some(2));
+        assert_eq!(next_below(word, 2), Some(1));
+        assert_eq!(next_below(word, 1), None);
+        assert_eq!(next_below(word, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "literal 4 out of range")]
+    fn literal_out_of_range_panics() {
+        let _ = closest_match(0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn oversized_word_panics() {
+        let _ = closest_match(0x10, 4, 0);
+    }
+
+    /// Brute-force oracle-vs-oracle: compare against a naive scan.
+    #[test]
+    fn matches_naive_scan_exhaustively_at_width_6() {
+        for word in 0u64..64 * 8 {
+            let word = word % 64;
+            for literal in 0..6u32 {
+                let got = closest_match(word, 6, literal);
+                let mut primary = None;
+                for i in (0..=literal).rev() {
+                    if word & (1 << i) != 0 {
+                        primary = Some(i);
+                        break;
+                    }
+                }
+                let backup = primary.and_then(|p| (0..p).rev().find(|i| word & (1u64 << i) != 0));
+                assert_eq!(got, MatchResult { primary, backup });
+            }
+        }
+    }
+}

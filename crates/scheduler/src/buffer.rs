@@ -1,0 +1,160 @@
+//! The shared packet buffer (paper Fig. 1, reference \[9\]).
+//!
+//! Packets entering the scheduler are parked in a shared buffer memory;
+//! the sort/retrieve circuit stores only a pointer per packet. The
+//! buffer is a slotted memory with a free list — the same allocation
+//! discipline as the tag store's empty list, at packet granularity.
+
+use traffic::Packet;
+
+use tagsort::PacketRef;
+
+/// Occupancy statistics of the shared buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Packets currently stored.
+    pub occupied: usize,
+    /// High-water mark of occupancy.
+    pub peak: usize,
+    /// Total packets ever stored.
+    pub stored: u64,
+    /// Packets rejected because the buffer was full.
+    pub rejected: u64,
+}
+
+/// A slotted shared packet buffer with free-list allocation.
+///
+/// # Example
+///
+/// ```
+/// use scheduler::PacketBuffer;
+/// use traffic::{FlowId, Packet, Time};
+///
+/// let mut buf = PacketBuffer::new(4);
+/// let p = Packet { flow: FlowId(0), size_bytes: 64, arrival: Time(0.0), seq: 0 };
+/// let r = buf.store(p).expect("space available");
+/// assert_eq!(buf.release(r).seq, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuffer {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    stats: BufferStats,
+}
+
+impl PacketBuffer {
+    /// Creates a buffer of `capacity` packet slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds `u32` addressing.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(capacity <= u32::MAX as usize, "capacity exceeds addressing");
+        Self {
+            slots: vec![None; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Stores a packet, returning its reference, or `None` if full
+    /// (counted in [`BufferStats::rejected`]).
+    pub fn store(&mut self, pkt: Packet) -> Option<PacketRef> {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(pkt);
+                self.stats.occupied += 1;
+                self.stats.peak = self.stats.peak.max(self.stats.occupied);
+                self.stats.stored += 1;
+                Some(PacketRef(slot))
+            }
+            None => {
+                self.stats.rejected += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads a packet without freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference does not point at a stored packet.
+    pub fn peek(&self, r: PacketRef) -> &Packet {
+        self.slots[r.index() as usize]
+            .as_ref()
+            .expect("dangling packet reference")
+    }
+
+    /// Removes and returns the packet, freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference does not point at a stored packet.
+    pub fn release(&mut self, r: PacketRef) -> Packet {
+        let pkt = self.slots[r.index() as usize]
+            .take()
+            .expect("dangling packet reference");
+        self.free.push(r.index());
+        self.stats.occupied -= 1;
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::{FlowId, Time};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            size_bytes: 100,
+            arrival: Time(0.0),
+            seq,
+        }
+    }
+
+    #[test]
+    fn store_and_release_roundtrip() {
+        let mut b = PacketBuffer::new(2);
+        let r0 = b.store(pkt(0)).unwrap();
+        let r1 = b.store(pkt(1)).unwrap();
+        assert_ne!(r0, r1);
+        assert_eq!(b.peek(r1).seq, 1);
+        assert_eq!(b.release(r0).seq, 0);
+        assert_eq!(b.release(r1).seq, 1);
+        assert_eq!(b.stats().occupied, 0);
+        assert_eq!(b.stats().peak, 2);
+    }
+
+    #[test]
+    fn full_buffer_rejects_and_counts() {
+        let mut b = PacketBuffer::new(1);
+        let r = b.store(pkt(0)).unwrap();
+        assert_eq!(b.store(pkt(1)), None);
+        assert_eq!(b.stats().rejected, 1);
+        b.release(r);
+        assert!(b.store(pkt(2)).is_some(), "freed slot is reusable");
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling packet reference")]
+    fn double_release_panics() {
+        let mut b = PacketBuffer::new(1);
+        let r = b.store(pkt(0)).unwrap();
+        b.release(r);
+        b.release(r);
+    }
+}

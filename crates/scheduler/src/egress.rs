@@ -1,0 +1,202 @@
+//! Line-rate egress simulation of the hardware scheduler.
+//!
+//! [`fairq::LinkSim`] drives *software* schedulers; this is its twin for
+//! the full hardware pipeline: arrivals enter through
+//! [`HwScheduler::enqueue`] (tag computation → quantization → buffer →
+//! sorter) and the output link serves [`HwScheduler::dequeue`]
+//! back-to-back — so the hardware path produces the same
+//! [`fairq::Departure`] records and can be scored with the same
+//! delay/fairness/GPS-lag metrics as the algorithms it implements.
+
+use fairq::Departure;
+use traffic::{Packet, Time};
+
+use crate::hwsched::{HwScheduler, SchedulerError};
+
+/// A fixed-rate output link served by the hardware scheduler.
+///
+/// # Example
+///
+/// ```
+/// use scheduler::{HwLinkSim, HwScheduler, SchedulerConfig};
+/// use traffic::{FlowId, FlowSpec, Packet, Time};
+///
+/// # fn main() -> Result<(), scheduler::SchedulerError> {
+/// let flows = [FlowSpec::new(FlowId(0), 1.0, 1e6)];
+/// let sched = HwScheduler::new(&flows, 1e6, SchedulerConfig::default());
+/// let trace = vec![
+///     Packet { flow: FlowId(0), size_bytes: 125, arrival: Time(0.0), seq: 0 },
+///     Packet { flow: FlowId(0), size_bytes: 125, arrival: Time(0.0), seq: 1 },
+/// ];
+/// let deps = HwLinkSim::new(1e6, sched).run(&trace)?;
+/// assert_eq!(deps[1].finish, Time(0.002));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HwLinkSim {
+    rate_bps: f64,
+    scheduler: HwScheduler,
+}
+
+impl HwLinkSim {
+    /// Creates a link of `rate_bps` served by `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn new(rate_bps: f64, scheduler: HwScheduler) -> Self {
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        Self {
+            rate_bps,
+            scheduler,
+        }
+    }
+
+    /// Runs the trace to completion, returning departures in service
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SchedulerError`] (buffer exhaustion, tag
+    /// range, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time.
+    pub fn run(&mut self, trace: &[Packet]) -> Result<Vec<Departure>, SchedulerError> {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be sorted by arrival time"
+        );
+        let mut out = Vec::with_capacity(trace.len());
+        let mut now = Time::ZERO;
+        let mut next = 0usize;
+        loop {
+            while next < trace.len() && trace[next].arrival <= now {
+                self.scheduler.enqueue(trace[next])?;
+                next += 1;
+            }
+            match self.scheduler.dequeue() {
+                Some(pkt) => {
+                    let start = now;
+                    let finish = now + pkt.service_time(self.rate_bps);
+                    out.push(Departure {
+                        packet: pkt,
+                        start,
+                        finish,
+                    });
+                    now = finish;
+                }
+                None => {
+                    if next < trace.len() {
+                        now = trace[next].arrival;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The scheduler, for post-run inspection.
+    pub fn scheduler(&self) -> &HwScheduler {
+        &self.scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hwsched::SchedulerConfig;
+    use crate::quantize::WrapPolicy;
+    use fairq::{metrics, LinkSim, Wfq};
+    use tagsort::Geometry;
+    use traffic::{generate, FlowId, FlowSpec, SizeDist};
+
+    fn flows() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec::new(FlowId(0), 4.0, 300_000.0).size(SizeDist::Fixed(140)),
+            FlowSpec::new(FlowId(1), 1.0, 900_000.0).size(SizeDist::Imix),
+        ]
+    }
+
+    fn hw(fl: &[FlowSpec], rate: f64) -> HwScheduler {
+        HwScheduler::new(
+            fl,
+            rate,
+            SchedulerConfig {
+                geometry: Geometry::new(4, 5),
+                tick_scale: 30.0,
+                capacity: 1 << 14,
+                wrap_policy: WrapPolicy::Saturate,
+                ..SchedulerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn hardware_path_meets_the_pgps_bound() {
+        let fl = flows();
+        let rate = 1e6;
+        let trace = generate(&fl, 1.0, 31);
+        let deps = HwLinkSim::new(rate, hw(&fl, rate)).run(&trace).unwrap();
+        assert_eq!(deps.len(), trace.len());
+        let lag = metrics::gps_lag(&fl, &trace, &deps, rate);
+        let lmax = trace.iter().map(|p| p.size_bits()).fold(0.0, f64::max);
+        // Quantization adds at most one tick of reordering slack on top
+        // of the exact-WFQ bound.
+        let tick_slack = 30.0 / rate; // one tick in seconds of service
+        assert!(
+            lag <= lmax / rate + tick_slack + 1e-9,
+            "hw path lag {lag} vs bound {}",
+            lmax / rate
+        );
+    }
+
+    #[test]
+    fn hardware_and_software_wfq_delays_agree() {
+        let fl = flows();
+        let rate = 1e6;
+        let trace = generate(&fl, 1.0, 33);
+        let hw_deps = HwLinkSim::new(rate, hw(&fl, rate)).run(&trace).unwrap();
+        let sw_deps = LinkSim::new(rate, Wfq::new(&fl, rate)).run(&trace);
+        let hw_m = metrics::analyze(&fl, &trace, &hw_deps);
+        let sw_m = metrics::analyze(&fl, &trace, &sw_deps);
+        for (h, s) in hw_m.iter().zip(&sw_m) {
+            let rel = (h.mean_delay_s - s.mean_delay_s).abs() / s.mean_delay_s.max(1e-9);
+            assert!(
+                rel < 0.05,
+                "flow {}: hw mean {} vs sw mean {}",
+                h.flow,
+                h.mean_delay_s,
+                s.mean_delay_s
+            );
+        }
+    }
+
+    #[test]
+    fn idle_links_jump_to_next_arrival() {
+        let fl = vec![FlowSpec::new(FlowId(0), 1.0, 1e6)];
+        let trace = vec![
+            Packet {
+                flow: FlowId(0),
+                size_bytes: 125,
+                arrival: Time(0.0),
+                seq: 0,
+            },
+            Packet {
+                flow: FlowId(0),
+                size_bytes: 125,
+                arrival: Time(5.0),
+                seq: 1,
+            },
+        ];
+        let deps = HwLinkSim::new(1e6, hw(&fl, 1e6)).run(&trace).unwrap();
+        assert_eq!(deps[1].start, Time(5.0));
+    }
+}

@@ -1,0 +1,331 @@
+//! Trace generation: seeded per-flow streams merged in arrival order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{Packet, Time};
+use crate::spec::{ArrivalProcess, FlowSpec, SizeDist};
+
+/// Generates the merged arrival trace of all `flows` over `[0, horizon_s)`.
+///
+/// Each flow draws from its own RNG stream (derived from `seed` and the
+/// flow id), so adding or removing one flow does not perturb the others —
+/// essential for sweep experiments. Sequence numbers are assigned in
+/// merged arrival order.
+pub fn generate(flows: &[FlowSpec], horizon_s: f64, seed: u64) -> Vec<Packet> {
+    let mut all: Vec<Packet> = flows
+        .iter()
+        .flat_map(|f| generate_flow(f, horizon_s, seed))
+        .collect();
+    all.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.flow.0.cmp(&b.flow.0)));
+    for (i, p) in all.iter_mut().enumerate() {
+        p.seq = i as u64;
+    }
+    all
+}
+
+/// Generates one flow's packets over `[0, horizon_s)` (seq numbers are
+/// per-flow until merged by [`generate`]).
+pub fn generate_flow(flow: &FlowSpec, horizon_s: f64, seed: u64) -> Vec<Packet> {
+    // Derive an independent stream per flow: splitmix the pair.
+    let mut rng = StdRng::seed_from_u64(mix(seed, u64::from(flow.id.0)));
+    let mut out = Vec::new();
+    let mean_gap = 1.0 / flow.mean_pps();
+    let mut t = flow.start_s;
+    let mut burst_end = f64::NEG_INFINITY; // for on/off
+    let mut seq = 0u64;
+    let mut cbr_index = 0u64;
+    while t < horizon_s {
+        match flow.arrivals {
+            ArrivalProcess::Cbr => {
+                push(&mut out, flow, t, &mut rng, &mut seq);
+                // Multiply rather than accumulate: CBR spacing must not
+                // drift with floating-point error over long horizons.
+                cbr_index += 1;
+                t = flow.start_s + cbr_index as f64 * mean_gap;
+            }
+            ArrivalProcess::Poisson => {
+                push(&mut out, flow, t, &mut rng, &mut seq);
+                t += exp_sample(&mut rng, mean_gap);
+            }
+            ArrivalProcess::OnOff {
+                on_mean_s,
+                off_mean_s,
+            } => {
+                if t > burst_end {
+                    // Start the next burst after a silence.
+                    t += exp_sample(&mut rng, off_mean_s);
+                    burst_end = t + exp_sample(&mut rng, on_mean_s);
+                    if t >= horizon_s {
+                        break;
+                    }
+                }
+                push(&mut out, flow, t, &mut rng, &mut seq);
+                // While on, send at the peak rate that preserves the mean:
+                // duty cycle = on/(on+off), peak gap = mean gap × duty.
+                let duty = on_mean_s / (on_mean_s + off_mean_s);
+                t += mean_gap * duty;
+            }
+            ArrivalProcess::ParetoOnOff {
+                on_mean_s,
+                off_mean_s,
+                alpha,
+            } => {
+                if t > burst_end {
+                    t += exp_sample(&mut rng, off_mean_s);
+                    burst_end = t + pareto_sample(&mut rng, on_mean_s, alpha);
+                    if t >= horizon_s {
+                        break;
+                    }
+                }
+                push(&mut out, flow, t, &mut rng, &mut seq);
+                let duty = on_mean_s / (on_mean_s + off_mean_s);
+                t += mean_gap * duty;
+            }
+        }
+    }
+    out.retain(|p| p.arrival.seconds() < horizon_s);
+    out
+}
+
+fn push(out: &mut Vec<Packet>, flow: &FlowSpec, t: f64, rng: &mut StdRng, seq: &mut u64) {
+    out.push(Packet {
+        flow: flow.id,
+        size_bytes: draw_size(flow.sizes, rng),
+        arrival: Time(t),
+        seq: *seq,
+    });
+    *seq += 1;
+}
+
+fn draw_size(dist: SizeDist, rng: &mut StdRng) -> u32 {
+    match dist {
+        SizeDist::Fixed(s) => s,
+        SizeDist::Uniform { min, max } => rng.random_range(min..=max),
+        SizeDist::Imix => {
+            // 7:4:1 over 40/576/1500 bytes.
+            match rng.random_range(0..12u32) {
+                0..=6 => 40,
+                7..=10 => 576,
+                _ => 1500,
+            }
+        }
+        SizeDist::Bimodal {
+            small,
+            large,
+            p_small,
+        } => {
+            if rng.random_range(0.0..1.0) < p_small {
+                small
+            } else {
+                large
+            }
+        }
+    }
+}
+
+/// Exponential sample with the given mean, via inverse transform.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Pareto sample with the given mean and shape α (> 1), via inverse
+/// transform: scale x_m = mean·(α−1)/α.
+fn pareto_sample(rng: &mut StdRng, mean: f64, alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
+    let xm = mean * (alpha - 1.0) / alpha;
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// SplitMix64-style combination of a seed and a stream index.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn cbr_flow() -> FlowSpec {
+        FlowSpec::new(FlowId(0), 1.0, 100_000.0).size(SizeDist::Fixed(1250))
+    }
+
+    #[test]
+    fn cbr_is_equally_spaced_at_the_mean_rate() {
+        // 100 kb/s at 10 kb/packet = 10 pps over 1 s = 10 packets.
+        let pkts = generate_flow(&cbr_flow(), 1.0, 7);
+        assert_eq!(pkts.len(), 10);
+        let gaps: Vec<f64> = pkts
+            .windows(2)
+            .map(|w| (w[1].arrival - w[0].arrival).seconds())
+            .collect();
+        for g in gaps {
+            assert!((g - 0.1).abs() < 1e-9, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let f = FlowSpec::new(FlowId(0), 1.0, 1_000_000.0)
+            .size(SizeDist::Fixed(1250))
+            .arrivals(ArrivalProcess::Poisson);
+        // 100 pps over 50 s ⇒ ~5000 packets; allow 10%.
+        let pkts = generate_flow(&f, 50.0, 11);
+        assert!(
+            (4500..=5500).contains(&pkts.len()),
+            "got {} packets",
+            pkts.len()
+        );
+    }
+
+    #[test]
+    fn on_off_preserves_mean_rate_and_bursts() {
+        let f = FlowSpec::new(FlowId(0), 1.0, 1_000_000.0)
+            .size(SizeDist::Fixed(1250))
+            .arrivals(ArrivalProcess::OnOff {
+                on_mean_s: 0.05,
+                off_mean_s: 0.05,
+            });
+        let pkts = generate_flow(&f, 50.0, 13);
+        let n = pkts.len() as f64;
+        assert!((n - 5000.0).abs() < 800.0, "mean rate drifted: {n} packets");
+        // Bursts: the minimum gap must be about half the CBR gap (duty 0.5).
+        let min_gap = pkts
+            .windows(2)
+            .map(|w| (w[1].arrival - w[0].arrival).seconds())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_gap < 0.006, "no bursting visible: min gap {min_gap}");
+    }
+
+    #[test]
+    fn pareto_on_off_keeps_mean_but_grows_the_tail() {
+        let mk = |arr: ArrivalProcess| {
+            FlowSpec::new(FlowId(0), 1.0, 1_000_000.0)
+                .size(SizeDist::Fixed(1250))
+                .arrivals(arr)
+        };
+        let exp = generate_flow(
+            &mk(ArrivalProcess::OnOff {
+                on_mean_s: 0.02,
+                off_mean_s: 0.02,
+            }),
+            100.0,
+            7,
+        );
+        let par = generate_flow(
+            &mk(ArrivalProcess::ParetoOnOff {
+                on_mean_s: 0.02,
+                off_mean_s: 0.02,
+                alpha: 1.3,
+            }),
+            100.0,
+            7,
+        );
+        // Comparable long-run rates (heavy tails converge slowly: 3x).
+        let ratio = par.len() as f64 / exp.len() as f64;
+        assert!((0.33..3.0).contains(&ratio), "rate ratio {ratio}");
+        // But the longest Pareto burst dwarfs the longest exponential one.
+        let longest_burst = |pkts: &[super::Packet]| {
+            let mut longest = 0usize;
+            let mut run = 1usize;
+            for w in pkts.windows(2) {
+                if (w[1].arrival - w[0].arrival).seconds() < 0.011 {
+                    run += 1;
+                    longest = longest.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            longest
+        };
+        assert!(
+            longest_burst(&par) > 2 * longest_burst(&exp),
+            "pareto burst {} vs exp {}",
+            longest_burst(&par),
+            longest_burst(&exp)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let flows = vec![
+            cbr_flow(),
+            FlowSpec::new(FlowId(1), 1.0, 500_000.0).arrivals(ArrivalProcess::Poisson),
+        ];
+        let a = generate(&flows, 2.0, 99);
+        let b = generate(&flows, 2.0, 99);
+        assert_eq!(a, b);
+        let c = generate(&flows, 2.0, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_flow_streams_are_independent() {
+        let solo = generate_flow(
+            &FlowSpec::new(FlowId(1), 1.0, 500_000.0).arrivals(ArrivalProcess::Poisson),
+            2.0,
+            99,
+        );
+        let flows = vec![
+            cbr_flow(),
+            FlowSpec::new(FlowId(1), 1.0, 500_000.0).arrivals(ArrivalProcess::Poisson),
+        ];
+        let merged = generate(&flows, 2.0, 99);
+        let from_merge: Vec<(Time, u32)> = merged
+            .iter()
+            .filter(|p| p.flow == FlowId(1))
+            .map(|p| (p.arrival, p.size_bytes))
+            .collect();
+        let from_solo: Vec<(Time, u32)> = solo.iter().map(|p| (p.arrival, p.size_bytes)).collect();
+        assert_eq!(from_merge, from_solo);
+    }
+
+    #[test]
+    fn merged_trace_is_sorted_with_dense_seqs() {
+        let flows = vec![
+            cbr_flow(),
+            FlowSpec::new(FlowId(1), 2.0, 300_000.0).arrivals(ArrivalProcess::Poisson),
+        ];
+        let trace = generate(&flows, 1.0, 5);
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, p) in trace.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn imix_produces_only_the_three_sizes() {
+        let f = FlowSpec::new(FlowId(0), 1.0, 10_000_000.0)
+            .size(SizeDist::Imix)
+            .arrivals(ArrivalProcess::Poisson);
+        let pkts = generate_flow(&f, 1.0, 3);
+        assert!(!pkts.is_empty());
+        for p in &pkts {
+            assert!(matches!(p.size_bytes, 40 | 576 | 1500));
+        }
+        // All three sizes should appear in a few thousand draws.
+        for want in [40u32, 576, 1500] {
+            assert!(pkts.iter().any(|p| p.size_bytes == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        let f = cbr_flow().starting_at(0.5);
+        let pkts = generate_flow(&f, 1.0, 1);
+        assert!(pkts.iter().all(|p| p.arrival >= Time(0.5)));
+        assert!(!pkts.is_empty());
+    }
+
+    #[test]
+    fn horizon_excludes_late_packets() {
+        let pkts = generate_flow(&cbr_flow(), 0.05, 1);
+        assert!(pkts.iter().all(|p| p.arrival < Time(0.05)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Ready-made traffic profiles for the paper's experiments.
+//!
+//! Fig. 6 of the paper contrasts a left-weighted tag distribution
+//! ("streaming VoIP") with "a classic bell curve" from "a diverse mix of
+//! traffic"; §IV derives line rates from a 140-byte average packet. The
+//! profiles here parameterize those scenarios so the bench harness and
+//! examples can construct them in one call.
+
+use crate::packet::FlowId;
+use crate::spec::{ArrivalProcess, FlowSpec, SizeDist};
+
+/// A VoIP-heavy profile: `n` constant-rate telephony flows of fixed-size
+/// small packets (the paper's 140-byte conservative average), each at
+/// 64 kb/s with a high scheduling weight.
+pub fn voip(n: u32) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            FlowSpec::new(FlowId(i), 4.0, 64_000.0)
+                .size(SizeDist::Fixed(140))
+                .arrivals(ArrivalProcess::Cbr)
+                // Stagger starts so arrivals do not phase-lock.
+                .starting_at(f64::from(i) * 1.3e-4)
+        })
+        .collect()
+}
+
+/// A streaming-video profile: `n` flows at `rate_bps` with large packets
+/// in steady bursts.
+pub fn video(n: u32, rate_bps: f64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            FlowSpec::new(FlowId(i), 2.0, rate_bps)
+                .size(SizeDist::Fixed(1400))
+                .arrivals(ArrivalProcess::OnOff {
+                    on_mean_s: 0.02,
+                    off_mean_s: 0.01,
+                })
+                .starting_at(f64::from(i) * 7.0e-4)
+        })
+        .collect()
+}
+
+/// A bulk-data profile: `n` TCP-like flows of bimodal acks/segments with
+/// Poisson arrivals, weight 1.
+pub fn bulk(n: u32, rate_bps: f64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            FlowSpec::new(FlowId(i), 1.0, rate_bps)
+                .size(SizeDist::Bimodal {
+                    small: 40,
+                    large: 1500,
+                    p_small: 0.4,
+                })
+                .arrivals(ArrivalProcess::Poisson)
+        })
+        .collect()
+}
+
+/// The paper's "diverse mix": IMIX-sized Poisson flows — the profile that
+/// produces Fig. 6's bell-shaped tag distribution.
+pub fn diverse_mix(n: u32, rate_bps: f64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            FlowSpec::new(FlowId(i), 1.0 + f64::from(i % 4), rate_bps)
+                .size(SizeDist::Imix)
+                .arrivals(ArrivalProcess::Poisson)
+        })
+        .collect()
+}
+
+/// Renumbers flows so several profiles can share one scheduler: each
+/// profile's flow ids are offset past the previous ones.
+pub fn combine(profiles: Vec<Vec<FlowSpec>>) -> Vec<FlowSpec> {
+    let mut out = Vec::new();
+    let mut next_id = 0u32;
+    for group in profiles {
+        for mut f in group {
+            f.id = FlowId(next_id);
+            next_id += 1;
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn voip_profile_shape() {
+        let flows = voip(8);
+        assert_eq!(flows.len(), 8);
+        for f in &flows {
+            assert_eq!(f.sizes, SizeDist::Fixed(140));
+            assert_eq!(f.rate_bps, 64_000.0);
+        }
+        // Distinct ids and staggered starts.
+        assert_ne!(flows[0].start_s, flows[1].start_s);
+    }
+
+    #[test]
+    fn combine_renumbers_flows_densely() {
+        let all = combine(vec![voip(3), bulk(2, 1e6), video(1, 2e6)]);
+        let ids: Vec<u32> = all.iter().map(|f| f.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn profiles_generate_nonempty_traces() {
+        for flows in [voip(2), video(2, 2e6), bulk(2, 1e6), diverse_mix(2, 1e6)] {
+            let trace = generate(&flows, 0.2, 1);
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn diverse_mix_varies_weights() {
+        let flows = diverse_mix(8, 1e6);
+        let distinct: std::collections::BTreeSet<u64> =
+            flows.iter().map(|f| f.weight as u64).collect();
+        assert!(distinct.len() > 1);
+    }
+}

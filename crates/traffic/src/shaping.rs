@@ -1,0 +1,159 @@
+//! Token-bucket arrival envelopes.
+//!
+//! The QoS guarantees the paper's scheduler exists to deliver (§I-A:
+//! "guarantees on throughput and worst case delay") are conditional on
+//! sources being *shaped*: a flow constrained by a token bucket (σ, ρ) —
+//! at most σ bits of burst on top of a long-run rate ρ — gets a hard
+//! delay bound out of WFQ (Parekh–Gallager; see
+//! `fairq::metrics::pgps_delay_bound`). This module checks conformance
+//! and fits the tightest envelope to a trace.
+
+use crate::packet::{FlowId, Packet};
+
+/// A (σ, ρ) token bucket: `burst_bits` of depth refilled at `rate_bps`.
+///
+/// # Example
+///
+/// ```
+/// use traffic::{FlowId, Packet, Time, TokenBucket};
+///
+/// let bucket = TokenBucket::new(8_000.0, 1_000.0); // 1 kb/s, 8 kb depth
+/// let trace = vec![
+///     Packet { flow: FlowId(0), size_bytes: 500, arrival: Time(0.0), seq: 0 },
+///     Packet { flow: FlowId(0), size_bytes: 500, arrival: Time(1.0), seq: 1 },
+/// ];
+/// assert!(bucket.conforms(&trace, FlowId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucket {
+    burst_bits: f64,
+    rate_bps: f64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket of `burst_bits` depth refilled at `rate_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(burst_bits: f64, rate_bps: f64) -> Self {
+        assert!(
+            burst_bits > 0.0 && burst_bits.is_finite(),
+            "burst must be positive and finite"
+        );
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        Self {
+            burst_bits,
+            rate_bps,
+        }
+    }
+
+    /// Bucket depth σ in bits.
+    pub fn burst_bits(&self) -> f64 {
+        self.burst_bits
+    }
+
+    /// Refill rate ρ in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Whether `flow`'s packets in `trace` conform: every packet finds
+    /// enough tokens at its arrival instant.
+    pub fn conforms(&self, trace: &[Packet], flow: FlowId) -> bool {
+        let mut tokens = self.burst_bits;
+        let mut last = f64::NEG_INFINITY;
+        for p in trace.iter().filter(|p| p.flow == flow) {
+            let t = p.arrival.seconds();
+            if last.is_finite() {
+                tokens = (tokens + (t - last) * self.rate_bps).min(self.burst_bits);
+            }
+            last = t;
+            tokens -= p.size_bits();
+            if tokens < -1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fits the tightest bucket at `rate_bps` to `flow`'s packets in
+    /// `trace`: the smallest σ for which the trace conforms.
+    ///
+    /// Returns `None` if the flow sends no packets.
+    pub fn fit(trace: &[Packet], flow: FlowId, rate_bps: f64) -> Option<TokenBucket> {
+        assert!(rate_bps > 0.0 && rate_bps.is_finite());
+        // σ = max over packets of (bits sent through this packet) −
+        //     ρ·(elapsed time) — the classic arrival-envelope deficit.
+        let mut sent = 0.0f64;
+        let mut sigma: f64 = 0.0;
+        let mut first: Option<f64> = None;
+        for p in trace.iter().filter(|p| p.flow == flow) {
+            let t = p.arrival.seconds();
+            let t0 = *first.get_or_insert(t);
+            sent += p.size_bits();
+            sigma = sigma.max(sent - rate_bps * (t - t0));
+        }
+        first.map(|_| TokenBucket::new(sigma.max(1.0), rate_bps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Time;
+
+    fn pkt(seq: u64, at: f64, bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            size_bytes: bytes,
+            arrival: Time(at),
+            seq,
+        }
+    }
+
+    #[test]
+    fn steady_stream_conforms_at_its_rate() {
+        // 1000 bits every 0.1 s = 10 kb/s.
+        let trace: Vec<Packet> = (0..50).map(|i| pkt(i, i as f64 * 0.1, 125)).collect();
+        assert!(TokenBucket::new(1000.0, 10_000.0).conforms(&trace, FlowId(0)));
+        // At a lower refill rate the bucket runs dry.
+        assert!(!TokenBucket::new(1000.0, 5_000.0).conforms(&trace, FlowId(0)));
+    }
+
+    #[test]
+    fn burst_needs_depth() {
+        // Five packets at once need 5 packets of depth.
+        let trace: Vec<Packet> = (0..5).map(|i| pkt(i, 0.0, 125)).collect();
+        assert!(TokenBucket::new(5000.0, 1000.0).conforms(&trace, FlowId(0)));
+        assert!(!TokenBucket::new(4000.0, 1000.0).conforms(&trace, FlowId(0)));
+    }
+
+    #[test]
+    fn fit_returns_the_tightest_conforming_bucket() {
+        let trace: Vec<Packet> = (0..20)
+            .map(|i| pkt(i, (i / 4) as f64 * 0.5, 250)) // bursts of 4
+            .collect();
+        let rate = 20_000.0;
+        let bucket = TokenBucket::fit(&trace, FlowId(0), rate).unwrap();
+        assert!(bucket.conforms(&trace, FlowId(0)));
+        // Shrinking σ by any packet breaks conformance.
+        let tighter = TokenBucket::new(bucket.burst_bits() - 2000.0, rate);
+        assert!(!tighter.conforms(&trace, FlowId(0)));
+    }
+
+    #[test]
+    fn fit_ignores_other_flows_and_handles_empty() {
+        let trace = vec![Packet {
+            flow: FlowId(3),
+            size_bytes: 100,
+            arrival: Time(0.0),
+            seq: 0,
+        }];
+        assert!(TokenBucket::fit(&trace, FlowId(0), 1000.0).is_none());
+        assert!(TokenBucket::fit(&trace, FlowId(3), 1000.0).is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Flow specifications: size laws and arrival processes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::FlowId;
+
+/// Packet-size distribution of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every packet has the same size (VoIP-like).
+    Fixed(u32),
+    /// Uniform between the bounds, inclusive.
+    Uniform {
+        /// Smallest packet size in bytes.
+        min: u32,
+        /// Largest packet size in bytes.
+        max: u32,
+    },
+    /// The classic Internet mix: 40-byte, 576-byte, and 1500-byte packets
+    /// in 7:4:1 proportion (mean ≈ 340 B).
+    Imix,
+    /// Bimodal: small acks and full-size data segments (TCP-like).
+    Bimodal {
+        /// Small packet size in bytes.
+        small: u32,
+        /// Large packet size in bytes.
+        large: u32,
+        /// Probability of drawing the small size.
+        p_small: f64,
+    },
+}
+
+impl SizeDist {
+    /// The distribution's mean packet size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match *self {
+            SizeDist::Fixed(s) => f64::from(s),
+            SizeDist::Uniform { min, max } => f64::from(min + max) / 2.0,
+            SizeDist::Imix => (7.0 * 40.0 + 4.0 * 576.0 + 1500.0) / 12.0,
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => f64::from(small) * p_small + f64::from(large) * (1.0 - p_small),
+        }
+    }
+}
+
+/// Arrival process of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Constant bit rate: equally spaced packets at the flow's mean rate.
+    Cbr,
+    /// Poisson arrivals at the flow's mean rate.
+    Poisson,
+    /// Markov-modulated on/off bursts: exponential on/off periods, CBR at
+    /// `peak_factor ×` the mean rate while on. The long-run average still
+    /// matches the flow's mean rate.
+    OnOff {
+        /// Mean duration of a burst, in seconds.
+        on_mean_s: f64,
+        /// Mean duration of a silence, in seconds.
+        off_mean_s: f64,
+    },
+    /// Heavy-tailed on/off: burst durations are Pareto-distributed with
+    /// the given shape (1 < α ≤ 2 gives the long-range-dependent,
+    /// self-similar aggregate traffic observed on real links), silences
+    /// exponential. Means are as given; the tail is what differs from
+    /// [`ArrivalProcess::OnOff`].
+    ParetoOnOff {
+        /// Mean duration of a burst, in seconds.
+        on_mean_s: f64,
+        /// Mean duration of a silence, in seconds.
+        off_mean_s: f64,
+        /// Pareto shape parameter α (must exceed 1 for a finite mean).
+        alpha: f64,
+    },
+}
+
+/// Complete description of one traffic flow.
+///
+/// Built with a fluent API; see the [crate example](crate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Scheduling weight (the WFQ φ of paper eq. (1)).
+    pub weight: f64,
+    /// Mean offered rate in bits per second.
+    pub rate_bps: f64,
+    /// Packet-size law.
+    pub sizes: SizeDist,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// First possible arrival, in seconds.
+    pub start_s: f64,
+}
+
+impl FlowSpec {
+    /// A flow with the given weight and mean rate; defaults to fixed
+    /// 500-byte packets arriving CBR from time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` or `rate_bps` is not positive and finite.
+    pub fn new(id: FlowId, weight: f64, rate_bps: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive and finite"
+        );
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        Self {
+            id,
+            weight,
+            rate_bps,
+            sizes: SizeDist::Fixed(500),
+            arrivals: ArrivalProcess::Cbr,
+            start_s: 0.0,
+        }
+    }
+
+    /// Sets the packet-size law.
+    pub fn size(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Delays the flow's first arrival.
+    pub fn starting_at(mut self, start_s: f64) -> Self {
+        self.start_s = start_s;
+        self
+    }
+
+    /// Mean packets per second implied by rate and size law.
+    pub fn mean_pps(&self) -> f64 {
+        self.rate_bps / (self.sizes.mean_bytes() * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sizes() {
+        assert_eq!(SizeDist::Fixed(140).mean_bytes(), 140.0);
+        assert_eq!(SizeDist::Uniform { min: 40, max: 1500 }.mean_bytes(), 770.0);
+        let imix = SizeDist::Imix.mean_bytes();
+        assert!((imix - 340.33).abs() < 0.01, "imix mean {imix}");
+        let bi = SizeDist::Bimodal {
+            small: 40,
+            large: 1500,
+            p_small: 0.5,
+        };
+        assert_eq!(bi.mean_bytes(), 770.0);
+    }
+
+    #[test]
+    fn flow_builder_and_pps() {
+        let f = FlowSpec::new(FlowId(1), 2.0, 1_000_000.0)
+            .size(SizeDist::Fixed(1250))
+            .arrivals(ArrivalProcess::Poisson)
+            .starting_at(0.1);
+        assert_eq!(f.start_s, 0.1);
+        // 1 Mb/s at 10 kb per packet = 100 pps.
+        assert!((f.mean_pps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let _ = FlowSpec::new(FlowId(0), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn negative_rate_rejected() {
+        let _ = FlowSpec::new(FlowId(0), 1.0, -5.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Trace persistence: save and reload packet traces.
+//!
+//! Experiments often want to pin a workload — regenerate it once, store
+//! it, and replay the identical arrivals across runs and tools. The
+//! format is deliberately trivial (one whitespace-separated record per
+//! line: `seq flow size_bytes arrival_seconds`, `#` comments), so traces
+//! are diffable and other tooling can produce them.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::packet::{FlowId, Packet, Time};
+
+/// Serializes a trace to the line format.
+///
+/// # Example
+///
+/// ```
+/// use traffic::{FlowId, Packet, Time, trace};
+///
+/// let pkts = vec![Packet { flow: FlowId(1), size_bytes: 140, arrival: Time(0.25), seq: 0 }];
+/// let text = trace::to_string(&pkts);
+/// assert_eq!(trace::from_str(&text).unwrap(), pkts);
+/// ```
+pub fn to_string(packets: &[Packet]) -> String {
+    let mut out = String::with_capacity(packets.len() * 32 + 64);
+    out.push_str("# seq flow size_bytes arrival_seconds\n");
+    for p in packets {
+        // `{}` on f64 prints the shortest representation that parses
+        // back to the identical bits — exact round-trips.
+        writeln!(
+            out,
+            "{} {} {} {}",
+            p.seq,
+            p.flow.0,
+            p.size_bytes,
+            p.arrival.seconds()
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Parses a trace from the line format.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on malformed records.
+pub fn from_str(text: &str) -> io::Result<Vec<Packet>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}: {line:?}", lineno + 1),
+            )
+        };
+        let seq: u64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| parse_err("seq"))?;
+        let flow: u32 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| parse_err("flow"))?;
+        let size_bytes: u32 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| parse_err("size"))?;
+        let arrival: f64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| parse_err("arrival"))?;
+        if fields.next().is_some() {
+            return Err(parse_err("record (trailing fields)"));
+        }
+        out.push(Packet {
+            flow: FlowId(flow),
+            size_bytes,
+            arrival: Time(arrival),
+            seq,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a trace to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: impl AsRef<Path>, packets: &[Packet]) -> io::Result<()> {
+    std::fs::write(path, to_string(packets))
+}
+
+/// Reads a trace from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and [`from_str`] parse errors.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<Packet>> {
+    from_str(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profiles;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let flows = profiles::diverse_mix(4, 500_000.0);
+        let pkts = generate(&flows, 0.2, 9);
+        assert!(!pkts.is_empty());
+        let text = to_string(&pkts);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0 1 140 0.5\n  # indented comment\n1 2 1500 0.75\n";
+        let pkts = from_str(text).unwrap();
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[1].flow, FlowId(2));
+        assert_eq!(pkts[1].arrival, Time(0.75));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = from_str("0 1 nonsense 0.5").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(from_str("0 1 140 0.5 surplus").is_err());
+        assert!(from_str("0 1 140").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("wfq_sorter_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        let flows = profiles::voip(2);
+        let pkts = generate(&flows, 0.1, 3);
+        save(&path, &pkts).unwrap();
+        assert_eq!(load(&path).unwrap(), pkts);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,97 @@
+//! Hard delay guarantees, end to end: fit a token bucket to a flow,
+//! compute its Parekh–Gallager bound, and verify the *hardware* WFQ
+//! pipeline honours it while FIFO does not — the service-level-agreement
+//! story of the paper's conclusion, made executable.
+//!
+//! ```sh
+//! cargo run --example delay_guarantees
+//! ```
+
+use wfq_sorter::fairq::{metrics, Fifo, LinkSim};
+use wfq_sorter::scheduler::{HwLinkSim, HwScheduler, SchedulerConfig};
+use wfq_sorter::tagsort::Geometry;
+use wfq_sorter::traffic::{generate, ArrivalProcess, FlowId, FlowSpec, SizeDist, TokenBucket};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = 2_000_000.0;
+    // The customer flow: a 256 kb/s video call, shaped by construction
+    // (CBR). Weight 1 of 2 => guaranteed 1 Mb/s, four times its rate.
+    // The adversary: heavy-tailed bursts at up to link rate.
+    let flows = vec![
+        FlowSpec::new(FlowId(0), 1.0, 256_000.0).size(SizeDist::Fixed(800)),
+        FlowSpec::new(FlowId(1), 1.0, 1_600_000.0)
+            .size(SizeDist::Fixed(1500))
+            .arrivals(ArrivalProcess::ParetoOnOff {
+                on_mean_s: 0.05,
+                off_mean_s: 0.02,
+                alpha: 1.4,
+            }),
+    ];
+    let trace = generate(&flows, 2.0, 404);
+
+    // --- The SLA arithmetic ---------------------------------------------
+    let g = metrics::guaranteed_rate(&flows, FlowId(0), rate);
+    let bucket = TokenBucket::fit(&trace, FlowId(0), 256_000.0).expect("flow 0 sends packets");
+    let lmax = trace.iter().map(|p| p.size_bits()).fold(0.0, f64::max);
+    let bound = metrics::pgps_delay_bound(bucket.burst_bits(), g, lmax, rate);
+    println!(
+        "flow 0 envelope: sigma = {:.0} bits at rho = {:.0} kb/s",
+        bucket.burst_bits(),
+        bucket.rate_bps() / 1e3
+    );
+    println!(
+        "guaranteed rate g = {:.0} kb/s of the {:.0} kb/s link",
+        g / 1e3,
+        rate / 1e3
+    );
+    println!(
+        "Parekh–Gallager bound: sigma/g + Lmax/R = {:.2} ms\n",
+        bound * 1e3
+    );
+
+    // --- FIFO: no guarantee ----------------------------------------------
+    let deps = LinkSim::new(rate, Fifo::new()).run(&trace);
+    let fifo = metrics::analyze(&flows, &trace, &deps)[0].max_delay_s;
+    println!(
+        "FIFO          : worst delay {:6.2} ms  ({})",
+        fifo * 1e3,
+        if fifo <= bound {
+            "within bound (lucky)"
+        } else {
+            "BOUND VIOLATED"
+        }
+    );
+
+    // --- The hardware WFQ pipeline: guaranteed -----------------------------
+    let hw = HwScheduler::new(
+        &flows,
+        rate,
+        SchedulerConfig {
+            geometry: Geometry::new(4, 5),
+            tick_scale: 30.0,
+            capacity: 1 << 14,
+            ..SchedulerConfig::default()
+        },
+    );
+    let deps = HwLinkSim::new(rate, hw).run(&trace)?;
+    let measured = metrics::analyze(&flows, &trace, &deps)[0].max_delay_s;
+    println!(
+        "WFQ (hardware): worst delay {:6.2} ms  ({})",
+        measured * 1e3,
+        if measured <= bound {
+            "guarantee honoured"
+        } else {
+            "BOUND VIOLATED"
+        }
+    );
+    assert!(measured <= bound, "the SLA must hold");
+
+    println!(
+        "\nThe bound needs no knowledge of the adversary: however the Pareto\n\
+         bursts land, the shaped flow's packets leave within {:.2} ms. That is\n\
+         the deliverable the paper's sorting circuit makes affordable at\n\
+         40 Gb/s line rate.",
+        bound * 1e3
+    );
+    Ok(())
+}

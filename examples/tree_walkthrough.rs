@@ -1,0 +1,70 @@
+//! Executable walkthrough of the paper's Figs. 4 and 5: the multi-bit
+//! tree search, step by step, including the backup path — and the same
+//! searches driven through the gate-level matching circuits.
+//!
+//! ```sh
+//! cargo run --example tree_walkthrough
+//! ```
+
+use wfq_sorter::matcher::{MatcherCircuit, MatcherKind};
+use wfq_sorter::tagsort::{Geometry, MultiBitTrie, Tag};
+
+fn main() {
+    // Fig. 4's tree: 6-bit values from 2-bit literals, three levels,
+    // storing 001001, 110101, and 110111.
+    let geometry = Geometry::new(2, 3);
+    let mut tree = MultiBitTrie::new(geometry);
+    for v in [0b001001u32, 0b110101, 0b110111] {
+        tree.insert_marker(Tag(v));
+        println!("stored marker {:06b}", v);
+    }
+
+    // --- Fig. 4: closest match for 110110 ------------------------------
+    println!("\nFig. 4 — search for 110110:");
+    println!("  level 1: literal 11 present -> descend");
+    println!("  level 2: literal 01 present -> descend");
+    println!("  level 3: literal 10 absent -> next smallest is 01");
+    let got = tree.closest_at_or_below(Tag(0b110110)).expect("match");
+    println!("  closest match: {:06b} (paper: 110101)", got.value());
+    assert_eq!(got, Tag(0b110101));
+
+    // --- Fig. 5: search for 110100 fails at level 3; backup path -------
+    println!("\nFig. 5 — search for 110100:");
+    println!("  level 3 has nothing at or below 00 (point 'A')");
+    println!("  backup from level 1 (point 'B'): next bit below 11 is 00");
+    println!("  descend taking the largest literal in each node");
+    let got = tree.closest_at_or_below(Tag(0b110100)).expect("match");
+    println!(
+        "  closest match: {:06b} (the next lowest value, 001001)",
+        got.value()
+    );
+    assert_eq!(got, Tag(0b001001));
+
+    // --- The same searches through the gate-level matcher ---------------
+    println!("\nGate-level check: every per-node decision above, recomputed");
+    println!("by the select & look-ahead matching circuit:");
+    let circuit = MatcherCircuit::build(MatcherKind::SelectLookAhead, 4);
+    let mut gate_tree = MultiBitTrie::new(geometry);
+    for v in [0b001001u32, 0b110101, 0b110111] {
+        gate_tree.insert_marker(Tag(v));
+    }
+    for probe in [0b110110u32, 0b110100, 0b110111, 0b000000] {
+        let via_gates =
+            gate_tree.closest_at_or_below_with(Tag(probe), |word, lit| circuit.evaluate(word, lit));
+        let via_reference = tree.closest_at_or_below(Tag(probe));
+        assert_eq!(via_gates, via_reference);
+        println!(
+            "  probe {:06b} -> {}",
+            probe,
+            via_gates
+                .map(|t| format!("{:06b}", t.value()))
+                .unwrap_or_else(|| "no match (initialization mode)".into())
+        );
+    }
+    println!(
+        "\ncircuit: {} gates, {} levels of logic ({} with fan-out buffering)",
+        circuit.area(),
+        circuit.delay_unit(),
+        circuit.delay(),
+    );
+}

@@ -1,0 +1,273 @@
+//! `wfqsim` — run a packet trace through any scheduler in the workspace
+//! and report per-flow delays, throughput, and the GPS lag.
+//!
+//! ```sh
+//! # Synthetic workload through software WFQ:
+//! cargo run --bin wfqsim -- --scheduler wfq --flows 4 --rate 2e6
+//!
+//! # The same packets through the full hardware pipeline:
+//! cargo run --bin wfqsim -- --scheduler hw --flows 4 --rate 2e6
+//!
+//! # Replay a saved trace under DRR with explicit weights:
+//! cargo run --bin wfqsim -- --trace t.txt --scheduler drr --weights 4,2,1
+//! ```
+
+use std::process::ExitCode;
+
+use wfq_sorter::fairq::{
+    metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
+    Wf2qPlus, Wfq, Wrr,
+};
+use wfq_sorter::scheduler::{HwLinkSim, HwScheduler, SchedulerConfig};
+use wfq_sorter::tagsort::Geometry;
+use wfq_sorter::traffic::{
+    generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
+};
+
+const USAGE: &str = "\
+wfqsim — packet scheduling simulator (WFQ sorting circuit reproduction)
+
+USAGE:
+  wfqsim [OPTIONS]
+
+OPTIONS:
+  --scheduler NAME   fifo | wrr | drr | mdrr | srr | fbfq | scfq | sfq |
+                     wfq | wf2q | wf2q+ | hw        (default: wfq;
+                     'hw' is the full hardware pipeline)
+  --rate BPS         link rate in bits/s             (default: 2e6)
+  --trace FILE       replay a saved trace (see traffic::trace format)
+  --flows N          synthetic: number of flows      (default: 4)
+  --horizon S        synthetic: seconds of traffic   (default: 1.0)
+  --seed N           synthetic: RNG seed             (default: 42)
+  --weights a,b,...  per-flow weights                (default: 1,2,3,...)
+  --save FILE        write the (synthetic) trace before running
+  --help             this text
+";
+
+struct Args {
+    scheduler: String,
+    rate: f64,
+    trace: Option<String>,
+    flows: usize,
+    horizon: f64,
+    seed: u64,
+    weights: Option<Vec<f64>>,
+    save: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scheduler: "wfq".into(),
+        rate: 2e6,
+        trace: None,
+        flows: 4,
+        horizon: 1.0,
+        seed: 42,
+        weights: None,
+        save: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--scheduler" => args.scheduler = value("--scheduler")?,
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--flows" => {
+                args.flows = value("--flows")?
+                    .parse()
+                    .map_err(|e| format!("--flows: {e}"))?;
+            }
+            "--horizon" => {
+                args.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--weights" => {
+                let list = value("--weights")?;
+                let parsed: Result<Vec<f64>, _> = list.split(',').map(str::parse::<f64>).collect();
+                args.weights = Some(parsed.map_err(|e| format!("--weights: {e}"))?);
+            }
+            "--save" => args.save = Some(value("--save")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_flows(count: usize, weights: &Option<Vec<f64>>, rate: f64) -> Vec<FlowSpec> {
+    (0..count)
+        .map(|i| {
+            let w = weights
+                .as_ref()
+                .and_then(|ws| ws.get(i).copied())
+                .unwrap_or((i + 1) as f64);
+            // A representative mix: small steady packets on flow 0,
+            // IMIX/Poisson elsewhere, one bursty flow.
+            let spec = FlowSpec::new(FlowId(i as u32), w, rate / count as f64);
+            match i % 3 {
+                0 => spec
+                    .size(SizeDist::Fixed(140))
+                    .arrivals(ArrivalProcess::Cbr),
+                1 => spec.size(SizeDist::Imix).arrivals(ArrivalProcess::Poisson),
+                _ => spec
+                    .size(SizeDist::Bimodal {
+                        small: 40,
+                        large: 1500,
+                        p_small: 0.3,
+                    })
+                    .arrivals(ArrivalProcess::OnOff {
+                        on_mean_s: 0.03,
+                        off_mean_s: 0.03,
+                    }),
+            }
+        })
+        .collect()
+}
+
+fn run_software(
+    name: &str,
+    flows: &[FlowSpec],
+    rate: f64,
+    trace: &[Packet],
+) -> Result<Vec<Departure>, String> {
+    let sched: Box<dyn Scheduler> = match name {
+        "fifo" => Box::new(Fifo::new()),
+        "wrr" => Box::new(Wrr::new(flows)),
+        "drr" => Box::new(Drr::new(flows, 1500.0)),
+        "mdrr" => Box::new(Mdrr::new(flows, 1500.0, FlowId(0))),
+        "srr" => Box::new(StratifiedRr::new(flows)),
+        "fbfq" => Box::new(Fbfq::new(flows, rate, 1500.0)),
+        "scfq" => Box::new(Scfq::new(flows)),
+        "sfq" => Box::new(Sfq::new(flows)),
+        "wfq" => Box::new(Wfq::new(flows, rate)),
+        "wf2q" => Box::new(Wf2q::new(flows, rate)),
+        "wf2q+" => Box::new(Wf2qPlus::new(flows)),
+        other => return Err(format!("unknown scheduler {other}")),
+    };
+    Ok(LinkSim::new(rate, sched).run(trace))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    // Workload.
+    let trace = match &args.trace {
+        Some(path) => match tracefile::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let flows = build_flows(args.flows, &args.weights, args.rate * 0.9);
+            generate(&flows, args.horizon, args.seed)
+        }
+    };
+    if trace.is_empty() {
+        eprintln!("error: empty trace");
+        return ExitCode::FAILURE;
+    }
+    let flow_count = trace
+        .iter()
+        .map(|p| p.flow.0 as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let flows = build_flows(flow_count.max(args.flows), &args.weights, args.rate * 0.9);
+    if let Some(path) = &args.save {
+        if let Err(e) = tracefile::save(path, &trace) {
+            eprintln!("error: cannot save {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace saved to {path}");
+    }
+
+    // Run.
+    let departures = if args.scheduler == "hw" {
+        let hw = HwScheduler::new(
+            &flows,
+            args.rate,
+            SchedulerConfig {
+                geometry: Geometry::new(4, 5),
+                tick_scale: args.rate / 50_000.0,
+                capacity: (trace.len() + 1).next_power_of_two(),
+                ..SchedulerConfig::default()
+            },
+        );
+        match HwLinkSim::new(args.rate, hw).run(&trace) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: hardware pipeline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match run_software(&args.scheduler, &flows, args.rate, &trace) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Report.
+    println!(
+        "{} packets, {} flows, link {:.3} Mb/s, scheduler {}",
+        trace.len(),
+        flow_count,
+        args.rate / 1e6,
+        args.scheduler
+    );
+    let report = metrics::analyze(&flows, &trace, &departures);
+    println!(
+        "\n{:>5} {:>7} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "flow", "weight", "packets", "mean delay", "p99 delay", "max delay", "throughput"
+    );
+    for m in report.iter().filter(|m| m.packets > 0) {
+        println!(
+            "{:>5} {:>7} {:>9} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.1}kb/s",
+            m.flow,
+            flows[m.flow as usize].weight,
+            m.packets,
+            m.mean_delay_s * 1e3,
+            m.p99_delay_s * 1e3,
+            m.max_delay_s * 1e3,
+            m.throughput_bps / 1e3,
+        );
+    }
+    let lag = metrics::gps_lag(&flows, &trace, &departures, args.rate);
+    let lmax = trace.iter().map(|p| p.size_bits()).fold(0.0, f64::max);
+    println!(
+        "\nGPS lag: {:.3} ms ({:.2}x of one max packet time {:.3} ms)",
+        lag * 1e3,
+        lag / (lmax / args.rate),
+        lmax / args.rate * 1e3
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,114 @@
+//! Gate-level end-to-end equivalence: the multi-bit tree search of the
+//! core crate, driven through each of the five gate-level matching
+//! circuits, must return exactly what the software reference returns —
+//! the proof that the RTL-style netlists and the behavioural model are
+//! the same machine.
+
+use proptest::prelude::*;
+
+use wfq_sorter::matcher::{MatcherCircuit, MatcherKind};
+use wfq_sorter::tagsort::{Geometry, MultiBitTrie, Tag};
+
+fn check_kind(kind: MatcherKind, values: &[u32], probes: &[u32]) {
+    let geometry = Geometry::paper();
+    let circuit = MatcherCircuit::build(kind, geometry.branching() as usize);
+    let mut reference_tree = MultiBitTrie::new(geometry);
+    let mut gate_tree = MultiBitTrie::new(geometry);
+    for &v in values {
+        reference_tree.insert_marker(Tag(v));
+        gate_tree.insert_marker(Tag(v));
+    }
+    for &p in probes {
+        let want = reference_tree.closest_at_or_below(Tag(p));
+        let got =
+            gate_tree.closest_at_or_below_with(Tag(p), |word, lit| circuit.evaluate(word, lit));
+        assert_eq!(got, want, "{kind}: probe {p}, values {values:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_search_identical_through_all_five_matchers(
+        values in proptest::collection::vec(0u32..4096, 0..60),
+        probes in proptest::collection::vec(0u32..4096, 1..40),
+    ) {
+        for kind in MatcherKind::ALL {
+            check_kind(kind, &values, &probes);
+        }
+    }
+}
+
+/// The paper's own worked examples, through every design.
+#[test]
+fn paper_walkthroughs_through_every_design() {
+    for kind in MatcherKind::ALL {
+        let geometry = Geometry::new(2, 3);
+        let circuit = MatcherCircuit::build(kind, 4);
+        let mut tree = MultiBitTrie::new(geometry);
+        for v in [0b001001u32, 0b110101, 0b110111] {
+            tree.insert_marker(Tag(v));
+        }
+        let fig4 = tree.closest_at_or_below_with(Tag(0b110110), |w, l| circuit.evaluate(w, l));
+        assert_eq!(fig4, Some(Tag(0b110101)), "{kind}: Fig. 4");
+        let fig5 = tree.closest_at_or_below_with(Tag(0b110100), |w, l| circuit.evaluate(w, l));
+        assert_eq!(fig5, Some(Tag(0b001001)), "{kind}: Fig. 5 backup path");
+    }
+}
+
+// Wide-node geometries: the 32-bit-node variant the paper prices
+// (15-bit tags) and an 8-way tree, both through the fabricated design.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wide_geometries_match_reference(
+        values in proptest::collection::vec(0u32..32768, 0..40),
+        probes in proptest::collection::vec(0u32..32768, 1..25),
+    ) {
+        for geometry in [Geometry::paper_wide(), Geometry::new(3, 5)] {
+            let circuit = MatcherCircuit::build(
+                MatcherKind::SelectLookAhead,
+                geometry.branching() as usize,
+            );
+            let mask = (geometry.tag_space() - 1) as u32;
+            let mut reference_tree = MultiBitTrie::new(geometry);
+            let mut gate_tree = MultiBitTrie::new(geometry);
+            for &v in &values {
+                reference_tree.insert_marker(Tag(v & mask));
+                gate_tree.insert_marker(Tag(v & mask));
+            }
+            for &p in &probes {
+                let p = Tag(p & mask);
+                let want = reference_tree.closest_at_or_below(p);
+                let got = gate_tree
+                    .closest_at_or_below_with(p, |word, lit| circuit.evaluate(word, lit));
+                prop_assert_eq!(got, want, "{:?} probe {}", geometry, p);
+            }
+        }
+    }
+}
+
+/// Sparse trees exercise the backup path hard: few markers, many misses.
+#[test]
+fn sparse_tree_backup_paths() {
+    let geometry = Geometry::paper();
+    let circuit = MatcherCircuit::build(MatcherKind::SelectLookAhead, 16);
+    let mut tree = MultiBitTrie::new(geometry);
+    // One marker per section, at awkward offsets.
+    let values: Vec<u32> = (0..16u32).map(|s| s * 256 + (s * 37) % 256).collect();
+    for &v in &values {
+        tree.insert_marker(Tag(v));
+    }
+    for probe in (0..4096u32).step_by(13) {
+        let want = values
+            .iter()
+            .copied()
+            .filter(|&v| v <= probe)
+            .max()
+            .map(Tag);
+        let got = tree.closest_at_or_below_with(Tag(probe), |w, l| circuit.evaluate(w, l));
+        assert_eq!(got, want, "probe {probe}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate property tests for the sort/retrieve circuit: the
+//! paper's central invariant is that the circuit is a faithful priority
+//! queue with FCFS duplicates and a fixed four-cycle slot, under *any*
+//! interleaving of inserts and pops.
+
+use proptest::prelude::*;
+
+use wfq_sorter::tagsort::{CleanupPolicy, Geometry, PacketRef, SortRetrieveCircuit, Tag};
+
+/// An operation against the circuit.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Pop,
+    InsertAndPop(u32),
+}
+
+fn op_strategy(tag_space: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..tag_space).prop_map(Op::Insert),
+        2 => Just(Op::Pop),
+        1 => (0..tag_space).prop_map(Op::InsertAndPop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eager-policy circuit == BTreeMap oracle on arbitrary op programs.
+    #[test]
+    fn circuit_matches_oracle(ops in proptest::collection::vec(op_strategy(4096), 1..400)) {
+        let mut circuit = SortRetrieveCircuit::new(Geometry::paper(), 1024);
+        let mut oracle: std::collections::BTreeMap<(u32, u64), u32> =
+            std::collections::BTreeMap::new();
+        let mut stamp = 0u64;
+        let mut payload = 0u32;
+
+        for op in &ops {
+            match op {
+                Op::Insert(t) => {
+                    if circuit.len() < circuit.capacity() {
+                        circuit.insert(Tag(*t), PacketRef(payload)).unwrap();
+                        oracle.insert((*t, stamp), payload);
+                        stamp += 1;
+                        payload += 1;
+                    }
+                }
+                Op::Pop => {
+                    let got = circuit.pop_min();
+                    let want = oracle.pop_first();
+                    match (got, want) {
+                        (Some((gt, gp)), Some(((wt, _), wp))) => {
+                            prop_assert_eq!((gt.value(), gp.index()), (wt, wp));
+                        }
+                        (None, None) => {}
+                        (g, w) => prop_assert!(false, "mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+                Op::InsertAndPop(t) => {
+                    if circuit.len() < circuit.capacity() {
+                        oracle.insert((*t, stamp), payload);
+                        stamp += 1;
+                        let served = circuit.insert_and_pop(Tag(*t), PacketRef(payload)).unwrap();
+                        payload += 1;
+                        // The combined slot always serves the union
+                        // minimum (cut-through included).
+                        let ((wt, _), wp) = oracle.pop_first().expect("union non-empty");
+                        let (gt, gp) = served.expect("union minimum served");
+                        prop_assert_eq!((gt.value(), gp.index()), (wt, wp));
+                    }
+                }
+            }
+            prop_assert_eq!(circuit.len(), oracle.len());
+        }
+        // Drain and verify the tail is fully sorted with FCFS ties.
+        let rest: Vec<(u32, u32)> = std::iter::from_fn(|| circuit.pop_min())
+            .map(|(t, p)| (t.value(), p.index()))
+            .collect();
+        let want: Vec<(u32, u32)> = oracle.into_iter().map(|((t, _), p)| (t, p)).collect();
+        prop_assert_eq!(rest, want);
+    }
+
+    /// The four-cycle slot is unconditional: every operation, at every
+    /// occupancy, on every tested geometry.
+    #[test]
+    fn four_cycles_per_slot_always(
+        ops in proptest::collection::vec(op_strategy(255), 1..200),
+        wide in proptest::bool::ANY,
+    ) {
+        let geometry = if wide { Geometry::new(4, 2) } else { Geometry::new(2, 4) };
+        let mut circuit = SortRetrieveCircuit::new(geometry, 512);
+        for op in &ops {
+            let before = circuit.cycles();
+            let advanced = match op {
+                Op::Insert(t) => {
+                    circuit.insert(Tag(*t), PacketRef(0)).unwrap();
+                    true
+                }
+                Op::Pop => circuit.pop_min().is_some(),
+                Op::InsertAndPop(t) => {
+                    circuit.insert_and_pop(Tag(*t), PacketRef(0)).unwrap();
+                    true
+                }
+            };
+            if advanced {
+                prop_assert_eq!(circuit.cycles().since(before), 4);
+            }
+        }
+    }
+
+    /// Lazy (paper-literal) cleanup agrees with Eager on conforming
+    /// streams: inserts at or above the current minimum.
+    #[test]
+    fn lazy_equals_eager_on_conforming_streams(
+        deltas in proptest::collection::vec((0u32..64, proptest::bool::ANY), 1..200)
+    ) {
+        let mut eager = SortRetrieveCircuit::new(Geometry::paper(), 512);
+        let mut lazy =
+            SortRetrieveCircuit::with_policy(Geometry::paper(), 512, CleanupPolicy::Lazy);
+        // A conforming stream keeps tags monotone against both the live
+        // minimum and the high-water mark across drains — the paper's
+        // monotone virtual time.
+        let mut high_water = 0u32;
+        for (payload, (delta, do_pop)) in deltas.into_iter().enumerate() {
+            let payload = payload as u32;
+            let base = eager
+                .peek_min()
+                .map(|(t, _)| t.value())
+                .unwrap_or(high_water)
+                .max(high_water);
+            let tag = (base + delta).min(4095);
+            high_water = high_water.max(tag);
+            eager.insert(Tag(tag), PacketRef(payload)).unwrap();
+            lazy.insert(Tag(tag), PacketRef(payload)).unwrap();
+            if do_pop {
+                prop_assert_eq!(eager.pop_min(), lazy.pop_min());
+            }
+        }
+        let e: Vec<_> = std::iter::from_fn(|| eager.pop_min()).collect();
+        let l: Vec<_> = std::iter::from_fn(|| lazy.pop_min()).collect();
+        prop_assert_eq!(e, l);
+    }
+}
+
+/// Duplicate-heavy torture: thousands of equal tags interleaved with
+/// pops must preserve exact arrival order.
+#[test]
+fn duplicate_torture_is_fcfs() {
+    let mut circuit = SortRetrieveCircuit::new(Geometry::paper(), 4096);
+    let mut expect = std::collections::VecDeque::new();
+    let mut n = 0u32;
+    for round in 0..50 {
+        for _ in 0..40 {
+            circuit.insert(Tag(7), PacketRef(n)).unwrap();
+            expect.push_back(n);
+            n += 1;
+        }
+        for _ in 0..(round % 30) {
+            let got = circuit.pop_min().map(|(_, p)| p.index());
+            assert_eq!(got, expect.pop_front());
+        }
+    }
+    while let Some((t, p)) = circuit.pop_min() {
+        assert_eq!(t, Tag(7));
+        assert_eq!(Some(p.index()), expect.pop_front());
+    }
+    assert!(expect.is_empty());
+}
