@@ -6,8 +6,13 @@
 //! scalability claim is that the slot cost is *independent* of
 //! occupancy), derived line rates, and the capacity arithmetic behind
 //! "30 million packets" and "8 million sessions".
+//!
+//! Flags: `--quick` shortens each sweep point (the sustained cost is
+//! steady-state, so the short run measures the same number); `--json
+//! [PATH]` writes the derived throughputs as a flat JSON object (default
+//! `BENCH_headline.json`) for the CI regression gate.
 
-use bench::{eng, print_table};
+use bench::{eng, json_object, print_table};
 use scheduler::{HwScheduler, SchedulerConfig};
 use tagsort::{Geometry, StoreLayout, PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES};
 use traffic::{FlowId, FlowSpec, Packet, Time};
@@ -62,61 +67,74 @@ fn sustained_cycles_per_packet(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_headline.json".into())
+    });
+    // The slot cost is steady-state: past the warmup, every extra packet
+    // measures the same four cycles, so the quick sweep is exact too.
+    let sweep_packets = if quick { 500usize } else { 5_000 };
+
     // --- Throughput across occupancy and geometry -----------------------
     use tagsort::MemoryKind::{QdrLike, SinglePort};
     let mut rows = Vec::new();
-    for (flows, packets, geometry, memory, label) in [
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for (flows, geometry, memory, slug, label) in [
         (
             4usize,
-            5_000usize,
             Geometry::paper(),
             SinglePort,
+            "tree12_4s",
             "12-bit tree, 4 sessions",
         ),
         (
             64,
-            5_000,
             Geometry::paper(),
             SinglePort,
+            "tree12_64s",
             "12-bit tree, 64 sessions",
         ),
         (
             1024,
-            5_000,
             Geometry::paper(),
             SinglePort,
+            "tree12_1ks",
             "12-bit tree, 1k sessions",
         ),
         (
             64,
-            5_000,
             Geometry::paper_wide(),
             SinglePort,
+            "tree15_64s",
             "15-bit tree (32-bit nodes)",
         ),
         (
             64,
-            5_000,
             Geometry::new(4, 5),
             SinglePort,
+            "tree20_64s",
             "20-bit tree, 5 levels",
         ),
         (
             100_000,
-            5_000,
             Geometry::new(4, 5),
             SinglePort,
+            "tree20_100ks",
             "20-bit tree, 100k sessions",
         ),
         (
             64,
-            5_000,
             Geometry::paper(),
             QdrLike,
+            "tree12_qdr_64s",
             "12-bit tree, QDR storage",
         ),
     ] {
-        let cpo = sustained_cycles_per_packet(flows, packets, geometry, memory);
+        let cpo = sustained_cycles_per_packet(flows, sweep_packets, geometry, memory);
         let pps = PAPER_CLOCK_HZ / cpo;
         rows.push(vec![
             label.to_string(),
@@ -124,6 +142,7 @@ fn main() {
             format!("{}pps", eng(pps)),
             format!("{}b/s", eng(pps * PAPER_MEAN_PACKET_BYTES * 8.0)),
         ]);
+        metrics.push((format!("mpps_{slug}"), pps / 1e6));
     }
     print_table(
         "§IV — sustained cost per packet is occupancy- and geometry-independent",
@@ -171,4 +190,9 @@ fn main() {
          occupancy and geometry, so throughput is set by the clock alone —\n\
          143.2 MHz / 4 = 35.8 Mpps = 40 Gb/s at 140-byte average packets."
     );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_object(&metrics)).expect("write json");
+        println!("\nwrote {path}");
+    }
 }

@@ -1,0 +1,127 @@
+//! **Experiment E11 — multi-port scaling:** aggregate throughput of the
+//! sharded frontend at 1, 2, 4, and 8 output ports.
+//!
+//! Each port replicates the paper's sort/retrieve circuit, so every
+//! shard keeps the fixed four-cycle slot no matter how the others are
+//! loaded — the frontend's modeled throughput is the sum of its shards'
+//! 35.8 Mpps. This experiment drives the packet-level analogue of the
+//! drifting tag workload (steady enqueue+dequeue pairs whose finishing
+//! tags sweep upward with bounded spread, the Fig. 6 regime) through
+//! every port count and reports:
+//!
+//! * **modeled** aggregate Mpps — per-shard cycle accounting at the
+//!   paper's 143.2 MHz clock, deterministic, gated by CI against a
+//!   committed baseline;
+//! * **wall-clock** simulation Mpps — how fast this host simulates the
+//!   frontend, informational only (host-dependent, single-threaded).
+//!
+//! With `--json [PATH]` the deterministic metrics are also written as a
+//! flat JSON object (default `BENCH_shard_throughput.json`) for the
+//! regression gate (`check_regression`).
+
+use std::time::Instant;
+
+use bench::{eng, json_object, print_table};
+use scheduler::{SchedulerConfig, ShardedScheduler};
+use tagsort::{PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES};
+use traffic::{FlowId, FlowSpec, Packet, Time};
+
+const FLOWS: usize = 64;
+const WARMUP: usize = 64;
+const PAIRS: usize = 100_000;
+
+/// Steady-state enqueue+dequeue pairs across all ports; returns
+/// (modeled aggregate pps, wall-clock simulated pps).
+fn run(ports: usize) -> (f64, f64) {
+    let flows: Vec<FlowSpec> = (0..FLOWS)
+        .map(|i| FlowSpec::new(FlowId(i as u32), 1.0 + (i % 7) as f64, 1e6))
+        .collect();
+    let mut fe = ShardedScheduler::new(
+        &flows,
+        40e9,
+        ports,
+        SchedulerConfig {
+            capacity: 1 << 14,
+            tick_scale: 2000.0,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut t = 0.0;
+    let mut seq = 0u64;
+    let pkt = |seq: &mut u64, t: &mut f64| {
+        *t += 28e-9; // 140 B at 40 Gb/s
+        let p = Packet {
+            flow: FlowId((*seq % FLOWS as u64) as u32),
+            size_bytes: 140,
+            arrival: Time(*t),
+            seq: *seq,
+        };
+        *seq += 1;
+        p
+    };
+    // Warm a backlog on every port so each shard stays busy throughout.
+    for _ in 0..WARMUP * ports {
+        fe.enqueue(pkt(&mut seq, &mut t)).expect("capacity");
+    }
+    let started = Instant::now();
+    for _ in 0..PAIRS {
+        fe.enqueue(pkt(&mut seq, &mut t)).expect("capacity");
+        fe.dequeue().expect("backlogged");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let wall_pps = 2.0 * PAIRS as f64 / elapsed; // enqueue + dequeue ops
+    let modeled_pps = fe.stats().modeled_packets_per_second(PAPER_CLOCK_HZ);
+    (modeled_pps, wall_pps)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_shard_throughput.json".into())
+    });
+
+    let port_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut modeled_1 = 0.0;
+    for &ports in &port_counts {
+        let (modeled, wall) = run(ports);
+        if ports == 1 {
+            modeled_1 = modeled;
+        }
+        let speedup = modeled / modeled_1;
+        rows.push(vec![
+            format!("{ports}"),
+            format!("{}pps", eng(modeled)),
+            format!("{}b/s", eng(modeled * PAPER_MEAN_PACKET_BYTES * 8.0)),
+            format!("{speedup:.2}x"),
+            format!("{}pps", eng(wall)),
+        ]);
+        metrics.push((format!("ports_{ports}_modeled_mpps"), modeled / 1e6));
+        metrics.push((format!("speedup_ports_{ports}"), speedup));
+    }
+    print_table(
+        "Multi-port frontend — modeled aggregate throughput (143.2 MHz/shard)",
+        &[
+            "ports",
+            "modeled",
+            "line rate (140 B)",
+            "speedup",
+            "sim wall-clock",
+        ],
+        &rows,
+    );
+    println!(
+        "\nEach shard holds the single circuit's four-cycle slot, so the\n\
+         modeled aggregate scales linearly with the port count. The wall-\n\
+         clock column is this host simulating all shards on one thread —\n\
+         informational, not part of the regression baseline."
+    );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_object(&metrics)).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

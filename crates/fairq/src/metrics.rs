@@ -76,6 +76,79 @@ pub fn analyze(flows: &[FlowSpec], trace: &[Packet], departures: &[Departure]) -
         .collect()
 }
 
+/// A rollup of per-flow reports into one summary — what a multi-port
+/// frontend reports per shard, and what its ports sum into a line-card
+/// total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateMetrics {
+    /// Flows represented (including idle ones).
+    pub flows: usize,
+    /// Total packets served.
+    pub packets: u64,
+    /// Total bytes served.
+    pub bytes: u64,
+    /// Packet-weighted mean delay, seconds.
+    pub mean_delay_s: f64,
+    /// The worst flow's 99th-percentile delay, seconds.
+    pub worst_p99_delay_s: f64,
+    /// The worst flow's worst-case delay, seconds.
+    pub max_delay_s: f64,
+    /// Summed per-flow throughput, bits per second.
+    pub throughput_bps: f64,
+    /// Jain's index of the active flows' throughputs (1.0 if none).
+    pub jain_throughput: f64,
+}
+
+/// Rolls per-flow reports up into one [`AggregateMetrics`].
+///
+/// Means are packet-weighted, worst cases take the maximum, totals add.
+/// The fairness index covers only flows that served traffic, so idle
+/// flows on other ports don't read as unfairness.
+///
+/// # Example
+///
+/// ```
+/// # use fairq::metrics::{aggregate, FlowMetrics};
+/// let per_flow = vec![
+///     FlowMetrics { flow: 0, packets: 3, bytes: 300, mean_delay_s: 0.1,
+///                   p99_delay_s: 0.2, max_delay_s: 0.2, throughput_bps: 800.0 },
+///     FlowMetrics { flow: 1, packets: 1, bytes: 100, mean_delay_s: 0.3,
+///                   p99_delay_s: 0.4, max_delay_s: 0.5, throughput_bps: 800.0 },
+/// ];
+/// let agg = aggregate(&per_flow);
+/// assert_eq!(agg.packets, 4);
+/// assert!((agg.mean_delay_s - 0.15).abs() < 1e-12);
+/// assert_eq!(agg.max_delay_s, 0.5);
+/// assert!((agg.jain_throughput - 1.0).abs() < 1e-12);
+/// ```
+pub fn aggregate(per_flow: &[FlowMetrics]) -> AggregateMetrics {
+    let packets: u64 = per_flow.iter().map(|m| m.packets).sum();
+    let mean = if packets == 0 {
+        0.0
+    } else {
+        per_flow
+            .iter()
+            .map(|m| m.mean_delay_s * m.packets as f64)
+            .sum::<f64>()
+            / packets as f64
+    };
+    let active: Vec<f64> = per_flow
+        .iter()
+        .filter(|m| m.packets > 0)
+        .map(|m| m.throughput_bps)
+        .collect();
+    AggregateMetrics {
+        flows: per_flow.len(),
+        packets,
+        bytes: per_flow.iter().map(|m| m.bytes).sum(),
+        mean_delay_s: mean,
+        worst_p99_delay_s: per_flow.iter().map(|m| m.p99_delay_s).fold(0.0, f64::max),
+        max_delay_s: per_flow.iter().map(|m| m.max_delay_s).fold(0.0, f64::max),
+        throughput_bps: per_flow.iter().map(|m| m.throughput_bps).sum(),
+        jain_throughput: jain_index(&active),
+    }
+}
+
 /// Value at quantile `q` of a sorted sample (nearest-rank).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -204,6 +277,45 @@ mod tests {
         assert_eq!(m[0].bytes, 250);
         assert!(m[0].max_delay_s >= m[0].mean_delay_s);
         assert!(m[0].p99_delay_s <= m[0].max_delay_s);
+    }
+
+    #[test]
+    fn aggregate_rolls_up_totals_and_worst_cases() {
+        let flows = flows2();
+        let trace = vec![
+            pkt(0, 0, 0.0, 125),
+            pkt(1, 0, 0.0, 125),
+            pkt(2, 1, 0.0, 125),
+        ];
+        let deps = LinkSim::new(1e6, Fifo::new()).run(&trace);
+        let per_flow = analyze(&flows, &trace, &deps);
+        let agg = aggregate(&per_flow);
+        assert_eq!(agg.flows, 2);
+        assert_eq!(agg.packets, 3);
+        assert_eq!(agg.bytes, 375);
+        assert_eq!(
+            agg.max_delay_s,
+            per_flow.iter().map(|m| m.max_delay_s).fold(0.0, f64::max)
+        );
+        assert!(agg.worst_p99_delay_s <= agg.max_delay_s);
+        assert!(agg.throughput_bps > 0.0);
+        assert!(agg.jain_throughput > 0.0 && agg.jain_throughput <= 1.0);
+        // Packet-weighted mean sits between the per-flow means.
+        let lo = per_flow
+            .iter()
+            .map(|m| m.mean_delay_s)
+            .fold(f64::INFINITY, f64::min);
+        let hi = per_flow.iter().map(|m| m.mean_delay_s).fold(0.0, f64::max);
+        assert!(agg.mean_delay_s >= lo && agg.mean_delay_s <= hi);
+    }
+
+    #[test]
+    fn aggregate_of_idle_flows_is_zeroed() {
+        let per_flow = analyze(&flows2(), &[], &[]);
+        let agg = aggregate(&per_flow);
+        assert_eq!(agg.packets, 0);
+        assert_eq!(agg.mean_delay_s, 0.0);
+        assert_eq!(agg.jain_throughput, 1.0, "no active flows: vacuously fair");
     }
 
     #[test]

@@ -45,8 +45,12 @@ mod buffer;
 mod egress;
 mod hwsched;
 mod quantize;
+mod shard;
 
 pub use buffer::{BufferStats, PacketBuffer};
 pub use egress::HwLinkSim;
 pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
+pub use shard::{
+    shard_of, PortDeparture, ShardError, ShardStats, ShardedLinkSim, ShardedScheduler,
+};

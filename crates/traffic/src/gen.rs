@@ -1,9 +1,7 @@
 //! Trace generation: seeded per-flow streams merged in arrival order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::packet::{Packet, Time};
+use crate::rng::Rng;
 use crate::spec::{ArrivalProcess, FlowSpec, SizeDist};
 
 /// Generates the merged arrival trace of all `flows` over `[0, horizon_s)`.
@@ -28,7 +26,7 @@ pub fn generate(flows: &[FlowSpec], horizon_s: f64, seed: u64) -> Vec<Packet> {
 /// per-flow until merged by [`generate`]).
 pub fn generate_flow(flow: &FlowSpec, horizon_s: f64, seed: u64) -> Vec<Packet> {
     // Derive an independent stream per flow: splitmix the pair.
-    let mut rng = StdRng::seed_from_u64(mix(seed, u64::from(flow.id.0)));
+    let mut rng = Rng::seed_from_u64(mix(seed, u64::from(flow.id.0)));
     let mut out = Vec::new();
     let mean_gap = 1.0 / flow.mean_pps();
     let mut t = flow.start_s;
@@ -88,7 +86,7 @@ pub fn generate_flow(flow: &FlowSpec, horizon_s: f64, seed: u64) -> Vec<Packet> 
     out
 }
 
-fn push(out: &mut Vec<Packet>, flow: &FlowSpec, t: f64, rng: &mut StdRng, seq: &mut u64) {
+fn push(out: &mut Vec<Packet>, flow: &FlowSpec, t: f64, rng: &mut Rng, seq: &mut u64) {
     out.push(Packet {
         flow: flow.id,
         size_bytes: draw_size(flow.sizes, rng),
@@ -98,13 +96,13 @@ fn push(out: &mut Vec<Packet>, flow: &FlowSpec, t: f64, rng: &mut StdRng, seq: &
     *seq += 1;
 }
 
-fn draw_size(dist: SizeDist, rng: &mut StdRng) -> u32 {
+fn draw_size(dist: SizeDist, rng: &mut Rng) -> u32 {
     match dist {
         SizeDist::Fixed(s) => s,
-        SizeDist::Uniform { min, max } => rng.random_range(min..=max),
+        SizeDist::Uniform { min, max } => rng.range_u32_inclusive(min, max),
         SizeDist::Imix => {
             // 7:4:1 over 40/576/1500 bytes.
-            match rng.random_range(0..12u32) {
+            match rng.below_u32(12) {
                 0..=6 => 40,
                 7..=10 => 576,
                 _ => 1500,
@@ -115,7 +113,7 @@ fn draw_size(dist: SizeDist, rng: &mut StdRng) -> u32 {
             large,
             p_small,
         } => {
-            if rng.random_range(0.0..1.0) < p_small {
+            if rng.unit_f64() < p_small {
                 small
             } else {
                 large
@@ -125,18 +123,16 @@ fn draw_size(dist: SizeDist, rng: &mut StdRng) -> u32 {
 }
 
 /// Exponential sample with the given mean, via inverse transform.
-fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
-    let u: f64 = rng.random_range(f64::EPSILON..1.0);
-    -u.ln() * mean
+fn exp_sample(rng: &mut Rng, mean: f64) -> f64 {
+    -rng.positive_unit_f64().ln() * mean
 }
 
 /// Pareto sample with the given mean and shape α (> 1), via inverse
 /// transform: scale x_m = mean·(α−1)/α.
-fn pareto_sample(rng: &mut StdRng, mean: f64, alpha: f64) -> f64 {
+fn pareto_sample(rng: &mut Rng, mean: f64, alpha: f64) -> f64 {
     assert!(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
     let xm = mean * (alpha - 1.0) / alpha;
-    let u: f64 = rng.random_range(f64::EPSILON..1.0);
-    xm / u.powf(1.0 / alpha)
+    xm / rng.positive_unit_f64().powf(1.0 / alpha)
 }
 
 /// SplitMix64-style combination of a seed and a stream index.

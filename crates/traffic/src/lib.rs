@@ -41,13 +41,16 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod multiport;
 mod packet;
 pub mod profiles;
+pub mod rng;
 mod shaping;
 mod spec;
 pub mod trace;
 
 pub use gen::{generate, generate_flow};
+pub use multiport::{generate_multiport, MultiPortTrace, PortSpec};
 pub use packet::{FlowId, Packet, Time};
 pub use shaping::TokenBucket;
 pub use spec::{ArrivalProcess, FlowSpec, SizeDist};

@@ -1,0 +1,242 @@
+//! Multi-port traffic: per-port flow sets and rates, merged into one
+//! globally numbered arrival stream.
+//!
+//! The paper's circuit serves a single egress link; the sharded frontend
+//! in the `scheduler` crate drives one sorter per output port. This
+//! module supplies the matching workloads: each [`PortSpec`] describes
+//! one port's link rate and flow population, and [`generate_multiport`]
+//! renumbers the flows into one dense global id space, generates every
+//! port's packets from independent seeded streams, and returns both the
+//! per-port traces and the merged aggregate.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic::{generate_multiport, profiles, PortSpec};
+//!
+//! let ports = vec![
+//!     PortSpec::new(1e9, profiles::voip(4)),
+//!     PortSpec::new(1e8, profiles::bulk(2, 400_000.0)),
+//! ];
+//! let mp = generate_multiport(&ports, 0.1, 7);
+//! assert_eq!(mp.per_port.len(), 2);
+//! assert_eq!(mp.flows.len(), 6);
+//! // Global flow ids are dense and the merged stream is arrival-sorted.
+//! assert!(mp.merged.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+use crate::gen::generate;
+use crate::packet::Packet;
+use crate::spec::FlowSpec;
+
+/// One output port's offered traffic: a link rate and the flows bound
+/// for it (with ids local to the port, `0..flows.len()`).
+#[derive(Debug, Clone)]
+pub struct PortSpec {
+    /// The port's egress link rate, bits per second.
+    pub rate_bps: f64,
+    /// Flows destined for this port (locally dense ids).
+    pub flows: Vec<FlowSpec>,
+}
+
+impl PortSpec {
+    /// A port of `rate_bps` carrying `flows` (ids must be the dense
+    /// `0..flows.len()` the single-port generators produce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite or the flow ids are
+    /// not dense.
+    pub fn new(rate_bps: f64, flows: Vec<FlowSpec>) -> Self {
+        assert!(
+            rate_bps > 0.0 && rate_bps.is_finite(),
+            "rate must be positive and finite"
+        );
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(
+                f.id.0 as usize, i,
+                "port flow ids must be dense (flow {} at index {i})",
+                f.id.0
+            );
+        }
+        Self { rate_bps, flows }
+    }
+
+    /// The port's offered load as a fraction of its link rate.
+    pub fn offered_load(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate_bps).sum::<f64>() / self.rate_bps
+    }
+}
+
+/// The output of [`generate_multiport`].
+#[derive(Debug, Clone)]
+pub struct MultiPortTrace {
+    /// All flows under their global dense ids.
+    pub flows: Vec<FlowSpec>,
+    /// Originating port of each global flow id.
+    pub port_of_flow: Vec<usize>,
+    /// Per-port traces: arrival-sorted, global flow ids, globally unique
+    /// `seq`s (shared with [`MultiPortTrace::merged`]).
+    pub per_port: Vec<Vec<Packet>>,
+    /// All ports merged in arrival order; `seq` is dense in this order.
+    pub merged: Vec<Packet>,
+}
+
+impl MultiPortTrace {
+    /// Total packets across all ports.
+    pub fn len(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// Whether no port produced any packet.
+    pub fn is_empty(&self) -> bool {
+        self.merged.is_empty()
+    }
+
+    /// Total bytes across all ports.
+    pub fn total_bytes(&self) -> u64 {
+        self.merged.iter().map(|p| u64::from(p.size_bytes)).sum()
+    }
+}
+
+/// Generates every port's trace over `[0, horizon_s)`.
+///
+/// Flow ids are renumbered to one dense global space (port 0's flows
+/// first, then port 1's, …), and each flow keeps an independent RNG
+/// stream derived from `seed` and its *global* id — so adding a port
+/// perturbs no existing port's packets, mirroring the single-port
+/// generator's per-flow independence.
+///
+/// # Panics
+///
+/// Panics if `ports` is empty.
+pub fn generate_multiport(ports: &[PortSpec], horizon_s: f64, seed: u64) -> MultiPortTrace {
+    assert!(!ports.is_empty(), "at least one port required");
+    let mut flows = Vec::new();
+    let mut port_of_flow = Vec::new();
+    let mut per_port = Vec::with_capacity(ports.len());
+    for (port, spec) in ports.iter().enumerate() {
+        // Renumber this port's flows into the global space.
+        let base = flows.len() as u32;
+        let global: Vec<FlowSpec> = spec
+            .flows
+            .iter()
+            .map(|f| {
+                let mut g = *f;
+                g.id = crate::FlowId(base + f.id.0);
+                g
+            })
+            .collect();
+        // `generate` seeds per flow from the (now global) id, then
+        // assigns seqs local to this call; seqs are rewritten below.
+        let trace = generate(&global, horizon_s, seed);
+        flows.extend(global);
+        port_of_flow.extend(std::iter::repeat_n(port, spec.flows.len()));
+        per_port.push(trace);
+    }
+    // One dense seq space across ports, assigned in merged arrival
+    // order, then written back into the per-port views.
+    let mut merged: Vec<Packet> = per_port.iter().flatten().copied().collect();
+    merged.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.flow.0.cmp(&b.flow.0)));
+    for (i, p) in merged.iter_mut().enumerate() {
+        p.seq = i as u64;
+    }
+    let mut seq_of: std::collections::HashMap<(u32, u64), u64> = std::collections::HashMap::new();
+    let mut counter: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for p in &merged {
+        let k = counter.entry(p.flow.0).or_insert(0);
+        seq_of.insert((p.flow.0, *k), p.seq);
+        *k += 1;
+    }
+    for trace in &mut per_port {
+        let mut local_counter: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
+        for p in trace.iter_mut() {
+            let k = local_counter.entry(p.flow.0).or_insert(0);
+            p.seq = seq_of[&(p.flow.0, *k)];
+            *k += 1;
+        }
+    }
+    MultiPortTrace {
+        flows,
+        port_of_flow,
+        per_port,
+        merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{profiles, FlowId};
+
+    fn two_ports() -> Vec<PortSpec> {
+        vec![
+            PortSpec::new(1e7, profiles::diverse_mix(4, 600_000.0)),
+            PortSpec::new(2e7, profiles::bulk(3, 900_000.0)),
+        ]
+    }
+
+    #[test]
+    fn global_ids_are_dense_and_port_tagged() {
+        let mp = generate_multiport(&two_ports(), 0.2, 11);
+        assert_eq!(mp.flows.len(), 7);
+        for (i, f) in mp.flows.iter().enumerate() {
+            assert_eq!(f.id, FlowId(i as u32));
+        }
+        assert_eq!(mp.port_of_flow, vec![0, 0, 0, 0, 1, 1, 1]);
+        // Every packet's flow belongs to the port that carries it.
+        for (port, trace) in mp.per_port.iter().enumerate() {
+            assert!(!trace.is_empty(), "port {port} generated nothing");
+            for p in trace {
+                assert_eq!(mp.port_of_flow[p.flow.0 as usize], port);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_is_sorted_with_dense_seqs_matching_ports() {
+        let mp = generate_multiport(&two_ports(), 0.2, 11);
+        assert!(mp.merged.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, p) in mp.merged.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+        }
+        // The per-port views are exactly a partition of the merged trace.
+        let mut union: Vec<_> = mp.per_port.iter().flatten().copied().collect();
+        union.sort_by_key(|p| p.seq);
+        assert_eq!(union, mp.merged);
+        assert_eq!(mp.len(), union.len());
+        assert!(!mp.is_empty());
+        assert!(mp.total_bytes() > 0);
+    }
+
+    #[test]
+    fn adding_a_port_preserves_existing_packets() {
+        let one = generate_multiport(&two_ports()[..1], 0.2, 11);
+        let two = generate_multiport(&two_ports(), 0.2, 11);
+        let first_port_sizes: Vec<(u32, f64, u32)> = two.per_port[0]
+            .iter()
+            .map(|p| (p.flow.0, p.arrival.seconds(), p.size_bytes))
+            .collect();
+        let solo_sizes: Vec<(u32, f64, u32)> = one
+            .merged
+            .iter()
+            .map(|p| (p.flow.0, p.arrival.seconds(), p.size_bytes))
+            .collect();
+        assert_eq!(first_port_sizes, solo_sizes);
+    }
+
+    #[test]
+    fn offered_load_reflects_flow_rates() {
+        let p = PortSpec::new(1e6, profiles::voip(2));
+        assert!(p.offered_load() > 0.0 && p.offered_load() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_port_flow_ids_rejected() {
+        let mut flows = profiles::voip(2);
+        flows[1].id = FlowId(7);
+        let _ = PortSpec::new(1e6, flows);
+    }
+}

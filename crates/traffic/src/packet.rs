@@ -2,12 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a flow (the paper's "session" / virtual queue).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FlowId(pub u32);
 
 impl fmt::Display for FlowId {
@@ -29,7 +25,7 @@ impl fmt::Display for FlowId {
 /// assert!(a < Time(2.0));
 /// assert_eq!(a + Time(0.5), Time(1.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Time(pub f64);
 
 impl Time {
@@ -97,7 +93,7 @@ impl fmt::Display for Time {
 
 /// One IP packet as the scheduler sees it: a flow label, a length, and an
 /// arrival instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// The flow (session) the packet belongs to.
     pub flow: FlowId,

@@ -1,11 +1,9 @@
 //! Flow specifications: size laws and arrival processes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::FlowId;
 
 /// Packet-size distribution of a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeDist {
     /// Every packet has the same size (VoIP-like).
     Fixed(u32),
@@ -47,7 +45,7 @@ impl SizeDist {
 }
 
 /// Arrival process of a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Constant bit rate: equally spaced packets at the flow's mean rate.
     Cbr,
@@ -80,7 +78,7 @@ pub enum ArrivalProcess {
 /// Complete description of one traffic flow.
 ///
 /// Built with a fluent API; see the [crate example](crate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Flow identifier.
     pub id: FlowId,

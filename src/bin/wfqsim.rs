@@ -10,6 +10,9 @@
 //!
 //! # Replay a saved trace under DRR with explicit weights:
 //! cargo run --bin wfqsim -- --trace t.txt --scheduler drr --weights 4,2,1
+//!
+//! # A 4-port line card: one hardware sorter per port, flow-affinity routed:
+//! cargo run --bin wfqsim -- --scheduler hw --ports 4 --flows 16
 //! ```
 
 use std::process::ExitCode;
@@ -18,8 +21,11 @@ use wfq_sorter::fairq::{
     metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
     Wf2qPlus, Wfq, Wrr,
 };
-use wfq_sorter::scheduler::{HwLinkSim, HwScheduler, SchedulerConfig};
+use wfq_sorter::scheduler::{
+    shard_of, HwLinkSim, HwScheduler, SchedulerConfig, ShardedLinkSim, ShardedScheduler,
+};
 use wfq_sorter::tagsort::Geometry;
+use wfq_sorter::tagsort::PAPER_CLOCK_HZ;
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
 };
@@ -35,6 +41,9 @@ OPTIONS:
                      wfq | wf2q | wf2q+ | hw        (default: wfq;
                      'hw' is the full hardware pipeline)
   --rate BPS         link rate in bits/s             (default: 2e6)
+  --ports N          multi-port frontend: N egress links, one hardware
+                     sorter each, flows routed by affinity hash
+                     (requires --scheduler hw; default: 1)
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -47,6 +56,7 @@ OPTIONS:
 struct Args {
     scheduler: String,
     rate: f64,
+    ports: usize,
     trace: Option<String>,
     flows: usize,
     horizon: f64,
@@ -59,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scheduler: "wfq".into(),
         rate: 2e6,
+        ports: 1,
         trace: None,
         flows: 4,
         horizon: 1.0,
@@ -76,6 +87,14 @@ fn parse_args() -> Result<Args, String> {
                 args.rate = value("--rate")?
                     .parse()
                     .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--ports" => {
+                args.ports = value("--ports")?
+                    .parse()
+                    .map_err(|e| format!("--ports: {e}"))?;
+                if args.ports == 0 {
+                    return Err("--ports: at least one port required".into());
+                }
             }
             "--trace" => args.trace = Some(value("--trace")?),
             "--flows" => {
@@ -158,6 +177,92 @@ fn run_software(
     Ok(LinkSim::new(rate, sched).run(trace))
 }
 
+/// The `--ports N` mode: the sharded frontend serves the trace with one
+/// hardware sorter per egress link, and the report rolls per-flow
+/// metrics up per port.
+fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode {
+    for port in 0..args.ports {
+        if !flows.iter().any(|f| shard_of(f.id, args.ports) == port) {
+            eprintln!(
+                "error: --ports {}: the flow-affinity hash leaves port {port} without \
+                 flows ({} flows); use more --flows or fewer ports",
+                args.ports,
+                flows.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let fe = ShardedScheduler::new(
+        flows,
+        args.rate,
+        args.ports,
+        SchedulerConfig {
+            geometry: Geometry::new(4, 5),
+            tick_scale: args.rate / 50_000.0,
+            capacity: (trace.len() + 1).next_power_of_two(),
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut sim = ShardedLinkSim::new(args.rate, fe);
+    let port_deps = match sim.run(trace) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: sharded frontend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded)",
+        trace.len(),
+        flows.len(),
+        args.ports,
+        args.rate / 1e6,
+    );
+
+    println!(
+        "\n{:>5} {:>6} {:>9} {:>11} {:>11} {:>12} {:>6}",
+        "port", "flows", "packets", "mean delay", "worst p99", "throughput", "jain"
+    );
+    for port in 0..args.ports {
+        let sub_trace: Vec<Packet> = trace
+            .iter()
+            .filter(|p| sim.frontend().port_of(p.flow) == Some(port))
+            .copied()
+            .collect();
+        let deps: Vec<Departure> = port_deps
+            .iter()
+            .filter(|d| d.port == port)
+            .map(|d| d.departure)
+            .collect();
+        let rollup = metrics::aggregate(&metrics::analyze(flows, &sub_trace, &deps));
+        let port_flows = flows
+            .iter()
+            .filter(|f| sim.frontend().port_of(f.id) == Some(port))
+            .count();
+        println!(
+            "{:>5} {:>6} {:>9} {:>9.2}ms {:>9.2}ms {:>9.1}kb/s {:>6.3}",
+            port,
+            port_flows,
+            rollup.packets,
+            rollup.mean_delay_s * 1e3,
+            rollup.worst_p99_delay_s * 1e3,
+            rollup.throughput_bps / 1e3,
+            rollup.jain_throughput,
+        );
+    }
+
+    let stats = sim.frontend().stats();
+    println!(
+        "\naggregate: {} enqueued, {} dequeued, 0 lost; modeled frontend \
+         throughput {:.1} Mpps at {:.1} MHz/shard",
+        stats.aggregate.enqueued,
+        stats.aggregate.dequeued,
+        stats.modeled_packets_per_second(PAPER_CLOCK_HZ) / 1e6,
+        PAPER_CLOCK_HZ / 1e6,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -207,6 +312,13 @@ fn main() -> ExitCode {
     }
 
     // Run.
+    if args.ports > 1 {
+        if args.scheduler != "hw" {
+            eprintln!("error: --ports drives one hardware sorter per port; use --scheduler hw");
+            return ExitCode::FAILURE;
+        }
+        return run_multiport(&args, &flows, &trace);
+    }
     let departures = if args.scheduler == "hw" {
         let hw = HwScheduler::new(
             &flows,
