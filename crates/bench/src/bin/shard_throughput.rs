@@ -3,21 +3,32 @@
 //!
 //! Each port replicates the paper's sort/retrieve circuit, so every
 //! shard keeps the fixed four-cycle slot no matter how the others are
-//! loaded — the frontend's modeled throughput is the sum of its shards'
-//! 35.8 Mpps. This experiment drives the packet-level analogue of the
+//! loaded. This experiment drives the packet-level analogue of the
 //! drifting tag workload (steady enqueue+dequeue pairs whose finishing
 //! tags sweep upward with bounded spread, the Fig. 6 regime) through
-//! every port count and reports:
+//! every port count and reports two distinct speedups:
 //!
 //! * **modeled** aggregate Mpps — per-shard cycle accounting at the
-//!   paper's 143.2 MHz clock, deterministic, gated by CI against a
-//!   committed baseline;
-//! * **wall-clock** simulation Mpps — how fast this host simulates the
-//!   frontend, informational only (host-dependent, single-threaded).
+//!   paper's 143.2 MHz clock. Deterministic, but *definitional*: each
+//!   shard's slot cost is 4 cycles by construction, so the modeled
+//!   speedup is exactly the port count. Gating it in CI only catches
+//!   changes to the cycle model itself, never behavioral regressions.
+//! * **measured** speedup — each port's enqueue/dequeue work is timed
+//!   separately on this host, and the frontend's service time is the
+//!   *slowest* shard's (hardware shards run concurrently). The speedup
+//!   is the ratio of N-port to 1-port throughput on the same host in
+//!   the same run, so host speed divides out, while real regressions —
+//!   a routing bug piling flows onto one shard, per-op cost growing
+//!   with shard count — drag it down and fail the gate. Each port count
+//!   keeps the best of [`REPS`] repetitions: scheduler interruptions
+//!   only ever slow a timed loop down, so the maximum is the stable
+//!   estimate of what the code can do, and a genuine regression
+//!   degrades every repetition.
 //!
-//! With `--json [PATH]` the deterministic metrics are also written as a
-//! flat JSON object (default `BENCH_shard_throughput.json`) for the
-//! regression gate (`check_regression`).
+//! With `--json [PATH]` both metric families are written as a flat JSON
+//! object (default `BENCH_shard_throughput.json`) for the regression
+//! gate (`check_regression`). Raw single-thread wall-clock simulation
+//! speed is printed but never gated (host-dependent).
 
 use std::time::Instant;
 
@@ -28,11 +39,27 @@ use traffic::{FlowId, FlowSpec, Packet, Time};
 
 const FLOWS: usize = 64;
 const WARMUP: usize = 64;
-const PAIRS: usize = 100_000;
+/// Timed enqueue+dequeue pairs per port, so per-port timing granularity
+/// is the same at every port count.
+const PAIRS_PER_PORT: usize = 25_000;
+/// Timing noise on a loaded host is one-sided (interruptions only slow
+/// a loop down), so each port count takes the best of this many
+/// repetitions; a genuine regression degrades every repetition.
+const REPS: usize = 3;
 
-/// Steady-state enqueue+dequeue pairs across all ports; returns
-/// (modeled aggregate pps, wall-clock simulated pps).
-fn run(ports: usize) -> (f64, f64) {
+struct RunResult {
+    /// Modeled aggregate pps (cycle accounting, deterministic).
+    modeled_pps: f64,
+    /// Measured aggregate pps: total ops / slowest shard's elapsed.
+    measured_pps: f64,
+    /// Raw single-thread simulation speed (informational only).
+    wall_pps: f64,
+}
+
+/// Steady-state enqueue+dequeue pairs on every port, with each port's
+/// work timed separately so concurrent-shard throughput can be measured
+/// rather than assumed.
+fn run(ports: usize) -> RunResult {
     let flows: Vec<FlowSpec> = (0..FLOWS)
         .map(|i| FlowSpec::new(FlowId(i as u32), 1.0 + (i % 7) as f64, 1e6))
         .collect();
@@ -46,32 +73,43 @@ fn run(ports: usize) -> (f64, f64) {
             ..SchedulerConfig::default()
         },
     );
+    // One global arrival stream, bucketed by the frontend's own routing
+    // so imbalance from the flow-affinity hash shows up in the timing.
     let mut t = 0.0;
-    let mut seq = 0u64;
-    let pkt = |seq: &mut u64, t: &mut f64| {
-        *t += 28e-9; // 140 B at 40 Gb/s
-        let p = Packet {
-            flow: FlowId((*seq % FLOWS as u64) as u32),
+    let mut per_port: Vec<Vec<Packet>> = vec![Vec::new(); ports];
+    for seq in 0..((WARMUP + PAIRS_PER_PORT) * ports) as u64 {
+        t += 28e-9; // 140 B at 40 Gb/s
+        let pkt = Packet {
+            flow: FlowId((seq % FLOWS as u64) as u32),
             size_bytes: 140,
-            arrival: Time(*t),
-            seq: *seq,
+            arrival: Time(t),
+            seq,
         };
-        *seq += 1;
-        p
-    };
-    // Warm a backlog on every port so each shard stays busy throughout.
-    for _ in 0..WARMUP * ports {
-        fe.enqueue(pkt(&mut seq, &mut t)).expect("capacity");
+        per_port[fe.port_of(pkt.flow).expect("configured flow")].push(pkt);
     }
     let started = Instant::now();
-    for _ in 0..PAIRS {
-        fe.enqueue(pkt(&mut seq, &mut t)).expect("capacity");
-        fe.dequeue().expect("backlogged");
+    let mut total_pairs = 0usize;
+    let mut slowest = 0.0f64;
+    for (port, arrivals) in per_port.iter().enumerate() {
+        let (warm, pairs) = arrivals.split_at(WARMUP.min(arrivals.len()));
+        // Warm a backlog so the shard stays busy through the timed loop.
+        for &pkt in warm {
+            fe.enqueue(pkt).expect("capacity");
+        }
+        let port_started = Instant::now();
+        for &pkt in pairs {
+            fe.enqueue(pkt).expect("capacity");
+            fe.dequeue_port(port).expect("backlogged");
+        }
+        slowest = slowest.max(port_started.elapsed().as_secs_f64());
+        total_pairs += pairs.len();
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let wall_pps = 2.0 * PAIRS as f64 / elapsed; // enqueue + dequeue ops
-    let modeled_pps = fe.stats().modeled_packets_per_second(PAPER_CLOCK_HZ);
-    (modeled_pps, wall_pps)
+    RunResult {
+        modeled_pps: fe.stats().modeled_packets_per_second(PAPER_CLOCK_HZ),
+        measured_pps: 2.0 * total_pairs as f64 / slowest,
+        wall_pps: 2.0 * total_pairs as f64 / elapsed,
+    }
 }
 
 fn main() {
@@ -86,38 +124,57 @@ fn main() {
     let mut rows = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
     let mut modeled_1 = 0.0;
+    let mut measured_1 = 0.0;
     for &ports in &port_counts {
-        let (modeled, wall) = run(ports);
-        if ports == 1 {
-            modeled_1 = modeled;
+        let mut r = run(ports);
+        for _ in 1..REPS {
+            let again = run(ports);
+            if again.measured_pps > r.measured_pps {
+                r.measured_pps = again.measured_pps;
+            }
+            if again.wall_pps > r.wall_pps {
+                r.wall_pps = again.wall_pps;
+            }
         }
-        let speedup = modeled / modeled_1;
+        if ports == 1 {
+            modeled_1 = r.modeled_pps;
+            measured_1 = r.measured_pps;
+        }
+        let modeled_speedup = r.modeled_pps / modeled_1;
+        let measured_speedup = r.measured_pps / measured_1;
         rows.push(vec![
             format!("{ports}"),
-            format!("{}pps", eng(modeled)),
-            format!("{}b/s", eng(modeled * PAPER_MEAN_PACKET_BYTES * 8.0)),
-            format!("{speedup:.2}x"),
-            format!("{}pps", eng(wall)),
+            format!("{}pps", eng(r.modeled_pps)),
+            format!("{}b/s", eng(r.modeled_pps * PAPER_MEAN_PACKET_BYTES * 8.0)),
+            format!("{modeled_speedup:.2}x"),
+            format!("{measured_speedup:.2}x"),
+            format!("{}pps", eng(r.wall_pps)),
         ]);
-        metrics.push((format!("ports_{ports}_modeled_mpps"), modeled / 1e6));
-        metrics.push((format!("speedup_ports_{ports}"), speedup));
+        metrics.push((format!("ports_{ports}_modeled_mpps"), r.modeled_pps / 1e6));
+        metrics.push((format!("speedup_ports_{ports}"), modeled_speedup));
+        metrics.push((format!("measured_speedup_ports_{ports}"), measured_speedup));
     }
     print_table(
-        "Multi-port frontend — modeled aggregate throughput (143.2 MHz/shard)",
+        "Multi-port frontend — aggregate throughput (143.2 MHz/shard)",
         &[
             "ports",
             "modeled",
             "line rate (140 B)",
-            "speedup",
+            "modeled speedup",
+            "measured speedup",
             "sim wall-clock",
         ],
         &rows,
     );
     println!(
-        "\nEach shard holds the single circuit's four-cycle slot, so the\n\
-         modeled aggregate scales linearly with the port count. The wall-\n\
-         clock column is this host simulating all shards on one thread —\n\
-         informational, not part of the regression baseline."
+        "\nModeled speedup is cycle accounting: every shard keeps the single\n\
+         circuit's four-cycle slot, so it equals the port count by\n\
+         construction. Measured speedup times each shard's work on this\n\
+         host and takes the slowest shard as the frontend's service time\n\
+         (shards run concurrently in hardware); as a same-host ratio it is\n\
+         stable across machines and reflects actual routing balance and\n\
+         per-op cost. The wall-clock column is this host simulating all\n\
+         shards on one thread — informational, not part of the baseline."
     );
 
     if let Some(path) = json_path {

@@ -52,5 +52,5 @@ pub use egress::HwLinkSim;
 pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
 pub use shard::{
-    shard_of, PortDeparture, ShardError, ShardStats, ShardedLinkSim, ShardedScheduler,
+    shard_of, BatchError, PortDeparture, ShardError, ShardStats, ShardedLinkSim, ShardedScheduler,
 };

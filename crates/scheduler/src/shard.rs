@@ -108,6 +108,35 @@ impl Error for ShardError {
     }
 }
 
+/// A failed [`ShardedScheduler::enqueue_batch`]: the batch stopped at
+/// `error`, with `accepted` earlier packets already admitted (and still
+/// enqueued — a batch is not transactional).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Packets of the batch admitted before the failure (see
+    /// [`ShardedScheduler::enqueue_batch`] for which ones). These
+    /// remain enqueued.
+    pub accepted: usize,
+    /// The failure that stopped the batch.
+    pub error: ShardError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch stopped after {} packet(s): {}",
+            self.accepted, self.error
+        )
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Per-port and aggregated instrumentation of a sharded frontend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
@@ -118,7 +147,10 @@ pub struct ShardStats {
     /// `circuit.cycles_per_op()` is still the per-circuit slot cost (4),
     /// because every shard spends its own cycles concurrently; use
     /// [`ShardStats::modeled_packets_per_second`] for frontend
-    /// throughput.
+    /// throughput. The aggregate's `buffer.peak` is the genuine
+    /// frontend-wide high-water mark (tracked across all ports at once),
+    /// which can be less than the sum of per-port peaks because ports
+    /// peak at different times.
     pub aggregate: SchedulerStats,
 }
 
@@ -167,6 +199,9 @@ pub struct ShardedScheduler {
     global_of: Vec<Vec<u32>>,
     /// Next port the work-conserving round-robin inspects.
     cursor: usize,
+    /// Frontend-wide high-water mark of queued packets (all ports at
+    /// the same instant — not the sum of per-port peaks).
+    peak: usize,
 }
 
 impl ShardedScheduler {
@@ -223,6 +258,7 @@ impl ShardedScheduler {
             route,
             global_of,
             cursor: 0,
+            peak: 0,
         }
     }
 
@@ -270,13 +306,9 @@ impl ShardedScheduler {
         &self.shards[port]
     }
 
-    /// Routes one packet (global flow id) to its shard.
-    ///
-    /// # Errors
-    ///
-    /// [`ShardError::UnknownFlow`] for an unconfigured flow, or
-    /// [`ShardError::Port`] wrapping the shard's refusal.
-    pub fn enqueue(&mut self, pkt: Packet) -> Result<(), ShardError> {
+    /// Looks up a packet's route, renumbering its flow id into the
+    /// shard's local space.
+    fn route_packet(&self, pkt: &Packet) -> Result<(usize, Packet), ShardError> {
         let &(port, local) =
             self.route
                 .get(pkt.flow.0 as usize)
@@ -284,11 +316,30 @@ impl ShardedScheduler {
                     flow: pkt.flow.0,
                     flows: self.route.len(),
                 })?;
-        let mut routed = pkt;
+        let mut routed = *pkt;
         routed.flow = FlowId(local);
+        Ok((port, routed))
+    }
+
+    /// Admits an already-routed packet to its shard, maintaining the
+    /// frontend-wide occupancy high-water mark.
+    fn admit(&mut self, port: usize, routed: Packet) -> Result<(), ShardError> {
         self.shards[port]
             .enqueue(routed)
-            .map_err(|source| ShardError::Port { port, source })
+            .map_err(|source| ShardError::Port { port, source })?;
+        self.peak = self.peak.max(self.len());
+        Ok(())
+    }
+
+    /// Routes one packet (global flow id) to its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnknownFlow`] for an unconfigured flow, or
+    /// [`ShardError::Port`] wrapping the shard's refusal.
+    pub fn enqueue(&mut self, pkt: Packet) -> Result<(), ShardError> {
+        let (port, routed) = self.route_packet(&pkt)?;
+        self.admit(port, routed)
     }
 
     /// Routes a batch of packets, bucketing them per shard first so each
@@ -300,27 +351,27 @@ impl ShardedScheduler {
     ///
     /// # Errors
     ///
-    /// Stops at the first failure; earlier packets stay enqueued.
-    pub fn enqueue_batch(&mut self, pkts: &[Packet]) -> Result<usize, ShardError> {
+    /// All flow ids are validated up front, so an unknown flow rejects
+    /// the whole batch with nothing enqueued ([`BatchError::accepted`]
+    /// is 0). A shard refusal stops admission mid-way: the error's
+    /// `accepted` count says how many packets were admitted, and those
+    /// stay enqueued — the batch is not rolled back. Because admission
+    /// proceeds shard by shard, the admitted packets are the failing
+    /// shard's bucket prefix plus every lower-numbered shard's complete
+    /// bucket — **not** necessarily a prefix of the batch.
+    pub fn enqueue_batch(&mut self, pkts: &[Packet]) -> Result<usize, BatchError> {
         let mut buckets: Vec<Vec<Packet>> = vec![Vec::new(); self.shards.len()];
         for pkt in pkts {
-            let &(port, local) =
-                self.route
-                    .get(pkt.flow.0 as usize)
-                    .ok_or(ShardError::UnknownFlow {
-                        flow: pkt.flow.0,
-                        flows: self.route.len(),
-                    })?;
-            let mut routed = *pkt;
-            routed.flow = FlowId(local);
+            let (port, routed) = self
+                .route_packet(pkt)
+                .map_err(|error| BatchError { accepted: 0, error })?;
             buckets[port].push(routed);
         }
         let mut accepted = 0;
         for (port, bucket) in buckets.into_iter().enumerate() {
             for routed in bucket {
-                self.shards[port]
-                    .enqueue(routed)
-                    .map_err(|source| ShardError::Port { port, source })?;
+                self.admit(port, routed)
+                    .map_err(|error| BatchError { accepted, error })?;
                 accepted += 1;
             }
         }
@@ -362,7 +413,6 @@ impl ShardedScheduler {
         for s in &per_port[1..] {
             sum_circuit(&mut aggregate.circuit, &s.circuit);
             aggregate.buffer.occupied += s.buffer.occupied;
-            aggregate.buffer.peak += s.buffer.peak;
             aggregate.buffer.stored += s.buffer.stored;
             aggregate.buffer.rejected += s.buffer.rejected;
             aggregate.enqueued += s.enqueued;
@@ -370,6 +420,10 @@ impl ShardedScheduler {
             aggregate.clamped += s.clamped;
             aggregate.inversions += s.inversions;
         }
+        // The frontend-wide high-water mark, not the sum of per-port
+        // peaks: ports peak at different times, so summing would
+        // overstate true peak occupancy.
+        aggregate.buffer.peak = self.peak;
         ShardStats {
             per_port,
             aggregate,
@@ -585,6 +639,61 @@ mod tests {
                 assert!(prev < p.seq, "flow {} reordered", p.flow.0);
             }
         }
+    }
+
+    #[test]
+    fn batch_error_reports_accepted_count() {
+        // Unknown flow mid-batch: validated up front, nothing enqueued.
+        let mut fe = ShardedScheduler::new(&flows(4), 1e9, 2, SchedulerConfig::default());
+        let batch = [pkt(0, 0, 0.0, 140), pkt(1, 99, 0.0, 140)];
+        let err = fe.enqueue_batch(&batch).unwrap_err();
+        assert_eq!(err.accepted, 0);
+        assert!(matches!(
+            err.error,
+            ShardError::UnknownFlow { flow: 99, .. }
+        ));
+        assert_eq!(fe.len(), 0, "validation failure admits nothing");
+        // Shard refusal mid-batch: the accepted count survives in the error.
+        let small = SchedulerConfig {
+            capacity: 2,
+            ..SchedulerConfig::default()
+        };
+        let mut fe = ShardedScheduler::new(&flows(4), 1e9, 1, small);
+        let batch: Vec<Packet> = (0..4).map(|i| pkt(i, 0, 0.0, 140)).collect();
+        let err = fe.enqueue_batch(&batch).unwrap_err();
+        assert_eq!(err.accepted, 2);
+        assert!(matches!(err.error, ShardError::Port { port: 0, .. }));
+        assert_eq!(fe.len(), 2, "admitted packets stay enqueued");
+        assert!(err.to_string().contains("after 2 packet(s)"));
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn aggregate_peak_is_frontend_wide_not_sum_of_port_peaks() {
+        let fl = flows(16);
+        let mut fe = ShardedScheduler::new(&fl, 1e9, 4, SchedulerConfig::default());
+        // Load and fully drain one port at a time: each port's own peak
+        // is high, but the frontend never holds more than one port's
+        // backlog at once.
+        let mut expected_peak = 0;
+        for port in 0..4 {
+            let f = (0..16u32)
+                .find(|&f| shard_of(FlowId(f), 4) == port)
+                .unwrap();
+            for i in 0..10 {
+                fe.enqueue(pkt(u64::from(f) * 100 + i, f, 0.0, 500))
+                    .unwrap();
+            }
+            expected_peak = expected_peak.max(fe.len());
+            while fe.dequeue_port(port).is_some() {}
+        }
+        let stats = fe.stats();
+        let sum_of_port_peaks: usize = stats.per_port.iter().map(|s| s.buffer.peak).sum();
+        assert_eq!(stats.aggregate.buffer.peak, expected_peak);
+        assert_eq!(stats.aggregate.buffer.peak, 10);
+        assert_eq!(sum_of_port_peaks, 40, "ports each peaked separately");
+        assert!(stats.aggregate.buffer.peak < sum_of_port_peaks);
     }
 
     #[test]
