@@ -51,6 +51,7 @@ pub use buffer::{BufferStats, PacketBuffer};
 pub use egress::HwLinkSim;
 pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
+pub use shard::parallel::ParallelShardedScheduler;
 pub use shard::{
     shard_of, BatchError, PortDeparture, ShardError, ShardStats, ShardedLinkSim, ShardedScheduler,
 };

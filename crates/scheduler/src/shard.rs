@@ -20,6 +20,13 @@
 //! linearly with the port count ([`ShardStats::modeled_packets_per_second`]):
 //! N ports sustain N × 35.8 Mpps at the paper's 143.2 MHz clock.
 //!
+//! Ports need not share one link rate:
+//! [`ShardedScheduler::with_port_rates`] gives every port its own rate,
+//! which drives that shard's WFQ virtual clock and [`ShardedLinkSim`]'s
+//! per-port service times. And the whole frontend runs with one OS
+//! worker thread per port — same semantics, real concurrency — as
+//! [`parallel::ParallelShardedScheduler`].
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +54,8 @@ use tagsort::CircuitStats;
 use traffic::{FlowId, FlowSpec, Packet, Time};
 
 use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
+
+pub mod parallel;
 
 /// The output port a flow is pinned to, as a pure function of the flow
 /// id and the port count.
@@ -184,43 +193,51 @@ fn sum_circuit(agg: &mut CircuitStats, s: &CircuitStats) {
     agg.sram.busy_cycles += s.sram.busy_cycles;
 }
 
-/// A multi-port egress frontend: one [`HwScheduler`] per output port,
-/// flow-affinity routing, and work-conserving service across ports.
-///
-/// Flow ids stay **global** at this interface: the frontend renumbers
-/// them into each shard's dense local space on the way in (the
-/// [`HwScheduler`] contract) and restores the global id on the way out.
-#[derive(Debug, Clone)]
-pub struct ShardedScheduler {
-    shards: Vec<HwScheduler>,
+/// Rolls per-port scheduler stats into one [`ShardStats`], with `peak`
+/// supplied by the caller (the frontend-wide high-water mark is tracked
+/// differently by the sequential and parallel frontends).
+fn aggregate_stats(per_port: Vec<SchedulerStats>, peak: usize) -> ShardStats {
+    let mut aggregate = per_port[0].clone();
+    for s in &per_port[1..] {
+        sum_circuit(&mut aggregate.circuit, &s.circuit);
+        aggregate.buffer.occupied += s.buffer.occupied;
+        aggregate.buffer.stored += s.buffer.stored;
+        aggregate.buffer.rejected += s.buffer.rejected;
+        aggregate.enqueued += s.enqueued;
+        aggregate.dequeued += s.dequeued;
+        aggregate.clamped += s.clamped;
+        aggregate.inversions += s.inversions;
+    }
+    // The frontend-wide high-water mark, not the sum of per-port
+    // peaks: ports peak at different times, so summing would
+    // overstate true peak occupancy.
+    aggregate.buffer.peak = peak;
+    ShardStats {
+        per_port,
+        aggregate,
+    }
+}
+
+/// The flow partition shared by the sequential and parallel frontends:
+/// per-port flow populations (locally renumbered), the global routing
+/// table, and the inverse map that restores global ids on dequeue.
+struct Routing {
+    /// Per port: that port's flows, with locally dense ids.
+    local: Vec<Vec<FlowSpec>>,
     /// Global flow id → (port, local flow id).
     route: Vec<(usize, u32)>,
     /// Per port: local flow id → global flow id.
     global_of: Vec<Vec<u32>>,
-    /// Next port the work-conserving round-robin inspects.
-    cursor: usize,
-    /// Frontend-wide high-water mark of queued packets (all ports at
-    /// the same instant — not the sum of per-port peaks).
-    peak: usize,
 }
 
-impl ShardedScheduler {
-    /// Creates a frontend of `ports` output ports, each an independent
-    /// link of `port_rate_bps` with its own scheduler built from
-    /// `config`. Flows (dense global ids) are partitioned across ports
-    /// by [`shard_of`].
+impl Routing {
+    /// Partitions `flows` across `ports` by [`shard_of`].
     ///
     /// # Panics
     ///
     /// Panics if `ports` is zero, flow ids are not dense, or the hash
-    /// leaves some port without any flow (use more flows or fewer
-    /// ports — an unused port has no traffic to schedule).
-    pub fn new(
-        flows: &[FlowSpec],
-        port_rate_bps: f64,
-        ports: usize,
-        config: SchedulerConfig,
-    ) -> Self {
+    /// leaves some port without any flow.
+    fn build(flows: &[FlowSpec], ports: usize) -> Self {
         assert!(ports > 0, "at least one port required");
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(
@@ -240,23 +257,112 @@ impl ShardedScheduler {
             global_of[port].push(f.id.0);
             local[port].push(renumbered);
         }
-        let shards = local
+        for (port, fl) in local.iter().enumerate() {
+            assert!(
+                !fl.is_empty(),
+                "flow-affinity hash left port {port} without flows \
+                 ({} flows over {ports} ports); use more flows or fewer ports",
+                flows.len()
+            );
+        }
+        Self {
+            local,
+            route,
+            global_of,
+        }
+    }
+}
+
+/// Validates a per-port rate vector (used by both frontends).
+///
+/// # Panics
+///
+/// Panics if `rates` is empty or any rate is not positive and finite.
+fn check_rates(rates: &[f64]) {
+    assert!(!rates.is_empty(), "at least one port required");
+    for (port, &r) in rates.iter().enumerate() {
+        assert!(
+            r > 0.0 && r.is_finite(),
+            "port {port}: rate must be positive and finite, got {r}"
+        );
+    }
+}
+
+/// A multi-port egress frontend: one [`HwScheduler`] per output port,
+/// flow-affinity routing, and work-conserving service across ports.
+///
+/// Flow ids stay **global** at this interface: the frontend renumbers
+/// them into each shard's dense local space on the way in (the
+/// [`HwScheduler`] contract) and restores the global id on the way out.
+#[derive(Debug, Clone)]
+pub struct ShardedScheduler {
+    shards: Vec<HwScheduler>,
+    /// Each port's egress link rate, bits per second.
+    rates: Vec<f64>,
+    /// Global flow id → (port, local flow id).
+    route: Vec<(usize, u32)>,
+    /// Per port: local flow id → global flow id.
+    global_of: Vec<Vec<u32>>,
+    /// Next port the work-conserving round-robin inspects.
+    cursor: usize,
+    /// Frontend-wide high-water mark of queued packets (all ports at
+    /// the same instant — not the sum of per-port peaks).
+    peak: usize,
+}
+
+impl ShardedScheduler {
+    /// Creates a frontend of `ports` output ports, each an independent
+    /// link of `port_rate_bps` with its own scheduler built from
+    /// `config`. Flows (dense global ids) are partitioned across ports
+    /// by [`shard_of`]. For heterogeneous links use
+    /// [`ShardedScheduler::with_port_rates`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero, the rate is not positive and finite,
+    /// flow ids are not dense, or the hash leaves some port without any
+    /// flow (use more flows or fewer ports — an unused port has no
+    /// traffic to schedule).
+    pub fn new(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_port_rates(flows, &vec![port_rate_bps; ports], config)
+    }
+
+    /// Creates a frontend with one output port per entry of
+    /// `port_rates_bps`, each an independent link of its own rate — the
+    /// non-uniform line card (a few 40G uplinks next to many 1G access
+    /// ports). Each port's WFQ virtual clock runs at that port's rate,
+    /// so finishing tags — and therefore per-flow delay and fairness —
+    /// are computed against the link the flow actually gets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port_rates_bps` is empty, any rate is not positive and
+    /// finite, flow ids are not dense, or the hash leaves some port
+    /// without any flow.
+    pub fn with_port_rates(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+    ) -> Self {
+        check_rates(port_rates_bps);
+        let routing = Routing::build(flows, port_rates_bps.len());
+        let shards = routing
+            .local
             .iter()
-            .enumerate()
-            .map(|(port, fl)| {
-                assert!(
-                    !fl.is_empty(),
-                    "flow-affinity hash left port {port} without flows \
-                     ({} flows over {ports} ports); use more flows or fewer ports",
-                    flows.len()
-                );
-                HwScheduler::new(fl, port_rate_bps, config)
-            })
+            .zip(port_rates_bps)
+            .map(|(fl, &rate)| HwScheduler::new(fl, rate, config))
             .collect();
         Self {
             shards,
-            route,
-            global_of,
+            rates: port_rates_bps.to_vec(),
+            route: routing.route,
+            global_of: routing.global_of,
             cursor: 0,
             peak: 0,
         }
@@ -265,6 +371,15 @@ impl ShardedScheduler {
     /// Number of output ports.
     pub fn ports(&self) -> usize {
         self.shards.len()
+    }
+
+    /// One port's egress link rate, bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn port_rate(&self, port: usize) -> f64 {
+        self.rates[port]
     }
 
     /// Number of configured flows (across all ports).
@@ -409,25 +524,7 @@ impl ShardedScheduler {
     /// Per-port and aggregated statistics.
     pub fn stats(&self) -> ShardStats {
         let per_port: Vec<SchedulerStats> = self.shards.iter().map(HwScheduler::stats).collect();
-        let mut aggregate = per_port[0].clone();
-        for s in &per_port[1..] {
-            sum_circuit(&mut aggregate.circuit, &s.circuit);
-            aggregate.buffer.occupied += s.buffer.occupied;
-            aggregate.buffer.stored += s.buffer.stored;
-            aggregate.buffer.rejected += s.buffer.rejected;
-            aggregate.enqueued += s.enqueued;
-            aggregate.dequeued += s.dequeued;
-            aggregate.clamped += s.clamped;
-            aggregate.inversions += s.inversions;
-        }
-        // The frontend-wide high-water mark, not the sum of per-port
-        // peaks: ports peak at different times, so summing would
-        // overstate true peak occupancy.
-        aggregate.buffer.peak = self.peak;
-        ShardStats {
-            per_port,
-            aggregate,
-        }
+        aggregate_stats(per_port, self.peak)
     }
 }
 
@@ -442,8 +539,12 @@ pub struct PortDeparture {
 }
 
 /// Line-rate egress simulation of a sharded frontend: every output port
-/// is an independent link of the frontend's configured rate, served
-/// back-to-back whenever its shard is backlogged.
+/// is an independent link transmitting at **its own configured rate**
+/// ([`ShardedScheduler::port_rate`]), served back-to-back whenever its
+/// shard is backlogged. With non-uniform rates, a slow port's packets
+/// take proportionally longer on the wire, so per-flow delay and
+/// fairness metrics computed from the departures are per-port-rate
+/// aware.
 ///
 /// Because routing is static per flow, the ports decouple completely:
 /// each port's service depends only on its own arrivals, so the
@@ -451,23 +552,14 @@ pub struct PortDeparture {
 /// merges the departures by finish time.
 #[derive(Debug)]
 pub struct ShardedLinkSim {
-    rate_bps: f64,
     frontend: ShardedScheduler,
 }
 
 impl ShardedLinkSim {
-    /// Creates a simulator over `frontend` with each port transmitting
-    /// at `rate_bps`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the rate is not positive and finite.
-    pub fn new(rate_bps: f64, frontend: ShardedScheduler) -> Self {
-        assert!(
-            rate_bps > 0.0 && rate_bps.is_finite(),
-            "rate must be positive and finite"
-        );
-        Self { rate_bps, frontend }
+    /// Creates a simulator over `frontend`; each port transmits at the
+    /// rate the frontend was configured with.
+    pub fn new(frontend: ShardedScheduler) -> Self {
+        Self { frontend }
     }
 
     /// Runs the trace to completion, returning departures sorted by
@@ -509,7 +601,7 @@ impl ShardedLinkSim {
                 match self.frontend.dequeue_port(port) {
                     Some(pkt) => {
                         let start = now;
-                        let finish = now + pkt.service_time(self.rate_bps);
+                        let finish = now + pkt.service_time(self.frontend.port_rate(port));
                         out.push(PortDeparture {
                             port,
                             departure: Departure {
@@ -736,6 +828,55 @@ mod tests {
     }
 
     #[test]
+    fn per_port_rates_are_stored_and_validated() {
+        let fl = flows(16);
+        let fe = ShardedScheduler::with_port_rates(&fl, &[4e9, 1e9], SchedulerConfig::default());
+        assert_eq!(fe.ports(), 2);
+        assert_eq!(fe.port_rate(0), 4e9);
+        assert_eq!(fe.port_rate(1), 1e9);
+        // The uniform constructor is the special case.
+        let uniform = ShardedScheduler::new(&fl, 1e9, 2, SchedulerConfig::default());
+        assert_eq!(uniform.port_rate(0), uniform.port_rate(1));
+        // Invalid rates are rejected up front.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let fl = fl.clone();
+            let caught = std::panic::catch_unwind(move || {
+                ShardedScheduler::with_port_rates(&fl, &[1e9, bad], SchedulerConfig::default())
+            });
+            assert!(caught.is_err(), "rate {bad} accepted");
+        }
+        let caught = std::panic::catch_unwind(|| {
+            ShardedScheduler::with_port_rates(&flows(4), &[], SchedulerConfig::default())
+        });
+        assert!(caught.is_err(), "empty rate vector accepted");
+    }
+
+    #[test]
+    fn link_sim_honors_non_uniform_port_rates() {
+        // Same per-port backlog, 10x rate difference: the slow port's
+        // departures stretch 10x further in time.
+        let fl = flows(16);
+        let fast = 1e8;
+        let slow = 1e7;
+        let fe = ShardedScheduler::with_port_rates(&fl, &[fast, slow], SchedulerConfig::default());
+        let trace: Vec<Packet> = (0..64).map(|i| pkt(i, (i % 16) as u32, 0.0, 500)).collect();
+        let mut sim = ShardedLinkSim::new(fe);
+        let deps = sim.run(&trace).unwrap();
+        let last_finish = |port: usize| {
+            deps.iter()
+                .filter(|d| d.port == port)
+                .map(|d| d.departure.finish)
+                .max()
+                .expect("port served packets")
+        };
+        let per_pkt_fast = 500.0 * 8.0 / fast;
+        let per_pkt_slow = 500.0 * 8.0 / slow;
+        let served = |port: usize| deps.iter().filter(|d| d.port == port).count() as f64;
+        assert!((last_finish(0).seconds() - served(0) * per_pkt_fast).abs() < 1e-9);
+        assert!((last_finish(1).seconds() - served(1) * per_pkt_slow).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_port_is_rejected_at_construction() {
         // One flow over many ports necessarily leaves ports empty.
         let caught = std::panic::catch_unwind(|| {
@@ -751,7 +892,7 @@ mod tests {
             .map(|i| pkt(i, (i % 8) as u32, i as f64 * 1e-5, 500))
             .collect();
         let fe = ShardedScheduler::new(&fl, 1e8, 2, SchedulerConfig::default());
-        let mut sim = ShardedLinkSim::new(1e8, fe);
+        let mut sim = ShardedLinkSim::new(fe);
         let deps = sim.run(&trace).unwrap();
         assert_eq!(deps.len(), 80);
         assert!(deps

@@ -144,7 +144,7 @@ fn link_sim_runs_a_multiport_workload() {
     // Route by affinity over the global flow set (the frontend's own
     // partition, independent of the generator's port labels).
     let fe = ShardedScheduler::new(&mp.flows, 1e7, 2, SchedulerConfig::default());
-    let mut sim = ShardedLinkSim::new(1e7, fe);
+    let mut sim = ShardedLinkSim::new(fe);
     let deps = sim.run(&mp.merged).unwrap();
     assert_eq!(deps.len(), mp.merged.len());
 

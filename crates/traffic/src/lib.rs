@@ -50,7 +50,7 @@ mod spec;
 pub mod trace;
 
 pub use gen::{generate, generate_flow};
-pub use multiport::{generate_multiport, MultiPortTrace, PortSpec};
+pub use multiport::{generate_multiport, rate_weighted_ports, MultiPortTrace, PortSpec};
 pub use packet::{FlowId, Packet, Time};
 pub use shaping::TokenBucket;
 pub use spec::{ArrivalProcess, FlowSpec, SizeDist};

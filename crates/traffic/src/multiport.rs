@@ -68,6 +68,53 @@ impl PortSpec {
     }
 }
 
+/// Builds one [`PortSpec`] per entry of `port_rates_bps`, each carrying
+/// `flows_per_port` flows from [`crate::profiles::diverse_mix`] whose
+/// combined offered load is `utilization` of **that port's** link rate —
+/// a rate-weighted population: a 40 Gb/s uplink receives 40× the traffic
+/// of a 1 Gb/s access port at the same utilization, so heterogeneous
+/// frontends are stressed proportionally on every port.
+///
+/// # Panics
+///
+/// Panics if any rate is not positive and finite (see [`PortSpec::new`]),
+/// `flows_per_port` is zero, or `utilization` is not in `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use traffic::multiport::{generate_multiport, rate_weighted_ports};
+///
+/// let ports = rate_weighted_ports(&[4e7, 1e7], 4, 0.8);
+/// assert!((ports[0].offered_load() - 0.8).abs() < 1e-9);
+/// assert!((ports[1].offered_load() - 0.8).abs() < 1e-9);
+/// // The fast port's flows offer 4x the slow port's bits.
+/// let mp = generate_multiport(&ports, 0.1, 7);
+/// assert!(!mp.is_empty());
+/// ```
+pub fn rate_weighted_ports(
+    port_rates_bps: &[f64],
+    flows_per_port: usize,
+    utilization: f64,
+) -> Vec<PortSpec> {
+    assert!(flows_per_port > 0, "at least one flow per port required");
+    assert!(
+        utilization > 0.0 && utilization <= 1.0,
+        "utilization must be in (0, 1], got {utilization}"
+    );
+    port_rates_bps
+        .iter()
+        .map(|&rate| {
+            let per_flow = rate * utilization / flows_per_port as f64;
+            let flows = crate::profiles::diverse_mix(
+                u32::try_from(flows_per_port).expect("flow count fits u32"),
+                per_flow,
+            );
+            PortSpec::new(rate, flows)
+        })
+        .collect()
+}
+
 /// The output of [`generate_multiport`].
 #[derive(Debug, Clone)]
 pub struct MultiPortTrace {
@@ -230,6 +277,32 @@ mod tests {
     fn offered_load_reflects_flow_rates() {
         let p = PortSpec::new(1e6, profiles::voip(2));
         assert!(p.offered_load() > 0.0 && p.offered_load() < 1.0);
+    }
+
+    #[test]
+    fn rate_weighted_ports_equalize_utilization() {
+        let ports = rate_weighted_ports(&[4e9, 1e9, 1e8], 6, 0.75);
+        assert_eq!(ports.len(), 3);
+        for p in &ports {
+            assert!((p.offered_load() - 0.75).abs() < 1e-9);
+            assert_eq!(p.flows.len(), 6);
+        }
+        // Offered bits scale with the link: 4 Gb/s port carries 40x the
+        // 100 Mb/s port's traffic.
+        let bits = |p: &PortSpec| p.flows.iter().map(|f| f.rate_bps).sum::<f64>();
+        assert!((bits(&ports[0]) / bits(&ports[2]) - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rate_weighted_ports_reject_overload() {
+        let _ = rate_weighted_ports(&[1e9], 4, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn rate_weighted_ports_reject_empty_population() {
+        let _ = rate_weighted_ports(&[1e9], 0, 0.5);
     }
 
     #[test]

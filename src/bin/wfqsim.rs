@@ -13,6 +13,10 @@
 //!
 //! # A 4-port line card: one hardware sorter per port, flow-affinity routed:
 //! cargo run --bin wfqsim -- --scheduler hw --ports 4 --flows 16
+//!
+//! # The same card with one fast uplink and three slower access links:
+//! cargo run --bin wfqsim -- --scheduler hw --ports 4 --flows 16 \
+//!     --port-rates 1e7,2e6,2e6,2e6
 //! ```
 
 use std::process::ExitCode;
@@ -44,6 +48,9 @@ OPTIONS:
   --ports N          multi-port frontend: N egress links, one hardware
                      sorter each, flows routed by affinity hash
                      (requires --scheduler hw; default: 1)
+  --port-rates LIST  per-port link rates in bits/s, comma-separated;
+                     must list exactly --ports rates (default: --rate
+                     on every port)
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -57,6 +64,7 @@ struct Args {
     scheduler: String,
     rate: f64,
     ports: usize,
+    port_rates: Option<Vec<f64>>,
     trace: Option<String>,
     flows: usize,
     horizon: f64,
@@ -70,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         scheduler: "wfq".into(),
         rate: 2e6,
         ports: 1,
+        port_rates: None,
         trace: None,
         flows: 4,
         horizon: 1.0,
@@ -87,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
                 args.rate = value("--rate")?
                     .parse()
                     .map_err(|e| format!("--rate: {e}"))?;
+                check_rate("--rate", args.rate)?;
             }
             "--ports" => {
                 args.ports = value("--ports")?
@@ -95,6 +105,15 @@ fn parse_args() -> Result<Args, String> {
                 if args.ports == 0 {
                     return Err("--ports: at least one port required".into());
                 }
+            }
+            "--port-rates" => {
+                let list = value("--port-rates")?;
+                let parsed: Result<Vec<f64>, _> = list.split(',').map(str::parse::<f64>).collect();
+                let rates = parsed.map_err(|e| format!("--port-rates: {e}"))?;
+                for (port, &r) in rates.iter().enumerate() {
+                    check_rate(&format!("--port-rates: port {port}"), r)?;
+                }
+                args.port_rates = Some(rates);
             }
             "--trace" => args.trace = Some(value("--trace")?),
             "--flows" => {
@@ -121,7 +140,29 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if let Some(rates) = &args.port_rates {
+        if rates.len() != args.ports {
+            return Err(format!(
+                "--port-rates: {} rates given but --ports is {}; list exactly one rate per port",
+                rates.len(),
+                args.ports
+            ));
+        }
+    }
     Ok(args)
+}
+
+/// Rates reach the scheduler's virtual clock and the link simulator as
+/// divisors, so a zero, negative, or non-finite rate must be refused
+/// here with a structured error rather than panicking downstream.
+fn check_rate(what: &str, rate: f64) -> Result<(), String> {
+    if rate > 0.0 && rate.is_finite() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: rate must be positive and finite, got {rate}"
+        ))
+    }
 }
 
 fn build_flows(count: usize, weights: &Option<Vec<f64>>, rate: f64) -> Vec<FlowSpec> {
@@ -192,18 +233,23 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             return ExitCode::FAILURE;
         }
     }
-    let fe = ShardedScheduler::new(
+    let rates: Vec<f64> = args
+        .port_rates
+        .clone()
+        .unwrap_or_else(|| vec![args.rate; args.ports]);
+    // The quantizer's tick must resolve the *fastest* port's tag steps.
+    let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
+    let fe = ShardedScheduler::with_port_rates(
         flows,
-        args.rate,
-        args.ports,
+        &rates,
         SchedulerConfig {
             geometry: Geometry::new(4, 5),
-            tick_scale: args.rate / 50_000.0,
+            tick_scale: max_rate / 50_000.0,
             capacity: (trace.len() + 1).next_power_of_two(),
             ..SchedulerConfig::default()
         },
     );
-    let mut sim = ShardedLinkSim::new(args.rate, fe);
+    let mut sim = ShardedLinkSim::new(fe);
     let port_deps = match sim.run(trace) {
         Ok(d) => d,
         Err(e) => {
@@ -211,19 +257,29 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded)",
-        trace.len(),
-        flows.len(),
-        args.ports,
-        args.rate / 1e6,
-    );
+    let uniform = rates.windows(2).all(|w| w[0] == w[1]);
+    if uniform {
+        println!(
+            "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded)",
+            trace.len(),
+            flows.len(),
+            args.ports,
+            rates[0] / 1e6,
+        );
+    } else {
+        println!(
+            "{} packets, {} flows, {} ports (non-uniform rates), scheduler hw (sharded)",
+            trace.len(),
+            flows.len(),
+            args.ports,
+        );
+    }
 
     println!(
-        "\n{:>5} {:>6} {:>9} {:>11} {:>11} {:>12} {:>6}",
-        "port", "flows", "packets", "mean delay", "worst p99", "throughput", "jain"
+        "\n{:>5} {:>11} {:>6} {:>9} {:>11} {:>11} {:>12} {:>6}",
+        "port", "rate", "flows", "packets", "mean delay", "worst p99", "throughput", "jain"
     );
-    for port in 0..args.ports {
+    for (port, &port_rate) in rates.iter().enumerate() {
         let sub_trace: Vec<Packet> = trace
             .iter()
             .filter(|p| sim.frontend().port_of(p.flow) == Some(port))
@@ -240,8 +296,9 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             .filter(|f| sim.frontend().port_of(f.id) == Some(port))
             .count();
         println!(
-            "{:>5} {:>6} {:>9} {:>9.2}ms {:>9.2}ms {:>9.1}kb/s {:>6.3}",
+            "{:>5} {:>8.3}Mb/s {:>6} {:>9} {:>9.2}ms {:>9.2}ms {:>9.1}kb/s {:>6.3}",
             port,
+            port_rate / 1e6,
             port_flows,
             rollup.packets,
             rollup.mean_delay_s * 1e3,

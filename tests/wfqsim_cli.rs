@@ -1,0 +1,131 @@
+//! `wfqsim` CLI contract: validated flags fail with a structured error
+//! message and a non-zero exit code — never a panic — and the multi-port
+//! flags accept well-formed non-uniform rate lists.
+
+use std::process::{Command, Output};
+
+fn wfqsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wfqsim"))
+        .args(args)
+        .output()
+        .expect("run wfqsim")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn zero_rate_is_a_structured_error_not_a_panic() {
+    for bad in ["0", "-1e6", "nan", "inf"] {
+        let out = wfqsim(&["--scheduler", "hw", "--ports", "2", "--rate", bad]);
+        assert!(!out.status.success(), "--rate {bad} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("rate must be positive and finite"),
+            "--rate {bad}: expected structured error, got: {err}"
+        );
+        assert!(
+            !err.contains("panicked"),
+            "--rate {bad} panicked instead of erroring: {err}"
+        );
+    }
+}
+
+#[test]
+fn zero_port_rate_is_a_structured_error_with_the_port_named() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--port-rates",
+        "2e6,0",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--port-rates: port 1: rate must be positive and finite"),
+        "expected the failing port in the error, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
+fn port_rate_count_must_match_ports() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--ports",
+        "4",
+        "--flows",
+        "16",
+        "--port-rates",
+        "2e6,2e6",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("2 rates given but --ports is 4"),
+        "expected a count-mismatch error, got: {err}"
+    );
+}
+
+#[test]
+fn non_uniform_port_rates_run_end_to_end() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--horizon",
+        "0.2",
+        "--rate",
+        "2e6",
+        "--port-rates",
+        "4e6,1e6",
+    ]);
+    let err = stderr(&out);
+    assert!(out.status.success(), "run failed: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("non-uniform rates"),
+        "report should flag non-uniform rates: {stdout}"
+    );
+    // Both configured rates appear in the per-port table.
+    assert!(
+        stdout.contains("4.000Mb/s"),
+        "missing port 0 rate: {stdout}"
+    );
+    assert!(
+        stdout.contains("1.000Mb/s"),
+        "missing port 1 rate: {stdout}"
+    );
+}
+
+#[test]
+fn uniform_multiport_run_still_reports_the_shared_rate() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--horizon",
+        "0.2",
+        "--rate",
+        "2e6",
+    ]);
+    let err = stderr(&out);
+    assert!(out.status.success(), "run failed: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("2 ports x 2.000 Mb/s"),
+        "uniform header missing: {stdout}"
+    );
+}
