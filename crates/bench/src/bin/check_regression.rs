@@ -6,12 +6,16 @@
 //! ```
 //!
 //! Every metric in the **baseline** is looked up in the current run and
-//! must satisfy `current / baseline >= min_ratio` (all gated metrics are
-//! higher-is-better throughputs/speedups; `0.8` fails a >20% drop).
-//! Extra keys in the current run — wall-clock numbers, new metrics not
-//! yet baselined — are ignored, so adding instrumentation never breaks
-//! the gate. Exits non-zero, naming every offender, on any regression,
-//! missing metric, or malformed file.
+//! must satisfy `current / baseline >= min_ratio` (higher-is-better
+//! throughputs/speedups; `0.8` fails a >20% drop). Metrics whose key
+//! starts with `ceil_` are **lower-is-better ceilings** — drop counts,
+//! peak occupancies, latency quantiles — and fail when
+//! `current > baseline / min_ratio` (the same 20% slack, pointed the
+//! other way); a `ceil_` baseline of exactly `0` demands the current
+//! value stay `0`. Extra keys in the current run — wall-clock numbers,
+//! new metrics not yet baselined — are ignored, so adding
+//! instrumentation never breaks the gate. Exits non-zero, naming every
+//! offender, on any regression, missing metric, or malformed file.
 
 use std::process::ExitCode;
 
@@ -56,6 +60,22 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
+        if key.starts_with("ceil_") {
+            // Lower-is-better ceiling; a zero baseline pins zero.
+            if *base < 0.0 {
+                eprintln!("FAIL {key}: ceiling baseline {base} is negative");
+                failures += 1;
+                continue;
+            }
+            let limit = base / min_ratio;
+            if *now > limit {
+                eprintln!("FAIL {key}: {now} exceeds ceiling {limit} (baseline {base})");
+                failures += 1;
+            } else {
+                println!("ok   {key}: {now} within ceiling {limit} (baseline {base})");
+            }
+            continue;
+        }
         if *base <= 0.0 {
             eprintln!("FAIL {key}: baseline {base} is not a positive metric");
             failures += 1;
@@ -77,7 +97,7 @@ fn main() -> ExitCode {
         }
     }
     if failures > 0 {
-        eprintln!("{failures} metric(s) regressed below {min_ratio} of baseline");
+        eprintln!("{failures} metric(s) outside the {min_ratio} regression bounds");
         return ExitCode::FAILURE;
     }
     println!("all {} gated metric(s) within bounds", baseline.len());

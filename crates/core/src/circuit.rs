@@ -98,6 +98,12 @@ pub struct CircuitStats {
     pub translation: AccessStats,
     /// External SRAM (tag storage) counters.
     pub sram: SramStats,
+    /// Fig. 6 recycling: sections bulk-deleted via
+    /// [`SortRetrieveCircuit::recycle_section`].
+    pub recycled_sections: u64,
+    /// Fig. 6 recycling: total stale tree markers those deletions
+    /// cleared (always 0 under eager cleanup).
+    pub recycled_markers: u64,
 }
 
 impl CircuitStats {
@@ -164,6 +170,8 @@ pub struct SortRetrieveCircuit {
     store: TagStore,
     policy: CleanupPolicy,
     ops: u64,
+    recycled_sections: u64,
+    recycled_markers: u64,
 }
 
 impl SortRetrieveCircuit {
@@ -199,6 +207,8 @@ impl SortRetrieveCircuit {
             store: TagStore::with_geometry_and_memory(geometry, capacity, memory),
             policy,
             ops: 0,
+            recycled_sections: 0,
+            recycled_markers: 0,
         }
     }
 
@@ -246,6 +256,8 @@ impl SortRetrieveCircuit {
             trie: *self.trie.stats(),
             translation: *self.translation.stats(),
             sram: self.store.sram_stats(),
+            recycled_sections: self.recycled_sections,
+            recycled_markers: self.recycled_markers,
         }
     }
 
@@ -340,6 +352,8 @@ impl SortRetrieveCircuit {
         );
         let removed = self.trie.clear_section(section);
         self.translation.clear_section(section);
+        self.recycled_sections += 1;
+        self.recycled_markers += removed as u64;
         removed
     }
 

@@ -22,6 +22,19 @@ pub struct BufferStats {
     pub rejected: u64,
 }
 
+impl BufferStats {
+    /// Routes these counters into a telemetry snapshot under `prefix`
+    /// (keys `{prefix}_occupied`, `_peak`, `_stored`, `_rejected`), so
+    /// buffer figures travel in the same deterministic export as the
+    /// registry metrics.
+    pub fn export(&self, prefix: &str, snap: &mut telemetry::Snapshot) {
+        snap.put(&format!("{prefix}_occupied"), self.occupied as f64);
+        snap.put(&format!("{prefix}_peak"), self.peak as f64);
+        snap.put(&format!("{prefix}_stored"), self.stored as f64);
+        snap.put(&format!("{prefix}_rejected"), self.rejected as f64);
+    }
+}
+
 /// A slotted shared packet buffer with free-list allocation.
 ///
 /// # Example

@@ -8,6 +8,7 @@ use fairq::{GpsVirtualClock, VirtualTime};
 use tagsort::{
     CircuitStats, CleanupPolicy, Geometry, MemoryKind, SortError, SortRetrieveCircuit, Tag,
 };
+use telemetry::{Counter, EventKind, Gauge, GaugeMerge, Histogram, Snapshot, Telemetry, Tracer};
 use traffic::{FlowSpec, Packet, Time};
 
 use crate::buffer::{BufferStats, PacketBuffer};
@@ -114,6 +115,115 @@ pub struct SchedulerStats {
     pub inversions: u64,
 }
 
+impl SchedulerStats {
+    /// Routes every figure into a telemetry snapshot under `prefix`,
+    /// so the legacy `AccessStats`/`BufferStats` numbers travel in the
+    /// same deterministic export as the registry metrics.
+    pub fn export(&self, prefix: &str, snap: &mut Snapshot) {
+        snap.put(&format!("{prefix}_enqueued"), self.enqueued as f64);
+        snap.put(&format!("{prefix}_dequeued"), self.dequeued as f64);
+        snap.put(&format!("{prefix}_clamped"), self.clamped as f64);
+        snap.put(&format!("{prefix}_inversions"), self.inversions as f64);
+        let c = &self.circuit;
+        snap.put(&format!("{prefix}_circuit_ops"), c.ops as f64);
+        snap.put(
+            &format!("{prefix}_circuit_store_cycles"),
+            c.store_cycles as f64,
+        );
+        snap.put(
+            &format!("{prefix}_circuit_cycles_per_op"),
+            c.cycles_per_op(),
+        );
+        snap.put(&format!("{prefix}_trie_reads"), c.trie.reads() as f64);
+        snap.put(&format!("{prefix}_trie_writes"), c.trie.writes() as f64);
+        snap.put(
+            &format!("{prefix}_trie_worst_op_accesses"),
+            c.trie.worst_op_accesses() as f64,
+        );
+        snap.put(
+            &format!("{prefix}_translation_reads"),
+            c.translation.reads() as f64,
+        );
+        snap.put(
+            &format!("{prefix}_translation_writes"),
+            c.translation.writes() as f64,
+        );
+        snap.put(&format!("{prefix}_sram_reads"), c.sram.reads as f64);
+        snap.put(&format!("{prefix}_sram_writes"), c.sram.writes as f64);
+        snap.put(
+            &format!("{prefix}_recycled_sections"),
+            c.recycled_sections as f64,
+        );
+        snap.put(
+            &format!("{prefix}_recycled_markers"),
+            c.recycled_markers as f64,
+        );
+        self.buffer.export(&format!("{prefix}_buf"), snap);
+    }
+}
+
+/// The scheduler's handles into a telemetry registry. Disabled handles
+/// (the default) record nothing: every hook below is one branch on an
+/// `Option` and a return.
+///
+/// Metric names are shared across schedulers attached to the same
+/// registry — each scheduler records on its own shard's cells, so the
+/// snapshot shows both per-port columns and merged totals.
+#[derive(Debug, Clone)]
+struct Instruments {
+    shard: usize,
+    enqueued: Counter,
+    dequeued: Counter,
+    dropped: Counter,
+    clamped: Counter,
+    inversions: Counter,
+    recycled_sections: Counter,
+    recycled_markers: Counter,
+    depth: Gauge,
+    depth_peak: Gauge,
+    sort_cycles: Histogram,
+    occupancy: Histogram,
+    tracer: Tracer,
+}
+
+impl Instruments {
+    fn disabled() -> Self {
+        Self {
+            shard: 0,
+            enqueued: Counter::disabled(),
+            dequeued: Counter::disabled(),
+            dropped: Counter::disabled(),
+            clamped: Counter::disabled(),
+            inversions: Counter::disabled(),
+            recycled_sections: Counter::disabled(),
+            recycled_markers: Counter::disabled(),
+            depth: Gauge::disabled(),
+            depth_peak: Gauge::disabled(),
+            sort_cycles: Histogram::disabled(),
+            occupancy: Histogram::disabled(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    fn attach(tel: &Telemetry, shard: usize) -> Self {
+        Self {
+            shard,
+            enqueued: tel.counter("sched_enqueued"),
+            dequeued: tel.counter("sched_dequeued"),
+            dropped: tel.counter("sched_dropped"),
+            clamped: tel.counter("sched_clamped"),
+            inversions: tel.counter("sched_inversions"),
+            recycled_sections: tel.counter("trie_recycled_sections"),
+            recycled_markers: tel.counter("trie_recycled_markers"),
+            depth: tel.gauge("queue_depth", GaugeMerge::Sum),
+            depth_peak: tel.gauge("queue_depth_peak", GaugeMerge::Max),
+            sort_cycles: tel.histogram("tag_sort_latency_cycles"),
+            occupancy: tel.histogram("buffer_occupancy_pkts"),
+            tracer: tel.tracer(),
+        }
+    }
+}
+
 /// The full hardware WFQ scheduler: tag computation + quantization +
 /// shared packet buffer + tag sort/retrieve circuit.
 ///
@@ -135,6 +245,7 @@ pub struct HwScheduler {
     enqueued: u64,
     dequeued: u64,
     inversions: u64,
+    instr: Instruments,
 }
 
 impl HwScheduler {
@@ -175,7 +286,28 @@ impl HwScheduler {
             enqueued: 0,
             dequeued: 0,
             inversions: 0,
+            instr: Instruments::disabled(),
         }
+    }
+
+    /// Connects this scheduler to a telemetry registry, recording as
+    /// `shard` (pass 0 for a standalone scheduler). Must be called
+    /// before the run being measured; attaching a second time rebinds
+    /// the handles (same registry ⇒ same storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is outside the registry's shard count (enabled
+    /// telemetry only).
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, shard: usize) {
+        if tel.is_enabled() {
+            assert!(
+                shard < tel.shards(),
+                "shard {shard} outside registry ({} shards)",
+                tel.shards()
+            );
+        }
+        self.instr = Instruments::attach(tel, shard);
     }
 
     /// Number of queued packets.
@@ -191,6 +323,12 @@ impl HwScheduler {
     /// The WFQ virtual clock (read access for experiments).
     pub fn virtual_clock(&self) -> &GpsVirtualClock {
         &self.clock
+    }
+
+    /// Total tag-storage cycles consumed so far — the time base every
+    /// traced event is stamped with.
+    pub fn cycles(&self) -> u64 {
+        self.sorter.cycles().value()
     }
 
     /// Aggregated statistics.
@@ -237,27 +375,93 @@ impl HwScheduler {
         }
         let min_outstanding_tick = self.outstanding.iter().next().map(|&(t, _)| t);
         let out = self.quantizer.quantize(finish, min_outstanding_tick);
-        for section in &out.recycle {
-            self.sorter.recycle_section(*section);
+        if out.clamped || !out.recycle.is_empty() {
+            self.instr.clamped.inc(self.instr.shard, out.clamped as u64);
+            self.instr.tracer.emit(
+                self.instr.shard,
+                self.sorter.cycles().value(),
+                EventKind::VclockWrap,
+                out.clamped as u64,
+                out.recycle.len() as u64,
+            );
         }
-        let slot = self.buffer.store(pkt).ok_or(SchedulerError::BufferFull {
-            capacity: self.buffer.capacity(),
-        })?;
+        for section in &out.recycle {
+            let removed = self.sorter.recycle_section(*section);
+            self.instr.recycled_sections.inc(self.instr.shard, 1);
+            self.instr
+                .recycled_markers
+                .inc(self.instr.shard, removed as u64);
+            self.instr.tracer.emit(
+                self.instr.shard,
+                self.sorter.cycles().value(),
+                EventKind::TrieBulkDelete,
+                *section as u64,
+                removed as u64,
+            );
+        }
+        let Some(slot) = self.buffer.store(pkt) else {
+            self.note_drop(pkt.flow.0);
+            return Err(SchedulerError::BufferFull {
+                capacity: self.buffer.capacity(),
+            });
+        };
+        let cycles_before = self.sorter.cycles().value();
         if let Err(e) = self.sorter.insert(out.tag, slot) {
             self.buffer.release(slot);
+            self.note_drop(pkt.flow.0);
             return Err(e.into());
         }
+        self.instr.sort_cycles.observe(
+            self.instr.shard,
+            self.sorter.cycles().value() - cycles_before,
+        );
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         self.outstanding.insert((out.tick, stamp));
         self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish));
         self.enqueued += 1;
+        self.instr.enqueued.inc(self.instr.shard, 1);
+        self.note_depth();
+        self.instr
+            .occupancy
+            .observe(self.instr.shard, self.buffer.stats().occupied as u64);
+        self.instr.tracer.emit(
+            self.instr.shard,
+            self.sorter.cycles().value(),
+            EventKind::Enqueue,
+            pkt.flow.0 as u64,
+            out.tick,
+        );
         Ok(())
+    }
+
+    /// Records a refused packet (counter + trace event).
+    fn note_drop(&self, flow: u32) {
+        self.instr.dropped.inc(self.instr.shard, 1);
+        self.instr.tracer.emit(
+            self.instr.shard,
+            self.sorter.cycles().value(),
+            EventKind::Drop,
+            flow as u64,
+            self.buffer.capacity() as u64,
+        );
+    }
+
+    /// Refreshes the queue-depth gauge and its high-water mark.
+    fn note_depth(&self) {
+        let depth = self.sorter.len() as u64;
+        self.instr.depth.set(self.instr.shard, depth);
+        self.instr.depth_peak.record_max(self.instr.shard, depth);
     }
 
     /// Serves the packet with the smallest finishing tag.
     pub fn dequeue(&mut self) -> Option<Packet> {
+        let cycles_before = self.sorter.cycles().value();
         let (_, slot) = self.sorter.pop_min()?;
+        self.instr.sort_cycles.observe(
+            self.instr.shard,
+            self.sorter.cycles().value() - cycles_before,
+        );
         let (tick, stamp, _finish) = self.slot_info[slot.index() as usize]
             .take()
             .expect("sorter and buffer agree on occupancy");
@@ -272,10 +476,21 @@ impl HwScheduler {
             .expect("popped entry is outstanding");
         if tick > min_tick {
             self.inversions += 1;
+            self.instr.inversions.inc(self.instr.shard, 1);
         }
         self.outstanding.remove(&(tick, stamp));
         self.dequeued += 1;
-        Some(self.buffer.release(slot))
+        self.instr.dequeued.inc(self.instr.shard, 1);
+        let pkt = self.buffer.release(slot);
+        self.note_depth();
+        self.instr.tracer.emit(
+            self.instr.shard,
+            self.sorter.cycles().value(),
+            EventKind::Dequeue,
+            pkt.flow.0 as u64,
+            self.sorter.len() as u64,
+        );
+        Some(pkt)
     }
 
     /// Advances the virtual clock to `now` without an arrival (useful

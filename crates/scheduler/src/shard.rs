@@ -51,6 +51,7 @@ use std::fmt;
 
 use fairq::Departure;
 use tagsort::CircuitStats;
+use telemetry::{Counter, EventKind, Snapshot, Telemetry, Tracer};
 use traffic::{FlowId, FlowSpec, Packet, Time};
 
 use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
@@ -181,6 +182,22 @@ impl ShardStats {
     pub fn modeled_line_rate_bps(&self, clock_hz: f64, mean_packet_bytes: f64) -> f64 {
         self.modeled_packets_per_second(clock_hz) * mean_packet_bytes * 8.0
     }
+
+    /// Routes the aggregate under `{prefix}_agg` and each port's
+    /// headline occupancy figures under `{prefix}_port{i}_*` into a
+    /// telemetry snapshot — the multi-port analogue of
+    /// [`SchedulerStats::export`].
+    pub fn export(&self, prefix: &str, snap: &mut Snapshot) {
+        self.aggregate.export(&format!("{prefix}_agg"), snap);
+        for (i, s) in self.per_port.iter().enumerate() {
+            let p = format!("{prefix}_port{i}");
+            snap.put(&format!("{p}_enqueued"), s.enqueued as f64);
+            snap.put(&format!("{p}_dequeued"), s.dequeued as f64);
+            snap.put(&format!("{p}_buf_occupied"), s.buffer.occupied as f64);
+            snap.put(&format!("{p}_buf_peak"), s.buffer.peak as f64);
+            snap.put(&format!("{p}_buf_rejected"), s.buffer.rejected as f64);
+        }
+    }
 }
 
 fn sum_circuit(agg: &mut CircuitStats, s: &CircuitStats) {
@@ -191,6 +208,8 @@ fn sum_circuit(agg: &mut CircuitStats, s: &CircuitStats) {
     agg.sram.reads += s.sram.reads;
     agg.sram.writes += s.sram.writes;
     agg.sram.busy_cycles += s.sram.busy_cycles;
+    agg.recycled_sections += s.recycled_sections;
+    agg.recycled_markers += s.recycled_markers;
 }
 
 /// Rolls per-port scheduler stats into one [`ShardStats`], with `peak`
@@ -308,6 +327,11 @@ pub struct ShardedScheduler {
     /// Frontend-wide high-water mark of queued packets (all ports at
     /// the same instant — not the sum of per-port peaks).
     peak: usize,
+    /// Packets routed to a shard (disabled until
+    /// [`ShardedScheduler::attach_telemetry`]).
+    handoffs: Counter,
+    /// Event tracer (disabled by default).
+    tracer: Tracer,
 }
 
 impl ShardedScheduler {
@@ -365,7 +389,31 @@ impl ShardedScheduler {
             global_of: routing.global_of,
             cursor: 0,
             peak: 0,
+            handoffs: Counter::disabled(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Connects the frontend — and every port's scheduler, each as its
+    /// own shard — to a telemetry registry. The registry's shard count
+    /// must equal the port count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is enabled with a different shard count.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        if tel.is_enabled() {
+            assert_eq!(
+                tel.shards(),
+                self.shards.len(),
+                "registry shard count must match port count"
+            );
+        }
+        for (port, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_telemetry(tel, port);
+        }
+        self.handoffs = tel.counter("shard_handoffs");
+        self.tracer = tel.tracer();
     }
 
     /// Number of output ports.
@@ -439,9 +487,17 @@ impl ShardedScheduler {
     /// Admits an already-routed packet to its shard, maintaining the
     /// frontend-wide occupancy high-water mark.
     fn admit(&mut self, port: usize, routed: Packet) -> Result<(), ShardError> {
+        self.tracer.emit(
+            port,
+            self.shards[port].cycles(),
+            EventKind::ShardHandoff,
+            u64::from(self.global_of[port][routed.flow.0 as usize]),
+            routed.seq,
+        );
         self.shards[port]
             .enqueue(routed)
             .map_err(|source| ShardError::Port { port, source })?;
+        self.handoffs.inc(port, 1);
         self.peak = self.peak.max(self.len());
         Ok(())
     }

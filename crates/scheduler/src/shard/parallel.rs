@@ -68,6 +68,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
+use telemetry::{Counter, Telemetry};
 use traffic::{FlowId, FlowSpec, Packet};
 
 use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
@@ -187,6 +188,9 @@ pub struct ParallelShardedScheduler {
     peak: usize,
     /// Next port the work-conserving round-robin inspects.
     cursor: usize,
+    /// Packets routed to a shard (disabled unless built with
+    /// [`ParallelShardedScheduler::with_telemetry`]).
+    handoffs: Counter,
 }
 
 impl std::fmt::Debug for Worker {
@@ -233,7 +237,35 @@ impl ParallelShardedScheduler {
         port_rates_bps: &[f64],
         config: SchedulerConfig,
     ) -> Self {
+        Self::with_telemetry(flows, port_rates_bps, config, &Telemetry::disabled())
+    }
+
+    /// Creates a frontend whose shards all record into `tel` (each port
+    /// as its own telemetry shard). Workers own their schedulers, so the
+    /// registry must be connected **before** the threads spawn — which
+    /// is why this is a constructor rather than an attach method; the
+    /// handles are `Send` (atomics behind `Arc`s) and recording is
+    /// lock-free, so workers never contend on telemetry.
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_port_rates`]; additionally if
+    /// the registry is enabled with a shard count different from the
+    /// port count.
+    pub fn with_telemetry(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        tel: &Telemetry,
+    ) -> Self {
         check_rates(port_rates_bps);
+        if tel.is_enabled() {
+            assert_eq!(
+                tel.shards(),
+                port_rates_bps.len(),
+                "registry shard count must match port count"
+            );
+        }
         let routing = Routing::build(flows, port_rates_bps.len());
         let workers = routing
             .local
@@ -241,7 +273,8 @@ impl ParallelShardedScheduler {
             .zip(port_rates_bps)
             .enumerate()
             .map(|(port, (fl, &rate))| {
-                let shard = HwScheduler::new(fl, rate, config);
+                let mut shard = HwScheduler::new(fl, rate, config);
+                shard.attach_telemetry(tel, port);
                 let (cmd_tx, cmd_rx) = sync_channel(CHANNEL_DEPTH);
                 let (rep_tx, rep_rx) = sync_channel(CHANNEL_DEPTH);
                 let handle = std::thread::Builder::new()
@@ -263,6 +296,7 @@ impl ParallelShardedScheduler {
             occupancy: vec![0; port_rates_bps.len()],
             peak: 0,
             cursor: 0,
+            handoffs: tel.counter("shard_handoffs"),
         }
     }
 
@@ -427,6 +461,7 @@ impl ParallelShardedScheduler {
                 Reply::Enqueued { accepted, error } => {
                     total += accepted;
                     self.occupancy[port] += accepted;
+                    self.handoffs.inc(port, accepted as u64);
                     if let (Some(source), None) = (error, first_error.as_ref()) {
                         first_error = Some(ShardError::Port { port, source });
                     }

@@ -1,0 +1,81 @@
+//! Log-bucketed histogram geometry.
+//!
+//! Values 0..=16 get one exact bucket each, so the small integer
+//! latencies the cycle-accurate model produces (the paper's fixed
+//! four-cycle slot, small queue depths) report exact quantiles; larger
+//! values fall into power-of-two buckets whose quantiles are reported as
+//! the bucket's inclusive upper bound. Both regimes are deterministic:
+//! identical observations always produce identical quantiles.
+
+/// Largest value with its own exact bucket.
+const EXACT: u64 = 16;
+
+/// Number of buckets: 17 exact (0..=16) plus one per power of two from
+/// 2^4..2^5 up to 2^63.. (the top bucket is unbounded).
+pub const BUCKETS: usize = 17 + 60;
+
+/// The bucket a value falls into.
+pub fn bucket_of(v: u64) -> usize {
+    if v <= EXACT {
+        v as usize
+    } else {
+        // v >= 17 ⇒ floor(log2 v) in 4..=63; log2 17..=31 is 4, sharing
+        // the first log bucket with the tail of the exact range.
+        17 + (63 - v.leading_zeros() as usize) - 4
+    }
+}
+
+/// The largest value a bucket holds (inclusive); quantiles report this
+/// bound. The top bucket saturates at `u64::MAX`.
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket <= EXACT as usize {
+        bucket as u64
+    } else {
+        let log2 = bucket - 17 + 4;
+        if log2 >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (log2 + 1)) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_are_exact() {
+        for v in 0..=16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper_bound(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn log_buckets_cover_all_of_u64() {
+        assert_eq!(bucket_of(17), 17);
+        assert_eq!(bucket_of(31), 17);
+        assert_eq!(bucket_upper_bound(17), 31);
+        assert_eq!(bucket_of(32), 18);
+        assert_eq!(bucket_upper_bound(18), 63);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        // Every value lands in a bucket whose bound covers it.
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            assert!(bucket_of(v) < BUCKETS);
+            assert!(bucket_upper_bound(bucket_of(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for v in [0, 1, 5, 16, 17, 100, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of({v}) went backwards");
+            prev = b;
+        }
+    }
+}

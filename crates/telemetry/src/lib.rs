@@ -1,0 +1,57 @@
+//! Unified observability for the WFQ sorter workspace.
+//!
+//! The repo grew three disconnected measurement mechanisms —
+//! `hwsim::AccessStats` (paper Table I memory accesses),
+//! `scheduler::BufferStats`, and the per-flow reports of
+//! `fairq::metrics` — none of which can answer "where did this packet's
+//! latency go" across the trie, the scheduler, and the sharded
+//! frontends. This crate is the single layer they all feed:
+//!
+//! * **[`Telemetry`]** — a metrics registry of named [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed [`Histogram`]s. Every metric keeps one
+//!   cache-line-padded atomic accumulator **per shard**, so the
+//!   thread-per-shard frontend records without contention (each worker
+//!   touches only its own cells, with relaxed atomics); shards merge
+//!   only at snapshot time.
+//! * **[`Tracer`]** — a bounded, cycle-stamped event ring per shard
+//!   (enqueue, dequeue, drop, trie bulk-delete, virtual-clock wrap,
+//!   shard handoff). Disabled tracers carry no ring at all: [`Tracer::emit`]
+//!   is one branch on an `Option` and returns — zero allocation, zero
+//!   synchronization.
+//! * **[`Snapshot`]** — a deterministic, merged view with two exporters:
+//!   flat JSON ([`Snapshot::to_json`], byte-stable across identical
+//!   runs, the format CI baselines consume) and a human-readable table
+//!   ([`Snapshot::to_table`]). External figures — the merged
+//!   `AccessStats`/`BufferStats` numbers — join the same snapshot via
+//!   [`Snapshot::put`].
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{GaugeMerge, Telemetry};
+//!
+//! let tel = Telemetry::new(2); // two shards, counters on, tracing off
+//! let served = tel.counter("served");
+//! let depth = tel.gauge("depth", GaugeMerge::Sum);
+//! let lat = tel.histogram("latency_cycles");
+//! served.inc(0, 3);
+//! served.inc(1, 1);
+//! depth.set(0, 5);
+//! lat.observe(1, 4);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.value("served_total"), Some(4.0));
+//! assert_eq!(snap.value("latency_cycles_p99"), Some(4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use histogram::{bucket_of, bucket_upper_bound, BUCKETS};
+pub use registry::{Counter, Gauge, GaugeMerge, Histogram, Telemetry};
+pub use snapshot::{parse_flat_json, HistogramSnapshot, Snapshot};
+pub use trace::{Event, EventKind, Tracer};

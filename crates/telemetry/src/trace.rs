@@ -1,0 +1,212 @@
+//! Cycle-stamped bounded event tracing.
+//!
+//! Every shard owns a bounded ring of [`Event`]s; when the ring is full
+//! the oldest event is evicted (and counted), so tracing a long run
+//! keeps the *last* `capacity` events per shard — the ones that explain
+//! the state the run ended in. Rings are per-shard to keep the
+//! thread-per-shard frontend contention-free: only shard `i`'s worker
+//! writes ring `i`, so the per-ring mutex is uncontended (the snapshot
+//! reader is the only other party).
+//!
+//! A disabled tracer ([`Tracer::disabled`], or capacity 0) holds no
+//! rings at all: [`Tracer::emit`] checks one `Option` and returns.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::Snapshot;
+
+/// What happened. The meaning of an event's `a`/`b` arguments depends on
+/// the kind; see each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet entered a scheduler: `a` = flow id (shard-local in a
+    /// sharded frontend), `b` = the quantized tag tick.
+    Enqueue,
+    /// A packet was served: `a` = flow id, `b` = queue depth afterwards.
+    Dequeue,
+    /// A packet was refused: `a` = flow id, `b` = buffer capacity.
+    Drop,
+    /// A trie section was bulk-deleted (Fig. 6 recycling): `a` =
+    /// section, `b` = markers removed.
+    TrieBulkDelete,
+    /// The virtual clock hit the top of the tag range: `a` = 1 if the
+    /// saturate policy clamped (0 for a wrap-mode lap advance), `b` =
+    /// sections recycled.
+    VclockWrap,
+    /// The frontend routed a packet to a shard: `a` = global flow id,
+    /// `b` = packet sequence number.
+    ShardHandoff,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used by the table exporter).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::Drop => "drop",
+            EventKind::TrieBulkDelete => "trie_bulk_delete",
+            EventKind::VclockWrap => "vclock_wrap",
+            EventKind::ShardHandoff => "shard_handoff",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The shard (port) the event happened on.
+    pub shard: u32,
+    /// The shard's circuit cycle count when the event was recorded.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First argument (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Second argument (kind-specific, see [`EventKind`]).
+    pub b: u64,
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    evicted: u64,
+}
+
+struct Rings {
+    capacity: usize,
+    per_shard: Box<[Mutex<Ring>]>,
+}
+
+/// Handle to the per-shard event rings; cheap to clone, `None` inside
+/// when disabled.
+#[derive(Clone)]
+pub struct Tracer {
+    rings: Option<Arc<Rings>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing and allocates nothing.
+    pub fn disabled() -> Self {
+        Self { rings: None }
+    }
+
+    /// A tracer with a ring of `capacity` events per shard; capacity 0
+    /// yields a disabled tracer.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        if capacity == 0 {
+            return Self::disabled();
+        }
+        Self {
+            rings: Some(Arc::new(Rings {
+                capacity,
+                per_shard: (0..shards)
+                    .map(|_| {
+                        Mutex::new(Ring {
+                            events: VecDeque::with_capacity(capacity),
+                            evicted: 0,
+                        })
+                    })
+                    .collect(),
+            })),
+        }
+    }
+
+    /// Whether events are recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.rings.is_some()
+    }
+
+    /// Records one event on `shard`'s ring, evicting the oldest if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range (enabled tracer only).
+    #[inline]
+    pub fn emit(&self, shard: usize, cycle: u64, kind: EventKind, a: u64, b: u64) {
+        let Some(rings) = &self.rings else {
+            return;
+        };
+        let mut ring = rings.per_shard[shard].lock().expect("ring lock");
+        if ring.events.len() == rings.capacity {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        ring.events.push_back(Event {
+            shard: shard as u32,
+            cycle,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// Copies every shard's ring (shard-major, oldest first — a
+    /// deterministic order even when shards raced in real time) into the
+    /// snapshot, together with the eviction count.
+    pub fn collect_into(&self, snap: &mut Snapshot) {
+        let Some(rings) = &self.rings else {
+            return;
+        };
+        let mut events = Vec::new();
+        let mut evicted = 0;
+        for ring in rings.per_shard.iter() {
+            let ring = ring.lock().expect("ring lock");
+            events.extend(ring.events.iter().copied());
+            evicted += ring.evicted;
+        }
+        snap.set_events(events, evicted);
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(enabled={})", self.is_enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.emit(0, 1, EventKind::Enqueue, 2, 3);
+        let mut snap = Snapshot::empty(1);
+        t.collect_into(&mut snap);
+        assert_eq!(snap.events().len(), 0);
+        assert!(!Tracer::new(4, 0).is_enabled(), "capacity 0 disables");
+    }
+
+    #[test]
+    fn ring_keeps_the_last_capacity_events() {
+        let t = Tracer::new(1, 3);
+        for i in 0..5 {
+            t.emit(0, i, EventKind::Dequeue, i, 0);
+        }
+        let mut snap = Snapshot::empty(1);
+        t.collect_into(&mut snap);
+        let cycles: Vec<u64> = snap.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(snap.value("events_evicted"), Some(2.0));
+        assert_eq!(snap.value("events_captured"), Some(3.0));
+    }
+
+    #[test]
+    fn events_are_shard_major() {
+        let t = Tracer::new(2, 8);
+        t.emit(1, 10, EventKind::Enqueue, 0, 0);
+        t.emit(0, 20, EventKind::Enqueue, 0, 0);
+        let mut snap = Snapshot::empty(2);
+        t.collect_into(&mut snap);
+        let shards: Vec<u32> = snap.events().iter().map(|e| e.shard).collect();
+        assert_eq!(shards, vec![0, 1], "shard-major, not timestamp order");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::TrieBulkDelete.name(), "trie_bulk_delete");
+        assert_eq!(EventKind::VclockWrap.name(), "vclock_wrap");
+    }
+}

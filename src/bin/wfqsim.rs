@@ -17,6 +17,11 @@
 //! # The same card with one fast uplink and three slower access links:
 //! cargo run --bin wfqsim -- --scheduler hw --ports 4 --flows 16 \
 //!     --port-rates 1e7,2e6,2e6,2e6
+//!
+//! # Write a deterministic telemetry snapshot, with the last 32
+//! # cycle-stamped events per shard:
+//! cargo run --bin wfqsim -- --ports 4 --flows 16 --metrics out.json \
+//!     --trace-events 32
 //! ```
 
 use std::process::ExitCode;
@@ -26,10 +31,12 @@ use wfq_sorter::fairq::{
     Wf2qPlus, Wfq, Wrr,
 };
 use wfq_sorter::scheduler::{
-    shard_of, HwLinkSim, HwScheduler, SchedulerConfig, ShardedLinkSim, ShardedScheduler,
+    shard_of, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats, ShardedLinkSim,
+    ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
 use wfq_sorter::tagsort::PAPER_CLOCK_HZ;
+use wfq_sorter::telemetry::{Snapshot, Telemetry};
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
 };
@@ -42,15 +49,20 @@ USAGE:
 
 OPTIONS:
   --scheduler NAME   fifo | wrr | drr | mdrr | srr | fbfq | scfq | sfq |
-                     wfq | wf2q | wf2q+ | hw        (default: wfq;
-                     'hw' is the full hardware pipeline)
+                     wfq | wf2q | wf2q+ | hw        (default: wfq,
+                     or hw when --ports > 1; 'hw' is the full
+                     hardware pipeline)
   --rate BPS         link rate in bits/s             (default: 2e6)
   --ports N          multi-port frontend: N egress links, one hardware
                      sorter each, flows routed by affinity hash
-                     (requires --scheduler hw; default: 1)
+                     (implies --scheduler hw; default: 1)
   --port-rates LIST  per-port link rates in bits/s, comma-separated;
                      must list exactly --ports rates (default: --rate
                      on every port)
+  --metrics FILE     write a deterministic telemetry snapshot (flat
+                     JSON) after the run; hardware pipeline only
+  --trace-events N   with --metrics: keep the last N cycle-stamped
+                     events per shard in the snapshot's event log
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -61,7 +73,8 @@ OPTIONS:
 ";
 
 struct Args {
-    scheduler: String,
+    /// `None` until resolved: `hw` when `--ports > 1`, `wfq` otherwise.
+    scheduler: Option<String>,
     rate: f64,
     ports: usize,
     port_rates: Option<Vec<f64>>,
@@ -71,11 +84,24 @@ struct Args {
     seed: u64,
     weights: Option<Vec<f64>>,
     save: Option<String>,
+    metrics: Option<String>,
+    trace_events: usize,
+}
+
+impl Args {
+    /// The scheduler actually in force (see [`Args::scheduler`]).
+    fn scheduler_name(&self) -> &str {
+        match &self.scheduler {
+            Some(name) => name,
+            None if self.ports > 1 => "hw",
+            None => "wfq",
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        scheduler: "wfq".into(),
+        scheduler: None,
         rate: 2e6,
         ports: 1,
         port_rates: None,
@@ -85,13 +111,15 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         weights: None,
         save: None,
+        metrics: None,
+        trace_events: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--help" | "-h" => return Err(String::new()),
-            "--scheduler" => args.scheduler = value("--scheduler")?,
+            "--scheduler" => args.scheduler = Some(value("--scheduler")?),
             "--rate" => {
                 args.rate = value("--rate")?
                     .parse()
@@ -137,6 +165,15 @@ fn parse_args() -> Result<Args, String> {
                 args.weights = Some(parsed.map_err(|e| format!("--weights: {e}"))?);
             }
             "--save" => args.save = Some(value("--save")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--trace-events" => {
+                args.trace_events = value("--trace-events")?
+                    .parse()
+                    .map_err(|e| format!("--trace-events: {e}"))?;
+                if args.trace_events == 0 {
+                    return Err("--trace-events: capacity must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -149,7 +186,39 @@ fn parse_args() -> Result<Args, String> {
             ));
         }
     }
+    if args.trace_events > 0 && args.metrics.is_none() {
+        return Err(
+            "--trace-events: requires --metrics (events are exported in the snapshot)".into(),
+        );
+    }
+    if args.metrics.is_some() && args.scheduler_name() != "hw" {
+        return Err(format!(
+            "--metrics: instruments the hardware pipeline; --scheduler {} is software \
+             (use --scheduler hw or --ports > 1)",
+            args.scheduler_name()
+        ));
+    }
     Ok(args)
+}
+
+/// Builds the run's telemetry registry: enabled over `shards` shards
+/// when `--metrics` was given (with the `--trace-events` ring), fully
+/// disabled otherwise.
+fn build_telemetry(args: &Args, shards: usize) -> Telemetry {
+    if args.metrics.is_some() {
+        Telemetry::with_tracing(shards, args.trace_events)
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Writes the snapshot where `--metrics` asked, prints the
+/// human-readable table, and reports failures as structured errors.
+fn emit_snapshot(path: &str, snap: &Snapshot) -> Result<(), String> {
+    std::fs::write(path, snap.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    print!("\n{}", snap.to_table());
+    println!("telemetry snapshot written to {path}");
+    Ok(())
 }
 
 /// Rates reach the scheduler's virtual clock and the link simulator as
@@ -239,7 +308,7 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
         .unwrap_or_else(|| vec![args.rate; args.ports]);
     // The quantizer's tick must resolve the *fastest* port's tag steps.
     let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
-    let fe = ShardedScheduler::with_port_rates(
+    let mut fe = ShardedScheduler::with_port_rates(
         flows,
         &rates,
         SchedulerConfig {
@@ -249,6 +318,8 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             ..SchedulerConfig::default()
         },
     );
+    let tel = build_telemetry(args, args.ports);
+    fe.attach_telemetry(&tel);
     let mut sim = ShardedLinkSim::new(fe);
     let port_deps = match sim.run(trace) {
         Ok(d) => d,
@@ -275,10 +346,12 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
         );
     }
 
+    let stats = sim.frontend().stats();
     println!(
-        "\n{:>5} {:>11} {:>6} {:>9} {:>11} {:>11} {:>12} {:>6}",
-        "port", "rate", "flows", "packets", "mean delay", "worst p99", "throughput", "jain"
+        "\n{:>5} {:>11} {:>6} {:>9} {:>11} {:>11} {:>12} {:>6} {:>6}",
+        "port", "rate", "flows", "packets", "mean delay", "worst p99", "throughput", "jain", "peak"
     );
+    let mut rollups = Vec::with_capacity(rates.len());
     for (port, &port_rate) in rates.iter().enumerate() {
         let sub_trace: Vec<Packet> = trace
             .iter()
@@ -296,7 +369,7 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             .filter(|f| sim.frontend().port_of(f.id) == Some(port))
             .count();
         println!(
-            "{:>5} {:>8.3}Mb/s {:>6} {:>9} {:>9.2}ms {:>9.2}ms {:>9.1}kb/s {:>6.3}",
+            "{:>5} {:>8.3}Mb/s {:>6} {:>9} {:>9.2}ms {:>9.2}ms {:>9.1}kb/s {:>6.3} {:>6}",
             port,
             port_rate / 1e6,
             port_flows,
@@ -305,10 +378,11 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             rollup.worst_p99_delay_s * 1e3,
             rollup.throughput_bps / 1e3,
             rollup.jain_throughput,
+            stats.per_port[port].buffer.peak,
         );
+        rollups.push(rollup);
     }
 
-    let stats = sim.frontend().stats();
     println!(
         "\naggregate: {} enqueued, {} dequeued, 0 lost; modeled frontend \
          throughput {:.1} Mpps at {:.1} MHz/shard",
@@ -317,6 +391,26 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
         stats.modeled_packets_per_second(PAPER_CLOCK_HZ) / 1e6,
         PAPER_CLOCK_HZ / 1e6,
     );
+    if let Some(path) = &args.metrics {
+        let mut snap = tel.snapshot();
+        stats.export("hw", &mut snap);
+        for (port, rollup) in rollups.iter().enumerate() {
+            snap.put(&format!("fairq_port{port}_packets"), rollup.packets as f64);
+            snap.put(
+                &format!("fairq_port{port}_mean_delay_s"),
+                rollup.mean_delay_s,
+            );
+            snap.put(
+                &format!("fairq_port{port}_throughput_bps"),
+                rollup.throughput_bps,
+            );
+            snap.put(&format!("fairq_port{port}_jain"), rollup.jain_throughput);
+        }
+        if let Err(msg) = emit_snapshot(path, &snap) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -370,14 +464,15 @@ fn main() -> ExitCode {
 
     // Run.
     if args.ports > 1 {
-        if args.scheduler != "hw" {
+        if args.scheduler_name() != "hw" {
             eprintln!("error: --ports drives one hardware sorter per port; use --scheduler hw");
             return ExitCode::FAILURE;
         }
         return run_multiport(&args, &flows, &trace);
     }
-    let departures = if args.scheduler == "hw" {
-        let hw = HwScheduler::new(
+    let mut hw_export: Option<(Telemetry, SchedulerStats)> = None;
+    let departures = if args.scheduler_name() == "hw" {
+        let mut hw = HwScheduler::new(
             &flows,
             args.rate,
             SchedulerConfig {
@@ -387,15 +482,20 @@ fn main() -> ExitCode {
                 ..SchedulerConfig::default()
             },
         );
-        match HwLinkSim::new(args.rate, hw).run(&trace) {
+        let tel = build_telemetry(&args, 1);
+        hw.attach_telemetry(&tel, 0);
+        let mut sim = HwLinkSim::new(args.rate, hw);
+        let deps = match sim.run(&trace) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("error: hardware pipeline: {e}");
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        hw_export = Some((tel, sim.scheduler().stats()));
+        deps
     } else {
-        match run_software(&args.scheduler, &flows, args.rate, &trace) {
+        match run_software(args.scheduler_name(), &flows, args.rate, &trace) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("error: {e}\n");
@@ -411,7 +511,7 @@ fn main() -> ExitCode {
         trace.len(),
         flow_count,
         args.rate / 1e6,
-        args.scheduler
+        args.scheduler_name()
     );
     let report = metrics::analyze(&flows, &trace, &departures);
     println!(
@@ -438,5 +538,19 @@ fn main() -> ExitCode {
         lag / (lmax / args.rate),
         lmax / args.rate * 1e3
     );
+    if let Some(path) = &args.metrics {
+        let (tel, stats) = hw_export.expect("parse_args allows --metrics only with hw");
+        let mut snap = tel.snapshot();
+        stats.export("hw", &mut snap);
+        let rollup = metrics::aggregate(&report);
+        snap.put("fairq_packets", rollup.packets as f64);
+        snap.put("fairq_mean_delay_s", rollup.mean_delay_s);
+        snap.put("fairq_throughput_bps", rollup.throughput_bps);
+        snap.put("fairq_jain", rollup.jain_throughput);
+        if let Err(msg) = emit_snapshot(path, &snap) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

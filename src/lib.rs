@@ -17,6 +17,9 @@
 //!   quantization/wrap-around, shared packet buffer, and the sorter.
 //! * [`baselines`] — every Table I lookup structure, instrumented.
 //! * [`traffic`] — deterministic workload generation.
+//! * [`telemetry`] — the unified observability layer: per-shard metric
+//!   registry, cycle-stamped event tracing, and deterministic snapshot
+//!   exporters shared by every scheduler layer.
 //!
 //! # Quickstart
 //!
@@ -44,4 +47,5 @@ pub use hwsim;
 pub use matcher;
 pub use scheduler;
 pub use tagsort;
+pub use telemetry;
 pub use traffic;

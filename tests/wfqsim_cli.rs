@@ -1,6 +1,8 @@
 //! `wfqsim` CLI contract: validated flags fail with a structured error
-//! message and a non-zero exit code — never a panic — and the multi-port
-//! flags accept well-formed non-uniform rate lists.
+//! message and a non-zero exit code — never a panic — the multi-port
+//! flags accept well-formed non-uniform rate lists, and the telemetry
+//! flags (`--metrics`, `--trace-events`) produce a parseable,
+//! deterministic snapshot.
 
 use std::process::{Command, Output};
 
@@ -104,6 +106,133 @@ fn non_uniform_port_rates_run_end_to_end() {
     assert!(
         stdout.contains("1.000Mb/s"),
         "missing port 1 rate: {stdout}"
+    );
+}
+
+#[test]
+fn metrics_flag_writes_a_parseable_deterministic_snapshot() {
+    let dir = std::env::temp_dir().join("wfqsim_cli_metrics");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |name: &str| -> String {
+        let path = dir.join(name);
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = wfqsim(&[
+            "--ports",
+            "2",
+            "--flows",
+            "8",
+            "--horizon",
+            "0.2",
+            "--metrics",
+            path,
+            "--trace-events",
+            "8",
+        ]);
+        assert!(out.status.success(), "run failed: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            stdout.contains("telemetry snapshot written to"),
+            "missing confirmation line: {stdout}"
+        );
+        std::fs::read_to_string(path).expect("snapshot file written")
+    };
+
+    let first = run("a.json");
+    let parsed = wfq_sorter::telemetry::parse_flat_json(&first)
+        .expect("snapshot is a flat JSON number object");
+    let value = |key: &str| {
+        parsed
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{key} missing from snapshot"))
+    };
+    // Per-shard counters, a latency histogram, and merged legacy stats
+    // all travel in the one snapshot.
+    assert!(value("sched_enqueued_total") > 0.0);
+    assert_eq!(
+        value("sched_enqueued_port0") + value("sched_enqueued_port1"),
+        value("sched_enqueued_total")
+    );
+    assert!(value("tag_sort_latency_cycles_count") > 0.0);
+    assert!(value("tag_sort_latency_cycles_p99") >= 1.0);
+    assert!(value("hw_agg_enqueued") > 0.0);
+    assert!(value("hw_agg_buf_peak") >= 1.0);
+
+    // Same seed, same flags → byte-identical snapshot.
+    let second = run("b.json");
+    assert_eq!(first, second, "snapshot is not deterministic");
+}
+
+#[test]
+fn unwritable_metrics_path_is_a_structured_error() {
+    let out = wfqsim(&[
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--horizon",
+        "0.1",
+        "--metrics",
+        "/nonexistent-dir/out.json",
+    ]);
+    assert!(!out.status.success(), "unwritable path must fail the run");
+    let err = stderr(&out);
+    assert!(
+        err.contains("cannot write /nonexistent-dir/out.json"),
+        "expected structured write error, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
+fn trace_events_capacity_is_validated() {
+    for (bad, expect) in [
+        ("abc", "--trace-events: invalid digit"),
+        ("-3", "--trace-events: invalid digit"),
+        ("0", "--trace-events: capacity must be at least 1"),
+    ] {
+        let out = wfqsim(&[
+            "--ports",
+            "2",
+            "--metrics",
+            "out.json",
+            "--trace-events",
+            bad,
+        ]);
+        assert!(!out.status.success(), "--trace-events {bad} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains(expect),
+            "--trace-events {bad}: expected {expect:?}, got: {err}"
+        );
+        assert!(!err.contains("panicked"), "panicked: {err}");
+    }
+}
+
+#[test]
+fn trace_events_requires_metrics() {
+    let out = wfqsim(&["--ports", "2", "--trace-events", "8"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--trace-events: requires --metrics"),
+        "expected dependency error, got: {err}"
+    );
+}
+
+#[test]
+fn metrics_rejects_software_schedulers() {
+    let out = wfqsim(&["--scheduler", "wfq", "--metrics", "out.json"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--metrics: instruments the hardware pipeline"),
+        "expected scheduler-kind error, got: {err}"
+    );
+    assert!(
+        err.contains("--scheduler wfq is software"),
+        "error should name the offending scheduler: {err}"
     );
 }
 
