@@ -61,6 +61,15 @@ impl fmt::Binary for Tag {
 /// The sort/retrieve circuit never touches packet payloads; each link in
 /// the tag storage memory carries one of these so the packet buffer read
 /// control can fetch the right packet when its tag is served (Fig. 1).
+///
+/// # Aliasing warning
+///
+/// A `PacketRef` is a raw slot index with no generation counter, exactly
+/// like the pointer the silicon stores. Once the slot is released the
+/// reference is *stale*: if the slot has been reused for a new packet, a
+/// held-over `PacketRef` silently aliases the **new** occupant rather
+/// than failing. Never retain one across a release of the same slot —
+/// treat it as consumed by the release, as the hardware does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct PacketRef(pub u32);
 

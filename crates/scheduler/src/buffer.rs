@@ -162,6 +162,26 @@ mod tests {
         assert!(b.store(pkt(2)).is_some(), "freed slot is reusable");
     }
 
+    /// Pins the aliasing hazard documented on [`PacketRef`]: a reference
+    /// held across `release` is a raw slot index with no generation tag,
+    /// so once the slot is reused it silently resolves to the *new*
+    /// occupant instead of failing. Callers must treat a `PacketRef` as
+    /// consumed by `release`.
+    #[test]
+    fn stale_ref_after_release_aliases_the_new_occupant() {
+        let mut b = PacketBuffer::new(1);
+        let stale = b.store(pkt(7)).unwrap();
+        b.release(stale);
+        let fresh = b.store(pkt(8)).unwrap();
+        // Free-list reuse hands back the same slot index...
+        assert_eq!(stale, fresh);
+        // ...so the stale reference now reads the NEW packet, not the
+        // released one, and releasing through it frees the new packet.
+        assert_eq!(b.peek(stale).seq, 8);
+        assert_eq!(b.release(stale).seq, 8);
+        assert_eq!(b.stats().occupied, 0);
+    }
+
     #[test]
     #[should_panic(expected = "dangling packet reference")]
     fn double_release_panics() {

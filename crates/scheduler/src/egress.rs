@@ -9,9 +9,32 @@
 //! delay/fairness/GPS-lag metrics as the algorithms it implements.
 
 use fairq::Departure;
+use telemetry::LatencyTracker;
 use traffic::{Packet, Time};
 
 use crate::hwsched::{HwScheduler, SchedulerError};
+
+/// What [`HwLinkSim::run`] (and [`crate::ShardedLinkSim::run`]) does
+/// when the scheduler refuses a packet (buffer exhaustion or tag
+/// range).
+///
+/// The scheduler itself already *counts* every refusal —
+/// [`crate::BufferStats::rejected`], the `sched_dropped` counter, and a
+/// `Drop` trace event — regardless of policy; the policy only decides
+/// whether the run survives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Abort the run on the first refusal, returning the error
+    /// (discarding computed departures). The default, preserving the
+    /// original `run` semantics.
+    #[default]
+    Error,
+    /// Count the drop and keep serving — the overload-bench semantics,
+    /// where the departures of *accepted* packets are the result.
+    /// Configuration errors ([`SchedulerError::UnknownFlow`]) still
+    /// abort.
+    CountAndContinue,
+}
 
 /// A fixed-rate output link served by the hardware scheduler.
 ///
@@ -37,6 +60,9 @@ use crate::hwsched::{HwScheduler, SchedulerError};
 pub struct HwLinkSim {
     rate_bps: f64,
     scheduler: HwScheduler,
+    drop_policy: DropPolicy,
+    latency: Option<LatencyTracker>,
+    drops: u64,
 }
 
 impl HwLinkSim {
@@ -53,7 +79,25 @@ impl HwLinkSim {
         Self {
             rate_bps,
             scheduler,
+            drop_policy: DropPolicy::default(),
+            latency: None,
+            drops: 0,
         }
+    }
+
+    /// Sets the refusal handling for subsequent runs (default
+    /// [`DropPolicy::Error`]).
+    pub fn with_drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Enables per-flow latency attribution: subsequent runs feed a
+    /// [`LatencyTracker`] with each departure's circuit-cycle sojourn
+    /// and the simulated wall-clock split (buffer wait vs. service).
+    pub fn with_latency(mut self) -> Self {
+        self.latency = Some(LatencyTracker::new());
+        self
     }
 
     /// Runs the trace to completion, returning departures in service
@@ -61,8 +105,11 @@ impl HwLinkSim {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SchedulerError`] (buffer exhaustion, tag
-    /// range, …).
+    /// Under [`DropPolicy::Error`] (the default), propagates the first
+    /// [`SchedulerError`] (buffer exhaustion, tag range, …). Under
+    /// [`DropPolicy::CountAndContinue`], per-packet refusals are counted
+    /// ([`HwLinkSim::drops`]) and service continues; only
+    /// [`SchedulerError::UnknownFlow`] aborts.
     ///
     /// # Panics
     ///
@@ -77,13 +124,29 @@ impl HwLinkSim {
         let mut next = 0usize;
         loop {
             while next < trace.len() && trace[next].arrival <= now {
-                self.scheduler.enqueue(trace[next])?;
+                if let Err(e) = self.scheduler.enqueue(trace[next]) {
+                    match (self.drop_policy, &e) {
+                        (
+                            DropPolicy::CountAndContinue,
+                            SchedulerError::BufferFull { .. } | SchedulerError::Sorter(_),
+                        ) => self.drops += 1,
+                        _ => return Err(e),
+                    }
+                }
                 next += 1;
             }
-            match self.scheduler.dequeue() {
-                Some(pkt) => {
+            match self.scheduler.dequeue_stamped() {
+                Some((pkt, stamp)) => {
                     let start = now;
                     let finish = now + pkt.service_time(self.rate_bps);
+                    if let Some(lat) = &mut self.latency {
+                        lat.record(
+                            pkt.flow.0,
+                            stamp.cycles(),
+                            start.0 - pkt.arrival.0,
+                            finish.0 - start.0,
+                        );
+                    }
                     out.push(Departure {
                         packet: pkt,
                         start,
@@ -101,6 +164,21 @@ impl HwLinkSim {
             }
         }
         Ok(out)
+    }
+
+    /// Packets refused and skipped under
+    /// [`DropPolicy::CountAndContinue`] (0 under [`DropPolicy::Error`] —
+    /// the run aborts instead). The scheduler-level views of the same
+    /// refusals are [`crate::BufferStats::rejected`] and the
+    /// `sched_dropped` counter.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The per-flow latency attribution accumulated so far, if
+    /// [`HwLinkSim::with_latency`] enabled it.
+    pub fn latency(&self) -> Option<&LatencyTracker> {
+        self.latency.as_ref()
     }
 
     /// The scheduler, for post-run inspection.
@@ -198,5 +276,89 @@ mod tests {
         ];
         let deps = HwLinkSim::new(1e6, hw(&fl, 1e6)).run(&trace).unwrap();
         assert_eq!(deps[1].start, Time(5.0));
+    }
+
+    fn burst(n: u64) -> Vec<Packet> {
+        (0..n)
+            .map(|seq| Packet {
+                flow: FlowId(0),
+                size_bytes: 125,
+                arrival: Time(0.0),
+                seq,
+            })
+            .collect()
+    }
+
+    fn tiny_hw(capacity: usize) -> HwScheduler {
+        HwScheduler::new(
+            &[FlowSpec::new(FlowId(0), 1.0, 1e6)],
+            1e6,
+            SchedulerConfig {
+                geometry: Geometry::new(4, 5),
+                tick_scale: 30.0,
+                capacity,
+                ..SchedulerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn drop_policy_error_aborts_on_buffer_full() {
+        // The pre-DropPolicy behavior, still the default: the first
+        // refusal kills the run and its departures.
+        let mut sim = HwLinkSim::new(1e6, tiny_hw(2));
+        assert!(matches!(
+            sim.run(&burst(5)),
+            Err(SchedulerError::BufferFull { capacity: 2 })
+        ));
+        assert_eq!(sim.drops(), 0);
+    }
+
+    #[test]
+    fn drop_policy_count_and_continue_keeps_serving() {
+        // Regression for the satellite bugfix: overload used to discard
+        // every already-computed departure; now drops are counted and
+        // the accepted packets are still served.
+        let mut sim =
+            HwLinkSim::new(1e6, tiny_hw(2)).with_drop_policy(DropPolicy::CountAndContinue);
+        let deps = sim.run(&burst(5)).unwrap();
+        assert_eq!(deps.len(), 2, "the two buffered packets are served");
+        assert_eq!(sim.drops(), 3);
+        let stats = sim.scheduler().stats();
+        assert_eq!(stats.buffer.rejected, 3, "BufferStats records the drops");
+        assert_eq!(stats.dequeued, 2);
+        // Config errors still abort even under CountAndContinue.
+        let bad = vec![Packet {
+            flow: FlowId(9),
+            size_bytes: 125,
+            arrival: Time(100.0),
+            seq: 99,
+        }];
+        assert!(matches!(
+            sim.run(&bad),
+            Err(SchedulerError::UnknownFlow { flow: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn latency_tracking_attributes_every_departure() {
+        let fl = flows();
+        let trace = generate(&fl, 0.5, 35);
+        let mut sim = HwLinkSim::new(1e6, hw(&fl, 1e6)).with_latency();
+        let deps = sim.run(&trace).unwrap();
+        let lat = sim.latency().unwrap();
+        assert_eq!(lat.samples(), deps.len() as u64);
+        assert_eq!(lat.flows(), 2);
+        // Cycle-domain sojourns come straight from the circuit's
+        // counter: every served packet spent at least the 4-cycle
+        // insert slot inside it.
+        let h = lat.flow_sojourn(0).unwrap();
+        assert!(h.quantile(0.5) >= 4, "p50 sojourn below one op slot");
+        // The exported keys follow the Snapshot contract.
+        let mut snap = telemetry::Snapshot::empty(1);
+        lat.export(&mut snap);
+        assert!(snap.value("flow0_sojourn_p99").is_some());
+        assert!(snap.value("flow1_wait_ns_p50").is_some());
+        assert_eq!(snap.value("latency_samples"), Some(deps.len() as f64));
     }
 }

@@ -224,6 +224,26 @@ impl Instruments {
     }
 }
 
+/// Cycle stamps bracketing one packet's residence in the sort/retrieve
+/// circuit: the cycle-counter readings at enqueue (tag sorted in) and
+/// dequeue (tag retrieved). Returned by [`HwScheduler::dequeue_stamped`]
+/// so link models can attribute per-flow sojourn in the circuit's own
+/// time base, alongside simulated wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SojournStamp {
+    /// Circuit cycle count when the packet's tag finished sorting in.
+    pub enqueued: u64,
+    /// Circuit cycle count when the packet was retrieved.
+    pub dequeued: u64,
+}
+
+impl SojournStamp {
+    /// The packet's sojourn through the circuit, in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.dequeued.saturating_sub(self.enqueued)
+    }
+}
+
 /// The full hardware WFQ scheduler: tag computation + quantization +
 /// shared packet buffer + tag sort/retrieve circuit.
 ///
@@ -239,8 +259,9 @@ pub struct HwScheduler {
     flows: usize,
     /// Outstanding assigned ticks, for the quantizer's window tracking.
     outstanding: BTreeSet<(u64, u64)>,
-    /// (tick, stamp, finishing tag) of each occupied buffer slot.
-    slot_info: Vec<Option<(u64, u64, VirtualTime)>>,
+    /// (tick, stamp, finishing tag, enqueue cycle) of each occupied
+    /// buffer slot.
+    slot_info: Vec<Option<(u64, u64, VirtualTime, u64)>>,
     next_stamp: u64,
     enqueued: u64,
     dequeued: u64,
@@ -417,8 +438,9 @@ impl HwScheduler {
         );
         let stamp = self.next_stamp;
         self.next_stamp += 1;
+        let enq_cycle = self.sorter.cycles().value();
         self.outstanding.insert((out.tick, stamp));
-        self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish));
+        self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish, enq_cycle));
         self.enqueued += 1;
         self.instr.enqueued.inc(self.instr.shard, 1);
         self.note_depth();
@@ -427,10 +449,10 @@ impl HwScheduler {
             .observe(self.instr.shard, self.buffer.stats().occupied as u64);
         self.instr.tracer.emit(
             self.instr.shard,
-            self.sorter.cycles().value(),
+            enq_cycle,
             EventKind::Enqueue,
             pkt.flow.0 as u64,
-            out.tick,
+            pkt.seq,
         );
         Ok(())
     }
@@ -456,13 +478,22 @@ impl HwScheduler {
 
     /// Serves the packet with the smallest finishing tag.
     pub fn dequeue(&mut self) -> Option<Packet> {
+        self.dequeue_stamped().map(|(pkt, _)| pkt)
+    }
+
+    /// Serves the packet with the smallest finishing tag, together with
+    /// the cycle stamps bracketing its residence in the circuit (the
+    /// enqueue-time and dequeue-time cycle-counter readings — the same
+    /// values the traced `Enqueue`/`Dequeue` events carry, so direct
+    /// stamping and event-joined attribution agree exactly).
+    pub fn dequeue_stamped(&mut self) -> Option<(Packet, SojournStamp)> {
         let cycles_before = self.sorter.cycles().value();
         let (_, slot) = self.sorter.pop_min()?;
         self.instr.sort_cycles.observe(
             self.instr.shard,
             self.sorter.cycles().value() - cycles_before,
         );
-        let (tick, stamp, _finish) = self.slot_info[slot.index() as usize]
+        let (tick, stamp, _finish, enq_cycle) = self.slot_info[slot.index() as usize]
             .take()
             .expect("sorter and buffer agree on occupancy");
         // An inversion means the linear sorter's head was not the
@@ -483,14 +514,21 @@ impl HwScheduler {
         self.instr.dequeued.inc(self.instr.shard, 1);
         let pkt = self.buffer.release(slot);
         self.note_depth();
+        let deq_cycle = self.sorter.cycles().value();
         self.instr.tracer.emit(
             self.instr.shard,
-            self.sorter.cycles().value(),
+            deq_cycle,
             EventKind::Dequeue,
             pkt.flow.0 as u64,
-            self.sorter.len() as u64,
+            pkt.seq,
         );
-        Some(pkt)
+        Some((
+            pkt,
+            SojournStamp {
+                enqueued: enq_cycle,
+                dequeued: deq_cycle,
+            },
+        ))
     }
 
     /// Advances the virtual clock to `now` without an arrival (useful

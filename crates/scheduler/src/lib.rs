@@ -48,8 +48,8 @@ mod quantize;
 mod shard;
 
 pub use buffer::{BufferStats, PacketBuffer};
-pub use egress::HwLinkSim;
-pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
+pub use egress::{DropPolicy, HwLinkSim};
+pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp};
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
 pub use shard::parallel::ParallelShardedScheduler;
 pub use shard::{

@@ -51,10 +51,11 @@ use std::fmt;
 
 use fairq::Departure;
 use tagsort::CircuitStats;
-use telemetry::{Counter, EventKind, Snapshot, Telemetry, Tracer};
+use telemetry::{Counter, EventKind, LatencyTracker, Snapshot, Telemetry, Tracer};
 use traffic::{FlowId, FlowSpec, Packet, Time};
 
-use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
+use crate::egress::DropPolicy;
+use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp};
 
 pub mod parallel;
 
@@ -572,9 +573,20 @@ impl ShardedScheduler {
     ///
     /// Panics if `port` is out of range.
     pub fn dequeue_port(&mut self, port: usize) -> Option<Packet> {
-        let mut pkt = self.shards[port].dequeue()?;
+        self.dequeue_port_stamped(port).map(|(pkt, _)| pkt)
+    }
+
+    /// Serves one port's smallest tag with the shard's circuit-cycle
+    /// stamps (see [`HwScheduler::dequeue_stamped`]), restoring the
+    /// global flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn dequeue_port_stamped(&mut self, port: usize) -> Option<(Packet, SojournStamp)> {
+        let (mut pkt, stamp) = self.shards[port].dequeue_stamped()?;
         pkt.flow = FlowId(self.global_of[port][pkt.flow.0 as usize]);
-        Some(pkt)
+        Some((pkt, stamp))
     }
 
     /// Per-port and aggregated statistics.
@@ -592,6 +604,10 @@ pub struct PortDeparture {
     pub port: usize,
     /// The timing record (packet carries its global flow id).
     pub departure: Departure,
+    /// The shard circuit's cycle stamps bracketing the packet's
+    /// residence in the sorter — the cycle-domain twin of the
+    /// wall-clock `departure` record.
+    pub cycles: SojournStamp,
 }
 
 /// Line-rate egress simulation of a sharded frontend: every output port
@@ -609,13 +625,38 @@ pub struct PortDeparture {
 #[derive(Debug)]
 pub struct ShardedLinkSim {
     frontend: ShardedScheduler,
+    drop_policy: DropPolicy,
+    latency: Option<LatencyTracker>,
+    drops: u64,
 }
 
 impl ShardedLinkSim {
     /// Creates a simulator over `frontend`; each port transmits at the
     /// rate the frontend was configured with.
     pub fn new(frontend: ShardedScheduler) -> Self {
-        Self { frontend }
+        Self {
+            frontend,
+            drop_policy: DropPolicy::default(),
+            latency: None,
+            drops: 0,
+        }
+    }
+
+    /// Sets the refusal handling for subsequent runs (default
+    /// [`DropPolicy::Error`]), mirroring
+    /// [`crate::HwLinkSim::with_drop_policy`].
+    pub fn with_drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Enables per-flow latency attribution: subsequent runs feed a
+    /// [`LatencyTracker`] with each departure's shard-circuit cycle
+    /// sojourn and the simulated wall-clock split (buffer wait vs.
+    /// service), keyed by **global** flow id.
+    pub fn with_latency(mut self) -> Self {
+        self.latency = Some(LatencyTracker::new());
+        self
     }
 
     /// Runs the trace to completion, returning departures sorted by
@@ -623,7 +664,11 @@ impl ShardedLinkSim {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`ShardError`].
+    /// Under [`DropPolicy::Error`] (the default), propagates the first
+    /// [`ShardError`]. Under [`DropPolicy::CountAndContinue`],
+    /// per-packet shard refusals (buffer exhaustion, tag range) are
+    /// counted ([`ShardedLinkSim::drops`]) and that port keeps serving;
+    /// [`ShardError::UnknownFlow`] still aborts.
     ///
     /// # Panics
     ///
@@ -651,13 +696,33 @@ impl ShardedLinkSim {
             let mut next = 0usize;
             loop {
                 while next < arrivals.len() && arrivals[next].arrival <= now {
-                    self.frontend.enqueue(arrivals[next])?;
+                    if let Err(e) = self.frontend.enqueue(arrivals[next]) {
+                        match (self.drop_policy, &e) {
+                            (
+                                DropPolicy::CountAndContinue,
+                                ShardError::Port {
+                                    source:
+                                        SchedulerError::BufferFull { .. } | SchedulerError::Sorter(_),
+                                    ..
+                                },
+                            ) => self.drops += 1,
+                            _ => return Err(e),
+                        }
+                    }
                     next += 1;
                 }
-                match self.frontend.dequeue_port(port) {
-                    Some(pkt) => {
+                match self.frontend.dequeue_port_stamped(port) {
+                    Some((pkt, stamp)) => {
                         let start = now;
                         let finish = now + pkt.service_time(self.frontend.port_rate(port));
+                        if let Some(lat) = &mut self.latency {
+                            lat.record(
+                                pkt.flow.0,
+                                stamp.cycles(),
+                                start.0 - pkt.arrival.0,
+                                finish.0 - start.0,
+                            );
+                        }
                         out.push(PortDeparture {
                             port,
                             departure: Departure {
@@ -665,6 +730,7 @@ impl ShardedLinkSim {
                                 start,
                                 finish,
                             },
+                            cycles: stamp,
                         });
                         now = finish;
                     }
@@ -685,6 +751,19 @@ impl ShardedLinkSim {
                 .then(a.port.cmp(&b.port))
         });
         Ok(out)
+    }
+
+    /// Packets refused and skipped under
+    /// [`DropPolicy::CountAndContinue`] across all ports (0 under
+    /// [`DropPolicy::Error`] — the run aborts instead).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The per-flow latency attribution accumulated so far (global flow
+    /// ids), if [`ShardedLinkSim::with_latency`] enabled it.
+    pub fn latency(&self) -> Option<&LatencyTracker> {
+        self.latency.as_ref()
     }
 
     /// The frontend, for post-run inspection.
@@ -930,6 +1009,74 @@ mod tests {
         let served = |port: usize| deps.iter().filter(|d| d.port == port).count() as f64;
         assert!((last_finish(0).seconds() - served(0) * per_pkt_fast).abs() < 1e-9);
         assert!((last_finish(1).seconds() - served(1) * per_pkt_slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stamped_dequeue_matches_plain_and_restores_global_ids() {
+        let fl = flows(16);
+        let mut fe = ShardedScheduler::new(&fl, 1e9, 4, SchedulerConfig::default());
+        fe.enqueue(pkt(0, 7, 0.0, 140)).unwrap();
+        let port = fe.port_of(FlowId(7)).unwrap();
+        let (out, stamp) = fe.dequeue_port_stamped(port).unwrap();
+        assert_eq!(out.flow, FlowId(7), "global id restored on stamped path");
+        assert!(stamp.dequeued > stamp.enqueued, "pop costs cycles");
+        assert_eq!(stamp.cycles(), stamp.dequeued - stamp.enqueued);
+    }
+
+    #[test]
+    fn link_sim_attributes_latency_with_global_flow_ids() {
+        let fl = flows(16);
+        let trace: Vec<Packet> = (0..160)
+            .map(|i| pkt(i, (i % 16) as u32, i as f64 * 1e-5, 500))
+            .collect();
+        let fe = ShardedScheduler::new(&fl, 1e8, 4, SchedulerConfig::default());
+        let mut sim = ShardedLinkSim::new(fe).with_latency();
+        let deps = sim.run(&trace).unwrap();
+        assert_eq!(deps.len(), 160);
+        for d in &deps {
+            assert!(
+                d.cycles.dequeued > d.cycles.enqueued,
+                "departures carry cycle stamps"
+            );
+        }
+        let lat = sim.latency().unwrap();
+        assert_eq!(lat.samples(), 160);
+        assert_eq!(lat.flows(), 16, "attribution is per global flow id");
+        let mut snap = Snapshot::empty(1);
+        lat.export(&mut snap);
+        assert!(snap.value("flow15_sojourn_p99").is_some());
+    }
+
+    #[test]
+    fn link_sim_drop_policy_counts_and_continues() {
+        let fl = flows(16);
+        let burst: Vec<Packet> = (0..64).map(|i| pkt(i, (i % 16) as u32, 0.0, 500)).collect();
+        let small = SchedulerConfig {
+            capacity: 4,
+            ..SchedulerConfig::default()
+        };
+        // Default policy: the overload aborts the run.
+        let fe = ShardedScheduler::new(&fl, 1e8, 4, small);
+        let mut sim = ShardedLinkSim::new(fe);
+        assert!(matches!(
+            sim.run(&burst),
+            Err(ShardError::Port {
+                source: SchedulerError::BufferFull { .. },
+                ..
+            })
+        ));
+        // CountAndContinue: the accepted packets are served, the rest
+        // counted — here every port's 4 slots fill before any service.
+        let fe = ShardedScheduler::new(&fl, 1e8, 4, small);
+        let mut sim = ShardedLinkSim::new(fe).with_drop_policy(DropPolicy::CountAndContinue);
+        let deps = sim.run(&burst).unwrap();
+        assert_eq!(deps.len() as u64 + sim.drops(), 64);
+        assert_eq!(deps.len(), 16, "4 ports x 4 slots survive the burst");
+        assert_eq!(
+            sim.frontend().stats().aggregate.buffer.rejected,
+            sim.drops(),
+            "BufferStats agrees with the link-level count"
+        );
     }
 
     #[test]

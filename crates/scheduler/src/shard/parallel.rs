@@ -71,7 +71,7 @@ use std::thread::JoinHandle;
 use telemetry::{Counter, Telemetry};
 use traffic::{FlowId, FlowSpec, Packet};
 
-use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats};
+use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp};
 
 use super::{aggregate_stats, check_rates, BatchError, Routing, ShardError, ShardStats};
 
@@ -98,8 +98,9 @@ enum Reply {
         accepted: usize,
         error: Option<SchedulerError>,
     },
-    /// Dequeued packets (local flow ids) in the shard's WFQ order.
-    Packets(Vec<Packet>),
+    /// Dequeued packets (local flow ids) in the shard's WFQ order, each
+    /// with its circuit-cycle sojourn stamps.
+    Packets(Vec<(Packet, SojournStamp)>),
     /// The shard's scheduler statistics.
     Stats(Box<SchedulerStats>),
 }
@@ -131,14 +132,16 @@ fn worker_loop(mut shard: HwScheduler, commands: Receiver<Command>, replies: Syn
             Command::Dequeue { max } => {
                 let mut out = Vec::with_capacity(max.min(shard.len()));
                 while out.len() < max {
-                    match shard.dequeue() {
+                    match shard.dequeue_stamped() {
                         Some(p) => out.push(p),
                         None => break,
                     }
                 }
                 Reply::Packets(out)
             }
-            Command::DequeueAll => Reply::Packets(std::iter::from_fn(|| shard.dequeue()).collect()),
+            Command::DequeueAll => {
+                Reply::Packets(std::iter::from_fn(|| shard.dequeue_stamped()).collect())
+            }
             Command::Stats => Reply::Stats(Box::new(shard.stats())),
         };
         if replies.send(reply).is_err() {
@@ -510,12 +513,23 @@ impl ParallelShardedScheduler {
     ///
     /// Panics if `port` is out of range.
     pub fn dequeue_port(&mut self, port: usize) -> Option<Packet> {
+        self.dequeue_port_stamped(port).map(|(pkt, _)| pkt)
+    }
+
+    /// Serves one port's smallest tag with the shard circuit's cycle
+    /// stamps (see [`HwScheduler::dequeue_stamped`]), restoring the
+    /// global flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn dequeue_port_stamped(&mut self, port: usize) -> Option<(Packet, SojournStamp)> {
         self.send(port, Command::Dequeue { max: 1 });
         match self.recv(port) {
             Reply::Packets(mut pkts) => {
-                let pkt = pkts.pop()?;
+                let (pkt, stamp) = pkts.pop()?;
                 self.occupancy[port] -= 1;
-                Some(self.restore(port, pkt))
+                Some((self.restore(port, pkt), stamp))
             }
             _ => unreachable!("worker replies in command order"),
         }
@@ -527,37 +541,44 @@ impl ParallelShardedScheduler {
     /// service path. Returns `(port, packet)` pairs; empty only when
     /// every shard is empty.
     pub fn dequeue_round(&mut self, per_port: usize) -> Vec<(usize, Packet)> {
-        let ports = self.workers.len();
-        // Scatter to every backlogged port, gather each port's tag-order
-        // run while the others keep popping.
-        let mut runs: Vec<std::collections::VecDeque<Packet>> = (0..ports)
-            .map(|_| std::collections::VecDeque::new())
-            .collect();
-        let involved: Vec<usize> = (0..ports).filter(|&p| self.occupancy[p] > 0).collect();
-        for &port in &involved {
-            self.send(port, Command::Dequeue { max: per_port });
-        }
-        for &port in &involved {
-            match self.recv(port) {
-                Reply::Packets(pkts) => {
-                    self.occupancy[port] -= pkts.len();
-                    runs[port] = pkts.into_iter().collect();
-                }
-                _ => unreachable!("worker replies in command order"),
-            }
-        }
-        self.merge_round_robin(runs)
+        self.gather_stamped(Some(per_port))
+            .into_iter()
+            .map(|(port, pkt, _)| (port, pkt))
+            .collect()
     }
 
     /// Dequeues everything, concurrently, in the sequential frontend's
     /// round-robin order (see [`ParallelShardedScheduler::dequeue_round`]).
     pub fn drain(&mut self) -> Vec<(usize, Packet)> {
+        self.gather_stamped(None)
+            .into_iter()
+            .map(|(port, pkt, _)| (port, pkt))
+            .collect()
+    }
+
+    /// Dequeues everything, concurrently, in round-robin order, keeping
+    /// each packet's circuit-cycle stamps — the parallel feed for
+    /// per-flow latency attribution
+    /// ([`telemetry::LatencyTracker`]).
+    pub fn drain_stamped(&mut self) -> Vec<(usize, Packet, SojournStamp)> {
+        self.gather_stamped(None)
+    }
+
+    /// Scatters one dequeue command (bounded by `max`, or everything) to
+    /// every backlogged port, gathers the stamped tag-order runs while
+    /// the shards pop concurrently, and merges them in round-robin
+    /// order.
+    fn gather_stamped(&mut self, max: Option<usize>) -> Vec<(usize, Packet, SojournStamp)> {
         let ports = self.workers.len();
         let involved: Vec<usize> = (0..ports).filter(|&p| self.occupancy[p] > 0).collect();
         for &port in &involved {
-            self.send(port, Command::DequeueAll);
+            let cmd = match max {
+                Some(per_port) => Command::Dequeue { max: per_port },
+                None => Command::DequeueAll,
+            };
+            self.send(port, cmd);
         }
-        let mut runs: Vec<std::collections::VecDeque<Packet>> = (0..ports)
+        let mut runs: Vec<std::collections::VecDeque<(Packet, SojournStamp)>> = (0..ports)
             .map(|_| std::collections::VecDeque::new())
             .collect();
         for &port in &involved {
@@ -578,16 +599,16 @@ impl ParallelShardedScheduler {
     /// exactly as serving the packets one by one would have.
     fn merge_round_robin(
         &mut self,
-        mut runs: Vec<std::collections::VecDeque<Packet>>,
-    ) -> Vec<(usize, Packet)> {
+        mut runs: Vec<std::collections::VecDeque<(Packet, SojournStamp)>>,
+    ) -> Vec<(usize, Packet, SojournStamp)> {
         let ports = runs.len();
         let total: usize = runs.iter().map(|r| r.len()).sum();
         let mut out = Vec::with_capacity(total);
         while out.len() < total {
             for step in 0..ports {
                 let port = (self.cursor + step) % ports;
-                if let Some(pkt) = runs[port].pop_front() {
-                    out.push((port, self.restore(port, pkt)));
+                if let Some((pkt, stamp)) = runs[port].pop_front() {
+                    out.push((port, self.restore(port, pkt), stamp));
                     self.cursor = (port + 1) % ports;
                     break;
                 }
@@ -741,6 +762,34 @@ mod tests {
         };
         assert_eq!(per_flow(&got), per_flow(&reference));
         assert_eq!(got.len(), reference.len());
+    }
+
+    #[test]
+    fn drain_stamped_matches_sequential_cycle_stamps() {
+        // Same batch through both frontends: each shard executes the
+        // identical enqueue/dequeue sequence, so the per-port stamped
+        // streams must be identical — the property that makes parallel
+        // latency attribution trustworthy.
+        let fl = flows(24);
+        let batch: Vec<Packet> = (0..96)
+            .map(|i| pkt(i, (i % 24) as u32, i as f64 * 1e-6, 500))
+            .collect();
+        let mut seq = ShardedScheduler::new(&fl, 1e9, 4, SchedulerConfig::default());
+        seq.enqueue_batch(&batch).unwrap();
+        let mut seq_runs: Vec<Vec<(u64, SojournStamp)>> = vec![Vec::new(); 4];
+        for (port, run) in seq_runs.iter_mut().enumerate() {
+            while let Some((p, st)) = seq.dequeue_port_stamped(port) {
+                run.push((p.seq, st));
+            }
+        }
+        let mut par = ParallelShardedScheduler::new(&fl, 1e9, 4, SchedulerConfig::default());
+        par.enqueue_batch(&batch).unwrap();
+        let mut par_runs: Vec<Vec<(u64, SojournStamp)>> = vec![Vec::new(); 4];
+        for (port, p, st) in par.drain_stamped() {
+            assert!(st.dequeued > st.enqueued);
+            par_runs[port].push((p.seq, st));
+        }
+        assert_eq!(par_runs, seq_runs);
     }
 
     #[test]

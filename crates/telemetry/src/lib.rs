@@ -17,7 +17,15 @@
 //!   (enqueue, dequeue, drop, trie bulk-delete, virtual-clock wrap,
 //!   shard handoff). Disabled tracers carry no ring at all: [`Tracer::emit`]
 //!   is one branch on an `Option` and returns — zero allocation, zero
-//!   synchronization.
+//!   synchronization. Long runs attach a streaming [`EventSink`]
+//!   ([`MemorySink`], [`CallbackSink`], or the ndjson [`FileSink`]) so
+//!   every event is exported instead of just the ring tail, or pull
+//!   increments with [`Tracer::drain`].
+//! * **[`LatencyTracker`]** / **[`EventJoiner`]** — per-flow latency
+//!   attribution: sojourn histograms in circuit cycles and simulated
+//!   wall-clock ns, split into buffer-residency vs. retrieve-to-departure,
+//!   fed directly by the link simulations or joined from
+//!   `Enqueue`/`Dequeue` event pairs by `(flow, seq)`.
 //! * **[`Snapshot`]** — a deterministic, merged view with two exporters:
 //!   flat JSON ([`Snapshot::to_json`], byte-stable across identical
 //!   runs, the format CI baselines consume) and a human-readable table
@@ -47,11 +55,15 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod latency;
 mod registry;
+mod sink;
 mod snapshot;
 mod trace;
 
 pub use histogram::{bucket_of, bucket_upper_bound, BUCKETS};
+pub use latency::{EventJoiner, LatencyTracker};
 pub use registry::{Counter, Gauge, GaugeMerge, Histogram, Telemetry};
+pub use sink::{event_to_json, CallbackSink, EventSink, FileSink, MemorySink};
 pub use snapshot::{parse_flat_json, HistogramSnapshot, Snapshot};
 pub use trace::{Event, EventKind, Tracer};

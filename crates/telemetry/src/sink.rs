@@ -1,0 +1,223 @@
+//! Pluggable streaming event sinks.
+//!
+//! The per-shard rings keep only the *tail* of a run — fine for
+//! post-mortems, useless for offline analysis of a long run. Attaching
+//! an [`EventSink`] ([`crate::Tracer::set_sink`]) streams **every**
+//! event out at emit time instead: the ring still keeps its tail for
+//! snapshots, but nothing is lost (the eviction counter stays at zero
+//! while a sink is attached).
+//!
+//! Three implementations ship here:
+//!
+//! * [`MemorySink`] — collects into a shared in-memory vector (tests,
+//!   in-process analysis such as [`crate::EventJoiner`]).
+//! * [`CallbackSink`] — adapts any `FnMut(&Event)` closure.
+//! * [`FileSink`] — line-delimited JSON (one flat object per event), the
+//!   format `wfqsim --event-log` writes. I/O errors are deferred and
+//!   surfaced by [`EventSink::flush`] so the hot emit path never
+//!   propagates `Result`s.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::trace::Event;
+
+/// A streaming consumer of traced events.
+///
+/// [`record`](EventSink::record) is called once per event, at emit time,
+/// in emit order (time-ordered per shard; across shards, the order is
+/// the tracer's emit interleaving — deterministic for single-threaded
+/// drivers). Implementations must be `Send`: the thread-per-shard
+/// frontend emits from worker threads.
+pub trait EventSink: Send {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered output and reports any deferred I/O error.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects every event into a shared, growable in-memory buffer.
+///
+/// The sink is `Clone`; clones share one buffer, so a caller can keep a
+/// clone, hand the other to [`crate::Tracer::set_sink`], and read the
+/// events back without detaching the sink.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink lock").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().expect("memory sink lock").push(*event);
+    }
+}
+
+/// Adapts a closure into an [`EventSink`].
+pub struct CallbackSink<F: FnMut(&Event) + Send>(pub F);
+
+impl<F: FnMut(&Event) + Send> EventSink for CallbackSink<F> {
+    fn record(&mut self, event: &Event) {
+        (self.0)(event)
+    }
+}
+
+impl<F: FnMut(&Event) + Send> std::fmt::Debug for CallbackSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CallbackSink")
+    }
+}
+
+/// Formats one event as the flat JSON object [`FileSink`] writes per
+/// line — stable field order, so identical runs produce byte-identical
+/// logs.
+pub fn event_to_json(e: &Event) -> String {
+    format!(
+        "{{\"shard\":{},\"cycle\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+        e.shard,
+        e.cycle,
+        e.kind.name(),
+        e.a,
+        e.b
+    )
+}
+
+/// Streams events to a file as line-delimited JSON (see
+/// [`event_to_json`] for the per-line shape).
+///
+/// Writes are buffered; the first I/O error stops further writing and is
+/// reported by [`EventSink::flush`] (call it before dropping — the
+/// implicit flush on drop swallows errors, as `BufWriter`'s must).
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+    error: Option<io::Error>,
+    written: u64,
+}
+
+impl FileSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            error: None,
+            written: 0,
+        })
+    }
+
+    /// Number of events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl EventSink for FileSink {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        match writeln!(self.out, "{}", event_to_json(event)) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn ev(shard: u32, cycle: u64) -> Event {
+        Event {
+            shard,
+            cycle,
+            kind: EventKind::Enqueue,
+            a: 7,
+            b: 9,
+        }
+    }
+
+    #[test]
+    fn memory_sink_shares_its_buffer_across_clones() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        writer.record(&ev(0, 1));
+        writer.record(&ev(1, 2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[1].cycle, 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn callback_sink_invokes_the_closure() {
+        let mut cycles = Vec::new();
+        {
+            let mut sink = CallbackSink(|e: &Event| cycles.push(e.cycle));
+            sink.record(&ev(0, 5));
+            sink.record(&ev(0, 6));
+            sink.flush().unwrap();
+        }
+        assert_eq!(cycles, vec![5, 6]);
+    }
+
+    #[test]
+    fn event_json_has_stable_field_order() {
+        assert_eq!(
+            event_to_json(&ev(3, 42)),
+            "{\"shard\":3,\"cycle\":42,\"kind\":\"enqueue\",\"a\":7,\"b\":9}"
+        );
+    }
+
+    #[test]
+    fn file_sink_writes_one_json_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("telemetry_sink_test_{}.ndjson", std::process::id()));
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.record(&ev(0, 1));
+            sink.record(&ev(1, 2));
+            assert_eq!(sink.written(), 2);
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], event_to_json(&ev(0, 1)));
+        assert_eq!(lines[1], event_to_json(&ev(1, 2)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -134,7 +134,8 @@ impl Snapshot {
         self.has_events = true;
     }
 
-    /// The traced events, shard-major then oldest-first.
+    /// The traced events, merged in time order — sorted by
+    /// `(cycle, shard)`, ties preserving per-shard emit order.
     pub fn events(&self) -> &[Event] {
         &self.events
     }

@@ -22,6 +22,11 @@
 //! # cycle-stamped events per shard:
 //! cargo run --bin wfqsim -- --ports 4 --flows 16 --metrics out.json \
 //!     --trace-events 32
+//!
+//! # Per-flow sojourn histograms plus a complete streamed event log
+//! # (one JSON object per line, byte-identical across seeded runs):
+//! cargo run --bin wfqsim -- --ports 4 --flows 16 \
+//!     --latency-report latency.json --event-log events.ndjson
 //! ```
 
 use std::process::ExitCode;
@@ -36,7 +41,7 @@ use wfq_sorter::scheduler::{
 };
 use wfq_sorter::tagsort::Geometry;
 use wfq_sorter::tagsort::PAPER_CLOCK_HZ;
-use wfq_sorter::telemetry::{Snapshot, Telemetry};
+use wfq_sorter::telemetry::{FileSink, LatencyTracker, Snapshot, Telemetry};
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
 };
@@ -63,6 +68,12 @@ OPTIONS:
                      JSON) after the run; hardware pipeline only
   --trace-events N   with --metrics: keep the last N cycle-stamped
                      events per shard in the snapshot's event log
+  --latency-report F write per-flow sojourn histograms (cycles and
+                     wall-clock, flat JSON) after the run; hardware
+                     pipeline only
+  --event-log FILE   stream every traced event to FILE as it happens
+                     (one JSON object per line); hardware pipeline
+                     only, enables tracing even without --metrics
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -86,6 +97,8 @@ struct Args {
     save: Option<String>,
     metrics: Option<String>,
     trace_events: usize,
+    latency_report: Option<String>,
+    event_log: Option<String>,
 }
 
 impl Args {
@@ -113,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
         save: None,
         metrics: None,
         trace_events: 0,
+        latency_report: None,
+        event_log: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -166,6 +181,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--save" => args.save = Some(value("--save")?),
             "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--latency-report" => args.latency_report = Some(value("--latency-report")?),
+            "--event-log" => args.event_log = Some(value("--event-log")?),
             "--trace-events" => {
                 args.trace_events = value("--trace-events")?
                     .parse()
@@ -191,25 +208,103 @@ fn parse_args() -> Result<Args, String> {
             "--trace-events: requires --metrics (events are exported in the snapshot)".into(),
         );
     }
-    if args.metrics.is_some() && args.scheduler_name() != "hw" {
-        return Err(format!(
-            "--metrics: instruments the hardware pipeline; --scheduler {} is software \
-             (use --scheduler hw or --ports > 1)",
-            args.scheduler_name()
-        ));
+    // Multi-port mode drives one hardware sorter per egress link, so an
+    // explicit software scheduler is a contradiction. Reject it here —
+    // in either flag order, before any trace is generated or saved —
+    // rather than resolving it silently or failing mid-run.
+    if args.ports > 1 {
+        if let Some(name) = &args.scheduler {
+            if name != "hw" {
+                return Err(format!(
+                    "--scheduler {name}: --ports {} drives one hardware sorter per port; \
+                     only 'hw' supports multi-port (drop --scheduler or pass --scheduler hw)",
+                    args.ports
+                ));
+            }
+        }
+    }
+    for (flag, set) in [
+        ("--metrics", args.metrics.is_some()),
+        ("--latency-report", args.latency_report.is_some()),
+        ("--event-log", args.event_log.is_some()),
+    ] {
+        if set && args.scheduler_name() != "hw" {
+            return Err(format!(
+                "{flag}: instruments the hardware pipeline; --scheduler {} is software \
+                 (use --scheduler hw or --ports > 1)",
+                args.scheduler_name()
+            ));
+        }
     }
     Ok(args)
 }
 
+/// Ring capacity per shard when `--event-log` enables tracing on its
+/// own. The streamed sink sees every event regardless, so the ring only
+/// bounds what a later `--metrics` snapshot would also carry.
+const EVENT_LOG_RING: usize = 256;
+
 /// Builds the run's telemetry registry: enabled over `shards` shards
-/// when `--metrics` was given (with the `--trace-events` ring), fully
+/// when `--metrics` or `--event-log` was given (with the
+/// `--trace-events` ring, or a default ring for the event log), fully
 /// disabled otherwise.
 fn build_telemetry(args: &Args, shards: usize) -> Telemetry {
-    if args.metrics.is_some() {
-        Telemetry::with_tracing(shards, args.trace_events)
-    } else {
-        Telemetry::disabled()
+    if args.metrics.is_none() && args.event_log.is_none() {
+        return Telemetry::disabled();
     }
+    let ring = if args.trace_events > 0 {
+        args.trace_events
+    } else if args.event_log.is_some() {
+        EVENT_LOG_RING
+    } else {
+        0
+    };
+    Telemetry::with_tracing(shards, ring)
+}
+
+/// Attaches a line-delimited JSON [`FileSink`] to the tracer when
+/// `--event-log` asked for one, so every event streams to disk at emit
+/// time instead of competing for ring capacity.
+fn attach_event_sink(args: &Args, tel: &Telemetry) -> Result<(), String> {
+    let Some(path) = &args.event_log else {
+        return Ok(());
+    };
+    let sink =
+        FileSink::create(path).map_err(|e| format!("--event-log: cannot create {path}: {e}"))?;
+    if tel.tracer().set_sink(Box::new(sink)).is_some() {
+        return Err("--event-log: event tracing is disabled for this run".into());
+    }
+    Ok(())
+}
+
+/// Detaches and flushes the `--event-log` sink, surfacing any write
+/// error deferred during the run.
+fn finish_event_sink(args: &Args, tel: &Telemetry) -> Result<(), String> {
+    let Some(path) = &args.event_log else {
+        return Ok(());
+    };
+    let mut sink = tel
+        .tracer()
+        .take_sink()
+        .ok_or_else(|| format!("--event-log: the sink writing {path} disappeared mid-run"))?;
+    sink.flush()
+        .map_err(|e| format!("--event-log: cannot write {path}: {e}"))?;
+    println!("event log written to {path}");
+    Ok(())
+}
+
+/// Writes the `--latency-report` file: per-flow sojourn histograms in
+/// the same flat deterministic JSON as the metrics snapshot.
+fn emit_latency_report(path: &str, lat: &LatencyTracker) -> Result<(), String> {
+    let mut snap = Snapshot::empty(1);
+    lat.export(&mut snap);
+    std::fs::write(path, snap.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "latency report written to {path} ({} samples over {} flows)",
+        lat.samples(),
+        lat.flows()
+    );
+    Ok(())
 }
 
 /// Writes the snapshot where `--metrics` asked, prints the
@@ -320,7 +415,14 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
     );
     let tel = build_telemetry(args, args.ports);
     fe.attach_telemetry(&tel);
+    if let Err(msg) = attach_event_sink(args, &tel) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
     let mut sim = ShardedLinkSim::new(fe);
+    if args.latency_report.is_some() {
+        sim = sim.with_latency();
+    }
     let port_deps = match sim.run(trace) {
         Ok(d) => d,
         Err(e) => {
@@ -328,6 +430,17 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             return ExitCode::FAILURE;
         }
     };
+    if let Err(msg) = finish_event_sink(args, &tel) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.latency_report {
+        let lat = sim.latency().expect("with_latency was requested");
+        if let Err(msg) = emit_latency_report(path, lat) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     let uniform = rates.windows(2).all(|w| w[0] == w[1]);
     if uniform {
         println!(
@@ -462,12 +575,9 @@ fn main() -> ExitCode {
         println!("trace saved to {path}");
     }
 
-    // Run.
+    // Run. (parse_args already rejected `--ports > 1` with an explicit
+    // software scheduler, so multi-port here is always the hw pipeline.)
     if args.ports > 1 {
-        if args.scheduler_name() != "hw" {
-            eprintln!("error: --ports drives one hardware sorter per port; use --scheduler hw");
-            return ExitCode::FAILURE;
-        }
         return run_multiport(&args, &flows, &trace);
     }
     let mut hw_export: Option<(Telemetry, SchedulerStats)> = None;
@@ -484,7 +594,14 @@ fn main() -> ExitCode {
         );
         let tel = build_telemetry(&args, 1);
         hw.attach_telemetry(&tel, 0);
+        if let Err(msg) = attach_event_sink(&args, &tel) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
         let mut sim = HwLinkSim::new(args.rate, hw);
+        if args.latency_report.is_some() {
+            sim = sim.with_latency();
+        }
         let deps = match sim.run(&trace) {
             Ok(d) => d,
             Err(e) => {
@@ -492,6 +609,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Err(msg) = finish_event_sink(&args, &tel) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &args.latency_report {
+            let lat = sim.latency().expect("with_latency was requested");
+            if let Err(msg) = emit_latency_report(path, lat) {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         hw_export = Some((tel, sim.scheduler().stats()));
         deps
     } else {

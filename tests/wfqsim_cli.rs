@@ -1,8 +1,8 @@
 //! `wfqsim` CLI contract: validated flags fail with a structured error
 //! message and a non-zero exit code — never a panic — the multi-port
 //! flags accept well-formed non-uniform rate lists, and the telemetry
-//! flags (`--metrics`, `--trace-events`) produce a parseable,
-//! deterministic snapshot.
+//! flags (`--metrics`, `--trace-events`, `--latency-report`,
+//! `--event-log`) produce parseable, deterministic artifacts.
 
 use std::process::{Command, Output};
 
@@ -234,6 +234,174 @@ fn metrics_rejects_software_schedulers() {
         err.contains("--scheduler wfq is software"),
         "error should name the offending scheduler: {err}"
     );
+}
+
+#[test]
+fn explicit_software_scheduler_with_ports_is_rejected_in_either_flag_order() {
+    // Regression: `--scheduler wfq --ports 4` used to slip past argument
+    // validation and only fail (or silently resolve) after the trace had
+    // been generated. Both flag orders must now fail at parse time with
+    // a structured error naming both offending flags.
+    let orders: [&[&str]; 2] = [
+        &["--scheduler", "wfq", "--ports", "4"],
+        &["--ports", "4", "--scheduler", "wfq"],
+    ];
+    for args in orders {
+        let out = wfqsim(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--scheduler wfq") && err.contains("--ports 4"),
+            "{args:?}: error should name both flags, got: {err}"
+        );
+        assert!(
+            err.contains("only 'hw' supports multi-port"),
+            "{args:?}: expected the multi-port explanation, got: {err}"
+        );
+        assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+    }
+    // An explicit hw scheduler with ports stays accepted.
+    let out = wfqsim(&[
+        "--ports",
+        "2",
+        "--scheduler",
+        "hw",
+        "--flows",
+        "8",
+        "--horizon",
+        "0.1",
+    ]);
+    assert!(
+        out.status.success(),
+        "--scheduler hw --ports 2 must run: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn latency_report_exports_per_flow_sojourn_keys() {
+    let dir = std::env::temp_dir().join("wfqsim_cli_latency");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("latency.json");
+    let path = path.to_str().expect("utf-8 temp path");
+    let out = wfqsim(&[
+        "--ports",
+        "4",
+        "--flows",
+        "16",
+        "--horizon",
+        "0.2",
+        "--latency-report",
+        path,
+    ]);
+    assert!(out.status.success(), "run failed: {}", stderr(&out));
+    let report = std::fs::read_to_string(path).expect("latency report written");
+    let parsed =
+        wfq_sorter::telemetry::parse_flat_json(&report).expect("report is flat JSON numbers");
+    let value = |key: &str| {
+        parsed
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{key} missing from latency report"))
+    };
+    // Sojourn histograms in cycles, per global flow id, with the wall
+    // clock split into buffer residency and retrieve-to-departure.
+    for flow in [0, 15] {
+        assert!(value(&format!("flow{flow}_sojourn_p50")) >= 4.0);
+        assert!(
+            value(&format!("flow{flow}_sojourn_p99")) >= value(&format!("flow{flow}_sojourn_p50"))
+        );
+        assert!(
+            value(&format!("flow{flow}_sojourn_max"))
+                >= value(&format!("flow{flow}_sojourn_p99")) / 2.0
+        );
+        assert!(value(&format!("flow{flow}_wait_ns_count")) > 0.0);
+        assert!(value(&format!("flow{flow}_service_ns_count")) > 0.0);
+        assert!(value(&format!("flow{flow}_sojourn_ns_count")) > 0.0);
+    }
+    assert_eq!(value("latency_flows"), 16.0);
+    assert!(value("latency_samples") > 0.0);
+}
+
+#[test]
+fn event_log_streams_every_event_deterministically() {
+    let dir = std::env::temp_dir().join("wfqsim_cli_event_log");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |name: &str| -> String {
+        let path = dir.join(name);
+        let path = path.to_str().expect("utf-8 temp path");
+        // Default one-second horizon: ~900 packets × 3 event kinds is
+        // far beyond the 256-event default ring per shard, so only the
+        // streamed sink can hold the complete log.
+        let out = wfqsim(&["--ports", "4", "--flows", "16", "--event-log", path]);
+        assert!(out.status.success(), "run failed: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            stdout.contains("event log written to"),
+            "missing confirmation line: {stdout}"
+        );
+        std::fs::read_to_string(path).expect("event log written")
+    };
+
+    let first = run("a.ndjson");
+    // Every line is one JSON event object; enqueue and dequeue events
+    // balance, which can only hold if the sink saw every event (the
+    // ring alone would have evicted the early ones on this run length).
+    let mut enq = 0u64;
+    let mut deq = 0u64;
+    for line in first.lines() {
+        assert!(
+            line.starts_with("{\"shard\":") && line.ends_with('}'),
+            "malformed event line: {line}"
+        );
+        if line.contains("\"kind\":\"enqueue\"") {
+            enq += 1;
+        }
+        if line.contains("\"kind\":\"dequeue\"") {
+            deq += 1;
+        }
+    }
+    assert!(enq > 256, "expected a run long enough to overflow the ring");
+    assert_eq!(enq, deq, "every enqueue must have its dequeue logged");
+
+    // Same seed, same flags → byte-identical log.
+    let second = run("b.ndjson");
+    assert_eq!(first, second, "event log is not deterministic");
+}
+
+#[test]
+fn latency_and_event_flags_reject_software_schedulers() {
+    for flag in ["--latency-report", "--event-log"] {
+        let out = wfqsim(&["--scheduler", "drr", flag, "out.tmp"]);
+        assert!(!out.status.success(), "{flag} with drr must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains(&format!("{flag}: instruments the hardware pipeline")),
+            "{flag}: expected scheduler-kind error, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn unwritable_event_log_path_is_a_structured_error() {
+    let out = wfqsim(&[
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--horizon",
+        "0.1",
+        "--event-log",
+        "/nonexistent-dir/events.ndjson",
+    ]);
+    assert!(!out.status.success(), "unwritable path must fail the run");
+    let err = stderr(&out);
+    assert!(
+        err.contains("--event-log: cannot create /nonexistent-dir/events.ndjson"),
+        "expected structured create error, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
 }
 
 #[test]
