@@ -16,7 +16,9 @@
 //!   Enqueue/Dequeue pairs. The two are stamped at the same points in
 //!   the machine, so every per-flow cycle histogram must agree exactly;
 //!   `latency_join_agreement` is 1.0 only when they do and no event was
-//!   left unmatched.
+//!   left unmatched. `latency_join_agreement_ports4` repeats the gate on
+//!   a 4-port sharded run — it holds only because traced events carry
+//!   global flow ids, so one joiner can merge all shards' rings.
 //!
 //! With `--json [PATH]` everything is written as a flat JSON object
 //! (default `BENCH_latency.json`) for `check_regression`.
@@ -148,6 +150,36 @@ fn join_vs_direct(fl: &[FlowSpec], trace: &[Packet]) -> f64 {
     1.0
 }
 
+/// The multi-port twin of [`join_vs_direct`]: a 4-port sharded run with
+/// both attribution paths active. The traced events carry *global* flow
+/// ids, so one joiner fed from every shard's ring must reproduce the
+/// direct tracker's per-flow cycle histograms exactly.
+fn join_vs_direct_sharded(fl: &[FlowSpec], trace: &[Packet]) -> f64 {
+    let ring = (3 * trace.len() + 1).next_power_of_two();
+    let tel = Telemetry::with_tracing(PORTS, ring);
+    let mut fe = ShardedScheduler::new(fl, RATE, PORTS, config(trace.len(), RATE));
+    fe.attach_telemetry(&tel);
+    let mut sim = ShardedLinkSim::new(fe).with_latency();
+    sim.run(trace).expect("seeded trace fits the buffers");
+    let direct = sim.latency().expect("latency attribution is on");
+
+    let mut joiner = EventJoiner::new();
+    for port in 0..PORTS {
+        for event in tel.tracer().drain(port) {
+            joiner.observe(&event);
+        }
+    }
+    if joiner.unmatched() > 0 || joiner.in_flight() > 0 {
+        return 0.0;
+    }
+    let joined = cycle_keys(joiner.tracker());
+    let direct_keys = cycle_keys(direct);
+    if joined.is_empty() || joined != direct_keys {
+        return 0.0;
+    }
+    1.0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
@@ -160,6 +192,10 @@ fn main() {
     let trace = generate(&fl, HORIZON_S, SEED);
     let (mut metrics, rows) = sharded_profile(&fl, &trace);
     metrics.push(("latency_join_agreement".into(), join_vs_direct(&fl, &trace)));
+    metrics.push((
+        "latency_join_agreement_ports4".into(),
+        join_vs_direct_sharded(&fl, &trace),
+    ));
 
     print_table(
         &format!(

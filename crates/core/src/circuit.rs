@@ -3,13 +3,74 @@
 use std::error::Error;
 use std::fmt;
 
-use hwsim::{AccessStats, Cycle, SramStats};
+use faultsim::{FaultComponent, FaultTarget};
+use hwsim::{AccessStats, Cycle, ParityAlarm, SramStats};
 
 use crate::geometry::Geometry;
 use crate::tag::{PacketRef, Tag};
-use crate::tagstore::{LinkAddr, TagStore};
+use crate::tagstore::{LinkAddr, StoreCorruption, TagStore};
 use crate::translation::TranslationTable;
 use crate::trie::MultiBitTrie;
+
+/// A state-integrity violation observed on the datapath in tolerant mode.
+///
+/// Each variant is a symptom whose only healthy-operation cause is a
+/// corrupted word: the circuit's invariants rule them out otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityEvent {
+    /// A trie descent was redirected into an empty node (see
+    /// [`crate::TrieDeadEnd`]).
+    TrieDeadEnd {
+        /// Level of the empty node.
+        level: u32,
+        /// Node index within that level.
+        index: u32,
+    },
+    /// The trie returned a marked value with no translation entry.
+    MissingTranslation {
+        /// The marked value whose entry was absent.
+        tag: Tag,
+    },
+    /// A translation entry pointed outside the tag store.
+    BadLinkAddr {
+        /// The value whose entry was invalid.
+        tag: Tag,
+        /// The out-of-range address it held.
+        addr: LinkAddr,
+    },
+}
+
+/// One trie node whose occupancy word disagreed with the translation
+/// table during a scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieMismatch {
+    /// Level of the disagreeing node.
+    pub level: u32,
+    /// Node index within that level.
+    pub index: u32,
+    /// Flattened [`FaultTarget`] word index of the node (for ledger
+    /// reconciliation).
+    pub flat: usize,
+    /// The word the translation table implies.
+    pub expected: u64,
+    /// The word actually stored.
+    pub found: u64,
+}
+
+/// Result of auditing one trie section against translation ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionScrub {
+    /// The audited section.
+    pub section: u32,
+    /// Node words compared (the scrub's modelled read cost).
+    pub words_checked: u64,
+    /// Disagreements found, root-first.
+    pub mismatches: Vec<TrieMismatch>,
+    /// Markers re-inserted by the repair (0 unless repairing).
+    pub repaired_markers: u64,
+    /// Whether a repair pass ran.
+    pub repaired: bool,
+}
 
 /// When tree markers of fully departed tag values are cleared.
 ///
@@ -172,6 +233,10 @@ pub struct SortRetrieveCircuit {
     ops: u64,
     recycled_sections: u64,
     recycled_markers: u64,
+    /// Tolerant mode: datapath invariant violations are logged as
+    /// [`IntegrityEvent`]s and degraded around instead of panicking.
+    tolerant: bool,
+    integrity_log: Vec<IntegrityEvent>,
 }
 
 impl SortRetrieveCircuit {
@@ -209,6 +274,8 @@ impl SortRetrieveCircuit {
             ops: 0,
             recycled_sections: 0,
             recycled_markers: 0,
+            tolerant: false,
+            integrity_log: Vec::new(),
         }
     }
 
@@ -380,6 +447,158 @@ impl SortRetrieveCircuit {
         Ok(self.trie.closest_at_or_below(tag))
     }
 
+    /// Enables or disables tolerant mode on the circuit and its tag
+    /// store: invariant violations degrade and are logged instead of
+    /// panicking. Off by default — a healthy circuit should fault loudly.
+    pub fn set_tolerant(&mut self, tolerant: bool) {
+        self.tolerant = tolerant;
+        self.store.set_tolerant(tolerant);
+    }
+
+    /// Drains the integrity violations logged in tolerant mode.
+    pub fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        std::mem::take(&mut self.integrity_log)
+    }
+
+    /// Drains the structural corruptions the tag store observed.
+    pub fn take_store_corruptions(&mut self) -> Vec<StoreCorruption> {
+        self.store.take_corruptions()
+    }
+
+    /// Drains the parity alarms the tag-storage SRAM raised.
+    pub fn take_parity_alarms(&mut self) -> Vec<ParityAlarm> {
+        self.store.take_parity_alarms()
+    }
+
+    /// The fault-injection surface of one component, for a
+    /// [`faultsim::FaultPlan`] to write into.
+    pub fn fault_target_mut(&mut self, component: FaultComponent) -> &mut dyn FaultTarget {
+        match component {
+            FaultComponent::Trie => &mut self.trie,
+            FaultComponent::Translation => &mut self.translation,
+            FaultComponent::TagStore => &mut self.store,
+        }
+    }
+
+    /// Flattened fault-word index of trie node `(level, index)` — maps
+    /// integrity events and scrub mismatches back onto the trie's
+    /// [`FaultTarget`] address space.
+    pub fn trie_fault_word_index(&self, level: u32, index: u32) -> usize {
+        self.trie.fault_word_index(level, index)
+    }
+
+    /// Audits one trie section against translation-table ground truth,
+    /// optionally repairing it (the scrubber's unit of work).
+    ///
+    /// The invariant checked: a leaf marker bit is set iff the
+    /// corresponding translation entry is present, and an upper-level bit
+    /// is set iff its child subtree holds any marker. This holds under
+    /// *both* cleanup policies — commits set marker and entry together,
+    /// eager pops clear both, lazy pops clear neither, and section
+    /// recycling clears both in bulk.
+    ///
+    /// Repair reuses the Fig.-6 bulk-delete machinery: the section is
+    /// isolated with one root write ([`MultiBitTrie::clear_section`]) and
+    /// rebuilt by re-inserting a marker for every translation entry the
+    /// section holds. All reads are out-of-band audit traffic (no access
+    /// accounting); the re-inserted markers cost real trie writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not below the branching factor.
+    pub fn scrub_section(&mut self, section: u32, repair: bool) -> SectionScrub {
+        assert!(
+            section < self.geometry.branching(),
+            "section {section} out of range"
+        );
+        let b = self.geometry.literal_bits();
+        let branching = self.geometry.branching();
+        let levels = self.geometry.levels();
+        let mut mismatches = Vec::new();
+        let mut words_checked = 1u64; // the root word
+                                      // Expected occupancy words for the section subtree, leaf upward.
+                                      // `expected[l - 1]` covers level `l`'s span under the section.
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); levels.saturating_sub(1) as usize];
+        for level in (1..levels).rev() {
+            let span = 1usize << (b * (level - 1));
+            let start = (section as usize) << (b * (level - 1));
+            let mut words = vec![0u64; span];
+            for (k, word) in words.iter_mut().enumerate() {
+                for j in 0..branching {
+                    let set = if level == levels - 1 {
+                        let tag = Tag((((start + k) as u32) << b) | j);
+                        self.translation.peek(tag).is_some()
+                    } else {
+                        expected[level as usize][(k << b) | j as usize] != 0
+                    };
+                    if set {
+                        *word |= 1u64 << j;
+                    }
+                }
+            }
+            expected[level as usize - 1] = words;
+        }
+        for level in 1..levels {
+            let start = (section as usize) << (b * (level - 1));
+            for (k, &want) in expected[level as usize - 1].iter().enumerate() {
+                words_checked += 1;
+                let index = (start + k) as u32;
+                let found = self.trie.node_word(level, index);
+                if found != want {
+                    mismatches.push(TrieMismatch {
+                        level,
+                        index,
+                        flat: self.trie.fault_word_index(level, index),
+                        expected: want,
+                        found,
+                    });
+                }
+            }
+        }
+        // The root word is shared across sections: audit this section's
+        // bit only.
+        let root_found = self.trie.node_word(0, 0);
+        let root_want_bit = if levels == 1 {
+            // Single-level tree: the section *is* the tag value.
+            u64::from(self.translation.peek(Tag(section)).is_some())
+        } else {
+            u64::from(expected[0].iter().any(|&w| w != 0))
+        };
+        if (root_found >> section) & 1 != root_want_bit {
+            let want = (root_found & !(1u64 << section)) | (root_want_bit << section);
+            mismatches.insert(
+                0,
+                TrieMismatch {
+                    level: 0,
+                    index: 0,
+                    flat: 0,
+                    expected: want,
+                    found: root_found,
+                },
+            );
+        }
+        let mut repaired_markers = 0u64;
+        let run_repair = repair && !mismatches.is_empty();
+        if run_repair {
+            self.trie.clear_section(section);
+            let span = self.geometry.tag_space() / u64::from(self.geometry.branching());
+            let base = u64::from(section) * span;
+            for value in base..base + span {
+                if self.translation.peek(Tag(value as u32)).is_some() {
+                    self.trie.insert_marker(Tag(value as u32));
+                    repaired_markers += 1;
+                }
+            }
+        }
+        SectionScrub {
+            section,
+            words_checked,
+            mismatches,
+            repaired_markers,
+            repaired: run_repair,
+        }
+    }
+
     /// Locates the list predecessor via tree + translation table.
     fn locate_predecessor(&mut self, tag: Tag) -> Result<Option<LinkAddr>, SortError> {
         if !self.geometry.contains(tag) {
@@ -409,10 +628,17 @@ impl SortRetrieveCircuit {
             return Ok(None);
         }
         if self.policy == CleanupPolicy::Lazy {
-            let minimum = self.store.peek_min().expect("non-empty store").0;
+            // In tolerant mode a corruption-truncated list can leave the
+            // length counter above an empty head; degrade to head insert.
+            let Some((minimum, _)) = self.store.peek_min() else {
+                return Ok(None);
+            };
             if tag < minimum {
                 return Err(SortError::BelowMinimum { tag, minimum });
             }
+        }
+        if self.tolerant {
+            return Ok(self.locate_predecessor_tolerant(tag));
         }
         match self.trie.closest_at_or_below(tag) {
             Some(value) => {
@@ -423,6 +649,35 @@ impl SortRetrieveCircuit {
                 Ok(Some(addr))
             }
             None => Ok(None),
+        }
+    }
+
+    /// The tolerant-mode search: every invariant violation the plain path
+    /// would panic on is logged and degraded to a head insert — locally
+    /// mis-sorted service, but continued service.
+    fn locate_predecessor_tolerant(&mut self, tag: Tag) -> Option<LinkAddr> {
+        let value = match self.trie.closest_at_or_below_tolerant(tag) {
+            Ok(v) => v?,
+            Err(dead) => {
+                self.integrity_log.push(IntegrityEvent::TrieDeadEnd {
+                    level: dead.level,
+                    index: dead.index,
+                });
+                return None;
+            }
+        };
+        match self.translation.get(value) {
+            Some(addr) if (addr.0 as usize) < self.store.capacity() => Some(addr),
+            Some(addr) => {
+                self.integrity_log
+                    .push(IntegrityEvent::BadLinkAddr { tag: value, addr });
+                None
+            }
+            None => {
+                self.integrity_log
+                    .push(IntegrityEvent::MissingTranslation { tag: value });
+                None
+            }
         }
     }
 
@@ -689,6 +944,115 @@ mod tests {
         assert_eq!(
             SortError::Full { capacity: 2 }.to_string(),
             "tag storage memory full (2 links)"
+        );
+    }
+
+    #[test]
+    fn scrub_of_healthy_circuit_finds_nothing() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        for t in [3u32, 300, 301, 4000] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        c.pop_min().unwrap();
+        for section in 0..c.geometry().sections() {
+            let scrub = c.scrub_section(section, true);
+            assert!(scrub.mismatches.is_empty(), "section {section}");
+            assert!(!scrub.repaired);
+            assert_eq!(scrub.repaired_markers, 0);
+            // Paper geometry: 1 root + 1 level-1 + 16 leaf words.
+            assert_eq!(scrub.words_checked, 18);
+        }
+    }
+
+    #[test]
+    fn scrub_detects_lazy_mode_state_as_consistent() {
+        // Lazy pops clear neither marker nor entry: the marker ⇔ entry
+        // invariant must survive a fill/drain cycle untouched.
+        let mut c = SortRetrieveCircuit::with_policy(Geometry::paper(), 64, CleanupPolicy::Lazy);
+        for t in [5u32, 6, 7] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        while c.pop_min().is_some() {}
+        assert!(c.scrub_section(0, false).mismatches.is_empty());
+        c.recycle_section(0);
+        assert!(c.scrub_section(0, false).mismatches.is_empty());
+    }
+
+    #[test]
+    fn scrub_and_repair_restores_a_flipped_leaf_word() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        for t in [0x120u32, 0x121, 0x300] {
+            c.insert(Tag(t), PacketRef(t)).unwrap();
+        }
+        // Flip 0x121's leaf marker off and a bogus 0x125 on.
+        let flat = c.trie_fault_word_index(2, 0x12);
+        c.fault_target_mut(FaultComponent::Trie)
+            .inject_fault(flat, (1 << 1) | (1 << 5));
+        let scrub = c.scrub_section(1, true);
+        assert_eq!(scrub.mismatches.len(), 1);
+        assert_eq!(scrub.mismatches[0].flat, flat);
+        assert_eq!(scrub.mismatches[0].expected, (1 << 0) | (1 << 1));
+        assert_eq!(scrub.mismatches[0].found, (1 << 0) | (1 << 5));
+        assert!(scrub.repaired);
+        assert_eq!(scrub.repaired_markers, 2);
+        // Section 3 was untouched; the repaired circuit serves exactly.
+        assert!(c.scrub_section(1, false).mismatches.is_empty());
+        assert_eq!(
+            drain(&mut c),
+            vec![(0x120, 0x120), (0x121, 0x121), (0x300, 0x300)]
+        );
+    }
+
+    #[test]
+    fn scrub_detects_conjured_translation_entry() {
+        // A presence-bit upset in the translation table makes the table
+        // itself the corrupt side; the scrubber still reports the
+        // disagreement (it cannot know which side is right — the ledger
+        // does).
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        c.insert(Tag(0x200), PacketRef(1)).unwrap();
+        c.fault_target_mut(FaultComponent::Translation)
+            .inject_fault(0x210, 1 << 32);
+        let scrub = c.scrub_section(2, false);
+        assert!(!scrub.mismatches.is_empty());
+    }
+
+    #[test]
+    fn tolerant_mode_degrades_instead_of_panicking() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        c.set_tolerant(true);
+        c.insert(Tag(0x123), PacketRef(1)).unwrap();
+        // Clear the leaf word: upper levels now point at nothing.
+        let flat = c.trie_fault_word_index(2, 0x12);
+        c.fault_target_mut(FaultComponent::Trie)
+            .inject_fault(flat, 1 << 3);
+        // The plain path would panic on the dead end; tolerant mode logs
+        // it and falls back to a head insert.
+        c.insert(Tag(0x200), PacketRef(2)).unwrap();
+        let events = c.take_integrity_events();
+        assert_eq!(
+            events,
+            vec![IntegrityEvent::TrieDeadEnd {
+                level: 2,
+                index: 0x12
+            }]
+        );
+        assert!(c.take_integrity_events().is_empty());
+        assert_eq!(c.pop_min().map(|(t, _)| t), Some(Tag(0x200)));
+    }
+
+    #[test]
+    fn tolerant_mode_reports_missing_translation() {
+        let mut c = SortRetrieveCircuit::new(Geometry::paper(), 64);
+        c.set_tolerant(true);
+        c.insert(Tag(0x40), PacketRef(1)).unwrap();
+        // Drop the entry's presence bit: the marker now dangles.
+        c.fault_target_mut(FaultComponent::Translation)
+            .inject_fault(0x40, 1 << 32);
+        c.insert(Tag(0x50), PacketRef(2)).unwrap();
+        assert_eq!(
+            c.take_integrity_events(),
+            vec![IntegrityEvent::MissingTranslation { tag: Tag(0x40) }]
         );
     }
 

@@ -58,12 +58,12 @@ mod trie;
 
 pub use banking::BankModel;
 pub use circuit::{
-    CircuitStats, CleanupPolicy, SortError, SortRetrieveCircuit, PAPER_CLOCK_HZ,
-    PAPER_MEAN_PACKET_BYTES,
+    CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
+    TrieMismatch, PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES,
 };
 pub use geometry::Geometry;
 pub use pipeline::{Issue, PipelineStats, PipelinedSorter};
-pub use tag::{PacketRef, Tag};
-pub use tagstore::{LinkAddr, MemoryKind, StoreFullError, StoreLayout, TagStore};
+pub use tag::{PacketRef, Tag, PACKET_SLOT_BITS};
+pub use tagstore::{LinkAddr, MemoryKind, StoreCorruption, StoreFullError, StoreLayout, TagStore};
 pub use translation::TranslationTable;
-pub use trie::{IterMarked, MultiBitTrie, SearchTrace};
+pub use trie::{IterMarked, MultiBitTrie, SearchTrace, TrieDeadEnd};

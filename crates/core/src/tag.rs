@@ -62,21 +62,52 @@ impl fmt::Binary for Tag {
 /// the tag storage memory carries one of these so the packet buffer read
 /// control can fetch the right packet when its tag is served (Fig. 1).
 ///
-/// # Aliasing warning
+/// # Generational handles
 ///
-/// A `PacketRef` is a raw slot index with no generation counter, exactly
-/// like the pointer the silicon stores. Once the slot is released the
-/// reference is *stale*: if the slot has been reused for a new packet, a
-/// held-over `PacketRef` silently aliases the **new** occupant rather
-/// than failing. Never retain one across a release of the same slot —
-/// treat it as consumed by the release, as the hardware does.
+/// A reference packs a 24-bit slot index with an 8-bit *generation*
+/// counter in the upper byte. The buffer bumps a slot's generation each
+/// time the slot is released, so a held-over reference to a recycled
+/// slot no longer silently aliases the new occupant: its stale
+/// generation is detectable at the buffer boundary. The silicon's link
+/// words store only the slot index (the generation is a bookkeeping
+/// sideband of the buffer controller, not of the sort circuit), so
+/// references recovered from the tag store carry generation 0 and the
+/// scheduler re-attaches the live generation from its own slot records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct PacketRef(pub u32);
 
+/// Width of the slot-index field of a [`PacketRef`] in bits; the
+/// generation counter lives in the bits above.
+pub const PACKET_SLOT_BITS: u32 = 24;
+
 impl PacketRef {
-    /// The raw buffer index.
+    /// Builds a reference from a slot index and a generation counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not fit [`PACKET_SLOT_BITS`].
+    pub fn new(slot: u32, generation: u8) -> Self {
+        assert!(
+            slot < 1 << PACKET_SLOT_BITS,
+            "packet slot {slot} exceeds the {PACKET_SLOT_BITS}-bit index space"
+        );
+        PacketRef((u32::from(generation) << PACKET_SLOT_BITS) | slot)
+    }
+
+    /// The buffer slot index (generation stripped).
     pub fn index(self) -> u32 {
-        self.0
+        self.0 & ((1 << PACKET_SLOT_BITS) - 1)
+    }
+
+    /// The buffer slot index — alias of [`PacketRef::index`], named for
+    /// call sites that contrast slot with generation.
+    pub fn slot(self) -> u32 {
+        self.index()
+    }
+
+    /// The generation counter the reference was issued under.
+    pub fn generation(self) -> u8 {
+        (self.0 >> PACKET_SLOT_BITS) as u8
     }
 }
 
@@ -88,7 +119,11 @@ impl From<u32> for PacketRef {
 
 impl fmt::Display for PacketRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pkt #{}", self.0)
+        write!(f, "pkt #{}", self.index())?;
+        if self.generation() != 0 {
+            write!(f, ".g{}", self.generation())?;
+        }
+        Ok(())
     }
 }
 
@@ -131,5 +166,24 @@ mod tests {
     fn conversions() {
         assert_eq!(Tag::from(9).value(), 9);
         assert_eq!(PacketRef::from(4).index(), 4);
+    }
+
+    #[test]
+    fn generational_refs_pack_slot_and_generation() {
+        let r = PacketRef::new(300, 7);
+        assert_eq!(r.slot(), 300);
+        assert_eq!(r.index(), 300);
+        assert_eq!(r.generation(), 7);
+        assert_eq!(r.to_string(), "pkt #300.g7");
+        // Generation 0 is the bare-slot encoding the silicon stores.
+        assert_eq!(PacketRef::new(300, 0), PacketRef(300));
+        // Same slot, different generation: distinct handles.
+        assert_ne!(PacketRef::new(300, 1), PacketRef::new(300, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 24-bit index space")]
+    fn oversized_slot_rejected() {
+        let _ = PacketRef::new(1 << 24, 0);
     }
 }

@@ -7,11 +7,16 @@
 //! packets share a (rounded) tag value, and it is the property that lets
 //! the search and storage sides scale independently.
 
+use faultsim::FaultTarget;
 use hwsim::AccessStats;
 
 use crate::geometry::Geometry;
 use crate::tag::Tag;
 use crate::tagstore::LinkAddr;
+
+/// Bit position of the entry-presence flag in the fault encoding of a
+/// translation entry (`Some(addr)` ⇔ bit 32 set, address in bits 0..32).
+const PRESENCE_BIT: u32 = 32;
 
 /// Tag value → most-recent link address.
 ///
@@ -119,6 +124,17 @@ impl TranslationTable {
         }
     }
 
+    /// Reads `tag`'s entry without access accounting — scrub ground
+    /// truth, not a datapath lookup (keeps the Table-I access model
+    /// honest while the scrubber audits state out of band).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn peek(&self, tag: Tag) -> Option<LinkAddr> {
+        self.slots[self.index(tag)]
+    }
+
     fn index(&self, tag: Tag) -> usize {
         assert!(
             self.geometry.contains(tag),
@@ -126,6 +142,34 @@ impl TranslationTable {
             self.geometry.tag_bits()
         );
         tag.value() as usize
+    }
+}
+
+impl FaultTarget for TranslationTable {
+    fn fault_words(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn fault_word_bits(&self, _word: usize) -> u32 {
+        // 32 address bits plus the presence flag: a flip of bit 32 models
+        // an upset in the entry-valid sideband, lower flips hit the
+        // stored link address.
+        PRESENCE_BIT + 1
+    }
+
+    fn inject_fault(&mut self, word: usize, mask: u64) -> u64 {
+        let encode = |slot: Option<LinkAddr>| match slot {
+            Some(a) => (1u64 << PRESENCE_BIT) | u64::from(a.0),
+            None => 0,
+        };
+        let old = encode(self.slots[word]);
+        let new = old ^ mask;
+        self.slots[word] = if new >> PRESENCE_BIT & 1 == 1 {
+            Some(LinkAddr((new & 0xffff_ffff) as u32))
+        } else {
+            None
+        };
+        old
     }
 }
 
@@ -187,5 +231,32 @@ mod tests {
     fn oversized_tag_rejected() {
         let mut t = TranslationTable::new(Geometry::paper());
         let _ = t.get(Tag(4096));
+    }
+
+    #[test]
+    fn peek_reads_without_accounting() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(7), LinkAddr(11));
+        let reads_before = t.stats().reads();
+        assert_eq!(t.peek(Tag(7)), Some(LinkAddr(11)));
+        assert_eq!(t.peek(Tag(8)), None);
+        assert_eq!(t.stats().reads(), reads_before);
+    }
+
+    #[test]
+    fn fault_encoding_round_trips_presence_and_address() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(3), LinkAddr(0b101));
+        assert_eq!(t.fault_words(), 4096);
+        assert_eq!(t.fault_word_bits(3), 33);
+        // Address-bit flip: entry stays present with a damaged pointer.
+        assert_eq!(t.inject_fault(3, 0b110), (1 << 32) | 0b101);
+        assert_eq!(t.peek(Tag(3)), Some(LinkAddr(0b011)));
+        // Presence-bit flip: the entry vanishes (a dropped valid bit).
+        t.inject_fault(3, 1 << 32);
+        assert_eq!(t.peek(Tag(3)), None);
+        // Presence-bit flip on an empty entry conjures a bogus pointer.
+        t.inject_fault(9, 1 << 32);
+        assert_eq!(t.peek(Tag(9)), Some(LinkAddr(0)));
     }
 }

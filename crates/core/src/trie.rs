@@ -16,12 +16,25 @@
 //! (`W / log₂ BF`, the multi-bit-tree row of Table I) no matter which
 //! path wins.
 
+use faultsim::FaultTarget;
 use hwsim::AccessStats;
 use matcher::reference::{closest_match, leading_one};
 use matcher::MatchResult;
 
 use crate::geometry::Geometry;
 use crate::tag::Tag;
+
+/// A structural inconsistency met during a tolerant descent: a set bit
+/// claimed a subtree, but the child node it points into is empty. This is
+/// the signature of an SEU in a node occupancy word — healthy operation
+/// maintains the invariant that every set bit covers a non-empty subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieDeadEnd {
+    /// Level of the empty node (0 = root).
+    pub level: u32,
+    /// Node index within that level.
+    pub index: u32,
+}
 
 /// The multi-bit trie of tag markers.
 ///
@@ -158,7 +171,9 @@ impl MultiBitTrie {
                 break;
             }
         }
-        self.len -= 1;
+        // Saturating: an injected fault may have cleared leaf bits behind
+        // the counter's back, and the counter must degrade, not panic.
+        self.len = self.len.saturating_sub(1);
         true
     }
 
@@ -221,6 +236,89 @@ impl MultiBitTrie {
             }
         }
         Some(tag)
+    }
+
+    /// Fault-tolerant [`closest_at_or_below`](Self::closest_at_or_below):
+    /// where the plain search would panic on a violated backup-path
+    /// invariant (a set bit over an empty subtree — the signature of a
+    /// corrupted node word), this variant reports the dead end instead.
+    ///
+    /// Access accounting is identical to the plain search.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TrieDeadEnd`] describing the first empty node a
+    /// descent was redirected into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit the geometry.
+    pub fn closest_at_or_below_tolerant(&mut self, tag: Tag) -> Result<Option<Tag>, TrieDeadEnd> {
+        self.check(tag);
+        self.stats.begin_op();
+        self.stats.record_batch(u64::from(self.geometry.levels()));
+        let b = self.geometry.literal_bits();
+        let bf = self.geometry.branching();
+        let levels = self.geometry.levels();
+        let mut prefix = 0u32;
+        let mut backup: Option<(u32, u32)> = None;
+        for level in 0..levels {
+            let word = self.nodes[level as usize][prefix as usize];
+            let lit = tag.literal(level, b, levels);
+            let m = closest_match(word, bf, lit);
+            match m.primary {
+                Some(p) if p == lit => {
+                    if let Some(bk) = m.backup {
+                        backup = Some((level, (prefix << b) | bk));
+                    }
+                    prefix = (prefix << b) | lit;
+                }
+                Some(p) => {
+                    return self
+                        .max_descend_tolerant(level + 1, (prefix << b) | p)
+                        .map(Some);
+                }
+                None => {
+                    return match backup {
+                        Some((blevel, bprefix)) => {
+                            self.max_descend_tolerant(blevel + 1, bprefix).map(Some)
+                        }
+                        None => Ok(None),
+                    };
+                }
+            }
+        }
+        Ok(Some(tag))
+    }
+
+    fn max_descend_tolerant(&self, from_level: u32, mut prefix: u32) -> Result<Tag, TrieDeadEnd> {
+        let b = self.geometry.literal_bits();
+        for level in from_level..self.geometry.levels() {
+            let word = self.nodes[level as usize][prefix as usize];
+            let top = leading_one(word).ok_or(TrieDeadEnd {
+                level,
+                index: prefix,
+            })?;
+            prefix = (prefix << b) | top;
+        }
+        Ok(Tag(prefix))
+    }
+
+    /// The occupancy word of one node, without access accounting — the
+    /// scrubber's raw material (it audits state, it is not on the
+    /// scheduling datapath the Table-I access model covers).
+    pub(crate) fn node_word(&self, level: u32, index: u32) -> u64 {
+        self.nodes[level as usize][index as usize]
+    }
+
+    /// Flattened word index of node `(level, index)` in the
+    /// [`FaultTarget`] address space (levels concatenated root-first).
+    pub fn fault_word_index(&self, level: u32, index: u32) -> usize {
+        let mut offset = 0usize;
+        for l in 0..level {
+            offset += self.geometry.nodes_at_level(l) as usize;
+        }
+        offset + index as usize
     }
 
     /// [`closest_at_or_below`](Self::closest_at_or_below) that also
@@ -333,7 +431,7 @@ impl MultiBitTrie {
             // Single-level tree: the root bit itself was the marker.
             removed = 1;
         }
-        self.len -= removed;
+        self.len = self.len.saturating_sub(removed);
         removed
     }
 
@@ -420,6 +518,42 @@ impl MultiBitTrie {
             "{tag} does not fit a {}-bit geometry",
             self.geometry.tag_bits()
         );
+    }
+}
+
+impl FaultTarget for MultiBitTrie {
+    fn fault_words(&self) -> usize {
+        (0..self.geometry.levels())
+            .map(|l| self.geometry.nodes_at_level(l) as usize)
+            .sum()
+    }
+
+    fn fault_word_bits(&self, _word: usize) -> u32 {
+        self.geometry.branching()
+    }
+
+    fn inject_fault(&mut self, word: usize, mask: u64) -> u64 {
+        let mut remaining = word;
+        let mut level = 0u32;
+        while remaining >= self.geometry.nodes_at_level(level) as usize {
+            remaining -= self.geometry.nodes_at_level(level) as usize;
+            level += 1;
+            assert!(
+                level < self.geometry.levels(),
+                "fault word {word} out of range"
+            );
+        }
+        let slot = &mut self.nodes[level as usize][remaining];
+        let old = *slot;
+        *slot ^= mask & (u64::MAX >> (64 - self.geometry.branching()));
+        // Leaf bits *are* the markers: keep the count consistent with what
+        // a scrub-and-count would now observe. Upper-level flips corrupt
+        // reachability, not the marker population.
+        if level == self.geometry.levels() - 1 {
+            let delta = slot.count_ones() as i64 - old.count_ones() as i64;
+            self.len = (self.len as i64 + delta).max(0) as usize;
+        }
+        old
     }
 }
 
@@ -737,5 +871,50 @@ mod tests {
     fn bad_section_rejected() {
         let mut t = MultiBitTrie::new(Geometry::paper());
         t.clear_section(16);
+    }
+
+    #[test]
+    fn fault_word_space_spans_all_levels() {
+        let t = MultiBitTrie::new(Geometry::paper()); // 1 + 16 + 256 nodes
+        assert_eq!(t.fault_words(), 273);
+        assert_eq!(t.fault_word_bits(0), 16);
+        assert_eq!(t.fault_word_index(0, 0), 0);
+        assert_eq!(t.fault_word_index(1, 3), 4);
+        assert_eq!(t.fault_word_index(2, 0), 17);
+    }
+
+    #[test]
+    fn injected_leaf_fault_adjusts_len_and_is_searchable() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(0x123));
+        // Flip the leaf bit of 0x123 off and the bit of 0x124 on.
+        let leaf = t.fault_word_index(2, 0x12);
+        let old = t.inject_fault(leaf, (1 << 0x3) | (1 << 0x4));
+        assert_eq!(old, 1 << 0x3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.closest_at_or_below(Tag(0x130)), Some(Tag(0x124)));
+    }
+
+    #[test]
+    fn tolerant_search_reports_dead_end_instead_of_panicking() {
+        let mut t = MultiBitTrie::new(Geometry::paper());
+        t.insert_marker(Tag(0x123));
+        // Clear the leaf word under the set upper-level bits: the descent
+        // is redirected into an empty node.
+        t.inject_fault(t.fault_word_index(2, 0x12), 1 << 0x3);
+        assert_eq!(
+            t.closest_at_or_below_tolerant(Tag(0x200)),
+            Err(TrieDeadEnd {
+                level: 2,
+                index: 0x12
+            })
+        );
+        // A healthy tree answers tolerantly exactly like the plain search.
+        let mut h = fig4_trie();
+        assert_eq!(
+            h.closest_at_or_below_tolerant(Tag(0b110110)),
+            Ok(Some(Tag(0b110101)))
+        );
+        assert_eq!(h.closest_at_or_below_tolerant(Tag(0b000100)), Ok(None));
     }
 }

@@ -48,5 +48,5 @@ mod verilog;
 pub use clock::{Clock, Cycle};
 pub use netlist::{GateView, Netlist, Signal, Word};
 pub use register::Register;
-pub use sram::{PortKind, Sram, SramConfig, SramError, SramEvent, SramStats};
+pub use sram::{ParityAlarm, PortKind, Sram, SramConfig, SramError, SramEvent, SramStats};
 pub use stats::AccessStats;

@@ -9,6 +9,8 @@
 use std::error::Error;
 use std::fmt;
 
+use faultsim::FaultTarget;
+
 use crate::clock::Cycle;
 use crate::stats::AccessStats;
 
@@ -38,6 +40,27 @@ impl fmt::Display for SramEvent {
             self.addr,
             self.data
         )
+    }
+}
+
+/// A parity mismatch observed on a word read.
+///
+/// The model keeps one parity bit per word, updated on every write and
+/// checked on every read (the paper's external SRAM parts carry parity
+/// sideband bits for exactly this purpose). An alarm is raised at most
+/// once per corruption episode: re-reading the same damaged word does not
+/// duplicate the alarm, and a subsequent write re-arms detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityAlarm {
+    /// Cycle of the read that tripped the check.
+    pub cycle: Cycle,
+    /// Word address whose parity mismatched.
+    pub addr: usize,
+}
+
+impl fmt::Display for ParityAlarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: parity mismatch @{}", self.cycle, self.addr)
     }
 }
 
@@ -243,12 +266,31 @@ impl SramStats {
 pub struct Sram {
     config: SramConfig,
     data: Vec<u64>,
+    /// One parity bit per word, packed 64 per entry. Writes refresh it;
+    /// [`Sram::corrupt`] deliberately does not, which is what makes a
+    /// corrupted word detectable on the next port read.
+    parity: Vec<u64>,
+    /// Words whose mismatch has already been reported (alarm dedup).
+    alarmed: Vec<u64>,
+    alarms: Vec<ParityAlarm>,
     /// Last cycle each port carried an access, if any.
     port_last_use: Vec<Option<Cycle>>,
     last_busy_cycle: Option<Cycle>,
     stats: SramStats,
     access_stats: AccessStats,
     trace: Option<Vec<SramEvent>>,
+}
+
+fn bitset_get(set: &[u64], idx: usize) -> bool {
+    set[idx / 64] >> (idx % 64) & 1 == 1
+}
+
+fn bitset_assign(set: &mut [u64], idx: usize, value: bool) {
+    if value {
+        set[idx / 64] |= 1 << (idx % 64);
+    } else {
+        set[idx / 64] &= !(1 << (idx % 64));
+    }
 }
 
 impl Sram {
@@ -259,6 +301,9 @@ impl Sram {
         Self {
             config,
             data: vec![0; words],
+            parity: vec![0; words.div_ceil(64)],
+            alarmed: vec![0; words.div_ceil(64)],
+            alarms: Vec::new(),
             port_last_use: vec![None; ports],
             last_busy_cycle: None,
             stats: SramStats::default(),
@@ -334,6 +379,11 @@ impl Sram {
         self.stats.reads += 1;
         self.access_stats.record_read();
         let value = self.data[addr];
+        let stored_parity = bitset_get(&self.parity, addr);
+        if (value.count_ones() & 1 == 1) != stored_parity && !bitset_get(&self.alarmed, addr) {
+            bitset_assign(&mut self.alarmed, addr, true);
+            self.alarms.push(ParityAlarm { cycle, addr });
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(SramEvent {
                 cycle,
@@ -372,6 +422,11 @@ impl Sram {
         self.stats.writes += 1;
         self.access_stats.record_write();
         self.data[addr] = value;
+        // A write refreshes the sideband parity and re-arms detection for
+        // this word — overwriting a corrupted word silently "heals" it,
+        // exactly as real parity-per-word memories behave.
+        bitset_assign(&mut self.parity, addr, value.count_ones() & 1 == 1);
+        bitset_assign(&mut self.alarmed, addr, false);
         if let Some(trace) = &mut self.trace {
             trace.push(SramEvent {
                 cycle,
@@ -387,12 +442,48 @@ impl Sram {
     /// Reads without cycle accounting — for test assertions and snapshot
     /// inspection only, never from modelled hardware.
     ///
+    /// Peeks bypass the parity check: they model a logic analyser on the
+    /// die, not a functional read.
+    ///
     /// # Errors
     ///
     /// Fails if `addr` is out of range.
     pub fn peek(&self, addr: usize) -> Result<u64, SramError> {
         self.check_addr(addr)?;
         Ok(self.data[addr])
+    }
+
+    /// Flips the bits of `mask` in word `addr` *without* refreshing the
+    /// sideband parity bit — an SEU striking the array, not a write.
+    ///
+    /// Returns the pre-fault word. The next functional read of the word
+    /// raises a [`ParityAlarm`] iff an odd number of bits flipped (even-bit
+    /// flips defeat single-bit parity, which is the realistic failure mode
+    /// multi-bit fault plans probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn corrupt(&mut self, addr: usize, mask: u64) -> u64 {
+        assert!(
+            addr < self.config.words(),
+            "fault address {addr} out of range for {}-word memory",
+            self.config.words()
+        );
+        let width = self.config.width_bits();
+        let mask = if width < 64 {
+            mask & ((1 << width) - 1)
+        } else {
+            mask
+        };
+        let old = self.data[addr];
+        self.data[addr] ^= mask;
+        old
+    }
+
+    /// Drains the parity alarms raised by reads since the last call.
+    pub fn take_parity_alarms(&mut self) -> Vec<ParityAlarm> {
+        std::mem::take(&mut self.alarms)
     }
 
     fn check_addr(&self, addr: usize) -> Result<(), SramError> {
@@ -428,6 +519,20 @@ impl Sram {
             self.stats.busy_cycles += 1;
         }
         Ok(())
+    }
+}
+
+impl FaultTarget for Sram {
+    fn fault_words(&self) -> usize {
+        self.config.words()
+    }
+
+    fn fault_word_bits(&self, _word: usize) -> u32 {
+        self.config.width_bits()
+    }
+
+    fn inject_fault(&mut self, word: usize, mask: u64) -> u64 {
+        self.corrupt(word, mask)
     }
 }
 
@@ -584,6 +689,85 @@ mod tests {
     #[should_panic(expected = "word width must be 1..=64")]
     fn zero_width_rejected() {
         let _ = SramConfig::single_port(8, 0);
+    }
+
+    #[test]
+    fn corrupted_word_trips_parity_once_until_rewritten() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 2, 0xbeef).unwrap();
+        clk.tick();
+        assert_eq!(mem.corrupt(2, 0b100), 0xbeef);
+        assert_eq!(mem.read(clk.now(), 2).unwrap(), 0xbeeb);
+        clk.tick();
+        // Re-reading the same damaged word does not duplicate the alarm.
+        mem.read(clk.now(), 2).unwrap();
+        let alarms = mem.take_parity_alarms();
+        assert_eq!(
+            alarms,
+            vec![ParityAlarm {
+                cycle: Cycle(1),
+                addr: 2
+            }]
+        );
+        assert!(mem.take_parity_alarms().is_empty());
+        // A write heals the word and re-arms detection.
+        clk.tick();
+        mem.write(clk.now(), 2, 0xbeef).unwrap();
+        clk.tick();
+        mem.read(clk.now(), 2).unwrap();
+        assert!(mem.take_parity_alarms().is_empty());
+        mem.corrupt(2, 1);
+        clk.tick();
+        mem.read(clk.now(), 2).unwrap();
+        assert_eq!(mem.take_parity_alarms().len(), 1);
+    }
+
+    #[test]
+    fn even_bit_flips_defeat_parity() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(4, 16));
+        mem.write(clk.now(), 0, 0xff).unwrap();
+        mem.corrupt(0, 0b11);
+        clk.tick();
+        assert_eq!(mem.read(clk.now(), 0).unwrap(), 0xfc);
+        assert!(mem.take_parity_alarms().is_empty());
+    }
+
+    #[test]
+    fn peek_bypasses_parity_detection() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(4, 16));
+        mem.write(clk.now(), 1, 0x7).unwrap();
+        mem.corrupt(1, 1);
+        assert_eq!(mem.peek(1).unwrap(), 0x6);
+        assert!(mem.take_parity_alarms().is_empty());
+    }
+
+    #[test]
+    fn corrupt_masks_to_word_width() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(4, 4));
+        mem.write(clk.now(), 0, 0b1010).unwrap();
+        mem.corrupt(0, 0xf0f);
+        assert_eq!(mem.peek(0).unwrap(), 0b0101);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault address 9 out of range")]
+    fn corrupt_rejects_bad_address() {
+        let mut mem = Sram::new(SramConfig::single_port(4, 8));
+        mem.corrupt(9, 1);
+    }
+
+    #[test]
+    fn sram_is_a_fault_target() {
+        use faultsim::FaultTarget;
+        let mut mem = Sram::new(SramConfig::single_port(8, 12));
+        assert_eq!(mem.fault_words(), 8);
+        assert_eq!(mem.fault_word_bits(3), 12);
+        assert_eq!(mem.inject_fault(3, 0b1000), 0);
+        assert_eq!(mem.peek(3).unwrap(), 0b1000);
     }
 
     #[test]

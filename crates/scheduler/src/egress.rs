@@ -185,6 +185,12 @@ impl HwLinkSim {
     pub fn scheduler(&self) -> &HwScheduler {
         &self.scheduler
     }
+
+    /// Mutable scheduler access, for post-run bookkeeping such as
+    /// [`HwScheduler::reconcile_faults`].
+    pub fn scheduler_mut(&mut self) -> &mut HwScheduler {
+        &mut self.scheduler
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,12 @@ use std::error::Error;
 use std::fmt;
 
 use fairq::{GpsVirtualClock, VirtualTime};
+use faultsim::{
+    DetectionKind, FaultComponent, FaultConfig, FaultLedger, FaultPlan, FaultPolicy, FaultRecord,
+};
 use tagsort::{
-    CircuitStats, CleanupPolicy, Geometry, MemoryKind, SortError, SortRetrieveCircuit, Tag,
+    CircuitStats, CleanupPolicy, Geometry, IntegrityEvent, MemoryKind, PacketRef, SortError,
+    SortRetrieveCircuit, Tag,
 };
 use telemetry::{Counter, EventKind, Gauge, GaugeMerge, Histogram, Snapshot, Telemetry, Tracer};
 use traffic::{FlowSpec, Packet, Time};
@@ -32,6 +36,10 @@ pub struct SchedulerConfig {
     /// Tag-storage memory technology (single-port SRAM's 4-cycle slot,
     /// or the QDR variant's 2-cycle slot).
     pub memory: MemoryKind,
+    /// Optional fault-injection campaign: a seeded plan of bit flips
+    /// into the sorter's state memories, plus the response policy and
+    /// scrub schedule (`None` runs fault-free).
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -43,6 +51,7 @@ impl Default for SchedulerConfig {
             wrap_policy: WrapPolicy::Saturate,
             cleanup: CleanupPolicy::Eager,
             memory: MemoryKind::SinglePort,
+            faults: None,
         }
     }
 }
@@ -183,6 +192,14 @@ struct Instruments {
     depth_peak: Gauge,
     sort_cycles: Histogram,
     occupancy: Histogram,
+    faults_injected: Counter,
+    faults_detected: Counter,
+    faults_repaired: Counter,
+    silent_corruptions: Counter,
+    scrub_sections_audited: Counter,
+    scrub_words_checked: Counter,
+    fault_detect_latency: Histogram,
+    fault_repair_cost: Histogram,
     tracer: Tracer,
 }
 
@@ -201,6 +218,14 @@ impl Instruments {
             depth_peak: Gauge::disabled(),
             sort_cycles: Histogram::disabled(),
             occupancy: Histogram::disabled(),
+            faults_injected: Counter::disabled(),
+            faults_detected: Counter::disabled(),
+            faults_repaired: Counter::disabled(),
+            silent_corruptions: Counter::disabled(),
+            scrub_sections_audited: Counter::disabled(),
+            scrub_words_checked: Counter::disabled(),
+            fault_detect_latency: Histogram::disabled(),
+            fault_repair_cost: Histogram::disabled(),
             tracer: Tracer::disabled(),
         }
     }
@@ -219,6 +244,14 @@ impl Instruments {
             depth_peak: tel.gauge("queue_depth_peak", GaugeMerge::Max),
             sort_cycles: tel.histogram("tag_sort_latency_cycles"),
             occupancy: tel.histogram("buffer_occupancy_pkts"),
+            faults_injected: tel.counter("faults_injected"),
+            faults_detected: tel.counter("faults_detected"),
+            faults_repaired: tel.counter("faults_repaired"),
+            silent_corruptions: tel.counter("silent_corruptions"),
+            scrub_sections_audited: tel.counter("scrub_sections_audited"),
+            scrub_words_checked: tel.counter("scrub_words_checked"),
+            fault_detect_latency: tel.histogram("fault_detect_latency_cycles"),
+            fault_repair_cost: tel.histogram("fault_repair_cost_cycles"),
             tracer: tel.tracer(),
         }
     }
@@ -244,6 +277,24 @@ impl SojournStamp {
     }
 }
 
+/// Live state of one fault campaign: the undrained plan, the ledger of
+/// injected faults, and the scrub rotation.
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: FaultPolicy,
+    scrub_sections: u32,
+    scrub_cursor: u32,
+    ledger: FaultLedger,
+    /// Operation counter (enqueues + dequeues) the plan is keyed on.
+    op: u64,
+    reconciled: bool,
+}
+
+/// Per-slot bookkeeping: (tick, stamp, finishing tag, enqueue cycle,
+/// generational buffer reference).
+type SlotInfo = (u64, u64, VirtualTime, u64, PacketRef);
+
 /// The full hardware WFQ scheduler: tag computation + quantization +
 /// shared packet buffer + tag sort/retrieve circuit.
 ///
@@ -259,13 +310,19 @@ pub struct HwScheduler {
     flows: usize,
     /// Outstanding assigned ticks, for the quantizer's window tracking.
     outstanding: BTreeSet<(u64, u64)>,
-    /// (tick, stamp, finishing tag, enqueue cycle) of each occupied
-    /// buffer slot.
-    slot_info: Vec<Option<(u64, u64, VirtualTime, u64)>>,
+    /// (tick, stamp, finishing tag, enqueue cycle, generational buffer
+    /// reference) of each occupied buffer slot. The sorter stores only
+    /// the bare slot index; the generation rides here, scheduler-side.
+    slot_info: Vec<Option<SlotInfo>>,
     next_stamp: u64,
     enqueued: u64,
     dequeued: u64,
     inversions: u64,
+    /// Shard-local → global flow id map for trace events (identity when
+    /// empty; set by sharded frontends so joined event streams keep
+    /// globally meaningful flow ids).
+    global_flows: Vec<u32>,
+    faults: Option<FaultState>,
     instr: Instruments,
 }
 
@@ -286,6 +343,26 @@ impl HwScheduler {
             );
             weights[idx] = f.weight;
         }
+        let mut sorter = SortRetrieveCircuit::with_policy_and_memory(
+            config.geometry,
+            config.capacity,
+            config.cleanup,
+            config.memory,
+        );
+        let faults = config.faults.map(|fc| {
+            // Fail-fast keeps the circuit's hard assertions armed; the
+            // counting and repairing policies degrade gracefully instead.
+            sorter.set_tolerant(fc.policy != FaultPolicy::FailFast);
+            FaultState {
+                plan: FaultPlan::generate(&fc.spec, fc.horizon_ops),
+                policy: fc.policy,
+                scrub_sections: fc.scrub_sections,
+                scrub_cursor: 0,
+                ledger: FaultLedger::new(),
+                op: 0,
+                reconciled: false,
+            }
+        });
         Self {
             clock: GpsVirtualClock::new(&weights, link_rate_bps),
             quantizer: TagQuantizer::with_policy(
@@ -294,12 +371,7 @@ impl HwScheduler {
                 config.wrap_policy,
             ),
             buffer: PacketBuffer::new(config.capacity),
-            sorter: SortRetrieveCircuit::with_policy_and_memory(
-                config.geometry,
-                config.capacity,
-                config.cleanup,
-                config.memory,
-            ),
+            sorter,
             flows: flows.len(),
             outstanding: BTreeSet::new(),
             slot_info: vec![None; config.capacity],
@@ -307,8 +379,27 @@ impl HwScheduler {
             enqueued: 0,
             dequeued: 0,
             inversions: 0,
+            global_flows: Vec::new(),
+            faults,
             instr: Instruments::disabled(),
         }
+    }
+
+    /// Installs the shard-local → global flow id map used when emitting
+    /// trace events (`ids[local]` = global id). Sharded frontends call
+    /// this so `Enqueue`/`Dequeue`/`Drop` events from different ports
+    /// join on one global flow namespace; flows outside the map keep
+    /// their local id.
+    pub fn set_global_flow_ids(&mut self, ids: Vec<u32>) {
+        self.global_flows = ids;
+    }
+
+    /// The flow id trace events carry for local flow `flow`.
+    fn event_flow(&self, flow: u32) -> u64 {
+        self.global_flows
+            .get(flow as usize)
+            .copied()
+            .unwrap_or(flow) as u64
     }
 
     /// Connects this scheduler to a telemetry registry, recording as
@@ -370,6 +461,229 @@ impl HwScheduler {
         self.sorter.peek_min().map(|(t, _)| t)
     }
 
+    /// The fault ledger's records, in injection order (empty when no
+    /// fault campaign is configured).
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map_or(&[], |f| f.ledger.records())
+    }
+
+    /// `(injected, detected, repaired, silent)` ledger totals.
+    pub fn fault_totals(&self) -> (u64, u64, u64, u64) {
+        self.faults.as_ref().map_or((0, 0, 0, 0), |f| {
+            (
+                f.ledger.injected(),
+                f.ledger.detected(),
+                f.ledger.repaired(),
+                f.ledger.silent(),
+            )
+        })
+    }
+
+    /// End-of-run fault accounting: sweeps any outstanding detections,
+    /// then folds every never-detected fault into the
+    /// `silent_corruptions` counter. Idempotent; a no-op without a
+    /// fault campaign.
+    pub fn reconcile_faults(&mut self) {
+        self.fault_sweep();
+        if let Some(fs) = self.faults.as_mut() {
+            if !fs.reconciled {
+                fs.reconciled = true;
+                let silent = fs.ledger.silent();
+                self.instr.silent_corruptions.inc(self.instr.shard, silent);
+            }
+        }
+    }
+
+    /// Records one detection against the ledger: claims the first
+    /// matching undetected fault (counting it and stamping its latency)
+    /// or emits an unattributed `FaultDetect` event. Returns the claimed
+    /// record index. Panics under [`FaultPolicy::FailFast`].
+    fn note_detection(
+        &mut self,
+        fs: &mut FaultState,
+        component: FaultComponent,
+        word: Option<usize>,
+        cycle: u64,
+        kind: DetectionKind,
+    ) -> Option<usize> {
+        let word_arg = word.map_or(u64::MAX, |w| w as u64);
+        let claimed = fs.ledger.claim(component, word, cycle, kind);
+        match claimed {
+            Some(idx) => {
+                self.instr.faults_detected.inc(self.instr.shard, 1);
+                let latency = cycle.saturating_sub(fs.ledger.records()[idx].injected_cycle);
+                self.instr
+                    .fault_detect_latency
+                    .observe(self.instr.shard, latency);
+                self.instr.tracer.emit(
+                    self.instr.shard,
+                    cycle,
+                    EventKind::FaultDetect,
+                    idx as u64,
+                    word_arg,
+                );
+            }
+            None => {
+                // A re-detection of an already-claimed fault, or damage
+                // outside the modeled plan: traced, not counted.
+                self.instr.tracer.emit(
+                    self.instr.shard,
+                    cycle,
+                    EventKind::FaultDetect,
+                    u64::MAX,
+                    word_arg,
+                );
+            }
+        }
+        if fs.policy == FaultPolicy::FailFast {
+            panic!(
+                "{} fault detected in {} (fail-fast policy)",
+                kind.name(),
+                component.name()
+            );
+        }
+        claimed
+    }
+
+    /// Claims any detections the circuit raised since the last sweep —
+    /// SRAM parity alarms, sanitized link corruptions, and service-path
+    /// integrity events — against the fault ledger.
+    fn fault_sweep(&mut self) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        for alarm in self.sorter.take_parity_alarms() {
+            self.note_detection(
+                &mut fs,
+                FaultComponent::TagStore,
+                Some(alarm.addr),
+                alarm.cycle.value(),
+                DetectionKind::Parity,
+            );
+        }
+        for c in self.sorter.take_store_corruptions() {
+            self.note_detection(
+                &mut fs,
+                FaultComponent::TagStore,
+                Some(c.addr as usize),
+                c.cycle.value(),
+                DetectionKind::Structural,
+            );
+        }
+        let now = self.sorter.cycles().value();
+        for ev in self.sorter.take_integrity_events() {
+            let (component, word) = match ev {
+                IntegrityEvent::TrieDeadEnd { level, index } => (
+                    FaultComponent::Trie,
+                    Some(self.sorter.trie_fault_word_index(level, index)),
+                ),
+                IntegrityEvent::MissingTranslation { tag }
+                | IntegrityEvent::BadLinkAddr { tag, .. } => {
+                    (FaultComponent::Translation, Some(tag.value() as usize))
+                }
+            };
+            self.note_detection(&mut fs, component, word, now, DetectionKind::Structural);
+        }
+        self.faults = Some(fs);
+    }
+
+    /// Runs one fault round: materializes every plan entry due at the
+    /// current operation index, then audits the next `scrub_sections`
+    /// trie sections (repairing under [`FaultPolicy::ScrubAndRepair`]).
+    /// Called at the top of every dequeue round, *before* the pop, so a
+    /// repair can land before the damaged state is served.
+    fn fault_round(&mut self) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        while let Some(pf) = fs.plan.next_due(fs.op) {
+            let cycle = self.sorter.cycles().value();
+            let target = self.sorter.fault_target_mut(pf.component);
+            if let Some((word, mask)) = pf.resolve(target) {
+                target.inject_fault(word, mask);
+                let idx = fs.ledger.push(FaultRecord {
+                    component: pf.component,
+                    word,
+                    mask,
+                    injected_op: pf.op,
+                    injected_cycle: cycle,
+                    detected_cycle: None,
+                    detected_by: None,
+                    repaired_cycle: None,
+                });
+                self.instr.faults_injected.inc(self.instr.shard, 1);
+                self.instr.tracer.emit(
+                    self.instr.shard,
+                    cycle,
+                    EventKind::FaultInject,
+                    idx as u64,
+                    word as u64,
+                );
+            }
+        }
+        let sections = self.sorter.geometry().sections();
+        let repair = fs.policy == FaultPolicy::ScrubAndRepair;
+        for _ in 0..fs.scrub_sections.min(sections) {
+            let section = fs.scrub_cursor % sections;
+            fs.scrub_cursor = (fs.scrub_cursor + 1) % sections;
+            let scrub = self.sorter.scrub_section(section, repair);
+            let cycle = self.sorter.cycles().value();
+            self.instr.scrub_sections_audited.inc(self.instr.shard, 1);
+            self.instr
+                .scrub_words_checked
+                .inc(self.instr.shard, scrub.words_checked);
+            for m in &scrub.mismatches {
+                let claimed = self.note_detection(
+                    &mut fs,
+                    FaultComponent::Trie,
+                    Some(m.flat),
+                    cycle,
+                    DetectionKind::Scrub,
+                );
+                if scrub.repaired {
+                    if let Some(idx) = claimed {
+                        fs.ledger.mark_repaired(idx, cycle);
+                        self.instr.faults_repaired.inc(self.instr.shard, 1);
+                    }
+                }
+            }
+            if scrub.repaired {
+                // Modeled repair cost: the audit reads plus one
+                // insertion pass per restored marker.
+                let cost = scrub.words_checked
+                    + scrub.repaired_markers * u64::from(self.sorter.geometry().levels());
+                self.instr.fault_repair_cost.observe(self.instr.shard, cost);
+                self.instr.tracer.emit(
+                    self.instr.shard,
+                    cycle,
+                    EventKind::Repair,
+                    section as u64,
+                    scrub.repaired_markers,
+                );
+            }
+        }
+        self.faults = Some(fs);
+    }
+
+    /// Handles a popped sorter entry whose buffer-side record is gone —
+    /// a corrupted packet pointer. Without a fault campaign this is the
+    /// invariant violation it always was; under one it is a detected
+    /// structural corruption and the pop is skipped.
+    fn note_pointer_corruption(&mut self) {
+        let cycle = self.sorter.cycles().value();
+        let Some(mut fs) = self.faults.take() else {
+            panic!("sorter and buffer agree on occupancy");
+        };
+        self.note_detection(
+            &mut fs,
+            FaultComponent::TagStore,
+            None,
+            cycle,
+            DetectionKind::Structural,
+        );
+        self.faults = Some(fs);
+    }
+
     /// Accepts a packet: computes its WFQ finishing tag, quantizes it,
     /// parks the packet in the shared buffer, and sorts the tag in.
     ///
@@ -378,6 +692,10 @@ impl HwScheduler {
     /// [`SchedulerError::UnknownFlow`], [`SchedulerError::BufferFull`],
     /// or a wrapped [`SortError`].
     pub fn enqueue(&mut self, pkt: Packet) -> Result<(), SchedulerError> {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.op += 1;
+        }
+        self.fault_sweep();
         if pkt.flow.0 as usize >= self.flows {
             return Err(SchedulerError::UnknownFlow {
                 flow: pkt.flow.0,
@@ -420,15 +738,18 @@ impl HwScheduler {
                 removed as u64,
             );
         }
-        let Some(slot) = self.buffer.store(pkt) else {
+        let Some(full) = self.buffer.store(pkt) else {
             self.note_drop(pkt.flow.0);
             return Err(SchedulerError::BufferFull {
                 capacity: self.buffer.capacity(),
             });
         };
+        // The sorter's tag store holds only the bare slot index — the
+        // generation is scheduler-side sideband, re-attached at dequeue.
+        let slot = PacketRef(full.index());
         let cycles_before = self.sorter.cycles().value();
         if let Err(e) = self.sorter.insert(out.tag, slot) {
-            self.buffer.release(slot);
+            self.buffer.release(full);
             self.note_drop(pkt.flow.0);
             return Err(e.into());
         }
@@ -440,7 +761,7 @@ impl HwScheduler {
         self.next_stamp += 1;
         let enq_cycle = self.sorter.cycles().value();
         self.outstanding.insert((out.tick, stamp));
-        self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish, enq_cycle));
+        self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish, enq_cycle, full));
         self.enqueued += 1;
         self.instr.enqueued.inc(self.instr.shard, 1);
         self.note_depth();
@@ -451,9 +772,10 @@ impl HwScheduler {
             self.instr.shard,
             enq_cycle,
             EventKind::Enqueue,
-            pkt.flow.0 as u64,
+            self.event_flow(pkt.flow.0),
             pkt.seq,
         );
+        self.fault_sweep();
         Ok(())
     }
 
@@ -464,7 +786,7 @@ impl HwScheduler {
             self.instr.shard,
             self.sorter.cycles().value(),
             EventKind::Drop,
-            flow as u64,
+            self.event_flow(flow),
             self.buffer.capacity() as u64,
         );
     }
@@ -487,48 +809,73 @@ impl HwScheduler {
     /// values the traced `Enqueue`/`Dequeue` events carry, so direct
     /// stamping and event-joined attribution agree exactly).
     pub fn dequeue_stamped(&mut self) -> Option<(Packet, SojournStamp)> {
-        let cycles_before = self.sorter.cycles().value();
-        let (_, slot) = self.sorter.pop_min()?;
-        self.instr.sort_cycles.observe(
-            self.instr.shard,
-            self.sorter.cycles().value() - cycles_before,
-        );
-        let (tick, stamp, _finish, enq_cycle) = self.slot_info[slot.index() as usize]
-            .take()
-            .expect("sorter and buffer agree on occupancy");
-        // An inversion means the linear sorter's head was not the
-        // logically smallest outstanding tick — the wrap-boundary
-        // overtaking that only WrapPolicy::Wrap permits.
-        let min_tick = self
-            .outstanding
-            .iter()
-            .next()
-            .map(|&(t, _)| t)
-            .expect("popped entry is outstanding");
-        if tick > min_tick {
-            self.inversions += 1;
-            self.instr.inversions.inc(self.instr.shard, 1);
+        if let Some(fs) = self.faults.as_mut() {
+            fs.op += 1;
         }
-        self.outstanding.remove(&(tick, stamp));
-        self.dequeued += 1;
-        self.instr.dequeued.inc(self.instr.shard, 1);
-        let pkt = self.buffer.release(slot);
-        self.note_depth();
-        let deq_cycle = self.sorter.cycles().value();
-        self.instr.tracer.emit(
-            self.instr.shard,
-            deq_cycle,
-            EventKind::Dequeue,
-            pkt.flow.0 as u64,
-            pkt.seq,
-        );
-        Some((
-            pkt,
-            SojournStamp {
-                enqueued: enq_cycle,
-                dequeued: deq_cycle,
-            },
-        ))
+        // Faults due this round land now, and the scrubber gets its
+        // audit slice *before* the pop — so a repair can restore state
+        // the pop is about to read.
+        self.fault_round();
+        self.fault_sweep();
+        loop {
+            let cycles_before = self.sorter.cycles().value();
+            let Some((_, slot)) = self.sorter.pop_min() else {
+                self.fault_sweep();
+                return None;
+            };
+            self.instr.sort_cycles.observe(
+                self.instr.shard,
+                self.sorter.cycles().value() - cycles_before,
+            );
+            let entry = self
+                .slot_info
+                .get_mut(slot.index() as usize)
+                .and_then(Option::take);
+            let Some((tick, stamp, _finish, enq_cycle, full)) = entry else {
+                // Corrupted packet pointer: the sorter served a slot the
+                // buffer never issued (or already retired).
+                self.note_pointer_corruption();
+                continue;
+            };
+            let Some(pkt) = self.buffer.try_release(full) else {
+                self.note_pointer_corruption();
+                self.outstanding.remove(&(tick, stamp));
+                continue;
+            };
+            // An inversion means the linear sorter's head was not the
+            // logically smallest outstanding tick — the wrap-boundary
+            // overtaking that only WrapPolicy::Wrap permits.
+            let min_tick = self
+                .outstanding
+                .iter()
+                .next()
+                .map(|&(t, _)| t)
+                .unwrap_or(tick);
+            if tick > min_tick {
+                self.inversions += 1;
+                self.instr.inversions.inc(self.instr.shard, 1);
+            }
+            self.outstanding.remove(&(tick, stamp));
+            self.dequeued += 1;
+            self.instr.dequeued.inc(self.instr.shard, 1);
+            self.note_depth();
+            let deq_cycle = self.sorter.cycles().value();
+            self.instr.tracer.emit(
+                self.instr.shard,
+                deq_cycle,
+                EventKind::Dequeue,
+                self.event_flow(pkt.flow.0),
+                pkt.seq,
+            );
+            self.fault_sweep();
+            return Some((
+                pkt,
+                SojournStamp {
+                    enqueued: enq_cycle,
+                    dequeued: deq_cycle,
+                },
+            ));
+        }
     }
 
     /// Advances the virtual clock to `now` without an arrival (useful

@@ -381,7 +381,16 @@ impl ShardedScheduler {
             .local
             .iter()
             .zip(port_rates_bps)
-            .map(|(fl, &rate)| HwScheduler::new(fl, rate, config))
+            .enumerate()
+            .map(|(port, (fl, &rate))| {
+                let mut cfg = config;
+                // Every port gets an independent fault stream: same
+                // campaign, seed offset by port index.
+                cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
+                let mut shard = HwScheduler::new(fl, rate, cfg);
+                shard.set_global_flow_ids(routing.global_of[port].clone());
+                shard
+            })
             .collect();
         Self {
             shards,
@@ -594,6 +603,15 @@ impl ShardedScheduler {
         let per_port: Vec<SchedulerStats> = self.shards.iter().map(HwScheduler::stats).collect();
         aggregate_stats(per_port, self.peak)
     }
+
+    /// End-of-run fault accounting on every port (see
+    /// [`HwScheduler::reconcile_faults`]). Idempotent; a no-op without a
+    /// fault campaign.
+    pub fn reconcile_faults(&mut self) {
+        for shard in &mut self.shards {
+            shard.reconcile_faults();
+        }
+    }
 }
 
 /// One departure from a multi-port frontend: which port served the
@@ -769,6 +787,12 @@ impl ShardedLinkSim {
     /// The frontend, for post-run inspection.
     pub fn frontend(&self) -> &ShardedScheduler {
         &self.frontend
+    }
+
+    /// Mutable frontend access, for post-run bookkeeping such as
+    /// [`ShardedScheduler::reconcile_faults`].
+    pub fn frontend_mut(&mut self) -> &mut ShardedScheduler {
+        &mut self.frontend
     }
 }
 

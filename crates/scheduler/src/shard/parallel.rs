@@ -276,7 +276,13 @@ impl ParallelShardedScheduler {
             .zip(port_rates_bps)
             .enumerate()
             .map(|(port, (fl, &rate))| {
-                let mut shard = HwScheduler::new(fl, rate, config);
+                let mut cfg = config;
+                // Every port gets an independent fault stream: same
+                // campaign, seed offset by port index — identical to the
+                // sequential frontend, so faulted runs agree across both.
+                cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
+                let mut shard = HwScheduler::new(fl, rate, cfg);
+                shard.set_global_flow_ids(routing.global_of[port].clone());
                 shard.attach_telemetry(tel, port);
                 let (cmd_tx, cmd_rx) = sync_channel(CHANNEL_DEPTH);
                 let (rep_tx, rep_rx) = sync_channel(CHANNEL_DEPTH);

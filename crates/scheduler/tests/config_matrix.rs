@@ -35,6 +35,7 @@ fn every_supported_configuration_serves_coherently() {
                     wrap_policy,
                     cleanup: CleanupPolicy::Eager,
                     memory,
+                    faults: None,
                 };
                 let hw = HwScheduler::new(&fl, rate, config);
                 let deps = HwLinkSim::new(rate, hw)

@@ -64,6 +64,9 @@ mod trace;
 pub use histogram::{bucket_of, bucket_upper_bound, BUCKETS};
 pub use latency::{EventJoiner, LatencyTracker};
 pub use registry::{Counter, Gauge, GaugeMerge, Histogram, Telemetry};
-pub use sink::{event_to_json, CallbackSink, EventSink, FileSink, MemorySink};
+pub use sink::{
+    event_to_json, parse_compact_event_log, CallbackSink, CompactEncoder, EventLogFormat,
+    EventSink, FileSink, MemorySink,
+};
 pub use snapshot::{parse_flat_json, HistogramSnapshot, Snapshot};
 pub use trace::{Event, EventKind, Tracer};

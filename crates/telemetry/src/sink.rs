@@ -12,17 +12,20 @@
 //! * [`MemorySink`] — collects into a shared in-memory vector (tests,
 //!   in-process analysis such as [`crate::EventJoiner`]).
 //! * [`CallbackSink`] — adapts any `FnMut(&Event)` closure.
-//! * [`FileSink`] — line-delimited JSON (one flat object per event), the
-//!   format `wfqsim --event-log` writes. I/O errors are deferred and
-//!   surfaced by [`EventSink::flush`] so the hot emit path never
-//!   propagates `Result`s.
+//! * [`FileSink`] — line-delimited JSON (one flat object per event) or
+//!   the delta-encoded compact format ([`EventLogFormat`]), the formats
+//!   `wfqsim --event-log` writes. I/O errors are deferred and surfaced
+//!   by [`EventSink::flush`] so the hot emit path never propagates
+//!   `Result`s.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::str::FromStr;
 use std::sync::{Arc, Mutex};
 
-use crate::trace::Event;
+use crate::trace::{Event, EventKind};
 
 /// A streaming consumer of traced events.
 ///
@@ -108,8 +111,134 @@ pub fn event_to_json(e: &Event) -> String {
     )
 }
 
+/// On-disk encoding of an event-log file.
+///
+/// The JSON format is self-describing NDJSON (~60 bytes/event); the
+/// compact format delta-encodes per-shard cycle stamps into short
+/// space-separated integer lines (typically under 15 bytes/event) and
+/// round-trips exactly through [`parse_compact_event_log`]. Both are
+/// byte-deterministic for identical event streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventLogFormat {
+    /// One flat JSON object per line ([`event_to_json`]).
+    #[default]
+    Json,
+    /// One `shard kind_code cycle_delta a b` integer line per event.
+    Compact,
+}
+
+impl EventLogFormat {
+    /// Stable lowercase name (the CLI flag value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventLogFormat::Json => "json",
+            EventLogFormat::Compact => "compact",
+        }
+    }
+}
+
+impl fmt::Display for EventLogFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EventLogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(EventLogFormat::Json),
+            "compact" => Ok(EventLogFormat::Compact),
+            other => Err(format!(
+                "unknown event log format {other:?} (expected json or compact)"
+            )),
+        }
+    }
+}
+
+/// Stateful encoder for [`EventLogFormat::Compact`] lines.
+///
+/// Each line is `shard kind_code cycle_delta a b` in decimal, where
+/// `cycle_delta` is the cycle distance to the *previous encoded event of
+/// the same shard* (the first event of a shard encodes its absolute
+/// cycle). Per-shard cycle stamps are monotone, so deltas are small
+/// non-negative integers — the point of the encoding.
+#[derive(Debug, Clone, Default)]
+pub struct CompactEncoder {
+    last_cycle: Vec<u64>,
+}
+
+impl CompactEncoder {
+    /// An encoder with no history (the state a decoder must mirror).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one event as a compact line (no trailing newline).
+    pub fn encode(&mut self, e: &Event) -> String {
+        let shard = e.shard as usize;
+        if self.last_cycle.len() <= shard {
+            self.last_cycle.resize(shard + 1, 0);
+        }
+        let delta = e.cycle.wrapping_sub(self.last_cycle[shard]);
+        self.last_cycle[shard] = e.cycle;
+        format!("{} {} {} {} {}", e.shard, e.kind.code(), delta, e.a, e.b)
+    }
+}
+
+/// Decodes a whole [`EventLogFormat::Compact`] log back into events —
+/// the inverse of streaming through [`CompactEncoder`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line (wrong field count,
+/// non-integer field, or unknown kind code).
+pub fn parse_compact_event_log(text: &str) -> Result<Vec<Event>, String> {
+    let mut last_cycle: Vec<u64> = Vec::new();
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let fields: Vec<&str> = line.split(' ').collect();
+        if fields.len() != 5 {
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let int = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| format!("line {}: bad {what} {s:?}", lineno + 1))
+        };
+        let shard = int(fields[0], "shard")?;
+        let code = int(fields[1], "kind code")?;
+        let delta = int(fields[2], "cycle delta")?;
+        let a = int(fields[3], "argument")?;
+        let b = int(fields[4], "argument")?;
+        let kind = u8::try_from(code)
+            .ok()
+            .and_then(EventKind::from_code)
+            .ok_or_else(|| format!("line {}: unknown kind code {code}", lineno + 1))?;
+        let shard_idx = shard as usize;
+        if last_cycle.len() <= shard_idx {
+            last_cycle.resize(shard_idx + 1, 0);
+        }
+        let cycle = last_cycle[shard_idx].wrapping_add(delta);
+        last_cycle[shard_idx] = cycle;
+        events.push(Event {
+            shard: shard as u32,
+            cycle,
+            kind,
+            a,
+            b,
+        });
+    }
+    Ok(events)
+}
+
 /// Streams events to a file as line-delimited JSON (see
-/// [`event_to_json`] for the per-line shape).
+/// [`event_to_json`] for the per-line shape) or as compact
+/// delta-encoded lines ([`EventLogFormat::Compact`]).
 ///
 /// Writes are buffered; the first I/O error stops further writing and is
 /// reported by [`EventSink::flush`] (call it before dropping — the
@@ -117,15 +246,24 @@ pub fn event_to_json(e: &Event) -> String {
 #[derive(Debug)]
 pub struct FileSink {
     out: BufWriter<File>,
+    format: EventLogFormat,
+    encoder: CompactEncoder,
     error: Option<io::Error>,
     written: u64,
 }
 
 impl FileSink {
-    /// Creates (truncating) `path` and returns a sink writing to it.
+    /// Creates (truncating) `path` and returns a JSON-format sink.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::create_with_format(path, EventLogFormat::Json)
+    }
+
+    /// Creates (truncating) `path` with an explicit line format.
+    pub fn create_with_format(path: impl AsRef<Path>, format: EventLogFormat) -> io::Result<Self> {
         Ok(Self {
             out: BufWriter::new(File::create(path)?),
+            format,
+            encoder: CompactEncoder::new(),
             error: None,
             written: 0,
         })
@@ -142,7 +280,11 @@ impl EventSink for FileSink {
         if self.error.is_some() {
             return;
         }
-        match writeln!(self.out, "{}", event_to_json(event)) {
+        let line = match self.format {
+            EventLogFormat::Json => event_to_json(event),
+            EventLogFormat::Compact => self.encoder.encode(event),
+        };
+        match writeln!(self.out, "{line}") {
             Ok(()) => self.written += 1,
             Err(e) => self.error = Some(e),
         }
@@ -218,6 +360,99 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], event_to_json(&ev(0, 1)));
         assert_eq!(lines[1], event_to_json(&ev(1, 2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_log_format_parses_and_rejects() {
+        assert_eq!(
+            "json".parse::<EventLogFormat>().unwrap(),
+            EventLogFormat::Json
+        );
+        assert_eq!(
+            "compact".parse::<EventLogFormat>().unwrap(),
+            EventLogFormat::Compact
+        );
+        let err = "yaml".parse::<EventLogFormat>().unwrap_err();
+        assert!(err.contains("expected json or compact"), "{err}");
+        assert_eq!(EventLogFormat::Compact.to_string(), "compact");
+    }
+
+    #[test]
+    fn compact_lines_delta_encode_per_shard_cycles() {
+        let mut enc = CompactEncoder::new();
+        // First event of each shard carries its absolute cycle; later
+        // events carry the distance to the previous event of that shard.
+        assert_eq!(enc.encode(&ev(0, 100)), "0 0 100 7 9");
+        assert_eq!(enc.encode(&ev(1, 250)), "1 0 250 7 9");
+        assert_eq!(enc.encode(&ev(0, 103)), "0 0 3 7 9");
+        assert_eq!(enc.encode(&ev(1, 251)), "1 0 1 7 9");
+    }
+
+    #[test]
+    fn compact_log_round_trips_exactly() {
+        let events = vec![
+            Event {
+                shard: 0,
+                cycle: 12,
+                kind: EventKind::Enqueue,
+                a: 5,
+                b: 17,
+            },
+            Event {
+                shard: 2,
+                cycle: 40,
+                kind: EventKind::FaultInject,
+                a: u64::MAX,
+                b: 3,
+            },
+            Event {
+                shard: 0,
+                cycle: 12,
+                kind: EventKind::Dequeue,
+                a: 5,
+                b: 0,
+            },
+            Event {
+                shard: 2,
+                cycle: 77,
+                kind: EventKind::Repair,
+                a: 9,
+                b: 256,
+            },
+        ];
+        let mut enc = CompactEncoder::new();
+        let text: String = events.iter().map(|e| enc.encode(e) + "\n").collect();
+        let decoded = parse_compact_event_log(&text).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn compact_parser_reports_malformed_lines() {
+        let err = parse_compact_event_log("1 2 3\n").unwrap_err();
+        assert!(err.contains("line 1: expected 5 fields"), "{err}");
+        let err = parse_compact_event_log("0 0 x 0 0\n").unwrap_err();
+        assert!(err.contains("bad cycle delta"), "{err}");
+        let err = parse_compact_event_log("0 99 0 0 0\n").unwrap_err();
+        assert!(err.contains("unknown kind code 99"), "{err}");
+    }
+
+    #[test]
+    fn file_sink_honors_the_compact_format() {
+        let path = std::env::temp_dir().join(format!(
+            "telemetry_sink_compact_test_{}.log",
+            std::process::id()
+        ));
+        {
+            let mut sink = FileSink::create_with_format(&path, EventLogFormat::Compact).unwrap();
+            sink.record(&ev(0, 10));
+            sink.record(&ev(0, 12));
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "0 0 10 7 9\n0 0 2 7 9\n");
+        let decoded = parse_compact_event_log(&text).unwrap();
+        assert_eq!(decoded, vec![ev(0, 10), ev(0, 12)]);
         std::fs::remove_file(&path).ok();
     }
 }

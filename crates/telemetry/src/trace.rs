@@ -48,6 +48,16 @@ pub enum EventKind {
     /// The frontend routed a packet to a shard: `a` = global flow id,
     /// `b` = packet sequence number.
     ShardHandoff,
+    /// A planned fault materialized in scheduler state: `a` = fault
+    /// ledger index, `b` = the component word it struck.
+    FaultInject,
+    /// A detector (parity, scrub, or structural check) caught a fault:
+    /// `a` = fault ledger index (`u64::MAX` for an unattributed alarm),
+    /// `b` = the word the detection fired on.
+    FaultDetect,
+    /// The scrubber repaired a trie section: `a` = section, `b` =
+    /// markers re-inserted.
+    Repair,
 }
 
 impl EventKind {
@@ -60,7 +70,42 @@ impl EventKind {
             EventKind::TrieBulkDelete => "trie_bulk_delete",
             EventKind::VclockWrap => "vclock_wrap",
             EventKind::ShardHandoff => "shard_handoff",
+            EventKind::FaultInject => "fault_inject",
+            EventKind::FaultDetect => "fault_detect",
+            EventKind::Repair => "repair",
         }
+    }
+
+    /// Stable numeric code (the compact event-log encoding). Codes are
+    /// append-only: existing values never change meaning.
+    pub fn code(&self) -> u8 {
+        match self {
+            EventKind::Enqueue => 0,
+            EventKind::Dequeue => 1,
+            EventKind::Drop => 2,
+            EventKind::TrieBulkDelete => 3,
+            EventKind::VclockWrap => 4,
+            EventKind::ShardHandoff => 5,
+            EventKind::FaultInject => 6,
+            EventKind::FaultDetect => 7,
+            EventKind::Repair => 8,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::Enqueue,
+            1 => EventKind::Dequeue,
+            2 => EventKind::Drop,
+            3 => EventKind::TrieBulkDelete,
+            4 => EventKind::VclockWrap,
+            5 => EventKind::ShardHandoff,
+            6 => EventKind::FaultInject,
+            7 => EventKind::FaultDetect,
+            8 => EventKind::Repair,
+            _ => return None,
+        })
     }
 }
 
@@ -357,5 +402,18 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(EventKind::TrieBulkDelete.name(), "trie_bulk_delete");
         assert_eq!(EventKind::VclockWrap.name(), "vclock_wrap");
+        assert_eq!(EventKind::FaultInject.name(), "fault_inject");
+        assert_eq!(EventKind::FaultDetect.name(), "fault_detect");
+        assert_eq!(EventKind::Repair.name(), "repair");
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=8u8 {
+            let kind = EventKind::from_code(code).expect("assigned code");
+            assert_eq!(kind.code(), code);
+        }
+        assert_eq!(EventKind::from_code(9), None);
+        assert_eq!(EventKind::from_code(255), None);
     }
 }

@@ -27,6 +27,11 @@
 //! # (one JSON object per line, byte-identical across seeded runs):
 //! cargo run --bin wfqsim -- --ports 4 --flows 16 \
 //!     --latency-report latency.json --event-log events.ndjson
+//!
+//! # Inject 8 seeded single-bit trie faults, scrub-and-repair them, and
+//! # write the byte-deterministic fault ledger:
+//! cargo run --bin wfqsim -- --scheduler hw --inject-faults 8@7:trie:1 \
+//!     --fault-policy scrub-and-repair --fault-report faults.txt
 //! ```
 
 use std::process::ExitCode;
@@ -35,13 +40,14 @@ use wfq_sorter::fairq::{
     metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
     Wf2qPlus, Wfq, Wrr,
 };
+use wfq_sorter::faultsim::{FaultConfig, FaultPolicy, FaultSpec};
 use wfq_sorter::scheduler::{
     shard_of, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats, ShardedLinkSim,
     ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
 use wfq_sorter::tagsort::PAPER_CLOCK_HZ;
-use wfq_sorter::telemetry::{FileSink, LatencyTracker, Snapshot, Telemetry};
+use wfq_sorter::telemetry::{EventLogFormat, FileSink, LatencyTracker, Snapshot, Telemetry};
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
 };
@@ -74,6 +80,23 @@ OPTIONS:
   --event-log FILE   stream every traced event to FILE as it happens
                      (one JSON object per line); hardware pipeline
                      only, enables tracing even without --metrics
+  --event-log-format FORMAT
+                     json | compact (space-separated fields with
+                     per-shard cycle deltas); needs --event-log
+                     (default: json)
+  --inject-faults SPEC
+                     deterministic SEU campaign against the sorter
+                     state: COUNT@SEED[:COMPONENT[:BITS]], COMPONENT
+                     one of trie | translation | tagstore | any
+                     (default any), BITS flips per fault (default 1);
+                     hardware pipeline only
+  --fault-policy P   fail-fast | detect-and-count | scrub-and-repair
+                     (default: detect-and-count; needs
+                     --inject-faults; fail-fast aborts the run on the
+                     first detected fault)
+  --fault-report FILE
+                     write the byte-deterministic per-port fault
+                     ledger after the run (needs --inject-faults)
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -99,6 +122,10 @@ struct Args {
     trace_events: usize,
     latency_report: Option<String>,
     event_log: Option<String>,
+    event_log_format: Option<EventLogFormat>,
+    inject_faults: Option<FaultSpec>,
+    fault_policy: Option<FaultPolicy>,
+    fault_report: Option<String>,
 }
 
 impl Args {
@@ -128,6 +155,10 @@ fn parse_args() -> Result<Args, String> {
         trace_events: 0,
         latency_report: None,
         event_log: None,
+        event_log_format: None,
+        inject_faults: None,
+        fault_policy: None,
+        fault_report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -183,6 +214,28 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => args.metrics = Some(value("--metrics")?),
             "--latency-report" => args.latency_report = Some(value("--latency-report")?),
             "--event-log" => args.event_log = Some(value("--event-log")?),
+            "--event-log-format" => {
+                args.event_log_format = Some(
+                    value("--event-log-format")?
+                        .parse()
+                        .map_err(|e| format!("--event-log-format: {e}"))?,
+                );
+            }
+            "--inject-faults" => {
+                args.inject_faults = Some(
+                    value("--inject-faults")?
+                        .parse()
+                        .map_err(|e| format!("--inject-faults: {e}"))?,
+                );
+            }
+            "--fault-policy" => {
+                args.fault_policy = Some(
+                    value("--fault-policy")?
+                        .parse()
+                        .map_err(|e| format!("--fault-policy: {e}"))?,
+                );
+            }
+            "--fault-report" => args.fault_report = Some(value("--fault-report")?),
             "--trace-events" => {
                 args.trace_events = value("--trace-events")?
                     .parse()
@@ -208,6 +261,19 @@ fn parse_args() -> Result<Args, String> {
             "--trace-events: requires --metrics (events are exported in the snapshot)".into(),
         );
     }
+    if args.event_log_format.is_some() && args.event_log.is_none() {
+        return Err("--event-log-format: requires --event-log (no log to format)".into());
+    }
+    if args.fault_policy.is_some() && args.inject_faults.is_none() {
+        return Err(
+            "--fault-policy: requires --inject-faults (no fault campaign to respond to)".into(),
+        );
+    }
+    if args.fault_report.is_some() && args.inject_faults.is_none() {
+        return Err(
+            "--fault-report: requires --inject-faults (no fault campaign to report on)".into(),
+        );
+    }
     // Multi-port mode drives one hardware sorter per egress link, so an
     // explicit software scheduler is a contradiction. Reject it here —
     // in either flag order, before any trace is generated or saved —
@@ -227,6 +293,7 @@ fn parse_args() -> Result<Args, String> {
         ("--metrics", args.metrics.is_some()),
         ("--latency-report", args.latency_report.is_some()),
         ("--event-log", args.event_log.is_some()),
+        ("--inject-faults", args.inject_faults.is_some()),
     ] {
         if set && args.scheduler_name() != "hw" {
             return Err(format!(
@@ -269,8 +336,9 @@ fn attach_event_sink(args: &Args, tel: &Telemetry) -> Result<(), String> {
     let Some(path) = &args.event_log else {
         return Ok(());
     };
-    let sink =
-        FileSink::create(path).map_err(|e| format!("--event-log: cannot create {path}: {e}"))?;
+    let format = args.event_log_format.unwrap_or_default();
+    let sink = FileSink::create_with_format(path, format)
+        .map_err(|e| format!("--event-log: cannot create {path}: {e}"))?;
     if tel.tracer().set_sink(Box::new(sink)).is_some() {
         return Err("--event-log: event tracing is disabled for this run".into());
     }
@@ -290,6 +358,46 @@ fn finish_event_sink(args: &Args, tel: &Telemetry) -> Result<(), String> {
     sink.flush()
         .map_err(|e| format!("--event-log: cannot write {path}: {e}"))?;
     println!("event log written to {path}");
+    Ok(())
+}
+
+/// The fault campaign in force, if `--inject-faults` asked for one.
+/// The op horizon covers one enqueue plus one dequeue per packet, so
+/// every scheduled fault materializes within a drained run.
+fn fault_config(args: &Args, trace_len: usize) -> Option<FaultConfig> {
+    args.inject_faults.map(|spec| {
+        let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
+        FaultConfig::new(spec, policy, 2 * trace_len as u64)
+    })
+}
+
+/// Writes the `--fault-report` file: a byte-deterministic record of the
+/// campaign — header, per-port totals, then one line per injected fault
+/// in ledger order. Two runs with identical flags produce identical
+/// bytes.
+fn emit_fault_report(
+    path: &str,
+    spec: FaultSpec,
+    policy: FaultPolicy,
+    ports: &[&HwScheduler],
+) -> Result<(), String> {
+    let mut out = String::from("# wfqsim fault report\n");
+    out.push_str(&format!(
+        "policy={policy} spec={spec} ports={}\n",
+        ports.len()
+    ));
+    for (port, shard) in ports.iter().enumerate() {
+        let (injected, detected, repaired, silent) = shard.fault_totals();
+        out.push_str(&format!(
+            "port={port} injected={injected} detected={detected} \
+             repaired={repaired} silent={silent}\n"
+        ));
+        for record in shard.fault_records() {
+            out.push_str(&format!("port={port} {}\n", record.to_line()));
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("fault report written to {path}");
     Ok(())
 }
 
@@ -410,6 +518,7 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
             geometry: Geometry::new(4, 5),
             tick_scale: max_rate / 50_000.0,
             capacity: (trace.len() + 1).next_power_of_two(),
+            faults: fault_config(args, trace.len()),
             ..SchedulerConfig::default()
         },
     );
@@ -433,6 +542,19 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
     if let Err(msg) = finish_event_sink(args, &tel) {
         eprintln!("error: {msg}");
         return ExitCode::FAILURE;
+    }
+    if let Some(spec) = args.inject_faults {
+        // Settle the ledger before any snapshot or report reads it.
+        sim.frontend_mut().reconcile_faults();
+        if let Some(path) = &args.fault_report {
+            let fe = sim.frontend();
+            let shards: Vec<&HwScheduler> = (0..fe.ports()).map(|p| fe.shard(p)).collect();
+            let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
+            if let Err(msg) = emit_fault_report(path, spec, policy, &shards) {
+                eprintln!("error: --fault-report: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Some(path) = &args.latency_report {
         let lat = sim.latency().expect("with_latency was requested");
@@ -589,6 +711,7 @@ fn main() -> ExitCode {
                 geometry: Geometry::new(4, 5),
                 tick_scale: args.rate / 50_000.0,
                 capacity: (trace.len() + 1).next_power_of_two(),
+                faults: fault_config(&args, trace.len()),
                 ..SchedulerConfig::default()
             },
         );
@@ -612,6 +735,17 @@ fn main() -> ExitCode {
         if let Err(msg) = finish_event_sink(&args, &tel) {
             eprintln!("error: {msg}");
             return ExitCode::FAILURE;
+        }
+        if let Some(spec) = args.inject_faults {
+            // Settle the ledger before any snapshot or report reads it.
+            sim.scheduler_mut().reconcile_faults();
+            if let Some(path) = &args.fault_report {
+                let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
+                if let Err(msg) = emit_fault_report(path, spec, policy, &[sim.scheduler()]) {
+                    eprintln!("error: --fault-report: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         if let Some(path) = &args.latency_report {
             let lat = sim.latency().expect("with_latency was requested");

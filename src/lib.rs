@@ -20,6 +20,8 @@
 //! * [`telemetry`] — the unified observability layer: per-shard metric
 //!   registry, cycle-stamped event tracing, and deterministic snapshot
 //!   exporters shared by every scheduler layer.
+//! * [`faultsim`] — deterministic SEU fault models, detection bookkeeping,
+//!   and the repair policies wired through the scheduler stack.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 
 pub use baselines;
 pub use fairq;
+pub use faultsim;
 pub use hwsim;
 pub use matcher;
 pub use scheduler;

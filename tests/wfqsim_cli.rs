@@ -405,6 +405,209 @@ fn unwritable_event_log_path_is_a_structured_error() {
 }
 
 #[test]
+fn bad_fault_spec_is_a_structured_error() {
+    for (bad, expect) in [
+        ("bogus", "bad fault spec"),
+        ("0@7", "fault count must be positive"),
+        ("4@7:cache", "unknown fault component"),
+        ("4@7:trie:0", "bit count must be"),
+    ] {
+        let out = wfqsim(&["--scheduler", "hw", "--inject-faults", bad]);
+        assert!(!out.status.success(), "--inject-faults {bad} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--inject-faults:") && err.contains(expect),
+            "--inject-faults {bad}: expected {expect:?}, got: {err}"
+        );
+        assert!(!err.contains("panicked"), "panicked: {err}");
+    }
+}
+
+#[test]
+fn bad_fault_policy_is_a_structured_error() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--inject-faults",
+        "4@7",
+        "--fault-policy",
+        "shrug",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--fault-policy: unknown fault policy \"shrug\""),
+        "expected structured policy error, got: {err}"
+    );
+    assert!(
+        err.contains("fail-fast, detect-and-count, or scrub-and-repair"),
+        "error should list the valid policies: {err}"
+    );
+}
+
+#[test]
+fn fault_flags_require_a_campaign_and_the_hardware_pipeline() {
+    // --fault-policy / --fault-report without --inject-faults.
+    for flag in ["--fault-policy", "--fault-report"] {
+        let arg = if flag == "--fault-policy" {
+            "fail-fast"
+        } else {
+            "out.tmp"
+        };
+        let out = wfqsim(&["--scheduler", "hw", flag, arg]);
+        assert!(!out.status.success(), "{flag} without a campaign must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains(&format!("{flag}: requires --inject-faults")),
+            "{flag}: expected dependency error, got: {err}"
+        );
+    }
+    // --inject-faults against a software scheduler.
+    let out = wfqsim(&["--scheduler", "wfq", "--inject-faults", "4@7"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--inject-faults: instruments the hardware pipeline"),
+        "expected scheduler-kind error, got: {err}"
+    );
+}
+
+#[test]
+fn unwritable_fault_report_path_is_a_structured_error() {
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--flows",
+        "4",
+        "--horizon",
+        "0.1",
+        "--inject-faults",
+        "4@7",
+        "--fault-report",
+        "/nonexistent-dir/faults.txt",
+    ]);
+    assert!(!out.status.success(), "unwritable path must fail the run");
+    let err = stderr(&out);
+    assert!(
+        err.contains("--fault-report: cannot write /nonexistent-dir/faults.txt"),
+        "expected structured write error, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
+fn fault_report_is_byte_deterministic_and_reconciles() {
+    let dir = std::env::temp_dir().join("wfqsim_cli_faults");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |name: &str| -> String {
+        let path = dir.join(name);
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = wfqsim(&[
+            "--ports",
+            "2",
+            "--flows",
+            "8",
+            "--horizon",
+            "0.2",
+            "--inject-faults",
+            "8@7:any:1",
+            "--fault-report",
+            path,
+        ]);
+        assert!(out.status.success(), "run failed: {}", stderr(&out));
+        std::fs::read_to_string(path).expect("fault report written")
+    };
+
+    let first = run("a.txt");
+    assert!(first.starts_with("# wfqsim fault report\n"));
+    assert!(first.contains("policy=detect-and-count spec=8@7:any:1 ports=2"));
+    // The per-port totals reconcile: detected + silent == injected.
+    let mut injected = 0u64;
+    let mut accounted = 0u64;
+    for line in first.lines().filter(|l| l.contains(" injected=")) {
+        let field = |key: &str| -> u64 {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .unwrap_or_else(|| panic!("{key} missing in {line:?}"))
+                .parse()
+                .expect("numeric total")
+        };
+        injected += field("injected=");
+        accounted += field("detected=") + field("silent=");
+    }
+    assert!(injected > 0, "no faults materialized:\n{first}");
+    assert_eq!(accounted, injected, "ledger does not reconcile:\n{first}");
+
+    // Same seed, same flags → byte-identical report.
+    let second = run("b.txt");
+    assert_eq!(first, second, "fault report is not deterministic");
+}
+
+#[test]
+fn event_log_format_is_validated_and_compact_round_trips() {
+    // Unknown format and a format without a log are structured errors.
+    let out = wfqsim(&[
+        "--ports",
+        "2",
+        "--event-log",
+        "x",
+        "--event-log-format",
+        "xml",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--event-log-format: unknown event log format \"xml\""),
+        "expected format error, got: {}",
+        stderr(&out)
+    );
+    let out = wfqsim(&["--ports", "2", "--event-log-format", "compact"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--event-log-format: requires --event-log"),
+        "expected dependency error, got: {}",
+        stderr(&out)
+    );
+
+    // A compact log decodes back to exactly the events of a JSON run
+    // with the same seed and flags.
+    let dir = std::env::temp_dir().join("wfqsim_cli_compact");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |name: &str, format: &str| -> String {
+        let path = dir.join(name);
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = wfqsim(&[
+            "--ports",
+            "2",
+            "--flows",
+            "8",
+            "--horizon",
+            "0.2",
+            "--event-log",
+            path,
+            "--event-log-format",
+            format,
+        ]);
+        assert!(out.status.success(), "run failed: {}", stderr(&out));
+        std::fs::read_to_string(path).expect("event log written")
+    };
+    let json = run("a.ndjson", "json");
+    let compact = run("a.compact", "compact");
+    assert!(
+        compact.len() < json.len() / 2,
+        "compact log should be much smaller: {} vs {} bytes",
+        compact.len(),
+        json.len()
+    );
+    let decoded =
+        wfq_sorter::telemetry::parse_compact_event_log(&compact).expect("compact log parses");
+    let rendered: String = decoded
+        .iter()
+        .map(|e| wfq_sorter::telemetry::event_to_json(e) + "\n")
+        .collect();
+    assert_eq!(rendered, json, "compact log does not round-trip");
+}
+
+#[test]
 fn uniform_multiport_run_still_reports_the_shared_rate() {
     let out = wfqsim(&[
         "--scheduler",
