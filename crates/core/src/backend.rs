@@ -1,0 +1,358 @@
+//! The sort-backend abstraction: one pop-min primitive, many sorters.
+//!
+//! PIFO (Sivaraman et al.) argues that a single *pop-min* primitive can
+//! serve a whole family of packet schedulers; Eiffel (Saeed et al.)
+//! shows the same bucketed-queue structure the paper builds in silicon
+//! also reaches tens of Mpps in software when the occupancy bitmaps are
+//! walked with find-first-set instructions. [`SortBackend`] extracts
+//! that primitive from [`SortRetrieveCircuit`] so the scheduler stack
+//! can swap sorters without caring which one is underneath:
+//!
+//! * the paper's trie circuit ([`SortRetrieveCircuit`]) — the default,
+//!   with full cycle accounting and fault modeling;
+//! * the flat FFS sorter (`fastpath::FfsSorter`) — the software
+//!   fast path, sequence-identical to the trie on every workload;
+//! * the binary-heap oracle ([`HeapSorter`](crate::HeapSorter)) — the
+//!   obviously-correct reference the other two are cross-checked
+//!   against.
+//!
+//! The contract is deliberately narrow: insert a tag, pop the minimum,
+//! bulk-delete a wrapped section, and expose the occupancy and
+//! introspection hooks the scrubber and telemetry layers need. Backends
+//! without addressable hardware state reject fault attachment with a
+//! structured [`FaultAttachError`] instead of silently dropping faults.
+//!
+//! # Ordering contract
+//!
+//! Every backend must serve tags in ascending order with FIFO service
+//! among duplicates (the circuit's FCFS tie-break), charge exactly one
+//! storage slot of [`MemoryKind::slot_cycles`] cycles per insert and per
+//! pop, and implement the same wrap semantics: under
+//! [`CleanupPolicy::Lazy`] an insert below the live minimum (or below
+//! the stale-marker maximum when drained) is a
+//! [`SortError::BelowMinimum`], and [`SortBackend::recycle_section`]
+//! clears a whole top-level section so the virtual clock can wrap into
+//! it. Cross-check property tests in the scheduler crate and the CI
+//! conformance matrix hold all backends to this contract.
+
+use faultsim::{FaultAttachError, FaultComponent, FaultTarget};
+use hwsim::ParityAlarm;
+
+use crate::circuit::{
+    CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
+};
+use crate::geometry::Geometry;
+use crate::tag::{PacketRef, Tag};
+use crate::tagstore::{MemoryKind, StoreCorruption};
+
+/// Everything needed to construct a sort backend.
+///
+/// This is the backend-agnostic subset of the scheduler's configuration:
+/// the tag geometry, the link capacity, the marker cleanup policy, and
+/// the storage-memory timing model the cycle accounting derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Tag width and trie shape.
+    pub geometry: Geometry,
+    /// Maximum simultaneously stored tags.
+    pub capacity: usize,
+    /// When markers of departed values are cleared.
+    pub cleanup: CleanupPolicy,
+    /// Storage timing model (fixes the cycles-per-operation charge).
+    pub memory: MemoryKind,
+}
+
+/// A priority sorter the scheduler can drive: the narrow pop-min
+/// interface of the paper's circuit, abstracted.
+///
+/// See the module-level docs above for the ordering/wrap contract and the
+/// cross-checking story. Methods with default bodies are the
+/// introspection hooks hardware-modeled backends override; software
+/// backends inherit the inert defaults (no integrity events, no
+/// addressable fault state).
+pub trait SortBackend {
+    /// Builds a fresh, empty backend from the spec.
+    fn build(spec: &BackendSpec) -> Self
+    where
+        Self: Sized;
+
+    /// Stable lowercase backend name (`trie`, `fastpath`, `heap`) used
+    /// in CLI flags, reports, and fault-rejection errors.
+    fn name(&self) -> &'static str;
+
+    /// The tag geometry the backend was built with.
+    fn geometry(&self) -> Geometry;
+
+    /// Maximum simultaneously stored tags.
+    fn capacity(&self) -> usize;
+
+    /// Currently stored tags.
+    fn len(&self) -> usize;
+
+    /// Whether no tags are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorts `tag` into the system with its packet reference, charging
+    /// one storage slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::TagOutOfRange`] if the tag is too wide,
+    /// [`SortError::Full`] at capacity, and — under
+    /// [`CleanupPolicy::Lazy`] — [`SortError::BelowMinimum`] if the WFQ
+    /// contract is violated.
+    fn insert(&mut self, tag: Tag, payload: PacketRef) -> Result<(), SortError>;
+
+    /// Removes and returns the smallest tag (FIFO among duplicates),
+    /// charging one storage slot.
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)>;
+
+    /// The smallest stored tag, without removing it (no cycle charge).
+    fn peek_min(&self) -> Option<(Tag, PacketRef)>;
+
+    /// Bulk-deletes one wrapped top-level section (Fig. 6): clears its
+    /// stale markers so the virtual clock can wrap into it. Returns the
+    /// number of markers cleared. Costs no storage cycles.
+    ///
+    /// # Panics
+    ///
+    /// May panic (at least in debug builds) if live tags still occupy
+    /// the section.
+    fn recycle_section(&mut self, section: u32) -> usize;
+
+    /// Total storage cycles consumed so far.
+    fn cycles(&self) -> u64;
+
+    /// Aggregated instrumentation snapshot.
+    fn stats(&self) -> CircuitStats;
+
+    /// Inserts a batch in order, stopping at the first error.
+    ///
+    /// Backends with cache-conscious layouts override this to amortize
+    /// per-call overhead; the default just loops.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SortBackend::insert`]; earlier items stay inserted.
+    fn insert_batch(&mut self, items: &[(Tag, PacketRef)]) -> Result<(), SortError> {
+        for &(tag, payload) in items {
+            self.insert(tag, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Pops up to `max` smallest tags into `out`, returning how many
+    /// were popped.
+    fn pop_batch(&mut self, max: usize, out: &mut Vec<(Tag, PacketRef)>) -> usize {
+        let mut popped = 0;
+        while popped < max {
+            match self.pop_min() {
+                Some(entry) => {
+                    out.push(entry);
+                    popped += 1;
+                }
+                None => break,
+            }
+        }
+        popped
+    }
+
+    /// Enables or disables tolerant mode: invariant violations degrade
+    /// and are logged instead of panicking. Inert for backends with no
+    /// modeled corruption surface.
+    fn set_tolerant(&mut self, _tolerant: bool) {}
+
+    /// The fault-injection surface of one component.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultAttachError`] if the backend keeps no addressable state
+    /// for `component` — the default for software backends, so planned
+    /// faults are rejected structurally rather than silently dropped.
+    fn fault_target_mut(
+        &mut self,
+        component: FaultComponent,
+    ) -> Result<&mut dyn FaultTarget, FaultAttachError> {
+        Err(FaultAttachError {
+            backend: self.name(),
+            component,
+        })
+    }
+
+    /// Audits one top-level section against the backend's ground truth,
+    /// optionally repairing it. Backends without redundant occupancy
+    /// state report a trivially clean audit.
+    fn scrub_section(&mut self, section: u32, _repair: bool) -> SectionScrub {
+        SectionScrub {
+            section,
+            words_checked: 0,
+            mismatches: Vec::new(),
+            repaired_markers: 0,
+            repaired: false,
+        }
+    }
+
+    /// Drains the integrity violations logged in tolerant mode.
+    fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        Vec::new()
+    }
+
+    /// Drains structural corruptions observed in the tag storage.
+    fn take_store_corruptions(&mut self) -> Vec<StoreCorruption> {
+        Vec::new()
+    }
+
+    /// Drains parity alarms raised by the modeled SRAM.
+    fn take_parity_alarms(&mut self) -> Vec<ParityAlarm> {
+        Vec::new()
+    }
+
+    /// Flattened fault-word index of occupancy node `(level, index)`,
+    /// for reconciling integrity events against a fault ledger. Backends
+    /// without an addressable occupancy array map everything to word 0.
+    fn trie_fault_word_index(&self, _level: u32, _index: u32) -> usize {
+        0
+    }
+}
+
+impl SortBackend for SortRetrieveCircuit {
+    fn build(spec: &BackendSpec) -> Self {
+        SortRetrieveCircuit::with_policy_and_memory(
+            spec.geometry,
+            spec.capacity,
+            spec.cleanup,
+            spec.memory,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "trie"
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geometry()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) -> Result<(), SortError> {
+        self.insert(tag, payload)
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        self.pop_min()
+    }
+
+    fn peek_min(&self) -> Option<(Tag, PacketRef)> {
+        self.peek_min()
+    }
+
+    fn recycle_section(&mut self, section: u32) -> usize {
+        self.recycle_section(section)
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles().value()
+    }
+
+    fn stats(&self) -> CircuitStats {
+        self.stats()
+    }
+
+    fn set_tolerant(&mut self, tolerant: bool) {
+        self.set_tolerant(tolerant);
+    }
+
+    fn fault_target_mut(
+        &mut self,
+        component: FaultComponent,
+    ) -> Result<&mut dyn FaultTarget, FaultAttachError> {
+        Ok(self.fault_target_mut(component))
+    }
+
+    fn scrub_section(&mut self, section: u32, repair: bool) -> SectionScrub {
+        self.scrub_section(section, repair)
+    }
+
+    fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        self.take_integrity_events()
+    }
+
+    fn take_store_corruptions(&mut self) -> Vec<StoreCorruption> {
+        self.take_store_corruptions()
+    }
+
+    fn take_parity_alarms(&mut self) -> Vec<ParityAlarm> {
+        self.take_parity_alarms()
+    }
+
+    fn trie_fault_word_index(&self, level: u32, index: u32) -> usize {
+        self.trie_fault_word_index(level, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BackendSpec {
+        BackendSpec {
+            geometry: Geometry::paper(),
+            capacity: 64,
+            cleanup: CleanupPolicy::Eager,
+            memory: MemoryKind::SinglePort,
+        }
+    }
+
+    #[test]
+    fn trie_builds_through_the_trait() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
+        assert_eq!(SortBackend::name(&b), "trie");
+        assert_eq!(SortBackend::capacity(&b), 64);
+        SortBackend::insert(&mut b, Tag(9), PacketRef(1)).unwrap();
+        SortBackend::insert(&mut b, Tag(4), PacketRef(2)).unwrap();
+        assert_eq!(SortBackend::peek_min(&b), Some((Tag(4), PacketRef(2))));
+        assert_eq!(SortBackend::pop_min(&mut b), Some((Tag(4), PacketRef(2))));
+        // One four-cycle slot per insert and per pop.
+        assert_eq!(SortBackend::cycles(&b), 12);
+    }
+
+    #[test]
+    fn trie_accepts_fault_attachment_for_every_component() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
+        for component in FaultComponent::ALL {
+            let target = SortBackend::fault_target_mut(&mut b, component).unwrap();
+            assert!(target.fault_words() > 0, "{component} has no words");
+        }
+    }
+
+    #[test]
+    fn batch_defaults_preserve_order() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
+        b.insert_batch(&[
+            (Tag(7), PacketRef(0)),
+            (Tag(3), PacketRef(1)),
+            (Tag(7), PacketRef(2)),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(b.pop_batch(8, &mut out), 3);
+        // Ascending tags, FIFO among the duplicate 7s.
+        assert_eq!(
+            out,
+            vec![
+                (Tag(3), PacketRef(1)),
+                (Tag(7), PacketRef(0)),
+                (Tag(7), PacketRef(2)),
+            ]
+        );
+    }
+}

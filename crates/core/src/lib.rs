@@ -47,21 +47,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod banking;
 mod circuit;
 mod geometry;
+mod heap;
 mod pipeline;
 mod tag;
 mod tagstore;
 mod translation;
 mod trie;
 
+pub use backend::{BackendSpec, SortBackend};
 pub use banking::BankModel;
 pub use circuit::{
     CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
     TrieMismatch, PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES,
 };
 pub use geometry::Geometry;
+pub use heap::HeapSorter;
 pub use pipeline::{Issue, PipelineStats, PipelinedSorter};
 pub use tag::{PacketRef, Tag, PACKET_SLOT_BITS};
 pub use tagstore::{LinkAddr, MemoryKind, StoreCorruption, StoreFullError, StoreLayout, TagStore};

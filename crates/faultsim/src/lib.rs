@@ -147,6 +147,34 @@ pub trait FaultTarget {
     fn inject_fault(&mut self, word: usize, mask: u64) -> u64;
 }
 
+/// A fault could not attach because the backend has no addressable
+/// state for the requested component.
+///
+/// Software sort backends (the reference heap, for instance) keep their
+/// ordering in host data structures with no modeled SRAM words, so a
+/// planned fault aimed at them is *rejected* — structurally, not
+/// silently dropped — and the scheduler records the rejection so fault
+/// campaigns against such backends reconcile explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultAttachError {
+    /// Stable name of the backend that rejected the fault.
+    pub backend: &'static str,
+    /// The component the fault was aimed at.
+    pub component: FaultComponent,
+}
+
+impl fmt::Display for FaultAttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backend `{}` has no addressable {} state to fault",
+            self.backend, self.component
+        )
+    }
+}
+
+impl Error for FaultAttachError {}
+
 /// Parsed `--inject-faults` specification: `COUNT@SEED[:COMPONENT[:BITS]]`.
 ///
 /// `COMPONENT` is `trie`, `translation`, `tagstore`, or `any` (the

@@ -9,6 +9,7 @@
 //! delay/fairness/GPS-lag metrics as the algorithms it implements.
 
 use fairq::Departure;
+use tagsort::{SortBackend, SortRetrieveCircuit};
 use telemetry::LatencyTracker;
 use traffic::{Packet, Time};
 
@@ -57,21 +58,22 @@ pub enum DropPolicy {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct HwLinkSim {
+pub struct HwLinkSim<B: SortBackend = SortRetrieveCircuit> {
     rate_bps: f64,
-    scheduler: HwScheduler,
+    scheduler: HwScheduler<B>,
     drop_policy: DropPolicy,
     latency: Option<LatencyTracker>,
     drops: u64,
 }
 
-impl HwLinkSim {
-    /// Creates a link of `rate_bps` served by `scheduler`.
+impl<B: SortBackend> HwLinkSim<B> {
+    /// Creates a link of `rate_bps` served by `scheduler` (any sorting
+    /// backend — the type is inferred from the scheduler handed in).
     ///
     /// # Panics
     ///
     /// Panics if the rate is not positive and finite.
-    pub fn new(rate_bps: f64, scheduler: HwScheduler) -> Self {
+    pub fn new(rate_bps: f64, scheduler: HwScheduler<B>) -> Self {
         assert!(
             rate_bps > 0.0 && rate_bps.is_finite(),
             "rate must be positive and finite"
@@ -182,13 +184,13 @@ impl HwLinkSim {
     }
 
     /// The scheduler, for post-run inspection.
-    pub fn scheduler(&self) -> &HwScheduler {
+    pub fn scheduler(&self) -> &HwScheduler<B> {
         &self.scheduler
     }
 
     /// Mutable scheduler access, for post-run bookkeeping such as
     /// [`HwScheduler::reconcile_faults`].
-    pub fn scheduler_mut(&mut self) -> &mut HwScheduler {
+    pub fn scheduler_mut(&mut self) -> &mut HwScheduler<B> {
         &mut self.scheduler
     }
 }

@@ -6,11 +6,12 @@ use std::fmt;
 
 use fairq::{GpsVirtualClock, VirtualTime};
 use faultsim::{
-    DetectionKind, FaultComponent, FaultConfig, FaultLedger, FaultPlan, FaultPolicy, FaultRecord,
+    DetectionKind, FaultAttachError, FaultComponent, FaultConfig, FaultLedger, FaultPlan,
+    FaultPolicy, FaultRecord,
 };
 use tagsort::{
-    CircuitStats, CleanupPolicy, Geometry, IntegrityEvent, MemoryKind, PacketRef, SortError,
-    SortRetrieveCircuit, Tag,
+    BackendSpec, CircuitStats, CleanupPolicy, Geometry, IntegrityEvent, MemoryKind, PacketRef,
+    SortBackend, SortError, SortRetrieveCircuit, Tag,
 };
 use telemetry::{Counter, EventKind, Gauge, GaugeMerge, Histogram, Snapshot, Telemetry, Tracer};
 use traffic::{FlowSpec, Packet, Time};
@@ -193,6 +194,7 @@ struct Instruments {
     sort_cycles: Histogram,
     occupancy: Histogram,
     faults_injected: Counter,
+    faults_rejected: Counter,
     faults_detected: Counter,
     faults_repaired: Counter,
     silent_corruptions: Counter,
@@ -219,6 +221,7 @@ impl Instruments {
             sort_cycles: Histogram::disabled(),
             occupancy: Histogram::disabled(),
             faults_injected: Counter::disabled(),
+            faults_rejected: Counter::disabled(),
             faults_detected: Counter::disabled(),
             faults_repaired: Counter::disabled(),
             silent_corruptions: Counter::disabled(),
@@ -245,6 +248,7 @@ impl Instruments {
             sort_cycles: tel.histogram("tag_sort_latency_cycles"),
             occupancy: tel.histogram("buffer_occupancy_pkts"),
             faults_injected: tel.counter("faults_injected"),
+            faults_rejected: tel.counter("faults_rejected"),
             faults_detected: tel.counter("faults_detected"),
             faults_repaired: tel.counter("faults_repaired"),
             silent_corruptions: tel.counter("silent_corruptions"),
@@ -286,6 +290,9 @@ struct FaultState {
     scrub_sections: u32,
     scrub_cursor: u32,
     ledger: FaultLedger,
+    /// Planned injections the backend refused (no addressable state for
+    /// the targeted component), as `(operation index, rejection)` pairs.
+    rejected: Vec<(u64, FaultAttachError)>,
     /// Operation counter (enqueues + dequeues) the plan is keyed on.
     op: u64,
     reconciled: bool,
@@ -301,12 +308,18 @@ type SlotInfo = (u64, u64, VirtualTime, u64, PacketRef);
 /// See the [crate example](crate) for basic use. Service discipline is
 /// the caller's: experiments interleave [`HwScheduler::enqueue`] and
 /// [`HwScheduler::dequeue`] however their link model dictates.
+///
+/// The scheduler is generic over its sorting engine: any
+/// [`SortBackend`] slots in behind the same tag-in/packet-out contract.
+/// The default is the paper's [`SortRetrieveCircuit`]; the `fastpath`
+/// crate's FFS sorter and [`tagsort::HeapSorter`] are drop-in
+/// alternatives (use [`HwScheduler::with_backend`]).
 #[derive(Debug, Clone)]
-pub struct HwScheduler {
+pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit> {
     clock: GpsVirtualClock,
     quantizer: TagQuantizer,
     buffer: PacketBuffer,
-    sorter: SortRetrieveCircuit,
+    sorter: B,
     flows: usize,
     /// Outstanding assigned ticks, for the quantizer's window tracking.
     outstanding: BTreeSet<(u64, u64)>,
@@ -327,13 +340,28 @@ pub struct HwScheduler {
 }
 
 impl HwScheduler {
-    /// Creates a scheduler for `flows` on a link of `link_rate_bps`.
+    /// Creates a scheduler for `flows` on a link of `link_rate_bps`,
+    /// sorting with the paper's trie circuit (the default backend).
     ///
     /// # Panics
     ///
     /// Panics if flow ids are not dense, weights/rates are invalid, or
     /// the configuration is inconsistent.
     pub fn new(flows: &[FlowSpec], link_rate_bps: f64, config: SchedulerConfig) -> Self {
+        Self::with_backend(flows, link_rate_bps, config)
+    }
+}
+
+impl<B: SortBackend> HwScheduler<B> {
+    /// Creates a scheduler whose sorting engine is built from the
+    /// backend type `B` (see [`SortBackend::build`]). Identical to
+    /// [`HwScheduler::new`] except for the choice of engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow ids are not dense, weights/rates are invalid, or
+    /// the configuration is inconsistent.
+    pub fn with_backend(flows: &[FlowSpec], link_rate_bps: f64, config: SchedulerConfig) -> Self {
         let mut weights = vec![0.0; flows.len()];
         for f in flows {
             let idx = f.id.0 as usize;
@@ -343,12 +371,12 @@ impl HwScheduler {
             );
             weights[idx] = f.weight;
         }
-        let mut sorter = SortRetrieveCircuit::with_policy_and_memory(
-            config.geometry,
-            config.capacity,
-            config.cleanup,
-            config.memory,
-        );
+        let mut sorter = B::build(&BackendSpec {
+            geometry: config.geometry,
+            capacity: config.capacity,
+            cleanup: config.cleanup,
+            memory: config.memory,
+        });
         let faults = config.faults.map(|fc| {
             // Fail-fast keeps the circuit's hard assertions armed; the
             // counting and repairing policies degrade gracefully instead.
@@ -359,6 +387,7 @@ impl HwScheduler {
                 scrub_sections: fc.scrub_sections,
                 scrub_cursor: 0,
                 ledger: FaultLedger::new(),
+                rejected: Vec::new(),
                 op: 0,
                 reconciled: false,
             }
@@ -440,7 +469,7 @@ impl HwScheduler {
     /// Total tag-storage cycles consumed so far — the time base every
     /// traced event is stamped with.
     pub fn cycles(&self) -> u64 {
-        self.sorter.cycles().value()
+        self.sorter.cycles()
     }
 
     /// Aggregated statistics.
@@ -465,6 +494,21 @@ impl HwScheduler {
     /// fault campaign is configured).
     pub fn fault_records(&self) -> &[FaultRecord] {
         self.faults.as_ref().map_or(&[], |f| f.ledger.records())
+    }
+
+    /// Planned fault injections the backend refused because it has no
+    /// addressable state for the targeted component, as
+    /// `(operation index, rejection)` pairs in plan order. Empty for
+    /// backends that expose every component (the trie circuit) and
+    /// without a fault campaign.
+    pub fn fault_rejections(&self) -> &[(u64, FaultAttachError)] {
+        self.faults.as_ref().map_or(&[], |f| &f.rejected)
+    }
+
+    /// The sorting backend's self-reported name (`"trie"`,
+    /// `"fastpath"`, `"heap"`, ...).
+    pub fn backend_name(&self) -> &'static str {
+        self.sorter.name()
     }
 
     /// `(injected, detected, repaired, silent)` ledger totals.
@@ -570,7 +614,7 @@ impl HwScheduler {
                 DetectionKind::Structural,
             );
         }
-        let now = self.sorter.cycles().value();
+        let now = self.sorter.cycles();
         for ev in self.sorter.take_integrity_events() {
             let (component, word) = match ev {
                 IntegrityEvent::TrieDeadEnd { level, index } => (
@@ -597,28 +641,45 @@ impl HwScheduler {
             return;
         };
         while let Some(pf) = fs.plan.next_due(fs.op) {
-            let cycle = self.sorter.cycles().value();
-            let target = self.sorter.fault_target_mut(pf.component);
-            if let Some((word, mask)) = pf.resolve(target) {
-                target.inject_fault(word, mask);
-                let idx = fs.ledger.push(FaultRecord {
-                    component: pf.component,
-                    word,
-                    mask,
-                    injected_op: pf.op,
-                    injected_cycle: cycle,
-                    detected_cycle: None,
-                    detected_by: None,
-                    repaired_cycle: None,
-                });
-                self.instr.faults_injected.inc(self.instr.shard, 1);
-                self.instr.tracer.emit(
-                    self.instr.shard,
-                    cycle,
-                    EventKind::FaultInject,
-                    idx as u64,
-                    word as u64,
-                );
+            let cycle = self.sorter.cycles();
+            match self.sorter.fault_target_mut(pf.component) {
+                Ok(target) => {
+                    if let Some((word, mask)) = pf.resolve(target) {
+                        target.inject_fault(word, mask);
+                        let idx = fs.ledger.push(FaultRecord {
+                            component: pf.component,
+                            word,
+                            mask,
+                            injected_op: pf.op,
+                            injected_cycle: cycle,
+                            detected_cycle: None,
+                            detected_by: None,
+                            repaired_cycle: None,
+                        });
+                        self.instr.faults_injected.inc(self.instr.shard, 1);
+                        self.instr.tracer.emit(
+                            self.instr.shard,
+                            cycle,
+                            EventKind::FaultInject,
+                            idx as u64,
+                            word as u64,
+                        );
+                    }
+                }
+                Err(e) => {
+                    // The backend has no addressable state for this
+                    // component (e.g. the heap oracle): the plan entry
+                    // is recorded as rejected, not silently dropped.
+                    fs.rejected.push((pf.op, e));
+                    self.instr.faults_rejected.inc(self.instr.shard, 1);
+                    self.instr.tracer.emit(
+                        self.instr.shard,
+                        cycle,
+                        EventKind::FaultInject,
+                        u64::MAX,
+                        pf.component as u64,
+                    );
+                }
             }
         }
         let sections = self.sorter.geometry().sections();
@@ -627,7 +688,7 @@ impl HwScheduler {
             let section = fs.scrub_cursor % sections;
             fs.scrub_cursor = (fs.scrub_cursor + 1) % sections;
             let scrub = self.sorter.scrub_section(section, repair);
-            let cycle = self.sorter.cycles().value();
+            let cycle = self.sorter.cycles();
             self.instr.scrub_sections_audited.inc(self.instr.shard, 1);
             self.instr
                 .scrub_words_checked
@@ -670,7 +731,7 @@ impl HwScheduler {
     /// invariant violation it always was; under one it is a detected
     /// structural corruption and the pop is skipped.
     fn note_pointer_corruption(&mut self) {
-        let cycle = self.sorter.cycles().value();
+        let cycle = self.sorter.cycles();
         let Some(mut fs) = self.faults.take() else {
             panic!("sorter and buffer agree on occupancy");
         };
@@ -718,7 +779,7 @@ impl HwScheduler {
             self.instr.clamped.inc(self.instr.shard, out.clamped as u64);
             self.instr.tracer.emit(
                 self.instr.shard,
-                self.sorter.cycles().value(),
+                self.sorter.cycles(),
                 EventKind::VclockWrap,
                 out.clamped as u64,
                 out.recycle.len() as u64,
@@ -732,7 +793,7 @@ impl HwScheduler {
                 .inc(self.instr.shard, removed as u64);
             self.instr.tracer.emit(
                 self.instr.shard,
-                self.sorter.cycles().value(),
+                self.sorter.cycles(),
                 EventKind::TrieBulkDelete,
                 *section as u64,
                 removed as u64,
@@ -747,19 +808,18 @@ impl HwScheduler {
         // The sorter's tag store holds only the bare slot index — the
         // generation is scheduler-side sideband, re-attached at dequeue.
         let slot = PacketRef(full.index());
-        let cycles_before = self.sorter.cycles().value();
+        let cycles_before = self.sorter.cycles();
         if let Err(e) = self.sorter.insert(out.tag, slot) {
             self.buffer.release(full);
             self.note_drop(pkt.flow.0);
             return Err(e.into());
         }
-        self.instr.sort_cycles.observe(
-            self.instr.shard,
-            self.sorter.cycles().value() - cycles_before,
-        );
+        self.instr
+            .sort_cycles
+            .observe(self.instr.shard, self.sorter.cycles() - cycles_before);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        let enq_cycle = self.sorter.cycles().value();
+        let enq_cycle = self.sorter.cycles();
         self.outstanding.insert((out.tick, stamp));
         self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish, enq_cycle, full));
         self.enqueued += 1;
@@ -784,7 +844,7 @@ impl HwScheduler {
         self.instr.dropped.inc(self.instr.shard, 1);
         self.instr.tracer.emit(
             self.instr.shard,
-            self.sorter.cycles().value(),
+            self.sorter.cycles(),
             EventKind::Drop,
             self.event_flow(flow),
             self.buffer.capacity() as u64,
@@ -818,15 +878,14 @@ impl HwScheduler {
         self.fault_round();
         self.fault_sweep();
         loop {
-            let cycles_before = self.sorter.cycles().value();
+            let cycles_before = self.sorter.cycles();
             let Some((_, slot)) = self.sorter.pop_min() else {
                 self.fault_sweep();
                 return None;
             };
-            self.instr.sort_cycles.observe(
-                self.instr.shard,
-                self.sorter.cycles().value() - cycles_before,
-            );
+            self.instr
+                .sort_cycles
+                .observe(self.instr.shard, self.sorter.cycles() - cycles_before);
             let entry = self
                 .slot_info
                 .get_mut(slot.index() as usize)
@@ -859,7 +918,7 @@ impl HwScheduler {
             self.dequeued += 1;
             self.instr.dequeued.inc(self.instr.shard, 1);
             self.note_depth();
-            let deq_cycle = self.sorter.cycles().value();
+            let deq_cycle = self.sorter.cycles();
             self.instr.tracer.emit(
                 self.instr.shard,
                 deq_cycle,

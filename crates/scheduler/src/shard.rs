@@ -50,7 +50,7 @@ use std::error::Error;
 use std::fmt;
 
 use fairq::Departure;
-use tagsort::CircuitStats;
+use tagsort::{CircuitStats, SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, EventKind, LatencyTracker, Snapshot, Telemetry, Tracer};
 use traffic::{FlowId, FlowSpec, Packet, Time};
 
@@ -315,8 +315,8 @@ fn check_rates(rates: &[f64]) {
 /// them into each shard's dense local space on the way in (the
 /// [`HwScheduler`] contract) and restores the global id on the way out.
 #[derive(Debug, Clone)]
-pub struct ShardedScheduler {
-    shards: Vec<HwScheduler>,
+pub struct ShardedScheduler<B: SortBackend = SortRetrieveCircuit> {
+    shards: Vec<HwScheduler<B>>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
     /// Global flow id → (port, local flow id).
@@ -337,10 +337,11 @@ pub struct ShardedScheduler {
 
 impl ShardedScheduler {
     /// Creates a frontend of `ports` output ports, each an independent
-    /// link of `port_rate_bps` with its own scheduler built from
-    /// `config`. Flows (dense global ids) are partitioned across ports
-    /// by [`shard_of`]. For heterogeneous links use
-    /// [`ShardedScheduler::with_port_rates`].
+    /// link of `port_rate_bps` with its own trie-backed scheduler built
+    /// from `config`. Flows (dense global ids) are partitioned across
+    /// ports by [`shard_of`]. For heterogeneous links use
+    /// [`ShardedScheduler::with_port_rates`]; for a different sorting
+    /// engine use [`ShardedScheduler::with_backend`].
     ///
     /// # Panics
     ///
@@ -354,8 +355,7 @@ impl ShardedScheduler {
         ports: usize,
         config: SchedulerConfig,
     ) -> Self {
-        assert!(ports > 0, "at least one port required");
-        Self::with_port_rates(flows, &vec![port_rate_bps; ports], config)
+        Self::with_backend(flows, port_rate_bps, ports, config)
     }
 
     /// Creates a frontend with one output port per entry of
@@ -375,6 +375,39 @@ impl ShardedScheduler {
         port_rates_bps: &[f64],
         config: SchedulerConfig,
     ) -> Self {
+        Self::with_backend_port_rates(flows, port_rates_bps, config)
+    }
+}
+
+impl<B: SortBackend> ShardedScheduler<B> {
+    /// [`ShardedScheduler::new`] with the sorting backend chosen by the
+    /// type parameter: every port's scheduler is built from `B` (see
+    /// [`SortBackend::build`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::new`].
+    pub fn with_backend(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_backend_port_rates(flows, &vec![port_rate_bps; ports], config)
+    }
+
+    /// [`ShardedScheduler::with_port_rates`] with the sorting backend
+    /// chosen by the type parameter.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::with_port_rates`].
+    pub fn with_backend_port_rates(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+    ) -> Self {
         check_rates(port_rates_bps);
         let routing = Routing::build(flows, port_rates_bps.len());
         let shards = routing
@@ -387,7 +420,7 @@ impl ShardedScheduler {
                 // Every port gets an independent fault stream: same
                 // campaign, seed offset by port index.
                 cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
-                let mut shard = HwScheduler::new(fl, rate, cfg);
+                let mut shard = HwScheduler::with_backend(fl, rate, cfg);
                 shard.set_global_flow_ids(routing.global_of[port].clone());
                 shard
             })
@@ -475,7 +508,7 @@ impl ShardedScheduler {
     /// # Panics
     ///
     /// Panics if `port` is out of range.
-    pub fn shard(&self, port: usize) -> &HwScheduler {
+    pub fn shard(&self, port: usize) -> &HwScheduler<B> {
         &self.shards[port]
     }
 
@@ -641,17 +674,18 @@ pub struct PortDeparture {
 /// simulation runs each port's arrival/service loop independently and
 /// merges the departures by finish time.
 #[derive(Debug)]
-pub struct ShardedLinkSim {
-    frontend: ShardedScheduler,
+pub struct ShardedLinkSim<B: SortBackend = SortRetrieveCircuit> {
+    frontend: ShardedScheduler<B>,
     drop_policy: DropPolicy,
     latency: Option<LatencyTracker>,
     drops: u64,
 }
 
-impl ShardedLinkSim {
-    /// Creates a simulator over `frontend`; each port transmits at the
-    /// rate the frontend was configured with.
-    pub fn new(frontend: ShardedScheduler) -> Self {
+impl<B: SortBackend> ShardedLinkSim<B> {
+    /// Creates a simulator over `frontend` (any sorting backend — the
+    /// type is inferred); each port transmits at the rate the frontend
+    /// was configured with.
+    pub fn new(frontend: ShardedScheduler<B>) -> Self {
         Self {
             frontend,
             drop_policy: DropPolicy::default(),
@@ -785,13 +819,13 @@ impl ShardedLinkSim {
     }
 
     /// The frontend, for post-run inspection.
-    pub fn frontend(&self) -> &ShardedScheduler {
+    pub fn frontend(&self) -> &ShardedScheduler<B> {
         &self.frontend
     }
 
     /// Mutable frontend access, for post-run bookkeeping such as
     /// [`ShardedScheduler::reconcile_faults`].
-    pub fn frontend_mut(&mut self) -> &mut ShardedScheduler {
+    pub fn frontend_mut(&mut self) -> &mut ShardedScheduler<B> {
         &mut self.frontend
     }
 }

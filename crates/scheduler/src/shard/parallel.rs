@@ -68,6 +68,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
+use tagsort::{SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, Telemetry};
 use traffic::{FlowId, FlowSpec, Packet};
 
@@ -112,7 +113,11 @@ const CHANNEL_DEPTH: usize = 2;
 
 /// The worker thread's whole life: apply commands to the owned shard in
 /// order, reply to each, exit when the frontend hangs up.
-fn worker_loop(mut shard: HwScheduler, commands: Receiver<Command>, replies: SyncSender<Reply>) {
+fn worker_loop<B: SortBackend>(
+    mut shard: HwScheduler<B>,
+    commands: Receiver<Command>,
+    replies: SyncSender<Reply>,
+) {
     for cmd in commands {
         let reply = match cmd {
             Command::Enqueue(batch) => {
@@ -175,8 +180,13 @@ struct Worker {
 /// Flow ids stay global at this interface, as in the sequential
 /// frontend.
 #[derive(Debug)]
-pub struct ParallelShardedScheduler {
+pub struct ParallelShardedScheduler<B: SortBackend + Send + 'static = SortRetrieveCircuit> {
     workers: Vec<Worker>,
+    /// Pins the backend type the workers were built with, so the
+    /// sequential and parallel frontends share one type-parameter
+    /// vocabulary even though the backends themselves live on the
+    /// worker threads.
+    backend: std::marker::PhantomData<B>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
     /// Global flow id → (port, local flow id).
@@ -206,7 +216,8 @@ impl std::fmt::Debug for Worker {
 
 impl ParallelShardedScheduler {
     /// Creates a frontend of `ports` output ports at a uniform
-    /// `port_rate_bps`, spawning one worker thread per port. See
+    /// `port_rate_bps`, spawning one worker thread per port, each
+    /// driving a trie-backed scheduler. See
     /// [`super::ShardedScheduler::new`] for the shared routing semantics and
     /// [`ParallelShardedScheduler::with_port_rates`] for heterogeneous
     /// links.
@@ -222,8 +233,7 @@ impl ParallelShardedScheduler {
         ports: usize,
         config: SchedulerConfig,
     ) -> Self {
-        assert!(ports > 0, "at least one port required");
-        Self::with_port_rates(flows, &vec![port_rate_bps; ports], config)
+        Self::with_backend(flows, port_rate_bps, ports, config)
     }
 
     /// Creates a frontend with one output port per entry of
@@ -240,7 +250,7 @@ impl ParallelShardedScheduler {
         port_rates_bps: &[f64],
         config: SchedulerConfig,
     ) -> Self {
-        Self::with_telemetry(flows, port_rates_bps, config, &Telemetry::disabled())
+        Self::with_backend_port_rates(flows, port_rates_bps, config)
     }
 
     /// Creates a frontend whose shards all record into `tel` (each port
@@ -256,6 +266,54 @@ impl ParallelShardedScheduler {
     /// the registry is enabled with a shard count different from the
     /// port count.
     pub fn with_telemetry(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        tel: &Telemetry,
+    ) -> Self {
+        Self::with_backend_telemetry(flows, port_rates_bps, config, tel)
+    }
+}
+
+impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
+    /// [`ParallelShardedScheduler::new`] with the sorting backend chosen
+    /// by the type parameter: every worker's scheduler is built from `B`
+    /// (see [`SortBackend::build`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::new`].
+    pub fn with_backend(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_backend_port_rates(flows, &vec![port_rate_bps; ports], config)
+    }
+
+    /// [`ParallelShardedScheduler::with_port_rates`] with the sorting
+    /// backend chosen by the type parameter.
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_port_rates`].
+    pub fn with_backend_port_rates(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+    ) -> Self {
+        Self::with_backend_telemetry(flows, port_rates_bps, config, &Telemetry::disabled())
+    }
+
+    /// [`ParallelShardedScheduler::with_telemetry`] with the sorting
+    /// backend chosen by the type parameter.
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_telemetry`].
+    pub fn with_backend_telemetry(
         flows: &[FlowSpec],
         port_rates_bps: &[f64],
         config: SchedulerConfig,
@@ -281,7 +339,7 @@ impl ParallelShardedScheduler {
                 // campaign, seed offset by port index — identical to the
                 // sequential frontend, so faulted runs agree across both.
                 cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
-                let mut shard = HwScheduler::new(fl, rate, cfg);
+                let mut shard = HwScheduler::<B>::with_backend(fl, rate, cfg);
                 shard.set_global_flow_ids(routing.global_of[port].clone());
                 shard.attach_telemetry(tel, port);
                 let (cmd_tx, cmd_rx) = sync_channel(CHANNEL_DEPTH);
@@ -299,6 +357,7 @@ impl ParallelShardedScheduler {
             .collect();
         Self {
             workers,
+            backend: std::marker::PhantomData,
             rates: port_rates_bps.to_vec(),
             route: routing.route,
             global_of: routing.global_of,
@@ -647,7 +706,7 @@ impl ParallelShardedScheduler {
     }
 }
 
-impl Drop for ParallelShardedScheduler {
+impl<B: SortBackend + Send + 'static> Drop for ParallelShardedScheduler<B> {
     /// Joins every worker. A worker that panicked is re-raised here
     /// (unless this thread is already panicking, to avoid an abort
     /// while unwinding).

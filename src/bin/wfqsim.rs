@@ -40,13 +40,14 @@ use wfq_sorter::fairq::{
     metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
     Wf2qPlus, Wfq, Wrr,
 };
+use wfq_sorter::fastpath::FfsSorter;
 use wfq_sorter::faultsim::{FaultConfig, FaultPolicy, FaultSpec};
 use wfq_sorter::scheduler::{
     shard_of, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats, ShardedLinkSim,
     ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
-use wfq_sorter::tagsort::PAPER_CLOCK_HZ;
+use wfq_sorter::tagsort::{HeapSorter, SortBackend, SortRetrieveCircuit, PAPER_CLOCK_HZ};
 use wfq_sorter::telemetry::{EventLogFormat, FileSink, LatencyTracker, Snapshot, Telemetry};
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
@@ -63,6 +64,11 @@ OPTIONS:
                      wfq | wf2q | wf2q+ | hw        (default: wfq,
                      or hw when --ports > 1; 'hw' is the full
                      hardware pipeline)
+  --backend NAME     sorting engine behind the hw pipeline:
+                     trie (the paper's sort/retrieve circuit) |
+                     fastpath (FFS software sorter) | heap
+                     (binary-heap oracle); needs --scheduler hw
+                     or --ports > 1                 (default: trie)
   --rate BPS         link rate in bits/s             (default: 2e6)
   --ports N          multi-port frontend: N egress links, one hardware
                      sorter each, flows routed by affinity hash
@@ -106,9 +112,49 @@ OPTIONS:
   --help             this text
 ";
 
+/// The sorting engine behind the hardware pipeline (`--backend`). Every
+/// choice produces the identical departure sequence — the conformance
+/// matrix in `crates/scheduler/tests/backend_matrix.rs` pins that — so
+/// this only selects the execution model being exercised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum BackendChoice {
+    #[default]
+    Trie,
+    Fastpath,
+    Heap,
+}
+
+impl BackendChoice {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Trie => "trie",
+            Self::Fastpath => "fastpath",
+            Self::Heap => "heap",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "trie" => Ok(Self::Trie),
+            "fastpath" => Ok(Self::Fastpath),
+            "heap" => Ok(Self::Heap),
+            other => Err(format!(
+                "unknown backend \"{other}\" (expected trie, fastpath, or heap)"
+            )),
+        }
+    }
+}
+
 struct Args {
     /// `None` until resolved: `hw` when `--ports > 1`, `wfq` otherwise.
     scheduler: Option<String>,
+    /// `None` until resolved: the trie circuit unless `--backend` says
+    /// otherwise.
+    backend: Option<BackendChoice>,
     rate: f64,
     ports: usize,
     port_rates: Option<Vec<f64>>,
@@ -137,11 +183,17 @@ impl Args {
             None => "wfq",
         }
     }
+
+    /// The sorting backend actually in force (see [`Args::backend`]).
+    fn backend_choice(&self) -> BackendChoice {
+        self.backend.unwrap_or_default()
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scheduler: None,
+        backend: None,
         rate: 2e6,
         ports: 1,
         port_rates: None,
@@ -166,6 +218,13 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--scheduler" => args.scheduler = Some(value("--scheduler")?),
+            "--backend" => {
+                args.backend = Some(
+                    value("--backend")?
+                        .parse()
+                        .map_err(|e| format!("--backend: {e}"))?,
+                );
+            }
             "--rate" => {
                 args.rate = value("--rate")?
                     .parse()
@@ -289,6 +348,20 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    // `--backend` picks the sorting engine *inside* the hardware
+    // pipeline, so combining it with a software scheduler is the same
+    // kind of contradiction as `--ports` above: reject it at parse time,
+    // in either flag order, with both offending flags named.
+    if let Some(backend) = args.backend {
+        if args.scheduler_name() != "hw" {
+            return Err(format!(
+                "--backend {}: selects the hardware pipeline's sorting engine; \
+                 --scheduler {} is software (use --scheduler hw or --ports > 1)",
+                backend.name(),
+                args.scheduler_name()
+            ));
+        }
+    }
     for (flag, set) in [
         ("--metrics", args.metrics.is_some()),
         ("--latency-report", args.latency_report.is_some()),
@@ -375,11 +448,11 @@ fn fault_config(args: &Args, trace_len: usize) -> Option<FaultConfig> {
 /// campaign — header, per-port totals, then one line per injected fault
 /// in ledger order. Two runs with identical flags produce identical
 /// bytes.
-fn emit_fault_report(
+fn emit_fault_report<B: SortBackend>(
     path: &str,
     spec: FaultSpec,
     policy: FaultPolicy,
-    ports: &[&HwScheduler],
+    ports: &[&HwScheduler<B>],
 ) -> Result<(), String> {
     let mut out = String::from("# wfqsim fault report\n");
     out.push_str(&format!(
@@ -392,6 +465,12 @@ fn emit_fault_report(
             "port={port} injected={injected} detected={detected} \
              repaired={repaired} silent={silent}\n"
         ));
+        // Backends without addressable state refuse attachment with a
+        // structured error; the campaign records each refusal instead of
+        // silently dropping the scheduled fault.
+        for (op, err) in shard.fault_rejections() {
+            out.push_str(&format!("port={port} op={op} rejected: {err}\n"));
+        }
         for record in shard.fault_records() {
             out.push_str(&format!("port={port} {}\n", record.to_line()));
         }
@@ -493,7 +572,7 @@ fn run_software(
 /// The `--ports N` mode: the sharded frontend serves the trace with one
 /// hardware sorter per egress link, and the report rolls per-flow
 /// metrics up per port.
-fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode {
+fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode {
     for port in 0..args.ports {
         if !flows.iter().any(|f| shard_of(f.id, args.ports) == port) {
             eprintln!(
@@ -511,7 +590,7 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
         .unwrap_or_else(|| vec![args.rate; args.ports]);
     // The quantizer's tick must resolve the *fastest* port's tag steps.
     let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
-    let mut fe = ShardedScheduler::with_port_rates(
+    let mut fe = ShardedScheduler::<B>::with_backend_port_rates(
         flows,
         &rates,
         SchedulerConfig {
@@ -548,7 +627,7 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
         sim.frontend_mut().reconcile_faults();
         if let Some(path) = &args.fault_report {
             let fe = sim.frontend();
-            let shards: Vec<&HwScheduler> = (0..fe.ports()).map(|p| fe.shard(p)).collect();
+            let shards: Vec<&HwScheduler<B>> = (0..fe.ports()).map(|p| fe.shard(p)).collect();
             let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
             if let Err(msg) = emit_fault_report(path, spec, policy, &shards) {
                 eprintln!("error: --fault-report: {msg}");
@@ -566,18 +645,20 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
     let uniform = rates.windows(2).all(|w| w[0] == w[1]);
     if uniform {
         println!(
-            "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded)",
+            "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded, {})",
             trace.len(),
             flows.len(),
             args.ports,
             rates[0] / 1e6,
+            args.backend_choice().name(),
         );
     } else {
         println!(
-            "{} packets, {} flows, {} ports (non-uniform rates), scheduler hw (sharded)",
+            "{} packets, {} flows, {} ports (non-uniform rates), scheduler hw (sharded, {})",
             trace.len(),
             flows.len(),
             args.ports,
+            args.backend_choice().name(),
         );
     }
 
@@ -649,6 +730,54 @@ fn run_multiport(args: &Args, flows: &[FlowSpec], trace: &[Packet]) -> ExitCode 
     ExitCode::SUCCESS
 }
 
+/// The single-port hardware pipeline, generic over the sorting backend:
+/// builds the scheduler, wires telemetry and fault instrumentation, runs
+/// the trace, and emits every requested artifact. Returns the departures
+/// plus the telemetry/stats pair a later `--metrics` export needs.
+fn run_hw<B: SortBackend>(
+    args: &Args,
+    flows: &[FlowSpec],
+    trace: &[Packet],
+) -> Result<(Vec<Departure>, Telemetry, SchedulerStats), String> {
+    let mut hw = HwScheduler::<B>::with_backend(
+        flows,
+        args.rate,
+        SchedulerConfig {
+            geometry: Geometry::new(4, 5),
+            tick_scale: args.rate / 50_000.0,
+            capacity: (trace.len() + 1).next_power_of_two(),
+            faults: fault_config(args, trace.len()),
+            ..SchedulerConfig::default()
+        },
+    );
+    let tel = build_telemetry(args, 1);
+    hw.attach_telemetry(&tel, 0);
+    attach_event_sink(args, &tel)?;
+    let mut sim = HwLinkSim::new(args.rate, hw);
+    if args.latency_report.is_some() {
+        sim = sim.with_latency();
+    }
+    let deps = sim
+        .run(trace)
+        .map_err(|e| format!("hardware pipeline: {e}"))?;
+    finish_event_sink(args, &tel)?;
+    if let Some(spec) = args.inject_faults {
+        // Settle the ledger before any snapshot or report reads it.
+        sim.scheduler_mut().reconcile_faults();
+        if let Some(path) = &args.fault_report {
+            let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
+            emit_fault_report(path, spec, policy, &[sim.scheduler()])
+                .map_err(|e| format!("--fault-report: {e}"))?;
+        }
+    }
+    if let Some(path) = &args.latency_report {
+        let lat = sim.latency().expect("with_latency was requested");
+        emit_latency_report(path, lat)?;
+    }
+    let stats = sim.scheduler().stats();
+    Ok((deps, tel, stats))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -698,64 +827,32 @@ fn main() -> ExitCode {
     }
 
     // Run. (parse_args already rejected `--ports > 1` with an explicit
-    // software scheduler, so multi-port here is always the hw pipeline.)
+    // software scheduler, so multi-port here is always the hw pipeline;
+    // likewise `--backend` only survives parsing alongside `hw`.)
     if args.ports > 1 {
-        return run_multiport(&args, &flows, &trace);
+        return match args.backend_choice() {
+            BackendChoice::Trie => run_multiport::<SortRetrieveCircuit>(&args, &flows, &trace),
+            BackendChoice::Fastpath => run_multiport::<FfsSorter>(&args, &flows, &trace),
+            BackendChoice::Heap => run_multiport::<HeapSorter>(&args, &flows, &trace),
+        };
     }
     let mut hw_export: Option<(Telemetry, SchedulerStats)> = None;
     let departures = if args.scheduler_name() == "hw" {
-        let mut hw = HwScheduler::new(
-            &flows,
-            args.rate,
-            SchedulerConfig {
-                geometry: Geometry::new(4, 5),
-                tick_scale: args.rate / 50_000.0,
-                capacity: (trace.len() + 1).next_power_of_two(),
-                faults: fault_config(&args, trace.len()),
-                ..SchedulerConfig::default()
-            },
-        );
-        let tel = build_telemetry(&args, 1);
-        hw.attach_telemetry(&tel, 0);
-        if let Err(msg) = attach_event_sink(&args, &tel) {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-        let mut sim = HwLinkSim::new(args.rate, hw);
-        if args.latency_report.is_some() {
-            sim = sim.with_latency();
-        }
-        let deps = match sim.run(&trace) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("error: hardware pipeline: {e}");
-                return ExitCode::FAILURE;
-            }
+        let run = match args.backend_choice() {
+            BackendChoice::Trie => run_hw::<SortRetrieveCircuit>(&args, &flows, &trace),
+            BackendChoice::Fastpath => run_hw::<FfsSorter>(&args, &flows, &trace),
+            BackendChoice::Heap => run_hw::<HeapSorter>(&args, &flows, &trace),
         };
-        if let Err(msg) = finish_event_sink(&args, &tel) {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-        if let Some(spec) = args.inject_faults {
-            // Settle the ledger before any snapshot or report reads it.
-            sim.scheduler_mut().reconcile_faults();
-            if let Some(path) = &args.fault_report {
-                let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
-                if let Err(msg) = emit_fault_report(path, spec, policy, &[sim.scheduler()]) {
-                    eprintln!("error: --fault-report: {msg}");
-                    return ExitCode::FAILURE;
-                }
+        match run {
+            Ok((deps, tel, stats)) => {
+                hw_export = Some((tel, stats));
+                deps
             }
-        }
-        if let Some(path) = &args.latency_report {
-            let lat = sim.latency().expect("with_latency was requested");
-            if let Err(msg) = emit_latency_report(path, lat) {
+            Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
             }
         }
-        hw_export = Some((tel, sim.scheduler().stats()));
-        deps
     } else {
         match run_software(args.scheduler_name(), &flows, args.rate, &trace) {
             Ok(d) => d,
@@ -768,12 +865,16 @@ fn main() -> ExitCode {
     };
 
     // Report.
+    let engine = if args.scheduler_name() == "hw" {
+        format!("hw ({})", args.backend_choice().name())
+    } else {
+        args.scheduler_name().to_string()
+    };
     println!(
-        "{} packets, {} flows, link {:.3} Mb/s, scheduler {}",
+        "{} packets, {} flows, link {:.3} Mb/s, scheduler {engine}",
         trace.len(),
         flow_count,
         args.rate / 1e6,
-        args.scheduler_name()
     );
     let report = metrics::analyze(&flows, &trace, &departures);
     println!(

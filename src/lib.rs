@@ -14,7 +14,12 @@
 //! * [`fairq`] — the fair-queueing algorithm family (GPS, WFQ, WF²Q,
 //!   WF²Q+, SCFQ, SFQ) and the round-robin baselines (WRR, DRR, MDRR).
 //! * [`scheduler`] — the full Fig. 1 scheduler: tag computation,
-//!   quantization/wrap-around, shared packet buffer, and the sorter.
+//!   quantization/wrap-around, shared packet buffer, and the sorter —
+//!   generic over the `SortBackend` sorting engine.
+//! * [`fastpath`] — the Eiffel-style software backend: a flat
+//!   find-first-set bucket queue with the trie's exact wrap semantics,
+//!   proven sequence-identical to the circuit and benchmarked in real
+//!   wall-clock Mpps (E16).
 //! * [`baselines`] — every Table I lookup structure, instrumented.
 //! * [`traffic`] — deterministic workload generation.
 //! * [`telemetry`] — the unified observability layer: per-shard metric
@@ -45,6 +50,7 @@
 
 pub use baselines;
 pub use fairq;
+pub use fastpath;
 pub use faultsim;
 pub use hwsim;
 pub use matcher;

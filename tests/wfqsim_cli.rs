@@ -279,6 +279,141 @@ fn explicit_software_scheduler_with_ports_is_rejected_in_either_flag_order() {
 }
 
 #[test]
+fn backend_with_software_scheduler_is_rejected_in_either_flag_order() {
+    // `--backend` selects the engine inside the hardware pipeline, so a
+    // software scheduler alongside it must fail at parse time — in both
+    // flag orders — with an error naming both offending flags.
+    let orders: [&[&str]; 3] = [
+        &["--scheduler", "wfq", "--backend", "fastpath"],
+        &["--backend", "fastpath", "--scheduler", "wfq"],
+        &["--backend", "fastpath"], // default scheduler resolves to wfq
+    ];
+    for args in orders {
+        let out = wfqsim(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--backend fastpath") && err.contains("--scheduler wfq"),
+            "{args:?}: error should name both flags, got: {err}"
+        );
+        assert!(
+            err.contains("sorting engine"),
+            "{args:?}: expected the backend explanation, got: {err}"
+        );
+        assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+    }
+    // With the hardware pipeline (explicit or via --ports) it runs.
+    for args in [
+        &[
+            "--scheduler",
+            "hw",
+            "--backend",
+            "fastpath",
+            "--horizon",
+            "0.1",
+        ][..],
+        &[
+            "--ports",
+            "2",
+            "--flows",
+            "8",
+            "--backend",
+            "heap",
+            "--horizon",
+            "0.1",
+        ][..],
+    ] {
+        let out = wfqsim(args);
+        assert!(out.status.success(), "{args:?} failed: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn unknown_backend_is_a_structured_error() {
+    let out = wfqsim(&["--scheduler", "hw", "--backend", "btree"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--backend: unknown backend \"btree\""),
+        "expected structured backend error, got: {err}"
+    );
+    assert!(
+        err.contains("trie, fastpath, or heap"),
+        "error should list the valid backends: {err}"
+    );
+}
+
+#[test]
+fn all_backends_serve_the_same_departure_schedule_end_to_end() {
+    // The SortBackend contract end to end: swapping the engine changes
+    // only the header line, never the per-flow delay/throughput report.
+    let run = |backend: &str| -> (String, String) {
+        let out = wfqsim(&[
+            "--scheduler",
+            "hw",
+            "--backend",
+            backend,
+            "--flows",
+            "4",
+            "--horizon",
+            "0.2",
+        ]);
+        assert!(out.status.success(), "{backend} failed: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let (header, report) = stdout.split_once('\n').expect("header line");
+        (header.to_string(), report.to_string())
+    };
+    let (trie_header, trie) = run("trie");
+    assert!(
+        trie_header.contains("scheduler hw (trie)"),
+        "header should name the backend: {trie_header}"
+    );
+    let (_, fastpath) = run("fastpath");
+    let (_, heap) = run("heap");
+    assert_eq!(trie, fastpath, "fastpath report diverges from trie");
+    assert_eq!(trie, heap, "heap report diverges from trie");
+}
+
+#[test]
+fn backends_without_addressable_state_record_fault_rejections() {
+    let dir = std::env::temp_dir().join("wfqsim_cli_backend_faults");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("heap.txt");
+    let path = path.to_str().expect("utf-8 temp path");
+    let out = wfqsim(&[
+        "--scheduler",
+        "hw",
+        "--backend",
+        "heap",
+        "--flows",
+        "4",
+        "--horizon",
+        "0.1",
+        "--inject-faults",
+        "4@7:any:1",
+        "--fault-report",
+        path,
+    ]);
+    assert!(out.status.success(), "run failed: {}", stderr(&out));
+    let report = std::fs::read_to_string(path).expect("fault report written");
+    // The heap oracle has no hardware state: every scheduled fault must
+    // surface as a structured rejection, not a silent drop or a panic.
+    assert!(
+        report.contains("injected=0 detected=0 repaired=0 silent=0"),
+        "heap must inject nothing:\n{report}"
+    );
+    assert_eq!(
+        report.matches(" rejected: ").count(),
+        4,
+        "all 4 scheduled faults must be recorded as rejections:\n{report}"
+    );
+    assert!(
+        report.contains("backend `heap` has no addressable"),
+        "rejections should carry the structured attach error:\n{report}"
+    );
+}
+
+#[test]
 fn latency_report_exports_per_flow_sojourn_keys() {
     let dir = std::env::temp_dir().join("wfqsim_cli_latency");
     std::fs::create_dir_all(&dir).expect("create temp dir");
