@@ -109,6 +109,18 @@ pub trait SortBackend {
     /// charging one storage slot.
     fn pop_min(&mut self) -> Option<(Tag, PacketRef)>;
 
+    /// Removes and returns the **largest** tag (LIFO among duplicates —
+    /// the most-recently-inserted departs), charging one storage slot.
+    ///
+    /// This is the push-out primitive of programmable admission (Alcoz
+    /// et al.): when the buffer fills, the scheduler may evict the
+    /// worst-ranked queued packet to admit a better-ranked arrival.
+    /// Unlike [`SortBackend::pop_min`], marker cleanup is **always
+    /// eager** here, even under [`CleanupPolicy::Lazy`]: a stale marker
+    /// *above* the live set would win closest-match searches, so it must
+    /// be cleared the moment the last duplicate of the maximum departs.
+    fn pop_max(&mut self) -> Option<(Tag, PacketRef)>;
+
     /// The smallest stored tag, without removing it (no cycle charge).
     fn peek_min(&self) -> Option<(Tag, PacketRef)>;
 
@@ -251,6 +263,10 @@ impl SortBackend for SortRetrieveCircuit {
         self.pop_min()
     }
 
+    fn pop_max(&mut self) -> Option<(Tag, PacketRef)> {
+        self.pop_max()
+    }
+
     fn peek_min(&self) -> Option<(Tag, PacketRef)> {
         self.peek_min()
     }
@@ -332,6 +348,35 @@ mod tests {
             let target = SortBackend::fault_target_mut(&mut b, component).unwrap();
             assert!(target.fault_words() > 0, "{component} has no words");
         }
+    }
+
+    #[test]
+    fn pop_max_serves_lifo_among_duplicates() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
+        SortBackend::insert(&mut b, Tag(7), PacketRef(1)).unwrap();
+        SortBackend::insert(&mut b, Tag(7), PacketRef(2)).unwrap();
+        SortBackend::insert(&mut b, Tag(3), PacketRef(0)).unwrap();
+        // Largest tag first; among the duplicate 7s the newest departs.
+        assert_eq!(SortBackend::pop_max(&mut b), Some((Tag(7), PacketRef(2))));
+        assert_eq!(SortBackend::pop_max(&mut b), Some((Tag(7), PacketRef(1))));
+        // Min-side FIFO service is untouched, and each pop charged a slot.
+        assert_eq!(SortBackend::pop_min(&mut b), Some((Tag(3), PacketRef(0))));
+        assert_eq!(SortBackend::pop_max(&mut b), None);
+        assert_eq!(SortBackend::cycles(&b), 24);
+    }
+
+    #[test]
+    fn pop_max_reconciles_markers_even_under_lazy_cleanup() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&BackendSpec {
+            cleanup: CleanupPolicy::Lazy,
+            ..spec()
+        });
+        SortBackend::insert(&mut b, Tag(100), PacketRef(0)).unwrap();
+        assert_eq!(SortBackend::pop_max(&mut b), Some((Tag(100), PacketRef(0))));
+        // The marker went with the push-out: a restart below 100 is
+        // legal, where a lazy pop_min would have left it gating.
+        SortBackend::insert(&mut b, Tag(5), PacketRef(1)).unwrap();
+        assert_eq!(SortBackend::pop_min(&mut b), Some((Tag(5), PacketRef(1))));
     }
 
     #[test]

@@ -360,6 +360,37 @@ impl SortRetrieveCircuit {
         Some((tag, payload))
     }
 
+    /// Removes and returns the **largest** stored tag in one four-cycle
+    /// slot — the push-out primitive of programmable admission (Alcoz et
+    /// al.): evict the worst queued packet to admit a better arrival.
+    /// Among duplicates of the maximum, the most-recently-inserted
+    /// departs (LIFO at the tail; the translation table already points
+    /// at it).
+    ///
+    /// Reconciliation is always eager here, even under
+    /// [`CleanupPolicy::Lazy`]: a stale marker *above* the live set
+    /// would win closest-match searches and dereference a freed link,
+    /// so the marker must go the moment the last duplicate departs.
+    pub fn pop_max(&mut self) -> Option<(Tag, PacketRef)> {
+        let (tag, payload, addr, pred) = self.store.pop_max()?;
+        debug_assert!(
+            self.tolerant || self.translation.get(tag) == Some(addr),
+            "translation should point at the newest instance of the maximum"
+        );
+        match pred {
+            // An older duplicate remains: it becomes the newest instance.
+            Some((pred_addr, pred_tag)) if pred_tag == tag => {
+                self.translation.set(tag, pred_addr);
+            }
+            _ => {
+                self.translation.clear(tag);
+                self.trie.remove_marker(tag);
+            }
+        }
+        self.ops += 1;
+        Some((tag, payload))
+    }
+
     /// The simultaneous case of paper §III-C: serves the smallest tag and
     /// sorts `tag` in, in a *single* four-cycle slot, reusing the freed
     /// link.

@@ -154,6 +154,34 @@ impl SortBackend for HeapSorter {
         Some((Tag(value), PacketRef(payload)))
     }
 
+    fn pop_max(&mut self) -> Option<(Tag, PacketRef)> {
+        // O(n) rebuild — fine for an oracle. LIFO among duplicates of
+        // the maximum: the largest (tag, seq) pair is exactly the
+        // most-recently-inserted instance of the largest tag.
+        let target = self.heap.iter().map(|&Reverse(e)| e).max()?;
+        let (value, _, payload) = target;
+        let remaining: Vec<_> = self
+            .heap
+            .drain()
+            .filter(|&Reverse(e)| e != target)
+            .collect();
+        self.heap = remaining.into();
+        let count = self
+            .live
+            .get_mut(&value)
+            .expect("live count for popped tag");
+        *count -= 1;
+        if *count == 0 {
+            self.live.remove(&value);
+            // Always eager (see the trait contract): a stale marker
+            // above the live set must never survive a push-out.
+            self.markers.remove(&value);
+        }
+        self.cycles += self.slot_cycles;
+        self.ops += 1;
+        Some((Tag(value), PacketRef(payload)))
+    }
+
     fn peek_min(&self) -> Option<(Tag, PacketRef)> {
         self.heap
             .peek()

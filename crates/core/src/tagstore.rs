@@ -517,6 +517,68 @@ impl TagStore {
         Some((link.tag, link.payload, addr))
     }
 
+    /// Removes and returns the **largest** tag — the list tail — plus the
+    /// address it occupied and the predecessor link (address and tag)
+    /// that now ends the list, so the caller can reconcile the
+    /// translation table. Among duplicates of the maximum the
+    /// most-recently-inserted departs (the tail-most link, since
+    /// duplicates sit in insertion order).
+    ///
+    /// This is the push-out primitive of programmable admission (Alcoz
+    /// et al.): evict the lowest-priority queued packet to admit a
+    /// higher-priority arrival. The tail search walks the list through
+    /// the uncharged debug port — a modeling idealization standing in
+    /// for the tail register real PIFO push-out hardware maintains — and
+    /// the unlink itself is charged one ordinary slot (predecessor read,
+    /// predecessor write, freed-link write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal cycle schedule faults the SRAM model.
+    #[allow(clippy::type_complexity)]
+    pub fn pop_max(&mut self) -> Option<(Tag, PacketRef, LinkAddr, Option<(LinkAddr, Tag)>)> {
+        let (head_addr, head_link) = self.head?;
+        let base = self.clock.now();
+        // Uncharged tail search (see above).
+        let mut prev: Option<(LinkAddr, Link)> = None;
+        let mut cur = (head_addr, head_link);
+        while let Some(next) = cur.1.next {
+            let link = self
+                .layout
+                .unpack(self.sram.peek(next.0 as usize).expect("valid link address"));
+            prev = Some(cur);
+            cur = (next, link);
+        }
+        let (tail_addr, tail_link) = cur;
+        let pred = match prev {
+            None => {
+                // The tail is the head: the list empties.
+                self.head = None;
+                None
+            }
+            Some((prev_addr, _)) => {
+                // Read slot 1: the predecessor (charged — the peek walk
+                // only located it); write slot 2: terminate the list.
+                let mut prev_link = self.read_slot(base, 1, prev_addr);
+                prev_link.next = None;
+                self.write_slot(base, 2, prev_addr, prev_link);
+                if self.head.map(|(a, _)| a) == Some(prev_addr) {
+                    // Keep the head register's mirror coherent.
+                    self.head = Some((prev_addr, prev_link));
+                }
+                Some((prev_addr, prev_link.tag))
+            }
+        };
+        // Write slot 3: thread the freed tail onto the empty list.
+        let mut freed = tail_link;
+        freed.next = self.empty_head;
+        self.write_slot(base, 3, tail_addr, freed);
+        self.empty_head = Some(tail_addr);
+        self.len -= 1;
+        self.clock.advance(self.slot_cycles());
+        Some((tail_link.tag, tail_link.payload, tail_addr, pred))
+    }
+
     /// The paper's simultaneous store + serve: pops the minimum and
     /// inserts `tag` in the *same* four-cycle slot by reusing the freed
     /// head link as the new link's storage.

@@ -54,6 +54,7 @@ mod hierarchy;
 mod link;
 pub mod metrics;
 mod network;
+pub mod rank;
 mod rr;
 mod scheduler;
 mod stratified;
@@ -64,6 +65,10 @@ pub use gps::gps_finish_times;
 pub use hierarchy::{Cbq, ClassMap, HierarchicalWf2q};
 pub use link::{Departure, LinkSim};
 pub use network::{end_to_end_delays, pg_end_to_end_bound, NetworkSim};
+pub use rank::{
+    AnyPolicy, FifoPlusRank, HierarchicalWfqRank, LeakyBucketRank, RankPolicy, SrptRank, StfqRank,
+    StrictPriorityRank, WfqRank,
+};
 pub use rr::{Drr, Mdrr, Wrr};
 pub use scheduler::{Fifo, Scheduler};
 pub use stratified::{Fbfq, StratifiedRr};

@@ -1,0 +1,739 @@
+//! Programmable rank policies: the PIFO view of the sorting circuit.
+//!
+//! Sivaraman et al.'s *Programmable Packet Scheduling at Line Rate*
+//! observes that a push-in-first-out queue — exactly what the paper's
+//! sort/retrieve circuit implements — expresses a whole family of
+//! schedulers if only the **rank computation** is swapped: WFQ, STFQ,
+//! SRPT, shaping, strict priority, and hierarchical schemes all reduce
+//! to "compute a rank, push, pop the minimum". [`RankPolicy`] is that
+//! swap point. The scheduler stack (`scheduler::HwScheduler` and both
+//! sharded frontends) is generic over it, with [`WfqRank`] — the
+//! paper's WFQ finishing-tag computation — as the default, so the
+//! default pipeline is bit-for-bit the pre-policy behavior.
+//!
+//! A policy owns all per-flow scheduling state. The contract with the
+//! scheduler is small:
+//!
+//! * [`RankPolicy::rank`] is called once per arriving packet, in
+//!   arrival order, and returns the packet's rank (served ascending,
+//!   FIFO among equal ranks after quantization). The call may update
+//!   per-flow state (virtual clocks, last-finish tags, bucket levels).
+//! * [`RankPolicy::on_service`] is called once per departing packet
+//!   with the rank it was enqueued under — the hook start-time fair
+//!   queueing needs to advance its virtual time.
+//! * [`RankPolicy::rank_floor`] must never exceed any rank the policy
+//!   will emit in the future. The scheduler rebases its quantizer there
+//!   when the sorter drains (monotone policies only), restoring tag
+//!   headroom exactly as the WFQ pipeline always has.
+//! * [`RankPolicy::monotone`] says whether ranks track a non-decreasing
+//!   virtual time. Bounded-domain policies (SRPT, strict priority)
+//!   return `false`: their ranks revisit small values forever, so the
+//!   quantizer must never rebase past them.
+//!
+//! Policies are built with the **prototype pattern**: a prototype value
+//! carries configuration only (e.g. the hierarchical class count), and
+//! [`RankPolicy::for_link`] stamps out the live instance for a concrete
+//! link — the sharded frontends call it once per port with that port's
+//! locally renumbered flows, exactly as they build one sorter per port.
+//!
+//! See `POLICIES.md` at the repository root for the cookbook: each
+//! policy's rank formula, reference-model pseudocode, and example
+//! `wfqsim --policy` invocations.
+
+use traffic::{FlowSpec, Packet, Time};
+
+use crate::virtual_time::{GpsVirtualClock, VirtualTime};
+
+/// A programmable rank computation over the sorting circuit.
+///
+/// See the [module docs](self) for the contract. Implementations also
+/// serve as their own prototypes: a value built by `Default` (or a
+/// configuring constructor such as
+/// [`HierarchicalWfqRank::with_classes`]) carries configuration, and
+/// [`RankPolicy::for_link`] derives the live per-link instance.
+pub trait RankPolicy: std::fmt::Debug + Clone {
+    /// Builds the live policy instance for a link: `flows` are the
+    /// link's flows (dense ids starting at 0) and `link_rate_bps` its
+    /// rate. Reads only this prototype's configuration, never its
+    /// per-flow state.
+    fn for_link(&self, flows: &[FlowSpec], link_rate_bps: f64) -> Self;
+
+    /// Computes the rank of an arriving packet, updating per-flow
+    /// state. Called once per packet, in arrival order.
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime;
+
+    /// Notifies the policy that `pkt` — enqueued under `rank` — was
+    /// served. Most policies ignore this; STFQ advances its virtual
+    /// time here.
+    fn on_service(&mut self, _pkt: &Packet, _rank: VirtualTime) {}
+
+    /// Advances any internal real-time state to `now` without an
+    /// arrival (the analogue of `GpsVirtualClock::advance`).
+    fn advance(&mut self, _now: Time) {}
+
+    /// A lower bound on every rank the policy will emit from now on.
+    /// The scheduler rebases its quantizer here when the sorter drains
+    /// (monotone policies only).
+    fn rank_floor(&self) -> VirtualTime;
+
+    /// Whether ranks track a non-decreasing virtual time. `false` for
+    /// bounded-domain policies (SRPT, strict priority), whose ranks
+    /// revisit small values forever; the scheduler then never rebases
+    /// and requires eager marker cleanup.
+    fn monotone(&self) -> bool {
+        true
+    }
+
+    /// A sensible quantizer tick (rank units per tag tick) for this
+    /// policy's rank domain on a link of `link_rate_bps` — what the CLI
+    /// uses when no calibrated scale is supplied.
+    fn tick_scale(&self, link_rate_bps: f64) -> f64;
+
+    /// Stable lowercase policy name (`wfq`, `stfq`, ...), used in CLI
+    /// flags and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the dense per-flow weight vector the virtual clocks consume.
+///
+/// # Panics
+///
+/// Panics if flow ids are not dense and unique.
+fn dense_weights(flows: &[FlowSpec]) -> Vec<f64> {
+    let mut weights = vec![0.0; flows.len()];
+    for f in flows {
+        let idx = f.id.0 as usize;
+        assert!(
+            idx < flows.len() && weights[idx] == 0.0,
+            "flow ids must be dense and unique"
+        );
+        weights[idx] = f.weight;
+    }
+    weights
+}
+
+/// Weighted fair queueing (PGPS) — the paper's policy and the default.
+///
+/// Rank = the GPS virtual finishing time of paper eq. (1):
+/// `F = max(V(t), F_prev) + L / φ`, computed by [`GpsVirtualClock`].
+/// The default scheduler pipeline with this policy is bit-for-bit the
+/// pre-policy WFQ pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct WfqRank {
+    /// `None` in the prototype; the live clock after
+    /// [`RankPolicy::for_link`].
+    clock: Option<GpsVirtualClock>,
+}
+
+impl WfqRank {
+    /// The live GPS virtual clock (read access for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a prototype that was never built for a link.
+    pub fn clock(&self) -> &GpsVirtualClock {
+        self.clock.as_ref().expect("policy not built for a link")
+    }
+
+    fn clock_mut(&mut self) -> &mut GpsVirtualClock {
+        self.clock.as_mut().expect("policy not built for a link")
+    }
+}
+
+impl RankPolicy for WfqRank {
+    fn for_link(&self, flows: &[FlowSpec], link_rate_bps: f64) -> Self {
+        Self {
+            clock: Some(GpsVirtualClock::new(&dense_weights(flows), link_rate_bps)),
+        }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        self.clock_mut()
+            .on_arrival(pkt.flow, pkt.size_bits(), pkt.arrival)
+            .1
+    }
+
+    fn advance(&mut self, now: Time) {
+        self.clock_mut().advance(now);
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        self.clock().virtual_now()
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        link_rate_bps / 50_000.0
+    }
+
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+}
+
+/// Start-time fair queueing (Goyal et al.): rank = the packet's virtual
+/// **start** tag.
+///
+/// `S = max(V, F_prev(flow))`, `F(flow) = S + L / φ`, and the virtual
+/// time `V` advances to the start tag of each packet as it is served —
+/// no per-arrival GPS simulation, which is why STFQ is the rank
+/// computation programmable hardware actually ships.
+#[derive(Debug, Clone, Default)]
+pub struct StfqRank {
+    v: f64,
+    weights: Vec<f64>,
+    last_finish: Vec<f64>,
+}
+
+impl RankPolicy for StfqRank {
+    fn for_link(&self, flows: &[FlowSpec], _link_rate_bps: f64) -> Self {
+        let weights = dense_weights(flows);
+        Self {
+            v: 0.0,
+            last_finish: vec![0.0; weights.len()],
+            weights,
+        }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        let f = pkt.flow.0 as usize;
+        let start = self.v.max(self.last_finish[f]);
+        self.last_finish[f] = start + pkt.size_bits() / self.weights[f];
+        VirtualTime(start)
+    }
+
+    fn on_service(&mut self, _pkt: &Packet, rank: VirtualTime) {
+        self.v = self.v.max(rank.value());
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        VirtualTime(self.v)
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        link_rate_bps / 50_000.0
+    }
+
+    fn name(&self) -> &'static str {
+        "stfq"
+    }
+}
+
+/// Shortest remaining processing time: rank = the packet's size in
+/// bits, so the shortest queued packet is always served next
+/// (size-based preemption happens between packets, not within one).
+///
+/// A bounded-domain policy: ranks revisit small values forever, so the
+/// quantizer never rebases ([`RankPolicy::monotone`] is `false`).
+#[derive(Debug, Clone, Default)]
+pub struct SrptRank;
+
+impl RankPolicy for SrptRank {
+    fn for_link(&self, _flows: &[FlowSpec], _link_rate_bps: f64) -> Self {
+        Self
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        VirtualTime(pkt.size_bits())
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+
+    fn monotone(&self) -> bool {
+        false
+    }
+
+    fn tick_scale(&self, _link_rate_bps: f64) -> f64 {
+        // One tick per byte: a 1500-byte packet spans 1500 ticks, well
+        // inside even the fabricated 12-bit tag space.
+        8.0
+    }
+
+    fn name(&self) -> &'static str {
+        "srpt"
+    }
+}
+
+/// FIFO+ (Clark/Shenker/Zhang): rank = the packet's arrival time at the
+/// first hop. On one hop this serves in arrival order; across a network
+/// the inherited timestamp gives distant flows the priority they lost
+/// upstream. Realizing FIFO on a PIFO is what makes the one-queue
+/// circuit a drop-in for every discipline in this module.
+#[derive(Debug, Clone, Default)]
+pub struct FifoPlusRank {
+    last_arrival: f64,
+}
+
+impl RankPolicy for FifoPlusRank {
+    fn for_link(&self, _flows: &[FlowSpec], _link_rate_bps: f64) -> Self {
+        Self::default()
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        self.last_arrival = pkt.arrival.0;
+        VirtualTime(pkt.arrival.0)
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        VirtualTime(self.last_arrival)
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        // Ranks are seconds: one tick is the time of 500 bits on the
+        // link, fine enough to separate back-to-back packets.
+        500.0 / link_rate_bps
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo+"
+    }
+}
+
+/// Strict priority: rank = the flow's priority class, derived from its
+/// weight (heavier weight ⇒ higher priority ⇒ smaller rank). Flows with
+/// equal weight share one class, FIFO among themselves.
+///
+/// A bounded-domain policy ([`RankPolicy::monotone`] is `false`): a
+/// high-priority arrival must always be able to rank below everything
+/// queued.
+#[derive(Debug, Clone, Default)]
+pub struct StrictPriorityRank {
+    /// Flow id → priority class (0 = highest).
+    prio_of: Vec<u32>,
+}
+
+impl RankPolicy for StrictPriorityRank {
+    fn for_link(&self, flows: &[FlowSpec], _link_rate_bps: f64) -> Self {
+        let weights = dense_weights(flows);
+        // Distinct weights, descending: class 0 is the heaviest.
+        let mut distinct: Vec<f64> = weights.clone();
+        distinct.sort_by(|a, b| b.total_cmp(a));
+        distinct.dedup();
+        let prio_of = weights
+            .iter()
+            .map(|w| {
+                distinct
+                    .iter()
+                    .position(|d| d == w)
+                    .expect("weight is in its own distinct set") as u32
+            })
+            .collect();
+        Self { prio_of }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        VirtualTime(f64::from(self.prio_of[pkt.flow.0 as usize]))
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+
+    fn monotone(&self) -> bool {
+        false
+    }
+
+    fn tick_scale(&self, _link_rate_bps: f64) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "prio"
+    }
+}
+
+/// Leaky-bucket shaping order: rank = the time the packet *conforms* to
+/// its flow's token rate (`FlowSpec::rate_bps`).
+///
+/// `η = max(arrival, η_prev) + L / r`: a flow inside its contract gets
+/// ranks near its arrival times; a flow bursting above it accumulates
+/// bucket debt and sorts behind everyone conforming. The queue stays
+/// work-conserving — a PIFO cannot hold packets back — so this is the
+/// shaping *order*, not a non-work-conserving shaper.
+#[derive(Debug, Clone, Default)]
+pub struct LeakyBucketRank {
+    /// Flow id → contracted token rate, bits per second.
+    rates: Vec<f64>,
+    /// Flow id → bucket level: the conforming finish time of the flow's
+    /// last packet, in seconds.
+    eta: Vec<f64>,
+    last_arrival: f64,
+}
+
+impl RankPolicy for LeakyBucketRank {
+    fn for_link(&self, flows: &[FlowSpec], _link_rate_bps: f64) -> Self {
+        let mut rates = vec![0.0; flows.len()];
+        for f in flows {
+            let idx = f.id.0 as usize;
+            assert!(
+                idx < flows.len() && rates[idx] == 0.0,
+                "flow ids must be dense and unique"
+            );
+            assert!(
+                f.rate_bps > 0.0 && f.rate_bps.is_finite(),
+                "leaky-bucket shaping needs a positive contracted rate"
+            );
+            rates[idx] = f.rate_bps;
+        }
+        Self {
+            eta: vec![0.0; rates.len()],
+            rates,
+            last_arrival: 0.0,
+        }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        let f = pkt.flow.0 as usize;
+        self.last_arrival = pkt.arrival.0;
+        let conforming = self.eta[f].max(pkt.arrival.0) + pkt.size_bits() / self.rates[f];
+        self.eta[f] = conforming;
+        VirtualTime(conforming)
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        // Every future rank exceeds its packet's arrival time, and
+        // arrivals are non-decreasing.
+        VirtualTime(self.last_arrival)
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        500.0 / link_rate_bps
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky"
+    }
+}
+
+/// Two-level hierarchical WFQ: flows are grouped into classes, the link
+/// is split between classes in proportion to their aggregate weight,
+/// and each class runs its own GPS virtual clock at its share of the
+/// link rate. Rank = the flow's finishing tag on its **class** clock.
+///
+/// Class membership is `flow id % classes` (over the link's dense local
+/// ids — under a sharded frontend, each port classes its own local
+/// population). With one class the policy degenerates *exactly* to
+/// [`WfqRank`]: one clock, the full weight vector, the full link rate.
+#[derive(Debug, Clone)]
+pub struct HierarchicalWfqRank {
+    /// Configured class count (clamped to the flow count at build).
+    classes: usize,
+    /// One GPS clock per class, running at the class's share of the
+    /// link rate. Empty in the prototype.
+    clocks: Vec<GpsVirtualClock>,
+    /// Flow id → class index. Empty in the prototype.
+    class_of: Vec<usize>,
+}
+
+impl Default for HierarchicalWfqRank {
+    /// A two-class prototype — the smallest genuinely hierarchical
+    /// configuration.
+    fn default() -> Self {
+        Self::with_classes(2)
+    }
+}
+
+impl HierarchicalWfqRank {
+    /// A prototype with an explicit class count (clamped to the flow
+    /// population at [`RankPolicy::for_link`] time; 1 degenerates to
+    /// flat WFQ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn with_classes(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        Self {
+            classes,
+            clocks: Vec::new(),
+            class_of: Vec::new(),
+        }
+    }
+
+    /// The class a flow is assigned to (after [`RankPolicy::for_link`]).
+    pub fn class_of(&self, flow: u32) -> Option<usize> {
+        self.class_of.get(flow as usize).copied()
+    }
+}
+
+impl RankPolicy for HierarchicalWfqRank {
+    fn for_link(&self, flows: &[FlowSpec], link_rate_bps: f64) -> Self {
+        let weights = dense_weights(flows);
+        let classes = self.classes.min(flows.len()).max(1);
+        let class_of: Vec<usize> = (0..flows.len()).map(|f| f % classes).collect();
+        let total: f64 = weights.iter().sum();
+        let clocks = (0..classes)
+            .map(|c| {
+                let class_weight: f64 = weights
+                    .iter()
+                    .enumerate()
+                    .filter(|&(f, _)| class_of[f] == c)
+                    .map(|(_, &w)| w)
+                    .sum();
+                // Each class clock sees the full dense weight vector but
+                // only its members' arrivals, so GPS virtual time inside
+                // the class advances exactly as if the others were idle.
+                GpsVirtualClock::new(&weights, link_rate_bps * class_weight / total)
+            })
+            .collect();
+        Self {
+            classes: self.classes,
+            clocks,
+            class_of,
+        }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        let class = self.class_of[pkt.flow.0 as usize];
+        self.clocks[class]
+            .on_arrival(pkt.flow, pkt.size_bits(), pkt.arrival)
+            .1
+    }
+
+    fn advance(&mut self, now: Time) {
+        for clock in &mut self.clocks {
+            clock.advance(now);
+        }
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        self.clocks
+            .iter()
+            .map(GpsVirtualClock::virtual_now)
+            .min()
+            .unwrap_or(VirtualTime::ZERO)
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        link_rate_bps / 50_000.0
+    }
+
+    fn name(&self) -> &'static str {
+        "hwfq"
+    }
+}
+
+/// Every shipped policy behind one concrete type, for runtime selection
+/// (the CLI's `--policy` flag): one monomorphization instead of one per
+/// policy, at the cost of a per-packet `match`.
+#[derive(Debug, Clone)]
+pub enum AnyPolicy {
+    /// [`WfqRank`].
+    Wfq(WfqRank),
+    /// [`StfqRank`].
+    Stfq(StfqRank),
+    /// [`SrptRank`].
+    Srpt(SrptRank),
+    /// [`FifoPlusRank`].
+    FifoPlus(FifoPlusRank),
+    /// [`StrictPriorityRank`].
+    Prio(StrictPriorityRank),
+    /// [`LeakyBucketRank`].
+    Leaky(LeakyBucketRank),
+    /// [`HierarchicalWfqRank`].
+    Hwfq(HierarchicalWfqRank),
+}
+
+impl Default for AnyPolicy {
+    fn default() -> Self {
+        Self::Wfq(WfqRank::default())
+    }
+}
+
+impl AnyPolicy {
+    /// Every accepted policy name, in the order the CLI documents them.
+    pub const NAMES: [&'static str; 7] = ["wfq", "stfq", "srpt", "fifo+", "prio", "leaky", "hwfq"];
+
+    /// A prototype for `name`, or `None` for an unknown name (see
+    /// [`AnyPolicy::NAMES`]).
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "wfq" => Self::Wfq(WfqRank::default()),
+            "stfq" => Self::Stfq(StfqRank::default()),
+            "srpt" => Self::Srpt(SrptRank),
+            "fifo+" => Self::FifoPlus(FifoPlusRank::default()),
+            "prio" => Self::Prio(StrictPriorityRank::default()),
+            "leaky" => Self::Leaky(LeakyBucketRank::default()),
+            "hwfq" => Self::Hwfq(HierarchicalWfqRank::default()),
+            _ => return None,
+        })
+    }
+}
+
+macro_rules! delegate {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyPolicy::Wfq($p) => $body,
+            AnyPolicy::Stfq($p) => $body,
+            AnyPolicy::Srpt($p) => $body,
+            AnyPolicy::FifoPlus($p) => $body,
+            AnyPolicy::Prio($p) => $body,
+            AnyPolicy::Leaky($p) => $body,
+            AnyPolicy::Hwfq($p) => $body,
+        }
+    };
+}
+
+impl RankPolicy for AnyPolicy {
+    fn for_link(&self, flows: &[FlowSpec], link_rate_bps: f64) -> Self {
+        match self {
+            Self::Wfq(p) => Self::Wfq(p.for_link(flows, link_rate_bps)),
+            Self::Stfq(p) => Self::Stfq(p.for_link(flows, link_rate_bps)),
+            Self::Srpt(p) => Self::Srpt(p.for_link(flows, link_rate_bps)),
+            Self::FifoPlus(p) => Self::FifoPlus(p.for_link(flows, link_rate_bps)),
+            Self::Prio(p) => Self::Prio(p.for_link(flows, link_rate_bps)),
+            Self::Leaky(p) => Self::Leaky(p.for_link(flows, link_rate_bps)),
+            Self::Hwfq(p) => Self::Hwfq(p.for_link(flows, link_rate_bps)),
+        }
+    }
+
+    fn rank(&mut self, pkt: &Packet) -> VirtualTime {
+        delegate!(self, p => p.rank(pkt))
+    }
+
+    fn on_service(&mut self, pkt: &Packet, rank: VirtualTime) {
+        delegate!(self, p => p.on_service(pkt, rank))
+    }
+
+    fn advance(&mut self, now: Time) {
+        delegate!(self, p => p.advance(now))
+    }
+
+    fn rank_floor(&self) -> VirtualTime {
+        delegate!(self, p => p.rank_floor())
+    }
+
+    fn monotone(&self) -> bool {
+        delegate!(self, p => p.monotone())
+    }
+
+    fn tick_scale(&self, link_rate_bps: f64) -> f64 {
+        delegate!(self, p => p.tick_scale(link_rate_bps))
+    }
+
+    fn name(&self) -> &'static str {
+        delegate!(self, p => p.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::FlowId;
+
+    fn flows(weights: &[f64]) -> Vec<FlowSpec> {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| FlowSpec::new(FlowId(i as u32), w, 1e6))
+            .collect()
+    }
+
+    fn pkt(flow: u32, at: f64, bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: bytes,
+            arrival: Time(at),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn wfq_rank_matches_the_raw_virtual_clock() {
+        let fl = flows(&[1.0, 3.0]);
+        let mut policy = WfqRank::default().for_link(&fl, 1e6);
+        let mut clock = GpsVirtualClock::new(&[1.0, 3.0], 1e6);
+        for i in 0..40u32 {
+            let p = pkt(i % 2, f64::from(i) * 1e-4, 200 + 37 * i);
+            let want = clock.on_arrival(p.flow, p.size_bits(), p.arrival).1;
+            assert_eq!(policy.rank(&p), want, "packet {i}");
+            assert_eq!(policy.rank_floor(), clock.virtual_now());
+        }
+    }
+
+    #[test]
+    fn stfq_start_tags_are_monotone_per_flow_and_v_advances() {
+        let fl = flows(&[1.0, 2.0]);
+        let mut p = StfqRank::default().for_link(&fl, 1e6);
+        let r0 = p.rank(&pkt(0, 0.0, 500));
+        let r1 = p.rank(&pkt(0, 0.0, 500));
+        assert_eq!(r0, VirtualTime::ZERO);
+        assert_eq!(r1.value(), 4000.0, "second packet starts at F_prev");
+        // Serving the 4000-rank packet advances V: flow 1's next start
+        // is at least V.
+        p.on_service(&pkt(0, 0.0, 500), r1);
+        assert_eq!(p.rank_floor().value(), 4000.0);
+        assert_eq!(p.rank(&pkt(1, 0.0, 500)).value(), 4000.0);
+    }
+
+    #[test]
+    fn srpt_and_prio_are_bounded_domain() {
+        let fl = flows(&[4.0, 1.0, 4.0]);
+        let mut srpt = SrptRank.for_link(&fl, 1e6);
+        assert!(!RankPolicy::monotone(&srpt));
+        assert_eq!(srpt.rank(&pkt(0, 0.0, 100)).value(), 800.0);
+        let mut prio = StrictPriorityRank::default().for_link(&fl, 1e6);
+        assert!(!RankPolicy::monotone(&prio));
+        // Weight 4 flows share class 0; weight 1 is class 1.
+        assert_eq!(prio.rank(&pkt(0, 0.0, 100)).value(), 0.0);
+        assert_eq!(prio.rank(&pkt(1, 0.0, 100)).value(), 1.0);
+        assert_eq!(prio.rank(&pkt(2, 0.0, 100)).value(), 0.0);
+    }
+
+    #[test]
+    fn leaky_bucket_accumulates_debt_above_contract() {
+        let fl = flows(&[1.0, 1.0]); // 1 Mb/s contracted each
+        let mut p = LeakyBucketRank::default().for_link(&fl, 10e6);
+        // Flow 0 bursts 3 x 1250 B back-to-back: 10 ms of tokens each.
+        let r1 = p.rank(&pkt(0, 0.0, 1250));
+        let r2 = p.rank(&pkt(0, 0.0, 1250));
+        let r3 = p.rank(&pkt(0, 0.0, 1250));
+        assert!((r1.value() - 0.01).abs() < 1e-12);
+        assert!((r2.value() - 0.02).abs() < 1e-12);
+        assert!((r3.value() - 0.03).abs() < 1e-12);
+        // A conforming flow arriving later still ranks first.
+        let r = p.rank(&pkt(1, 0.005, 1250));
+        assert!((r.value() - 0.015).abs() < 1e-12);
+        assert!(r < r2);
+    }
+
+    #[test]
+    fn hierarchical_with_one_class_is_flat_wfq() {
+        let fl = flows(&[1.0, 3.0, 2.0]);
+        let mut h = HierarchicalWfqRank::with_classes(1).for_link(&fl, 1e6);
+        let mut w = WfqRank::default().for_link(&fl, 1e6);
+        for i in 0..60u32 {
+            let p = pkt(i % 3, f64::from(i) * 1e-4, 100 + 53 * i);
+            assert_eq!(h.rank(&p), w.rank(&p), "packet {i}");
+            assert_eq!(h.rank_floor(), w.rank_floor());
+        }
+    }
+
+    #[test]
+    fn hierarchical_classes_split_the_link() {
+        let fl = flows(&[1.0, 1.0, 1.0, 1.0]);
+        let h = HierarchicalWfqRank::with_classes(2).for_link(&fl, 1e6);
+        assert_eq!(h.class_of(0), Some(0));
+        assert_eq!(h.class_of(1), Some(1));
+        assert_eq!(h.class_of(2), Some(0));
+        assert_eq!(h.class_of(3), Some(1));
+        // Class count is clamped to the population.
+        let h = HierarchicalWfqRank::with_classes(9).for_link(&fl, 1e6);
+        assert_eq!(h.class_of(3), Some(3));
+    }
+
+    #[test]
+    fn any_policy_round_trips_names() {
+        for name in AnyPolicy::NAMES {
+            let proto = AnyPolicy::by_name(name).expect(name);
+            assert_eq!(proto.name(), name);
+        }
+        assert!(AnyPolicy::by_name("nope").is_none());
+        let fl = flows(&[1.0, 2.0]);
+        let mut p = AnyPolicy::by_name("stfq").unwrap().for_link(&fl, 1e6);
+        assert_eq!(p.rank(&pkt(0, 0.0, 500)), VirtualTime::ZERO);
+        assert!(p.monotone());
+        assert!(!AnyPolicy::by_name("srpt").unwrap().monotone());
+    }
+}

@@ -506,6 +506,55 @@ impl SortBackend for FfsSorter {
         Some((Tag(tag as u32), payload))
     }
 
+    fn pop_max(&mut self) -> Option<(Tag, PacketRef)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.occ_stats.begin_op();
+        self.bucket_stats.begin_op();
+        self.occ_stats.record_batch(self.depth() as u64);
+        let tag = match Self::descend_max(&self.occ) {
+            Some(tag) if self.buckets[tag].head != NONE => tag,
+            // Corrupt hierarchy: ground-truth scan, as peek_min does.
+            _ => self.buckets.iter().rposition(|b| b.head != NONE)?,
+        };
+        self.bucket_stats.record_read();
+        let tail = self.buckets[tag].tail;
+        let node = self.nodes[tail as usize];
+        self.sram.reads += 1;
+        let head = self.buckets[tag].head;
+        if head == tail {
+            self.buckets[tag] = Bucket::EMPTY;
+            let w = Self::clear_bit(&mut self.occ, tag);
+            for _ in 0..w {
+                self.occ_stats.record_write();
+            }
+            // Always eager, even under lazy cleanup (trait contract): a
+            // stale marker above the live set must not survive push-out.
+            Self::clear_bit(&mut self.marked, tag);
+        } else {
+            // Unlink the tail: chain walk from the head for its
+            // predecessor (push-out is the rare path; FIFO pops stay
+            // O(1)).
+            let mut prev = head;
+            while self.nodes[prev as usize].next != tail {
+                prev = self.nodes[prev as usize].next;
+            }
+            self.nodes[prev as usize].next = NONE;
+            self.buckets[tag].tail = prev;
+            self.sram.writes += 1;
+        }
+        self.bucket_stats.record_write();
+        self.nodes[tail as usize] = Node {
+            payload: 0,
+            next: self.free_head,
+        };
+        self.free_head = tail;
+        self.len -= 1;
+        self.charge_slot();
+        Some((Tag(tag as u32), PacketRef(node.payload)))
+    }
+
     fn peek_min(&self) -> Option<(Tag, PacketRef)> {
         if self.len == 0 {
             return None;
@@ -1045,12 +1094,14 @@ mod tests {
     enum Op {
         Insert(u32),
         Pop,
+        PopMax,
     }
 
     fn op_strategy(tag_space: u32) -> impl Strategy<Value = Op> {
         prop_oneof![
-            3 => (0..tag_space).prop_map(Op::Insert),
+            4 => (0..tag_space).prop_map(Op::Insert),
             2 => Just(Op::Pop),
+            1 => Just(Op::PopMax),
         ]
     }
 
@@ -1066,6 +1117,9 @@ mod tests {
                 }
                 Op::Pop => {
                     assert_eq!(a.pop_min(), b.pop_min(), "pop_min diverged");
+                }
+                Op::PopMax => {
+                    assert_eq!(a.pop_max(), b.pop_max(), "pop_max diverged");
                 }
             }
             assert_eq!(a.len(), b.len());

@@ -8,7 +8,7 @@
 //! [`fairq::Departure`] records and can be scored with the same
 //! delay/fairness/GPS-lag metrics as the algorithms it implements.
 
-use fairq::Departure;
+use fairq::{Departure, RankPolicy, WfqRank};
 use tagsort::{SortBackend, SortRetrieveCircuit};
 use telemetry::LatencyTracker;
 use traffic::{Packet, Time};
@@ -58,22 +58,23 @@ pub enum DropPolicy {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct HwLinkSim<B: SortBackend = SortRetrieveCircuit> {
+pub struct HwLinkSim<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = WfqRank> {
     rate_bps: f64,
-    scheduler: HwScheduler<B>,
+    scheduler: HwScheduler<B, P>,
     drop_policy: DropPolicy,
     latency: Option<LatencyTracker>,
     drops: u64,
 }
 
-impl<B: SortBackend> HwLinkSim<B> {
+impl<B: SortBackend, P: RankPolicy> HwLinkSim<B, P> {
     /// Creates a link of `rate_bps` served by `scheduler` (any sorting
-    /// backend — the type is inferred from the scheduler handed in).
+    /// backend and rank policy — the types are inferred from the
+    /// scheduler handed in).
     ///
     /// # Panics
     ///
     /// Panics if the rate is not positive and finite.
-    pub fn new(rate_bps: f64, scheduler: HwScheduler<B>) -> Self {
+    pub fn new(rate_bps: f64, scheduler: HwScheduler<B, P>) -> Self {
         assert!(
             rate_bps > 0.0 && rate_bps.is_finite(),
             "rate must be positive and finite"
@@ -184,13 +185,13 @@ impl<B: SortBackend> HwLinkSim<B> {
     }
 
     /// The scheduler, for post-run inspection.
-    pub fn scheduler(&self) -> &HwScheduler<B> {
+    pub fn scheduler(&self) -> &HwScheduler<B, P> {
         &self.scheduler
     }
 
     /// Mutable scheduler access, for post-run bookkeeping such as
     /// [`HwScheduler::reconcile_faults`].
-    pub fn scheduler_mut(&mut self) -> &mut HwScheduler<B> {
+    pub fn scheduler_mut(&mut self) -> &mut HwScheduler<B, P> {
         &mut self.scheduler
     }
 }

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use fairq::{GpsVirtualClock, VirtualTime};
+use fairq::{GpsVirtualClock, RankPolicy, VirtualTime, WfqRank};
 use faultsim::{
     DetectionKind, FaultAttachError, FaultComponent, FaultConfig, FaultLedger, FaultPlan,
     FaultPolicy, FaultRecord,
@@ -18,6 +18,49 @@ use traffic::{FlowSpec, Packet, Time};
 
 use crate::buffer::{BufferStats, PacketBuffer};
 use crate::quantize::{TagQuantizer, WrapPolicy};
+
+/// What happens when a packet arrives to a full shared buffer.
+///
+/// Programmable admission is the second half of the PIFO abstraction:
+/// the rank function decides *order*, the admission policy decides
+/// *membership* when the buffer saturates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Reject the arriving packet — the classic drop-tail queue.
+    #[default]
+    TailDrop,
+    /// Rank-aware push-out: if the arriving packet's quantized tick is
+    /// strictly smaller than the largest outstanding tick, the sorter's
+    /// maximum entry is evicted (via [`SortBackend::pop_max`]) to make
+    /// room; otherwise the arrival is tail-dropped. This keeps the
+    /// buffer's contents the best-ranked packets seen so far, which
+    /// matters for low-rank flows under overload. Intended for
+    /// [`WrapPolicy::Saturate`], where tag order equals tick order.
+    PushOut,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::TailDrop => "tail-drop",
+            Self::PushOut => "push-out",
+        })
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "tail-drop" => Ok(Self::TailDrop),
+            "push-out" => Ok(Self::PushOut),
+            other => Err(format!(
+                "unknown admission policy \"{other}\" (expected tail-drop or push-out)"
+            )),
+        }
+    }
+}
 
 /// Configuration of the hardware scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +84,8 @@ pub struct SchedulerConfig {
     /// into the sorter's state memories, plus the response policy and
     /// scrub schedule (`None` runs fault-free).
     pub faults: Option<FaultConfig>,
+    /// Full-buffer behavior (see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -53,6 +98,7 @@ impl Default for SchedulerConfig {
             cleanup: CleanupPolicy::Eager,
             memory: MemoryKind::SinglePort,
             faults: None,
+            admission: AdmissionPolicy::TailDrop,
         }
     }
 }
@@ -123,6 +169,9 @@ pub struct SchedulerStats {
     /// the lap boundary, where wrapped (logically newest) tags overtake
     /// the old lap's stragglers.
     pub inversions: u64,
+    /// Queued packets evicted by [`AdmissionPolicy::PushOut`] to admit a
+    /// better-ranked arrival (always zero under tail-drop).
+    pub pushed_out: u64,
 }
 
 impl SchedulerStats {
@@ -134,6 +183,7 @@ impl SchedulerStats {
         snap.put(&format!("{prefix}_dequeued"), self.dequeued as f64);
         snap.put(&format!("{prefix}_clamped"), self.clamped as f64);
         snap.put(&format!("{prefix}_inversions"), self.inversions as f64);
+        snap.put(&format!("{prefix}_pushed_out"), self.pushed_out as f64);
         let c = &self.circuit;
         snap.put(&format!("{prefix}_circuit_ops"), c.ops as f64);
         snap.put(
@@ -187,6 +237,7 @@ struct Instruments {
     dropped: Counter,
     clamped: Counter,
     inversions: Counter,
+    pushed_out: Counter,
     recycled_sections: Counter,
     recycled_markers: Counter,
     depth: Gauge,
@@ -214,6 +265,7 @@ impl Instruments {
             dropped: Counter::disabled(),
             clamped: Counter::disabled(),
             inversions: Counter::disabled(),
+            pushed_out: Counter::disabled(),
             recycled_sections: Counter::disabled(),
             recycled_markers: Counter::disabled(),
             depth: Gauge::disabled(),
@@ -241,6 +293,7 @@ impl Instruments {
             dropped: tel.counter("sched_dropped"),
             clamped: tel.counter("sched_clamped"),
             inversions: tel.counter("sched_inversions"),
+            pushed_out: tel.counter("sched_pushed_out"),
             recycled_sections: tel.counter("trie_recycled_sections"),
             recycled_markers: tel.counter("trie_recycled_markers"),
             depth: tel.gauge("queue_depth", GaugeMerge::Sum),
@@ -302,25 +355,34 @@ struct FaultState {
 /// generational buffer reference).
 type SlotInfo = (u64, u64, VirtualTime, u64, PacketRef);
 
-/// The full hardware WFQ scheduler: tag computation + quantization +
+/// The full hardware scheduler: rank computation + quantization +
 /// shared packet buffer + tag sort/retrieve circuit.
 ///
 /// See the [crate example](crate) for basic use. Service discipline is
 /// the caller's: experiments interleave [`HwScheduler::enqueue`] and
 /// [`HwScheduler::dequeue`] however their link model dictates.
 ///
-/// The scheduler is generic over its sorting engine: any
-/// [`SortBackend`] slots in behind the same tag-in/packet-out contract.
-/// The default is the paper's [`SortRetrieveCircuit`]; the `fastpath`
-/// crate's FFS sorter and [`tagsort::HeapSorter`] are drop-in
-/// alternatives (use [`HwScheduler::with_backend`]).
+/// The scheduler is generic along two axes — the PIFO decomposition:
+///
+/// - **Sorting engine** `B`: any [`SortBackend`] slots in behind the
+///   same tag-in/packet-out contract. The default is the paper's
+///   [`SortRetrieveCircuit`]; the `fastpath` crate's FFS sorter and
+///   [`tagsort::HeapSorter`] are drop-in alternatives (use
+///   [`HwScheduler::with_backend`]).
+/// - **Rank policy** `P`: any [`RankPolicy`] decides each packet's
+///   priority. The default is [`WfqRank`], the paper's PGPS finishing
+///   tag; the `fairq` crate ships STFQ, SRPT, FIFO+, strict priority,
+///   leaky-bucket and hierarchical-WFQ alternatives (use
+///   [`HwScheduler::with_backend_and_policy`]). See `POLICIES.md` at
+///   the repository root for the cookbook.
 #[derive(Debug, Clone)]
-pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit> {
-    clock: GpsVirtualClock,
+pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = WfqRank> {
+    policy: P,
     quantizer: TagQuantizer,
     buffer: PacketBuffer,
     sorter: B,
     flows: usize,
+    admission: AdmissionPolicy,
     /// Outstanding assigned ticks, for the quantizer's window tracking.
     outstanding: BTreeSet<(u64, u64)>,
     /// (tick, stamp, finishing tag, enqueue cycle, generational buffer
@@ -331,6 +393,7 @@ pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit> {
     enqueued: u64,
     dequeued: u64,
     inversions: u64,
+    pushed_out: u64,
     /// Shard-local → global flow id map for trace events (identity when
     /// empty; set by sharded frontends so joined event streams keep
     /// globally meaningful flow ids).
@@ -341,7 +404,9 @@ pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit> {
 
 impl HwScheduler {
     /// Creates a scheduler for `flows` on a link of `link_rate_bps`,
-    /// sorting with the paper's trie circuit (the default backend).
+    /// sorting with the paper's trie circuit (the default backend) and
+    /// ranking with the paper's WFQ finishing tags (the default
+    /// policy).
     ///
     /// # Panics
     ///
@@ -352,25 +417,64 @@ impl HwScheduler {
     }
 }
 
-impl<B: SortBackend> HwScheduler<B> {
+impl<B: SortBackend> HwScheduler<B, WfqRank> {
+    /// The WFQ virtual clock (read access for experiments). Only the
+    /// default [`WfqRank`] policy exposes one.
+    pub fn virtual_clock(&self) -> &GpsVirtualClock {
+        self.policy.clock()
+    }
+}
+
+impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
     /// Creates a scheduler whose sorting engine is built from the
-    /// backend type `B` (see [`SortBackend::build`]). Identical to
-    /// [`HwScheduler::new`] except for the choice of engine.
+    /// backend type `B` (see [`SortBackend::build`]) and whose rank
+    /// policy is `P`'s [`Default`], bound to this link via
+    /// [`RankPolicy::for_link`]. Identical to [`HwScheduler::new`]
+    /// except for the choice of engine and policy.
     ///
     /// # Panics
     ///
     /// Panics if flow ids are not dense, weights/rates are invalid, or
     /// the configuration is inconsistent.
-    pub fn with_backend(flows: &[FlowSpec], link_rate_bps: f64, config: SchedulerConfig) -> Self {
-        let mut weights = vec![0.0; flows.len()];
+    pub fn with_backend(flows: &[FlowSpec], link_rate_bps: f64, config: SchedulerConfig) -> Self
+    where
+        P: Default,
+    {
+        Self::with_backend_and_policy(flows, link_rate_bps, config, &P::default())
+    }
+
+    /// Creates a scheduler ranking with `prototype`, specialized to
+    /// this link's flow set via [`RankPolicy::for_link`] (the prototype
+    /// itself is untouched — pass a configured-but-unbound policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow ids are not dense, weights/rates are invalid, the
+    /// configuration is inconsistent, or a non-monotone policy (one
+    /// whose [`RankPolicy::monotone`] is `false`) is paired with
+    /// [`CleanupPolicy::Lazy`] — stale markers would reject the
+    /// below-minimum tags such policies legitimately emit.
+    pub fn with_backend_and_policy(
+        flows: &[FlowSpec],
+        link_rate_bps: f64,
+        config: SchedulerConfig,
+        prototype: &P,
+    ) -> Self {
+        let mut seen = vec![false; flows.len()];
         for f in flows {
             let idx = f.id.0 as usize;
             assert!(
-                idx < flows.len() && weights[idx] == 0.0,
+                idx < flows.len() && !seen[idx],
                 "flow ids must be dense and unique"
             );
-            weights[idx] = f.weight;
+            seen[idx] = true;
         }
+        let policy = prototype.for_link(flows, link_rate_bps);
+        assert!(
+            policy.monotone() || config.cleanup == CleanupPolicy::Eager,
+            "policy `{}` emits non-monotone ranks and requires CleanupPolicy::Eager",
+            policy.name()
+        );
         let mut sorter = B::build(&BackendSpec {
             geometry: config.geometry,
             capacity: config.capacity,
@@ -393,7 +497,7 @@ impl<B: SortBackend> HwScheduler<B> {
             }
         });
         Self {
-            clock: GpsVirtualClock::new(&weights, link_rate_bps),
+            policy,
             quantizer: TagQuantizer::with_policy(
                 config.geometry,
                 config.tick_scale,
@@ -402,12 +506,14 @@ impl<B: SortBackend> HwScheduler<B> {
             buffer: PacketBuffer::new(config.capacity),
             sorter,
             flows: flows.len(),
+            admission: config.admission,
             outstanding: BTreeSet::new(),
             slot_info: vec![None; config.capacity],
             next_stamp: 0,
             enqueued: 0,
             dequeued: 0,
             inversions: 0,
+            pushed_out: 0,
             global_flows: Vec::new(),
             faults,
             instr: Instruments::disabled(),
@@ -461,9 +567,9 @@ impl<B: SortBackend> HwScheduler<B> {
         self.sorter.is_empty()
     }
 
-    /// The WFQ virtual clock (read access for experiments).
-    pub fn virtual_clock(&self) -> &GpsVirtualClock {
-        &self.clock
+    /// The rank policy (read access for experiments).
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// Total tag-storage cycles consumed so far — the time base every
@@ -481,6 +587,7 @@ impl<B: SortBackend> HwScheduler<B> {
             dequeued: self.dequeued,
             clamped: self.quantizer.clamped_count(),
             inversions: self.inversions,
+            pushed_out: self.pushed_out,
         }
     }
 
@@ -745,8 +852,9 @@ impl<B: SortBackend> HwScheduler<B> {
         self.faults = Some(fs);
     }
 
-    /// Accepts a packet: computes its WFQ finishing tag, quantizes it,
-    /// parks the packet in the shared buffer, and sorts the tag in.
+    /// Accepts a packet: computes its rank (the WFQ finishing tag under
+    /// the default policy), quantizes it, parks the packet in the
+    /// shared buffer, and sorts the tag in.
     ///
     /// # Errors
     ///
@@ -763,15 +871,19 @@ impl<B: SortBackend> HwScheduler<B> {
                 flows: self.flows,
             });
         }
-        let (_, finish) = self
-            .clock
-            .on_arrival(pkt.flow, pkt.size_bits(), pkt.arrival);
-        if self.sorter.is_empty() && self.quantizer.policy() == WrapPolicy::Saturate {
+        let finish = self.policy.rank(&pkt);
+        if self.sorter.is_empty()
+            && self.quantizer.policy() == WrapPolicy::Saturate
+            && self.policy.monotone()
+        {
             // Fresh numbering while nothing is outstanding restores the
-            // saturate policy's headroom. The paper-literal Wrap policy
-            // instead keeps its circular numbering forever and reclaims
-            // range through section recycling (Fig. 6).
-            self.quantizer.rebase(self.clock.virtual_now());
+            // saturate policy's headroom: a monotone policy guarantees
+            // every future rank is at least its floor. The paper-literal
+            // Wrap policy instead keeps its circular numbering forever
+            // and reclaims range through section recycling (Fig. 6);
+            // bounded-domain policies (SRPT, strict priority) never
+            // rebase — their ranks already live in a fixed window.
+            self.quantizer.rebase(self.policy.rank_floor());
         }
         let min_outstanding_tick = self.outstanding.iter().next().map(|&(t, _)| t);
         let out = self.quantizer.quantize(finish, min_outstanding_tick);
@@ -799,7 +911,14 @@ impl<B: SortBackend> HwScheduler<B> {
                 removed as u64,
             );
         }
-        let Some(full) = self.buffer.store(pkt) else {
+        let stored = match self.buffer.store(pkt) {
+            Some(full) => Some(full),
+            None if self.admission == AdmissionPolicy::PushOut => self
+                .try_push_out(out.tick)
+                .and_then(|()| self.buffer.store(pkt)),
+            None => None,
+        };
+        let Some(full) = stored else {
             self.note_drop(pkt.flow.0);
             return Err(SchedulerError::BufferFull {
                 capacity: self.buffer.capacity(),
@@ -837,6 +956,40 @@ impl<B: SortBackend> HwScheduler<B> {
         );
         self.fault_sweep();
         Ok(())
+    }
+
+    /// Attempts to free one buffer slot for an arrival quantized to
+    /// `tick` by evicting the sorter's maximum entry
+    /// ([`AdmissionPolicy::PushOut`]). Succeeds only when the arrival
+    /// strictly outranks the largest outstanding tick; the victim is
+    /// dropped (counted and traced like any refused packet).
+    fn try_push_out(&mut self, tick: u64) -> Option<()> {
+        let &(max_tick, _) = self.outstanding.iter().next_back()?;
+        if tick >= max_tick {
+            return None;
+        }
+        let (_, slot) = self.sorter.pop_max()?;
+        let entry = self
+            .slot_info
+            .get_mut(slot.index() as usize)
+            .and_then(Option::take);
+        let Some((vtick, vstamp, _finish, _enq, full)) = entry else {
+            self.note_pointer_corruption();
+            return None;
+        };
+        self.outstanding.remove(&(vtick, vstamp));
+        self.pushed_out += 1;
+        self.instr.pushed_out.inc(self.instr.shard, 1);
+        match self.buffer.try_release(full) {
+            Some(victim) => {
+                self.note_drop(victim.flow.0);
+                Some(())
+            }
+            None => {
+                self.note_pointer_corruption();
+                None
+            }
+        }
     }
 
     /// Records a refused packet (counter + trace event).
@@ -890,7 +1043,7 @@ impl<B: SortBackend> HwScheduler<B> {
                 .slot_info
                 .get_mut(slot.index() as usize)
                 .and_then(Option::take);
-            let Some((tick, stamp, _finish, enq_cycle, full)) = entry else {
+            let Some((tick, stamp, finish, enq_cycle, full)) = entry else {
                 // Corrupted packet pointer: the sorter served a slot the
                 // buffer never issued (or already retired).
                 self.note_pointer_corruption();
@@ -901,6 +1054,10 @@ impl<B: SortBackend> HwScheduler<B> {
                 self.outstanding.remove(&(tick, stamp));
                 continue;
             };
+            // Service feedback for state-coupled policies (STFQ's
+            // virtual time follows the served rank); a no-op for the
+            // default WFQ policy.
+            self.policy.on_service(&pkt, finish);
             // An inversion means the linear sorter's head was not the
             // logically smallest outstanding tick — the wrap-boundary
             // overtaking that only WrapPolicy::Wrap permits.
@@ -937,10 +1094,11 @@ impl<B: SortBackend> HwScheduler<B> {
         }
     }
 
-    /// Advances the virtual clock to `now` without an arrival (useful
-    /// before reading [`HwScheduler::virtual_clock`] mid-experiment).
+    /// Advances the policy's notion of time to `now` without an arrival
+    /// (useful before reading [`HwScheduler::virtual_clock`]
+    /// mid-experiment; a no-op for clockless policies).
     pub fn advance_clock(&mut self, now: Time) {
-        self.clock.advance(now);
+        self.policy.advance(now);
     }
 
     /// Convenience harness: enqueues the whole trace (arrival order) and
@@ -1191,6 +1349,86 @@ mod tests {
         let served = s.sort_trace(&trace).unwrap();
         assert_eq!(served.len(), 2);
         assert_eq!(served[0].seq, 1, "heavier weight finishes first");
+    }
+
+    #[test]
+    fn push_out_admits_better_ranked_arrivals() {
+        let mut s = HwScheduler::new(
+            &flows(&[1.0, 1.0]),
+            1e6,
+            SchedulerConfig {
+                capacity: 2,
+                admission: AdmissionPolicy::PushOut,
+                ..SchedulerConfig::default()
+            },
+        );
+        // Two big flow-0 packets fill the buffer with large tags...
+        s.enqueue(pkt(0, 0, 0.0, 1500)).unwrap();
+        s.enqueue(pkt(1, 0, 0.0, 1500)).unwrap();
+        // ...a small flow-1 packet outranks the worst (seq 1) and takes
+        // its slot...
+        s.enqueue(pkt(2, 1, 0.0, 100)).unwrap();
+        // ...while a further flow-0 packet ranks worst itself and is
+        // tail-dropped as usual.
+        assert!(matches!(
+            s.enqueue(pkt(3, 0, 0.0, 1500)),
+            Err(SchedulerError::BufferFull { capacity: 2 })
+        ));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue()).map(|p| p.seq).collect();
+        assert_eq!(order, vec![2, 0]);
+        assert_eq!(s.stats().pushed_out, 1);
+    }
+
+    #[test]
+    fn tail_drop_never_pushes_out() {
+        let mut s = HwScheduler::new(
+            &flows(&[1.0, 1.0]),
+            1e6,
+            SchedulerConfig {
+                capacity: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        s.enqueue(pkt(0, 0, 0.0, 1500)).unwrap();
+        s.enqueue(pkt(1, 0, 0.0, 1500)).unwrap();
+        assert!(s.enqueue(pkt(2, 1, 0.0, 100)).is_err());
+        assert_eq!(s.stats().pushed_out, 0);
+    }
+
+    #[test]
+    fn srpt_policy_serves_shortest_first() {
+        use fairq::SrptRank;
+        let fl = flows(&[1.0, 1.0]);
+        let mut s = HwScheduler::<SortRetrieveCircuit, SrptRank>::with_backend_and_policy(
+            &fl,
+            1e9,
+            SchedulerConfig {
+                tick_scale: 8.0,
+                ..SchedulerConfig::default()
+            },
+            &SrptRank,
+        );
+        s.enqueue(pkt(0, 0, 0.0, 1500)).unwrap();
+        s.enqueue(pkt(1, 1, 0.0, 40)).unwrap();
+        s.enqueue(pkt(2, 0, 0.0, 400)).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue()).map(|p| p.seq).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(s.policy().name(), "srpt");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires CleanupPolicy::Eager")]
+    fn non_monotone_policy_rejects_lazy_cleanup() {
+        use fairq::SrptRank;
+        let _ = HwScheduler::<SortRetrieveCircuit, SrptRank>::with_backend_and_policy(
+            &flows(&[1.0]),
+            1e9,
+            SchedulerConfig {
+                cleanup: CleanupPolicy::Lazy,
+                ..SchedulerConfig::default()
+            },
+            &SrptRank,
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod shard;
 
 pub use buffer::{BufferStats, PacketBuffer};
 pub use egress::{DropPolicy, HwLinkSim};
-pub use hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp};
+pub use hwsched::{
+    AdmissionPolicy, HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp,
+};
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
 pub use shard::parallel::ParallelShardedScheduler;
 pub use shard::{

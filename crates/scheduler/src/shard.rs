@@ -49,7 +49,7 @@
 use std::error::Error;
 use std::fmt;
 
-use fairq::Departure;
+use fairq::{Departure, RankPolicy, WfqRank};
 use tagsort::{CircuitStats, SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, EventKind, LatencyTracker, Snapshot, Telemetry, Tracer};
 use traffic::{FlowId, FlowSpec, Packet, Time};
@@ -227,6 +227,7 @@ fn aggregate_stats(per_port: Vec<SchedulerStats>, peak: usize) -> ShardStats {
         aggregate.dequeued += s.dequeued;
         aggregate.clamped += s.clamped;
         aggregate.inversions += s.inversions;
+        aggregate.pushed_out += s.pushed_out;
     }
     // The frontend-wide high-water mark, not the sum of per-port
     // peaks: ports peak at different times, so summing would
@@ -315,8 +316,8 @@ fn check_rates(rates: &[f64]) {
 /// them into each shard's dense local space on the way in (the
 /// [`HwScheduler`] contract) and restores the global id on the way out.
 #[derive(Debug, Clone)]
-pub struct ShardedScheduler<B: SortBackend = SortRetrieveCircuit> {
-    shards: Vec<HwScheduler<B>>,
+pub struct ShardedScheduler<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = WfqRank> {
+    shards: Vec<HwScheduler<B, P>>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
     /// Global flow id → (port, local flow id).
@@ -379,10 +380,10 @@ impl ShardedScheduler {
     }
 }
 
-impl<B: SortBackend> ShardedScheduler<B> {
+impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
     /// [`ShardedScheduler::new`] with the sorting backend chosen by the
     /// type parameter: every port's scheduler is built from `B` (see
-    /// [`SortBackend::build`]).
+    /// [`SortBackend::build`]) and ranks with `P`'s [`Default`].
     ///
     /// # Panics
     ///
@@ -392,7 +393,10 @@ impl<B: SortBackend> ShardedScheduler<B> {
         port_rate_bps: f64,
         ports: usize,
         config: SchedulerConfig,
-    ) -> Self {
+    ) -> Self
+    where
+        P: Default,
+    {
         assert!(ports > 0, "at least one port required");
         Self::with_backend_port_rates(flows, &vec![port_rate_bps; ports], config)
     }
@@ -407,6 +411,47 @@ impl<B: SortBackend> ShardedScheduler<B> {
         flows: &[FlowSpec],
         port_rates_bps: &[f64],
         config: SchedulerConfig,
+    ) -> Self
+    where
+        P: Default,
+    {
+        Self::with_policy_port_rates(flows, port_rates_bps, config, &P::default())
+    }
+
+    /// [`ShardedScheduler::with_backend`] ranking with `prototype`
+    /// instead of `P`'s [`Default`]: every port's scheduler is built
+    /// from the same prototype, specialized to that port's flow subset
+    /// and rate via [`RankPolicy::for_link`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::new`], plus the policy/cleanup
+    /// compatibility checks of
+    /// [`HwScheduler::with_backend_and_policy`].
+    pub fn with_policy(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+        prototype: &P,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_policy_port_rates(flows, &vec![port_rate_bps; ports], config, prototype)
+    }
+
+    /// [`ShardedScheduler::with_port_rates`] ranking with `prototype`
+    /// (see [`ShardedScheduler::with_policy`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::with_port_rates`], plus the
+    /// policy/cleanup compatibility checks of
+    /// [`HwScheduler::with_backend_and_policy`].
+    pub fn with_policy_port_rates(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        prototype: &P,
     ) -> Self {
         check_rates(port_rates_bps);
         let routing = Routing::build(flows, port_rates_bps.len());
@@ -420,7 +465,7 @@ impl<B: SortBackend> ShardedScheduler<B> {
                 // Every port gets an independent fault stream: same
                 // campaign, seed offset by port index.
                 cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
-                let mut shard = HwScheduler::with_backend(fl, rate, cfg);
+                let mut shard = HwScheduler::with_backend_and_policy(fl, rate, cfg, prototype);
                 shard.set_global_flow_ids(routing.global_of[port].clone());
                 shard
             })
@@ -508,7 +553,7 @@ impl<B: SortBackend> ShardedScheduler<B> {
     /// # Panics
     ///
     /// Panics if `port` is out of range.
-    pub fn shard(&self, port: usize) -> &HwScheduler<B> {
+    pub fn shard(&self, port: usize) -> &HwScheduler<B, P> {
         &self.shards[port]
     }
 
@@ -674,18 +719,18 @@ pub struct PortDeparture {
 /// simulation runs each port's arrival/service loop independently and
 /// merges the departures by finish time.
 #[derive(Debug)]
-pub struct ShardedLinkSim<B: SortBackend = SortRetrieveCircuit> {
-    frontend: ShardedScheduler<B>,
+pub struct ShardedLinkSim<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = WfqRank> {
+    frontend: ShardedScheduler<B, P>,
     drop_policy: DropPolicy,
     latency: Option<LatencyTracker>,
     drops: u64,
 }
 
-impl<B: SortBackend> ShardedLinkSim<B> {
-    /// Creates a simulator over `frontend` (any sorting backend — the
-    /// type is inferred); each port transmits at the rate the frontend
-    /// was configured with.
-    pub fn new(frontend: ShardedScheduler<B>) -> Self {
+impl<B: SortBackend, P: RankPolicy> ShardedLinkSim<B, P> {
+    /// Creates a simulator over `frontend` (any sorting backend and
+    /// rank policy — the types are inferred); each port transmits at
+    /// the rate the frontend was configured with.
+    pub fn new(frontend: ShardedScheduler<B, P>) -> Self {
         Self {
             frontend,
             drop_policy: DropPolicy::default(),
@@ -819,13 +864,13 @@ impl<B: SortBackend> ShardedLinkSim<B> {
     }
 
     /// The frontend, for post-run inspection.
-    pub fn frontend(&self) -> &ShardedScheduler<B> {
+    pub fn frontend(&self) -> &ShardedScheduler<B, P> {
         &self.frontend
     }
 
     /// Mutable frontend access, for post-run bookkeeping such as
     /// [`ShardedScheduler::reconcile_faults`].
-    pub fn frontend_mut(&mut self) -> &mut ShardedScheduler<B> {
+    pub fn frontend_mut(&mut self) -> &mut ShardedScheduler<B, P> {
         &mut self.frontend
     }
 }

@@ -68,6 +68,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
+use fairq::{RankPolicy, WfqRank};
 use tagsort::{SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, Telemetry};
 use traffic::{FlowId, FlowSpec, Packet};
@@ -113,8 +114,8 @@ const CHANNEL_DEPTH: usize = 2;
 
 /// The worker thread's whole life: apply commands to the owned shard in
 /// order, reply to each, exit when the frontend hangs up.
-fn worker_loop<B: SortBackend>(
-    mut shard: HwScheduler<B>,
+fn worker_loop<B: SortBackend, P: RankPolicy>(
+    mut shard: HwScheduler<B, P>,
     commands: Receiver<Command>,
     replies: SyncSender<Reply>,
 ) {
@@ -180,13 +181,16 @@ struct Worker {
 /// Flow ids stay global at this interface, as in the sequential
 /// frontend.
 #[derive(Debug)]
-pub struct ParallelShardedScheduler<B: SortBackend + Send + 'static = SortRetrieveCircuit> {
+pub struct ParallelShardedScheduler<
+    B: SortBackend + Send + 'static = SortRetrieveCircuit,
+    P: RankPolicy + Send + 'static = WfqRank,
+> {
     workers: Vec<Worker>,
-    /// Pins the backend type the workers were built with, so the
-    /// sequential and parallel frontends share one type-parameter
-    /// vocabulary even though the backends themselves live on the
-    /// worker threads.
-    backend: std::marker::PhantomData<B>,
+    /// Pins the backend and policy types the workers were built with,
+    /// so the sequential and parallel frontends share one
+    /// type-parameter vocabulary even though the schedulers themselves
+    /// live on the worker threads.
+    backend: std::marker::PhantomData<(B, P)>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
     /// Global flow id → (port, local flow id).
@@ -275,10 +279,12 @@ impl ParallelShardedScheduler {
     }
 }
 
-impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
+impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
+    ParallelShardedScheduler<B, P>
+{
     /// [`ParallelShardedScheduler::new`] with the sorting backend chosen
     /// by the type parameter: every worker's scheduler is built from `B`
-    /// (see [`SortBackend::build`]).
+    /// (see [`SortBackend::build`]) and ranks with `P`'s [`Default`].
     ///
     /// # Panics
     ///
@@ -288,7 +294,10 @@ impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
         port_rate_bps: f64,
         ports: usize,
         config: SchedulerConfig,
-    ) -> Self {
+    ) -> Self
+    where
+        P: Default,
+    {
         assert!(ports > 0, "at least one port required");
         Self::with_backend_port_rates(flows, &vec![port_rate_bps; ports], config)
     }
@@ -303,7 +312,10 @@ impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
         flows: &[FlowSpec],
         port_rates_bps: &[f64],
         config: SchedulerConfig,
-    ) -> Self {
+    ) -> Self
+    where
+        P: Default,
+    {
         Self::with_backend_telemetry(flows, port_rates_bps, config, &Telemetry::disabled())
     }
 
@@ -317,6 +329,30 @@ impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
         flows: &[FlowSpec],
         port_rates_bps: &[f64],
         config: SchedulerConfig,
+        tel: &Telemetry,
+    ) -> Self
+    where
+        P: Default,
+    {
+        Self::with_policy_telemetry(flows, port_rates_bps, config, &P::default(), tel)
+    }
+
+    /// [`ParallelShardedScheduler::with_backend_telemetry`] ranking with
+    /// `prototype` instead of `P`'s [`Default`]: every worker's
+    /// scheduler is built from the same prototype, specialized to that
+    /// port's flow subset and rate via [`RankPolicy::for_link`] (pass
+    /// [`Telemetry::disabled`] to skip recording).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_telemetry`], plus the
+    /// policy/cleanup compatibility checks of
+    /// [`HwScheduler::with_backend_and_policy`].
+    pub fn with_policy_telemetry(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        prototype: &P,
         tel: &Telemetry,
     ) -> Self {
         check_rates(port_rates_bps);
@@ -339,7 +375,8 @@ impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
                 // campaign, seed offset by port index — identical to the
                 // sequential frontend, so faulted runs agree across both.
                 cfg.faults = cfg.faults.map(|f| f.with_seed_offset(port as u64));
-                let mut shard = HwScheduler::<B>::with_backend(fl, rate, cfg);
+                let mut shard =
+                    HwScheduler::<B, P>::with_backend_and_policy(fl, rate, cfg, prototype);
                 shard.set_global_flow_ids(routing.global_of[port].clone());
                 shard.attach_telemetry(tel, port);
                 let (cmd_tx, cmd_rx) = sync_channel(CHANNEL_DEPTH);
@@ -706,7 +743,9 @@ impl<B: SortBackend + Send + 'static> ParallelShardedScheduler<B> {
     }
 }
 
-impl<B: SortBackend + Send + 'static> Drop for ParallelShardedScheduler<B> {
+impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static> Drop
+    for ParallelShardedScheduler<B, P>
+{
     /// Joins every worker. A worker that panicked is re-raised here
     /// (unless this thread is already panicking, to avoid an abort
     /// while unwinding).

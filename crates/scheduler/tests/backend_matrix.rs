@@ -12,9 +12,10 @@
 //! A divergence fails with the first differing departure spelled out, so
 //! a broken backend is diagnosable from the CI log alone.
 
+use fairq::{AnyPolicy, RankPolicy};
 use fastpath::FfsSorter;
 use proptest::prelude::*;
-use scheduler::{HwLinkSim, HwScheduler, SchedulerConfig, WrapPolicy};
+use scheduler::{AdmissionPolicy, HwLinkSim, HwScheduler, SchedulerConfig, WrapPolicy};
 use tagsort::{Geometry, HeapSorter, MemoryKind, SortBackend, SortRetrieveCircuit};
 use traffic::{generate, FlowId, FlowSpec, Packet, SizeDist, Time};
 
@@ -99,6 +100,52 @@ fn backend_matrix_sequence_identity_on_seeded_workloads() {
                 assert_identical(&workload, "trie", &trie, "fastpath", &ffs);
                 assert_identical(&workload, "trie", &trie, "heap", &heap);
             }
+        }
+    }
+}
+
+/// The policy dimension of the matrix: the `SortBackend` contract must
+/// hold for *every* rank policy, not just the default WFQ — each policy
+/// stresses a different tag distribution (bounded SRPT/priority ranks,
+/// clustered FIFO+ timestamps, shaped leaky-bucket debt) against the
+/// same three engines.
+#[test]
+fn backend_matrix_holds_for_every_rank_policy() {
+    fn policy_departures<B: SortBackend>(
+        fl: &[FlowSpec],
+        rate: f64,
+        config: SchedulerConfig,
+        proto: &AnyPolicy,
+        trace: &[Packet],
+    ) -> Vec<Dep> {
+        let hw = HwScheduler::<B, AnyPolicy>::with_backend_and_policy(fl, rate, config, proto);
+        HwLinkSim::new(rate, hw)
+            .run(trace)
+            .expect("conformance workloads fit the configuration")
+            .into_iter()
+            .map(|d| (d.packet.flow.0, d.packet.seq))
+            .collect()
+    }
+    let fl = flows();
+    let rate = 1e6;
+    for name in AnyPolicy::NAMES {
+        let proto = AnyPolicy::by_name(name).expect("known policy");
+        for admission in [AdmissionPolicy::TailDrop, AdmissionPolicy::PushOut] {
+            let config = SchedulerConfig {
+                geometry: Geometry::new(4, 5),
+                capacity: 1 << 12,
+                tick_scale: proto.tick_scale(rate),
+                admission,
+                ..SchedulerConfig::default()
+            };
+            let trace = generate(&fl, 0.6, 47);
+            let workload = format!("policy={name}/{admission:?}");
+            let trie = policy_departures::<SortRetrieveCircuit>(&fl, rate, config, &proto, &trace);
+            assert_eq!(trie.len(), trace.len(), "{workload}: packet loss");
+            let ffs = policy_departures::<FfsSorter>(&fl, rate, config, &proto, &trace);
+            let heap = policy_departures::<HeapSorter>(&fl, rate, config, &proto, &trace);
+            assert_identical(&workload, "trie", &trie, "fastpath", &ffs);
+            assert_identical(&workload, "trie", &trie, "heap", &heap);
         }
     }
 }

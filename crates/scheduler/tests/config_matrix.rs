@@ -36,6 +36,7 @@ fn every_supported_configuration_serves_coherently() {
                     cleanup: CleanupPolicy::Eager,
                     memory,
                     faults: None,
+                    ..SchedulerConfig::default()
                 };
                 let hw = HwScheduler::new(&fl, rate, config);
                 let deps = HwLinkSim::new(rate, hw)

@@ -37,14 +37,14 @@
 use std::process::ExitCode;
 
 use wfq_sorter::fairq::{
-    metrics, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, Scfq, Scheduler, Sfq, StratifiedRr, Wf2q,
-    Wf2qPlus, Wfq, Wrr,
+    metrics, AnyPolicy, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, RankPolicy, Scfq, Scheduler,
+    Sfq, StratifiedRr, Wf2q, Wf2qPlus, Wfq, Wrr,
 };
 use wfq_sorter::fastpath::FfsSorter;
 use wfq_sorter::faultsim::{FaultConfig, FaultPolicy, FaultSpec};
 use wfq_sorter::scheduler::{
-    shard_of, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats, ShardedLinkSim,
-    ShardedScheduler,
+    shard_of, AdmissionPolicy, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats,
+    ShardedLinkSim, ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
 use wfq_sorter::tagsort::{HeapSorter, SortBackend, SortRetrieveCircuit, PAPER_CLOCK_HZ};
@@ -69,6 +69,17 @@ OPTIONS:
                      fastpath (FFS software sorter) | heap
                      (binary-heap oracle); needs --scheduler hw
                      or --ports > 1                 (default: trie)
+  --policy NAME      rank policy programmed into the hw pipeline
+                     (PIFO-style: the policy computes each packet's
+                     rank, the sorter serves the smallest):
+                     wfq | stfq | srpt | fifo+ | prio | leaky |
+                     hwfq; needs --scheduler hw or --ports > 1;
+                     see POLICIES.md                (default: wfq)
+  --admission P      what a full packet buffer does to an arrival:
+                     tail-drop | push-out (evict the worst-ranked
+                     resident packet when the arrival ranks
+                     strictly better); needs --scheduler hw or
+                     --ports > 1               (default: tail-drop)
   --rate BPS         link rate in bits/s             (default: 2e6)
   --ports N          multi-port frontend: N egress links, one hardware
                      sorter each, flows routed by affinity hash
@@ -155,6 +166,11 @@ struct Args {
     /// `None` until resolved: the trie circuit unless `--backend` says
     /// otherwise.
     backend: Option<BackendChoice>,
+    /// `None` until resolved: WFQ unless `--policy` says otherwise.
+    policy: Option<AnyPolicy>,
+    /// `None` until resolved: tail-drop unless `--admission` says
+    /// otherwise.
+    admission: Option<AdmissionPolicy>,
     rate: f64,
     ports: usize,
     port_rates: Option<Vec<f64>>,
@@ -188,12 +204,29 @@ impl Args {
     fn backend_choice(&self) -> BackendChoice {
         self.backend.unwrap_or_default()
     }
+
+    /// The rank policy actually in force (see [`Args::policy`]).
+    fn policy_choice(&self) -> AnyPolicy {
+        self.policy.clone().unwrap_or_default()
+    }
+
+    /// `", policy NAME"` when `--policy` was given, for the report
+    /// header; empty (keeping the header byte-identical to older runs)
+    /// when the default WFQ policy is in force.
+    fn policy_suffix(&self) -> String {
+        match &self.policy {
+            Some(p) => format!(", policy {}", p.name()),
+            None => String::new(),
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scheduler: None,
         backend: None,
+        policy: None,
+        admission: None,
         rate: 2e6,
         ports: 1,
         port_rates: None,
@@ -223,6 +256,22 @@ fn parse_args() -> Result<Args, String> {
                     value("--backend")?
                         .parse()
                         .map_err(|e| format!("--backend: {e}"))?,
+                );
+            }
+            "--policy" => {
+                let name = value("--policy")?;
+                args.policy = Some(AnyPolicy::by_name(&name).ok_or_else(|| {
+                    format!(
+                        "--policy: unknown policy \"{name}\" (expected one of {})",
+                        AnyPolicy::NAMES.join(", ")
+                    )
+                })?);
+            }
+            "--admission" => {
+                args.admission = Some(
+                    value("--admission")?
+                        .parse()
+                        .map_err(|e| format!("--admission: {e}"))?,
                 );
             }
             "--rate" => {
@@ -362,6 +411,28 @@ fn parse_args() -> Result<Args, String> {
             ));
         }
     }
+    // `--policy` programs the rank function *inside* the hardware
+    // pipeline (and `--admission` its buffer), so both are the same
+    // parse-time contradiction with a software scheduler as `--backend`.
+    if let Some(policy) = &args.policy {
+        if args.scheduler_name() != "hw" {
+            return Err(format!(
+                "--policy {}: programs the hardware pipeline's rank function; \
+                 --scheduler {} is software (use --scheduler hw or --ports > 1)",
+                policy.name(),
+                args.scheduler_name()
+            ));
+        }
+    }
+    if let Some(admission) = args.admission {
+        if args.scheduler_name() != "hw" {
+            return Err(format!(
+                "--admission {admission}: selects the hardware pipeline's buffer \
+                 admission; --scheduler {} is software (use --scheduler hw or --ports > 1)",
+                args.scheduler_name()
+            ));
+        }
+    }
     for (flag, set) in [
         ("--metrics", args.metrics.is_some()),
         ("--latency-report", args.latency_report.is_some()),
@@ -448,11 +519,11 @@ fn fault_config(args: &Args, trace_len: usize) -> Option<FaultConfig> {
 /// campaign — header, per-port totals, then one line per injected fault
 /// in ledger order. Two runs with identical flags produce identical
 /// bytes.
-fn emit_fault_report<B: SortBackend>(
+fn emit_fault_report<B: SortBackend, P: RankPolicy>(
     path: &str,
     spec: FaultSpec,
     policy: FaultPolicy,
-    ports: &[&HwScheduler<B>],
+    ports: &[&HwScheduler<B, P>],
 ) -> Result<(), String> {
     let mut out = String::from("# wfqsim fault report\n");
     out.push_str(&format!(
@@ -590,16 +661,19 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
         .unwrap_or_else(|| vec![args.rate; args.ports]);
     // The quantizer's tick must resolve the *fastest* port's tag steps.
     let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
-    let mut fe = ShardedScheduler::<B>::with_backend_port_rates(
+    let policy = args.policy_choice();
+    let mut fe = ShardedScheduler::<B, AnyPolicy>::with_policy_port_rates(
         flows,
         &rates,
         SchedulerConfig {
             geometry: Geometry::new(4, 5),
-            tick_scale: max_rate / 50_000.0,
+            tick_scale: policy.tick_scale(max_rate),
             capacity: (trace.len() + 1).next_power_of_two(),
             faults: fault_config(args, trace.len()),
+            admission: args.admission.unwrap_or_default(),
             ..SchedulerConfig::default()
         },
+        &policy,
     );
     let tel = build_telemetry(args, args.ports);
     fe.attach_telemetry(&tel);
@@ -627,7 +701,8 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
         sim.frontend_mut().reconcile_faults();
         if let Some(path) = &args.fault_report {
             let fe = sim.frontend();
-            let shards: Vec<&HwScheduler<B>> = (0..fe.ports()).map(|p| fe.shard(p)).collect();
+            let shards: Vec<&HwScheduler<B, AnyPolicy>> =
+                (0..fe.ports()).map(|p| fe.shard(p)).collect();
             let policy = args.fault_policy.unwrap_or(FaultPolicy::DetectAndCount);
             if let Err(msg) = emit_fault_report(path, spec, policy, &shards) {
                 eprintln!("error: --fault-report: {msg}");
@@ -645,20 +720,22 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
     let uniform = rates.windows(2).all(|w| w[0] == w[1]);
     if uniform {
         println!(
-            "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded, {})",
+            "{} packets, {} flows, {} ports x {:.3} Mb/s, scheduler hw (sharded, {}{})",
             trace.len(),
             flows.len(),
             args.ports,
             rates[0] / 1e6,
             args.backend_choice().name(),
+            args.policy_suffix(),
         );
     } else {
         println!(
-            "{} packets, {} flows, {} ports (non-uniform rates), scheduler hw (sharded, {})",
+            "{} packets, {} flows, {} ports (non-uniform rates), scheduler hw (sharded, {}{})",
             trace.len(),
             flows.len(),
             args.ports,
             args.backend_choice().name(),
+            args.policy_suffix(),
         );
     }
 
@@ -739,16 +816,19 @@ fn run_hw<B: SortBackend>(
     flows: &[FlowSpec],
     trace: &[Packet],
 ) -> Result<(Vec<Departure>, Telemetry, SchedulerStats), String> {
-    let mut hw = HwScheduler::<B>::with_backend(
+    let policy = args.policy_choice();
+    let mut hw = HwScheduler::<B, AnyPolicy>::with_backend_and_policy(
         flows,
         args.rate,
         SchedulerConfig {
             geometry: Geometry::new(4, 5),
-            tick_scale: args.rate / 50_000.0,
+            tick_scale: policy.tick_scale(args.rate),
             capacity: (trace.len() + 1).next_power_of_two(),
             faults: fault_config(args, trace.len()),
+            admission: args.admission.unwrap_or_default(),
             ..SchedulerConfig::default()
         },
+        &policy,
     );
     let tel = build_telemetry(args, 1);
     hw.attach_telemetry(&tel, 0);
@@ -866,7 +946,11 @@ fn main() -> ExitCode {
 
     // Report.
     let engine = if args.scheduler_name() == "hw" {
-        format!("hw ({})", args.backend_choice().name())
+        format!(
+            "hw ({}{})",
+            args.backend_choice().name(),
+            args.policy_suffix()
+        )
     } else {
         args.scheduler_name().to_string()
     };

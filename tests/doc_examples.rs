@@ -1,0 +1,125 @@
+//! Documented `wfqsim` invocations must actually run.
+//!
+//! README.md and POLICIES.md show fenced `wfqsim` command lines; this
+//! check extracts every one of them and executes it against the built
+//! binary, so a flag rename or a policy removal cannot silently rot
+//! the docs. CI runs this with the rest of the workspace test suite.
+//!
+//! Extraction rules, kept deliberately simple so the docs stay plain:
+//! inside fenced code blocks, a command is any line whose first token
+//! sequence is `cargo run --bin wfqsim --` (the documented form) or
+//! bare `wfqsim`; trailing-backslash continuations are joined first;
+//! arguments are whitespace-split (documented examples use no shell
+//! quoting). Each command runs in its own scratch directory so
+//! artifact-writing examples (`--metrics`, `--fault-report`, ...)
+//! exercise their output paths without littering the repo.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Joins backslash-continued lines, then yields the command lines of
+/// every fenced code block.
+fn fenced_commands(markdown: &str) -> Vec<String> {
+    let mut joined = String::new();
+    let mut fenced = false;
+    let mut pending = String::new();
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if !fenced {
+            continue;
+        }
+        if let Some(head) = line.strip_suffix('\\') {
+            pending.push_str(head);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(line);
+        joined.push_str(&pending);
+        joined.push('\n');
+        pending.clear();
+    }
+    joined.lines().map(str::to_owned).collect()
+}
+
+/// The `wfqsim` argument vector of a documented command line, if it is
+/// one.
+fn wfqsim_args(command: &str) -> Option<Vec<String>> {
+    let tokens: Vec<&str> = command.split_whitespace().collect();
+    let rest = if tokens.first() == Some(&"wfqsim") {
+        &tokens[1..]
+    } else if tokens.len() >= 5 && tokens[..5] == ["cargo", "run", "--bin", "wfqsim", "--"] {
+        &tokens[5..]
+    } else {
+        return None;
+    };
+    Some(rest.iter().map(|t| (*t).to_owned()).collect())
+}
+
+fn repo_file(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(name)
+}
+
+/// Runs every documented invocation from `doc`, in a scratch dir.
+fn check_doc(doc: &str) {
+    let text =
+        std::fs::read_to_string(repo_file(doc)).unwrap_or_else(|e| panic!("read {doc}: {e}"));
+    let commands: Vec<(String, Vec<String>)> = fenced_commands(&text)
+        .into_iter()
+        .filter_map(|line| wfqsim_args(&line).map(|args| (line, args)))
+        .collect();
+    assert!(
+        !commands.is_empty(),
+        "{doc} documents no wfqsim invocations — extractor or docs broken"
+    );
+    let scratch =
+        std::env::temp_dir().join(format!("wfqsim_doc_examples_{}", doc.replace('.', "_")));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    for (line, args) in commands {
+        let out = Command::new(env!("CARGO_BIN_EXE_wfqsim"))
+            .args(&args)
+            .current_dir(&scratch)
+            .output()
+            .expect("run wfqsim");
+        assert!(
+            out.status.success(),
+            "documented command failed ({doc}):\n  {line}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn every_readme_wfqsim_example_runs() {
+    check_doc("README.md");
+}
+
+#[test]
+fn every_policies_wfqsim_example_runs() {
+    check_doc("POLICIES.md");
+}
+
+#[test]
+fn extractor_handles_continuations_and_prefixes() {
+    let md = "\
+intro text
+```sh
+# comment
+cargo run --bin wfqsim -- --scheduler hw \\
+    --flows 4
+wfqsim --help
+cargo test --workspace
+```
+not fenced: wfqsim --ignored
+";
+    let cmds: Vec<Vec<String>> = fenced_commands(md)
+        .iter()
+        .filter_map(|l| wfqsim_args(l))
+        .collect();
+    assert_eq!(
+        cmds,
+        vec![vec!["--scheduler", "hw", "--flows", "4"], vec!["--help"],]
+    );
+}

@@ -344,6 +344,156 @@ fn unknown_backend_is_a_structured_error() {
 }
 
 #[test]
+fn unknown_policy_is_a_structured_error() {
+    let out = wfqsim(&["--scheduler", "hw", "--policy", "lstf"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--policy: unknown policy \"lstf\""),
+        "expected structured policy error, got: {err}"
+    );
+    assert!(
+        err.contains("wfq, stfq, srpt, fifo+, prio, leaky, hwfq"),
+        "error should list the valid policies: {err}"
+    );
+}
+
+#[test]
+fn policy_and_admission_reject_software_schedulers() {
+    // `--policy` programs the rank function inside the hardware
+    // pipeline; like `--backend`, it must fail at parse time alongside a
+    // software scheduler, in either flag order, naming both flags.
+    let orders: [&[&str]; 3] = [
+        &["--scheduler", "wfq", "--policy", "stfq"],
+        &["--policy", "stfq", "--scheduler", "wfq"],
+        &["--policy", "stfq"], // default scheduler resolves to wfq
+    ];
+    for args in orders {
+        let out = wfqsim(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--policy stfq") && err.contains("--scheduler wfq"),
+            "{args:?}: error should name both flags, got: {err}"
+        );
+        assert!(
+            err.contains("rank function"),
+            "{args:?}: expected the policy explanation, got: {err}"
+        );
+    }
+    let out = wfqsim(&["--scheduler", "drr", "--admission", "push-out"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--admission push-out") && err.contains("--scheduler drr"),
+        "error should name both flags, got: {err}"
+    );
+}
+
+#[test]
+fn every_documented_policy_runs_and_is_named_in_the_header() {
+    for policy in ["wfq", "stfq", "srpt", "fifo+", "prio", "leaky", "hwfq"] {
+        let out = wfqsim(&[
+            "--scheduler",
+            "hw",
+            "--policy",
+            policy,
+            "--flows",
+            "4",
+            "--horizon",
+            "0.1",
+        ]);
+        assert!(
+            out.status.success(),
+            "--policy {policy} failed: {}",
+            stderr(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            stdout.contains(&format!("scheduler hw (trie, policy {policy})")),
+            "--policy {policy}: header should name the policy: {stdout}"
+        );
+    }
+    // Multi-port and push-out admission compose with a policy.
+    let out = wfqsim(&[
+        "--ports",
+        "2",
+        "--flows",
+        "8",
+        "--policy",
+        "stfq",
+        "--admission",
+        "push-out",
+        "--horizon",
+        "0.1",
+    ]);
+    assert!(
+        out.status.success(),
+        "sharded stfq failed: {}",
+        stderr(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("scheduler hw (sharded, trie, policy stfq)"),
+        "sharded header should name the policy: {stdout}"
+    );
+}
+
+#[test]
+fn default_policy_leaves_the_report_byte_identical() {
+    // `--policy wfq` must be the scheduler the hardware pipeline already
+    // ran before the flag existed: everything after the header line
+    // (which names the explicit policy) is byte-identical.
+    let run = |args: &[&str]| -> String {
+        let out = wfqsim(args);
+        assert!(out.status.success(), "{args:?} failed: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let (_, report) = stdout.split_once('\n').expect("header line");
+        report.to_string()
+    };
+    let implicit = run(&["--scheduler", "hw", "--flows", "4", "--horizon", "0.2"]);
+    let explicit = run(&[
+        "--scheduler",
+        "hw",
+        "--policy",
+        "wfq",
+        "--flows",
+        "4",
+        "--horizon",
+        "0.2",
+    ]);
+    assert_eq!(implicit, explicit, "--policy wfq changed the default run");
+}
+
+#[test]
+fn help_enumerates_every_accepted_flag_value() {
+    let out = wfqsim(&["--help"]);
+    assert!(out.status.success(), "--help must exit successfully");
+    let help = stderr(&out);
+    let catalogs: [(&str, &[&str]); 4] = [
+        ("--backend", &["trie", "fastpath", "heap"]),
+        (
+            "--policy",
+            &["wfq", "stfq", "srpt", "fifo+", "prio", "leaky", "hwfq"],
+        ),
+        ("--admission", &["tail-drop", "push-out"]),
+        (
+            "--fault-policy",
+            &["fail-fast", "detect-and-count", "scrub-and-repair"],
+        ),
+    ];
+    for (flag, values) in catalogs {
+        assert!(help.contains(flag), "help must document {flag}");
+        for value in values {
+            assert!(
+                help.contains(value),
+                "help must list {value:?} under {flag}: {help}"
+            );
+        }
+    }
+}
+
+#[test]
 fn all_backends_serve_the_same_departure_schedule_end_to_end() {
     // The SortBackend contract end to end: swapping the engine changes
     // only the header line, never the per-flow delay/throughput report.
