@@ -9,9 +9,10 @@
 //!   the trie circuit, the FFS fastpath, and the software heap. Per
 //!   policy the export carries a `policy_<name>_backend_agreement` bit
 //!   (1.0 only when all three backends produce the identical departure
-//!   sequence), the served-packet count, and a lower-is-better
-//!   `ceil_policy_<name>_mean_delay_ms` ceiling over the simulated
-//!   queueing delay. Delay here is simulated time (departure minus
+//!   sequence), the served-packet count, and lower-is-better
+//!   `ceil_policy_<name>_mean_delay_ms` / `ceil_policy_<name>_p99_delay_ms`
+//!   ceilings over the simulated queueing delay (mean, and exact
+//!   nearest-rank p99). Delay here is simulated time (departure minus
 //!   arrival), so every figure is bit-stable across hosts.
 //! * **Admission under overload** — a 2.7×-oversubscribed mix into a
 //!   deliberately tiny buffer with [`DropPolicy::CountAndContinue`],
@@ -66,7 +67,7 @@ fn departures<B: SortBackend>(
     fl: &[FlowSpec],
     proto: &AnyPolicy,
     trace: &[Packet],
-) -> (Vec<Dep>, f64) {
+) -> (Vec<Dep>, f64, f64) {
     let hw = HwScheduler::<B, AnyPolicy>::with_backend_and_policy(
         fl,
         RATE,
@@ -76,16 +77,25 @@ fn departures<B: SortBackend>(
     let deps = HwLinkSim::new(RATE, hw)
         .run(trace)
         .expect("seeded trace fits the buffers");
-    let mut delay_s = 0.0;
+    let mut delays_s: Vec<f64> = Vec::with_capacity(deps.len());
     let keyed = deps
         .iter()
         .map(|d| {
-            delay_s += d.finish.0 - d.packet.arrival.0;
+            delays_s.push(d.finish.0 - d.packet.arrival.0);
             (d.packet.flow.0, d.packet.seq, d.finish.0.to_bits())
         })
         .collect::<Vec<_>>();
-    let mean_delay_ms = 1e3 * delay_s / deps.len().max(1) as f64;
-    (keyed, mean_delay_ms)
+    let mean_delay_ms = 1e3 * delays_s.iter().sum::<f64>() / delays_s.len().max(1) as f64;
+    // Exact empirical p99 (nearest-rank on the sorted simulated delays):
+    // the tail ceiling the campaign gates alongside the mean.
+    let p99_delay_ms = if delays_s.is_empty() {
+        0.0
+    } else {
+        let idx = (delays_s.len() - 1) * 99 / 100;
+        let (_, p99, _) = delays_s.select_nth_unstable_by(idx, f64::total_cmp);
+        1e3 * *p99
+    };
+    (keyed, mean_delay_ms, p99_delay_ms)
 }
 
 /// The policy × backend sweep: agreement bits, served counts, and mean
@@ -95,9 +105,9 @@ fn policy_sweep(fl: &[FlowSpec], trace: &[Packet]) -> (Vec<(String, f64)>, Vec<V
     let mut rows = Vec::new();
     for name in AnyPolicy::NAMES {
         let proto = AnyPolicy::by_name(name).expect("NAMES entries resolve");
-        let (trie, delay_ms) = departures::<SortRetrieveCircuit>(fl, &proto, trace);
-        let (ffs, _) = departures::<FfsSorter>(fl, &proto, trace);
-        let (heap, _) = departures::<HeapSorter>(fl, &proto, trace);
+        let (trie, delay_ms, p99_ms) = departures::<SortRetrieveCircuit>(fl, &proto, trace);
+        let (ffs, _, _) = departures::<FfsSorter>(fl, &proto, trace);
+        let (heap, _, _) = departures::<HeapSorter>(fl, &proto, trace);
         let agree = if trie == ffs && trie == heap {
             1.0
         } else {
@@ -108,6 +118,7 @@ fn policy_sweep(fl: &[FlowSpec], trace: &[Packet]) -> (Vec<(String, f64)>, Vec<V
         metrics.push((format!("policy_{key}_backend_agreement"), agree));
         metrics.push((format!("policy_{key}_served"), trie.len() as f64));
         metrics.push((format!("ceil_policy_{key}_mean_delay_ms"), delay_ms));
+        metrics.push((format!("ceil_policy_{key}_p99_delay_ms"), p99_ms));
         rows.push(vec![
             name.to_string(),
             format!("{}", trie.len()),
@@ -117,6 +128,7 @@ fn policy_sweep(fl: &[FlowSpec], trace: &[Packet]) -> (Vec<(String, f64)>, Vec<V
                 "NO".into()
             },
             format!("{delay_ms:.3}"),
+            format!("{p99_ms:.3}"),
         ]);
     }
     (metrics, rows)
@@ -202,7 +214,13 @@ fn main() {
             "Policy × backend matrix — seeded three-flow mix ({} pkts)",
             trace.len()
         ),
-        &["policy", "served", "backends agree", "mean delay ms"],
+        &[
+            "policy",
+            "served",
+            "backends agree",
+            "mean delay ms",
+            "p99 delay ms",
+        ],
         &rows,
     );
     println!();

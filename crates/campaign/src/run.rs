@@ -1,0 +1,501 @@
+//! The grid executor: one seeded [`ScaleWorkload`] per cell, a fluid
+//! egress-link model, and the deterministic report.
+//!
+//! Each cell couples the scheduler to a link serving at
+//! `rate_bps / load` bits per second: arriving packets are enqueued in
+//! trace order, and whenever simulated time passes the link's
+//! free-instant the scheduler's head-of-line packet is served. Per-cell
+//! outputs are exact counters (served/dropped/pushed-out), a per-flow
+//! fairness-error distribution, a log₂-bucketed sojourn histogram, a
+//! running FNV-1a hash of the departure sequence (the paged/eager
+//! equivalence witness), and the sorter's resident-memory accounting.
+//!
+//! Everything downstream of the seed is integer or
+//! order-deterministic float arithmetic, so the rendered report is
+//! byte-identical across runs and platforms — CI diffs it verbatim.
+
+use fairq::{AnyPolicy, RankPolicy};
+use fastpath::FfsSorter;
+use faultsim::FaultConfig;
+use scheduler::{HwScheduler, SchedulerConfig, WrapPolicy};
+use tagsort::{
+    CleanupPolicy, HeapSorter, MemoryKind, ResidentMemory, SortBackend, SortRetrieveCircuit,
+};
+use traffic::{FlowId, FlowSpec, Packet, ScaleConfig, ScaleWorkload};
+
+use crate::spec::{CampaignSpec, Cell, Mode};
+
+/// One cell executed under one storage mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeRun {
+    /// Whether the sorter ran with paged state.
+    pub paged: bool,
+    /// Packets served by the link.
+    pub served: u64,
+    /// Packets refused at admission (tail drops).
+    pub dropped: u64,
+    /// Packets evicted by push-out admission.
+    pub pushed_out: u64,
+    /// p99 over flows of `|goodput share − aggregate share|`.
+    pub fairness_p99: f64,
+    /// p99 packet sojourn (arrival to service completion), in ms.
+    pub sojourn_p99_ms: f64,
+    /// FNV-1a hash over the `(flow, seq, size)` departure sequence.
+    pub departure_hash: u64,
+    /// Sorter state-memory accounting, for backends that model it.
+    pub resident: Option<ResidentMemory>,
+    /// `(injected, detected, repaired, silent)` fault-ledger totals.
+    pub faults: (u64, u64, u64, u64),
+}
+
+/// One grid cell's runs across the spec's storage modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The grid point.
+    pub cell: Cell,
+    /// One entry per storage mode (eager first under [`Mode::Both`]).
+    pub runs: Vec<ModeRun>,
+    /// Whether every mode produced the identical departure sequence.
+    pub agree: bool,
+}
+
+impl CellResult {
+    /// The run metrics are reported from: the paged run when present
+    /// (its resident-memory figures are the interesting ones), else the
+    /// only run.
+    pub fn primary(&self) -> &ModeRun {
+        self.runs.last().expect("every cell runs at least once")
+    }
+}
+
+/// The campaign's deterministic output.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Human-readable, byte-stable text (one line per cell per mode).
+    pub text: String,
+    /// Flat metrics for the bench JSON emitter / `check_regression`.
+    /// `ceil_`-prefixed keys are lower-is-better tail ceilings.
+    pub metrics: Vec<(String, f64)>,
+    /// Per-cell results, in grid order.
+    pub results: Vec<CellResult>,
+}
+
+/// Sweeps the whole grid. Cells run sequentially in
+/// [`CampaignSpec::cells`] order; the report is byte-deterministic.
+pub fn run(spec: &CampaignSpec) -> CampaignReport {
+    let results: Vec<CellResult> = spec.cells().iter().map(|c| run_cell(spec, c)).collect();
+    render(spec, results)
+}
+
+/// Storage modes a cell actually runs: only the trie backend has paged
+/// off-chip state, so for the others every mode collapses to one eager
+/// run.
+fn modes_for(spec: &CampaignSpec, cell: &Cell) -> Vec<bool> {
+    let has_paged = cell.backend == "trie";
+    match spec.mode {
+        Mode::Eager => vec![false],
+        Mode::Paged => vec![has_paged],
+        Mode::Both if has_paged => vec![false, true],
+        Mode::Both => vec![false],
+    }
+}
+
+fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
+    let runs: Vec<ModeRun> = modes_for(spec, cell)
+        .into_iter()
+        .map(|paged| match cell.backend.as_str() {
+            "trie" => run_one::<SortRetrieveCircuit>(spec, cell, paged),
+            "fastpath" => run_one::<FfsSorter>(spec, cell, paged),
+            "heap" => run_one::<HeapSorter>(spec, cell, paged),
+            other => unreachable!("backend {other} passed validation"),
+        })
+        .collect();
+    let agree = runs.windows(2).all(|w| {
+        w[0].departure_hash == w[1].departure_hash
+            && w[0].served == w[1].served
+            && w[0].dropped == w[1].dropped
+    });
+    CellResult {
+        cell: cell.clone(),
+        runs,
+        agree,
+    }
+}
+
+/// The fluid egress link plus every departure-side accumulator.
+struct LinkModel {
+    service_rate_bps: f64,
+    free_at_s: f64,
+    served_bytes: Vec<u64>,
+    served_pkts: u64,
+    sojourn_hist: [u64; 65],
+    hash: u64,
+}
+
+impl LinkModel {
+    fn new(service_rate_bps: f64, flows: u32) -> Self {
+        Self {
+            service_rate_bps,
+            free_at_s: 0.0,
+            served_bytes: vec![0; flows as usize],
+            served_pkts: 0,
+            sojourn_hist: [0; 65],
+            hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+        }
+    }
+
+    fn serve(&mut self, p: &Packet) {
+        let start = self.free_at_s.max(p.arrival.0);
+        let done = start + f64::from(p.size_bytes) * 8.0 / self.service_rate_bps;
+        self.free_at_s = done;
+        let sojourn_ns = ((done - p.arrival.0) * 1e9) as u64;
+        self.sojourn_hist[bucket(sojourn_ns)] += 1;
+        self.served_bytes[p.flow.0 as usize] += u64::from(p.size_bytes);
+        self.served_pkts += 1;
+        for word in [u64::from(p.flow.0), p.seq, u64::from(p.size_bytes)] {
+            for byte in word.to_le_bytes() {
+                self.hash ^= u64::from(byte);
+                self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+}
+
+/// Log₂ bucket index: values in `[2^(i-1), 2^i)` land in bucket `i`,
+/// zero in bucket 0. The p99 reads back the bucket's upper bound, so
+/// tail latencies carry factor-of-two resolution — coarse, but exactly
+/// reproducible, which is what a regression ceiling needs.
+fn bucket(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+fn run_one<B: SortBackend>(spec: &CampaignSpec, cell: &Cell, paged: bool) -> ModeRun {
+    let workload = ScaleWorkload::new(ScaleConfig {
+        flows: cell.flows,
+        packets: spec.packets,
+        zipf_exponent: spec.zipf_exponent,
+        rate_bps: spec.rate_bps,
+        min_bytes: spec.min_bytes,
+        max_bytes: spec.max_bytes,
+        // A crowd band wider than the population means no churn for
+        // this (small) cell rather than a malformed workload.
+        churn: spec.churn.filter(|c| c.crowd_flows <= cell.flows),
+        seed: spec.seed,
+    });
+    let per_flow_rate = spec.rate_bps / f64::from(cell.flows);
+    let flows: Vec<FlowSpec> = (0..cell.flows)
+        .map(|i| FlowSpec::new(FlowId(i), 1.0, per_flow_rate))
+        .collect();
+    let proto = AnyPolicy::by_name(&cell.policy).expect("policy passed validation");
+    let service_rate = spec.rate_bps / spec.load;
+    let faults = (cell.fault != "none").then(|| {
+        let fspec = cell.fault.parse().expect("fault spec passed validation");
+        let mut fc = FaultConfig::new(fspec, spec.fault_policy, spec.packets * 2);
+        fc.scrub_order = spec.scrub_order;
+        fc
+    });
+    let config = SchedulerConfig {
+        geometry: spec.geometry,
+        capacity: spec.capacity,
+        tick_scale: proto.tick_scale(service_rate),
+        wrap_policy: WrapPolicy::Saturate,
+        cleanup: CleanupPolicy::Eager,
+        memory: MemoryKind::SinglePort,
+        faults,
+        admission: cell.admission,
+    };
+    let mut sched =
+        HwScheduler::<B, AnyPolicy>::with_backend_and_policy(&flows, service_rate, config, &proto);
+    if paged {
+        assert!(
+            sched.set_paged_state(),
+            "paged mode on a backend without paged storage"
+        );
+    }
+
+    let mut offered_bytes = vec![0u64; cell.flows as usize];
+    let mut link = LinkModel::new(service_rate, cell.flows);
+    let mut dropped = 0u64;
+    for pkt in workload {
+        let now = pkt.arrival.0;
+        offered_bytes[pkt.flow.0 as usize] += u64::from(pkt.size_bytes);
+        // Serve everything the link completes before this arrival.
+        while link.free_at_s <= now {
+            match sched.dequeue() {
+                Some(p) => link.serve(&p),
+                None => {
+                    // Idle gap: the link is free when the arrival lands.
+                    link.free_at_s = now;
+                    break;
+                }
+            }
+        }
+        if sched.enqueue(pkt).is_err() {
+            dropped += 1;
+        }
+    }
+    while let Some(p) = sched.dequeue() {
+        link.serve(&p);
+    }
+    sched.reconcile_faults();
+
+    ModeRun {
+        paged,
+        served: link.served_pkts,
+        dropped,
+        pushed_out: sched.stats().pushed_out,
+        fairness_p99: fairness_p99(&offered_bytes, &link.served_bytes),
+        sojourn_p99_ms: hist_p99_ms(&link.sojourn_hist),
+        departure_hash: link.hash,
+        resident: sched.resident_memory(),
+        faults: sched.fault_totals(),
+    }
+}
+
+/// p99 over flows of `|g_f − g|`, where `g_f` is flow `f`'s delivered
+/// fraction (served/offered bytes) and `g` the aggregate's. Zero when
+/// nothing is dropped; flows that offered nothing are excluded.
+fn fairness_p99(offered: &[u64], served: &[u64]) -> f64 {
+    let offered_total: u64 = offered.iter().sum();
+    let served_total: u64 = served.iter().sum();
+    if offered_total == 0 {
+        return 0.0;
+    }
+    let g = served_total as f64 / offered_total as f64;
+    let mut errs: Vec<f64> = offered
+        .iter()
+        .zip(served)
+        .filter(|(o, _)| **o > 0)
+        .map(|(&o, &s)| (s as f64 / o as f64 - g).abs())
+        .collect();
+    if errs.is_empty() {
+        return 0.0;
+    }
+    let idx = (errs.len() - 1) * 99 / 100;
+    let (_, p99, _) = errs.select_nth_unstable_by(idx, f64::total_cmp);
+    *p99
+}
+
+/// p99 of the sojourn histogram, as the covering bucket's upper bound
+/// in milliseconds.
+fn hist_p99_ms(hist: &[u64; 65]) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (total * 99).div_ceil(100);
+    let mut cum = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        cum += count;
+        if cum >= target {
+            return 2f64.powi(i as i32) / 1e6;
+        }
+    }
+    unreachable!("cumulative count reaches the total")
+}
+
+fn render(spec: &CampaignSpec, results: Vec<CellResult>) -> CampaignReport {
+    use std::fmt::Write as _;
+
+    let mut text = String::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let _ = writeln!(
+        text,
+        "campaign {}: cells={} packets={} seed={} mode={}",
+        spec.name,
+        results.len(),
+        spec.packets,
+        spec.seed,
+        spec.mode
+    );
+    metrics.push(("campaign_cells".into(), results.len() as f64));
+    let mut all_agree = true;
+    for result in &results {
+        let key = result.cell.key();
+        for run in &result.runs {
+            let mode = if run.paged { "paged" } else { "eager" };
+            let _ = write!(
+                text,
+                "cell {key} mode={mode} served={} dropped={} pushed_out={} \
+                 fairness_p99={:.6} sojourn_p99_ms={:.4} hash={:016x}",
+                run.served,
+                run.dropped,
+                run.pushed_out,
+                run.fairness_p99,
+                run.sojourn_p99_ms,
+                run.departure_hash
+            );
+            if let Some(mem) = run.resident {
+                let _ = write!(
+                    text,
+                    " resident_peak_words={} total_words={} ratio={:.6}",
+                    mem.peak_resident_words,
+                    mem.total_words,
+                    mem.peak_resident_words as f64 / mem.total_words as f64
+                );
+            }
+            if result.cell.fault != "none" {
+                let (inj, det, rep, silent) = run.faults;
+                let _ = write!(
+                    text,
+                    " faults_injected={inj} faults_detected={det} \
+                     faults_repaired={rep} faults_silent={silent}"
+                );
+            }
+            text.push('\n');
+        }
+        let _ = writeln!(
+            text,
+            "cell {key} agree={}",
+            if result.agree { "yes" } else { "NO" }
+        );
+        all_agree &= result.agree;
+
+        let run = result.primary();
+        metrics.push((format!("campaign_{key}_served"), run.served as f64));
+        metrics.push((
+            format!("ceil_campaign_{key}_dropped"),
+            (run.dropped + run.pushed_out) as f64,
+        ));
+        metrics.push((
+            format!("ceil_campaign_{key}_fairness_p99"),
+            run.fairness_p99,
+        ));
+        metrics.push((
+            format!("ceil_campaign_{key}_sojourn_p99_ms"),
+            run.sojourn_p99_ms,
+        ));
+        metrics.push((
+            format!("campaign_{key}_agree"),
+            f64::from(u8::from(result.agree)),
+        ));
+        if let Some(mem) = run.resident {
+            metrics.push((
+                format!("ceil_campaign_{key}_resident_ratio"),
+                mem.peak_resident_words as f64 / mem.total_words as f64,
+            ));
+        }
+        if result.cell.fault != "none" {
+            let (inj, det, _, silent) = run.faults;
+            metrics.push((format!("campaign_{key}_faults_injected"), inj as f64));
+            metrics.push((format!("campaign_{key}_faults_detected"), det as f64));
+            metrics.push((format!("ceil_campaign_{key}_faults_silent"), silent as f64));
+        }
+    }
+    let _ = writeln!(
+        text,
+        "campaign {}: agree={}",
+        spec.name,
+        if all_agree { "yes" } else { "NO" }
+    );
+    metrics.push(("campaign_agree_all".into(), f64::from(u8::from(all_agree))));
+    CampaignReport {
+        text,
+        metrics,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    /// A spec small enough for debug-mode unit tests.
+    fn tiny(mode: Mode) -> CampaignSpec {
+        let mut spec = CampaignSpec::builtin("smoke").unwrap();
+        spec.name = "tiny".into();
+        spec.flows = vec![256];
+        spec.policies = vec!["wfq".into()];
+        spec.backends = vec!["trie".into()];
+        spec.packets = 3_000;
+        spec.capacity = 1 << 10;
+        spec.mode = mode;
+        spec
+    }
+
+    #[test]
+    fn paged_and_eager_departures_are_identical() {
+        let report = run(&tiny(Mode::Both));
+        assert_eq!(report.results.len(), 1);
+        let cell = &report.results[0];
+        assert_eq!(cell.runs.len(), 2);
+        assert!(!cell.runs[0].paged && cell.runs[1].paged);
+        assert!(cell.agree, "paged and eager departure sequences differ");
+        assert_eq!(cell.runs[0].departure_hash, cell.runs[1].departure_hash);
+        // The paged run must actually save memory.
+        let mem = cell.runs[1].resident.unwrap();
+        assert!(mem.peak_resident_words < mem.total_words);
+        // And deliver the traffic: the workload is stable (load < 1).
+        assert!(cell.runs[1].served > 2_900);
+    }
+
+    #[test]
+    fn reports_are_byte_deterministic() {
+        let a = run(&tiny(Mode::Both));
+        let b = run(&tiny(Mode::Both));
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.text.contains("agree=yes"));
+    }
+
+    #[test]
+    fn metric_keys_are_slugs_and_include_ceilings() {
+        let report = run(&tiny(Mode::Paged));
+        assert!(report
+            .metrics
+            .iter()
+            .all(
+                |(k, v)| k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && v.is_finite()
+            ));
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(k, _)| k.starts_with("ceil_campaign_") && k.ends_with("_sojourn_p99_ms")));
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(k, _)| k.ends_with("_resident_ratio")));
+    }
+
+    #[test]
+    fn every_backend_serves_the_same_departure_stream() {
+        let mut spec = tiny(Mode::Eager);
+        spec.backends = vec!["trie".into(), "fastpath".into(), "heap".into()];
+        let report = run(&spec);
+        assert_eq!(report.results.len(), 3);
+        let hash0 = report.results[0].primary().departure_hash;
+        for cell in &report.results {
+            assert_eq!(cell.primary().departure_hash, hash0, "{}", cell.cell.key());
+        }
+    }
+
+    #[test]
+    fn faulted_cells_reconcile_their_ledger() {
+        let mut spec = tiny(Mode::Eager);
+        spec.faults = vec!["8@3:any:1".into()];
+        let report = run(&spec);
+        let (inj, det, _rep, silent) = report.results[0].primary().faults;
+        assert!(inj > 0, "plan should inject within the horizon");
+        assert_eq!(det + silent, inj, "ledger must reconcile");
+        assert!(report.text.contains("faults_injected=8"));
+    }
+
+    #[test]
+    fn push_out_admission_reports_evictions() {
+        let mut spec = tiny(Mode::Eager);
+        // Critically loaded link + tiny buffer: the queue random-walks
+        // past capacity and forces admission decisions.
+        spec.load = 1.0;
+        spec.capacity = 16;
+        spec.admissions = vec![
+            scheduler::AdmissionPolicy::TailDrop,
+            scheduler::AdmissionPolicy::PushOut,
+        ];
+        let report = run(&spec);
+        let tail = report.results[0].primary();
+        let push = report.results[1].primary();
+        assert!(tail.dropped > 0, "overload must drop under tail-drop");
+        assert!(push.pushed_out > 0, "push-out must evict under overload");
+    }
+}

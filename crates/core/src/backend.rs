@@ -62,6 +62,25 @@ pub struct BackendSpec {
     pub memory: MemoryKind,
 }
 
+/// Resident/peak/total addressable state words of a backend, as reported
+/// by [`SortBackend::resident_memory`].
+///
+/// "Words" are the backend's own addressable units summed across its
+/// components (for the trie circuit: translation entries + tag-store link
+/// words + trie node words). In paged mode `resident_words` tracks the
+/// host memory actually materialized for the *live*-tag window, while
+/// `total_words` is what an eager allocation of the full tag space would
+/// cost; eager backends report all three equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidentMemory {
+    /// Words currently materialized in host memory.
+    pub resident_words: u64,
+    /// High-water mark of `resident_words` over the backend's lifetime.
+    pub peak_resident_words: u64,
+    /// Words an eager allocation of the full state would occupy.
+    pub total_words: u64,
+}
+
 /// A priority sorter the scheduler can drive: the narrow pop-min
 /// interface of the paper's circuit, abstracted.
 ///
@@ -227,6 +246,25 @@ pub trait SortBackend {
     fn trie_fault_word_index(&self, _level: u32, _index: u32) -> usize {
         0
     }
+
+    /// Switches an **empty** backend's off-chip state to lazily paged
+    /// allocation, returning `true` if the backend supports paging.
+    /// Backends without paged storage return `false` and stay eager —
+    /// campaign drivers treat that as "resident == total".
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the backend is not empty.
+    fn set_paged(&mut self) -> bool {
+        false
+    }
+
+    /// Resident/peak/total addressable state words, when the backend
+    /// accounts for them. `None` for backends without modeled state
+    /// memory (the heap oracle, the FFS fastpath).
+    fn resident_memory(&self) -> Option<ResidentMemory> {
+        None
+    }
 }
 
 impl SortBackend for SortRetrieveCircuit {
@@ -291,6 +329,14 @@ impl SortBackend for SortRetrieveCircuit {
         &mut self,
         component: FaultComponent,
     ) -> Result<&mut dyn FaultTarget, FaultAttachError> {
+        // The packet buffer lives in the scheduler, not the sorter; the
+        // scheduler intercepts `Buffer` faults before reaching a backend.
+        if component == FaultComponent::Buffer {
+            return Err(FaultAttachError {
+                backend: self.name(),
+                component,
+            });
+        }
         Ok(self.fault_target_mut(component))
     }
 
@@ -312,6 +358,15 @@ impl SortBackend for SortRetrieveCircuit {
 
     fn trie_fault_word_index(&self, level: u32, index: u32) -> usize {
         self.trie_fault_word_index(level, index)
+    }
+
+    fn set_paged(&mut self) -> bool {
+        self.set_paged();
+        true
+    }
+
+    fn resident_memory(&self) -> Option<ResidentMemory> {
+        Some(self.resident_memory())
     }
 }
 
@@ -342,12 +397,30 @@ mod tests {
     }
 
     #[test]
-    fn trie_accepts_fault_attachment_for_every_component() {
+    fn trie_accepts_fault_attachment_for_every_sorter_component() {
         let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
         for component in FaultComponent::ALL {
+            if component == FaultComponent::Buffer {
+                // The packet buffer is scheduler state, not sorter state.
+                assert!(SortBackend::fault_target_mut(&mut b, component).is_err());
+                continue;
+            }
             let target = SortBackend::fault_target_mut(&mut b, component).unwrap();
             assert!(target.fault_words() > 0, "{component} has no words");
         }
+    }
+
+    #[test]
+    fn paged_mode_reports_resident_below_total() {
+        let mut b = <SortRetrieveCircuit as SortBackend>::build(&spec());
+        assert!(SortBackend::set_paged(&mut b));
+        let before = SortBackend::resident_memory(&b).unwrap();
+        assert!(before.resident_words < before.total_words);
+        SortBackend::insert(&mut b, Tag(9), PacketRef(1)).unwrap();
+        let after = SortBackend::resident_memory(&b).unwrap();
+        assert!(after.resident_words > before.resident_words);
+        assert!(after.resident_words <= after.total_words);
+        assert_eq!(after.peak_resident_words, after.resident_words);
     }
 
     #[test]

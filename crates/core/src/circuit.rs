@@ -491,6 +491,44 @@ impl SortRetrieveCircuit {
         std::mem::take(&mut self.integrity_log)
     }
 
+    /// Switches an **empty** circuit's translation table and tag-storage
+    /// SRAM into paged mode: both materialize fixed-size pages on first
+    /// write and the translation table frees pages again on section
+    /// recycling, so host memory tracks the *live*-tag window instead of
+    /// the full `B^L` tag space. Observationally identical to eager mode
+    /// (the equivalence suite pins identical departure sequences); the
+    /// on-chip trie stays eager — it is already small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit holds tags or the store was ever written.
+    pub fn set_paged(&mut self) {
+        assert!(self.is_empty(), "set_paged requires an empty circuit");
+        self.translation.set_paged();
+        self.store.set_paged();
+    }
+
+    /// Whether the circuit's off-chip state is in paged mode.
+    pub fn is_paged(&self) -> bool {
+        self.translation.is_paged()
+    }
+
+    /// Resident/peak/total addressable state words across the three
+    /// components (translation entries + store link words + trie node
+    /// words). In paged mode the resident figures track the live-tag
+    /// window; eager mode is always fully resident.
+    pub fn resident_memory(&self) -> crate::backend::ResidentMemory {
+        let (tr_res, tr_peak, tr_total) = self.translation.resident_entries();
+        let (st_res, st_peak, st_total) = self.store.resident_words();
+        // The on-chip trie never pages; its words count as resident.
+        let trie_words = FaultTarget::fault_words(&self.trie) as u64;
+        crate::backend::ResidentMemory {
+            resident_words: (tr_res + st_res) as u64 + trie_words,
+            peak_resident_words: (tr_peak + st_peak) as u64 + trie_words,
+            total_words: (tr_total + st_total) as u64 + trie_words,
+        }
+    }
+
     /// Drains the structural corruptions the tag store observed.
     pub fn take_store_corruptions(&mut self) -> Vec<StoreCorruption> {
         self.store.take_corruptions()
@@ -503,11 +541,20 @@ impl SortRetrieveCircuit {
 
     /// The fault-injection surface of one component, for a
     /// [`faultsim::FaultPlan`] to write into.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`FaultComponent::Buffer`]: the packet buffer is
+    /// scheduler state, not sorter state — the scheduler routes buffer
+    /// faults to its own payload memory before they reach a backend.
     pub fn fault_target_mut(&mut self, component: FaultComponent) -> &mut dyn FaultTarget {
         match component {
             FaultComponent::Trie => &mut self.trie,
             FaultComponent::Translation => &mut self.translation,
             FaultComponent::TagStore => &mut self.store,
+            FaultComponent::Buffer => {
+                panic!("the sorter holds no packet buffer; route buffer faults to the scheduler")
+            }
         }
     }
 

@@ -52,13 +52,14 @@ mod banking;
 mod circuit;
 mod geometry;
 mod heap;
+mod paged;
 mod pipeline;
 mod tag;
 mod tagstore;
 mod translation;
 mod trie;
 
-pub use backend::{BackendSpec, SortBackend};
+pub use backend::{BackendSpec, ResidentMemory, SortBackend};
 pub use banking::BankModel;
 pub use circuit::{
     CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
@@ -66,6 +67,7 @@ pub use circuit::{
 };
 pub use geometry::Geometry;
 pub use heap::HeapSorter;
+pub use paged::{PagedTranslationTable, PAGE_ENTRIES};
 pub use pipeline::{Issue, PipelineStats, PipelinedSorter};
 pub use tag::{PacketRef, Tag, PACKET_SLOT_BITS};
 pub use tagstore::{LinkAddr, MemoryKind, StoreCorruption, StoreFullError, StoreLayout, TagStore};

@@ -404,6 +404,32 @@ impl TagStore {
         self.tolerant = tolerant;
     }
 
+    /// Switches an **empty, never-written** store's SRAM into paged mode
+    /// (see [`hwsim::Sram::set_paged`]): link words materialize in pages
+    /// as the initialization counter hands out fresh addresses, so host
+    /// memory tracks the links actually used. Observationally identical
+    /// to the eager array — the store never reads a word the counter has
+    /// not yet handed out, so lazily-zero reads are unreachable on the
+    /// datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link word was already written.
+    pub fn set_paged(&mut self) {
+        self.sram.set_paged();
+    }
+
+    /// Whether the backing SRAM is in paged mode.
+    pub fn is_paged(&self) -> bool {
+        self.sram.is_paged()
+    }
+
+    /// `(resident, peak_resident, total)` link-word counts of the
+    /// backing SRAM (always fully resident in eager mode).
+    pub fn resident_words(&self) -> (usize, usize, usize) {
+        self.sram.resident_words()
+    }
+
     /// Drains the structural corruptions observed in tolerant mode.
     pub fn take_corruptions(&mut self) -> Vec<StoreCorruption> {
         std::mem::take(&mut self.corruptions)
@@ -508,6 +534,23 @@ impl TagStore {
     pub fn pop_min(&mut self) -> Option<(Tag, PacketRef, LinkAddr)> {
         let base = self.clock.now();
         let (addr, link) = self.head?;
+        if self.len == 0 {
+            // The occupancy counter says empty while the head register
+            // still points at a link: an in-range flipped next-pointer
+            // steered the list into a cycle or onto the free chain.
+            // The counter lives outside the faultable SRAM, so trust it
+            // and stop serving — chasing the phantom chain never ends.
+            assert!(
+                self.tolerant,
+                "tag store head live with zero occupancy (corrupted link chain)"
+            );
+            self.head = None;
+            self.corruptions.push(StoreCorruption {
+                addr: addr.0,
+                cycle: base,
+            });
+            return None;
+        }
         // Read slot 0: refill the head register from the successor link.
         self.head = link.next.map(|next| (next, self.read_slot(base, 0, next)));
         // Write slot 2: thread the freed link onto the empty list.
@@ -539,10 +582,27 @@ impl TagStore {
     pub fn pop_max(&mut self) -> Option<(Tag, PacketRef, LinkAddr, Option<(LinkAddr, Tag)>)> {
         let (head_addr, head_link) = self.head?;
         let base = self.clock.now();
-        // Uncharged tail search (see above).
+        // Uncharged tail search (see above), bounded by the occupancy
+        // counter: a list of `len` links has `len - 1` hops, so a walk
+        // still going past that bound is chasing a corrupted pointer
+        // cycle. Truncate there (tolerant) rather than walk forever.
         let mut prev: Option<(LinkAddr, Link)> = None;
         let mut cur = (head_addr, head_link);
+        let mut hops = self.len.saturating_sub(1);
         while let Some(next) = cur.1.next {
+            if hops == 0 {
+                assert!(
+                    self.tolerant,
+                    "tag store tail walk exceeded occupancy (corrupted link chain)"
+                );
+                self.corruptions.push(StoreCorruption {
+                    addr: cur.0 .0,
+                    cycle: base,
+                });
+                cur.1.next = None;
+                break;
+            }
+            hops -= 1;
             let link = self
                 .layout
                 .unpack(self.sram.peek(next.0 as usize).expect("valid link address"));

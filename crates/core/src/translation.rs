@@ -11,12 +11,57 @@ use faultsim::FaultTarget;
 use hwsim::AccessStats;
 
 use crate::geometry::Geometry;
+use crate::paged::PagedTranslationTable;
 use crate::tag::Tag;
 use crate::tagstore::LinkAddr;
 
 /// Bit position of the entry-presence flag in the fault encoding of a
 /// translation entry (`Some(addr)` ⇔ bit 32 set, address in bits 0..32).
 const PRESENCE_BIT: u32 = 32;
+
+/// The slot array behind the table: one eager `Vec` entry per
+/// representable tag value, or the lazily-paged store campaigns use for
+/// paper-scale tag spaces. Both reprs are driven through the same
+/// accessors below, so they are observationally identical.
+#[derive(Debug, Clone)]
+enum Slots {
+    Eager(Vec<Option<LinkAddr>>),
+    Paged(PagedTranslationTable),
+}
+
+impl Slots {
+    fn len(&self) -> usize {
+        match self {
+            Slots::Eager(v) => v.len(),
+            Slots::Paged(p) => p.entries(),
+        }
+    }
+
+    fn get(&self, index: usize) -> Option<LinkAddr> {
+        match self {
+            Slots::Eager(v) => v[index],
+            Slots::Paged(p) => p.get(index),
+        }
+    }
+
+    fn set(&mut self, index: usize, value: Option<LinkAddr>) {
+        match self {
+            Slots::Eager(v) => v[index] = value,
+            Slots::Paged(p) => p.set(index, value),
+        }
+    }
+
+    fn clear_range(&mut self, start: usize, len: usize) {
+        match self {
+            Slots::Eager(v) => {
+                for slot in &mut v[start..start + len] {
+                    *slot = None;
+                }
+            }
+            Slots::Paged(p) => p.clear_range(start, len),
+        }
+    }
+}
 
 /// Tag value → most-recent link address.
 ///
@@ -38,7 +83,7 @@ const PRESENCE_BIT: u32 = 32;
 #[derive(Debug, Clone)]
 pub struct TranslationTable {
     geometry: Geometry,
-    slots: Vec<Option<LinkAddr>>,
+    slots: Slots,
     stats: AccessStats,
 }
 
@@ -47,8 +92,54 @@ impl TranslationTable {
     pub fn new(geometry: Geometry) -> Self {
         Self {
             geometry,
-            slots: vec![None; geometry.translation_entries() as usize],
+            slots: Slots::Eager(vec![None; geometry.translation_entries() as usize]),
             stats: AccessStats::new(),
+        }
+    }
+
+    /// Creates an empty table in paged mode: entries materialize in
+    /// [`PagedTranslationTable`] pages on first write, so memory is
+    /// proportional to live tags instead of the tag space.
+    pub fn new_paged(geometry: Geometry) -> Self {
+        Self {
+            geometry,
+            slots: Slots::Paged(PagedTranslationTable::new(
+                geometry.translation_entries() as usize
+            )),
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Switches an **empty** table into paged mode (no-op when already
+    /// paged). The two modes are observationally identical — the
+    /// equivalence suite pins that — so this only changes the memory
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is present (mode switches are a construction-
+    /// time decision, not a live migration).
+    pub fn set_paged(&mut self) {
+        if let Slots::Eager(v) = &self.slots {
+            assert!(
+                v.iter().all(Option::is_none),
+                "set_paged requires an empty translation table"
+            );
+            self.slots = Slots::Paged(PagedTranslationTable::new(v.len()));
+        }
+    }
+
+    /// Whether the table is in paged mode.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.slots, Slots::Paged(_))
+    }
+
+    /// `(resident, peak_resident, total)` entry counts. Eager tables are
+    /// always fully resident.
+    pub fn resident_entries(&self) -> (usize, usize, usize) {
+        match &self.slots {
+            Slots::Eager(v) => (v.len(), v.len(), v.len()),
+            Slots::Paged(p) => (p.resident_entries(), p.peak_resident_entries(), p.entries()),
         }
     }
 
@@ -79,7 +170,8 @@ impl TranslationTable {
     /// Panics if `tag` does not fit the geometry.
     pub fn get(&mut self, tag: Tag) -> Option<LinkAddr> {
         self.stats.record_read();
-        self.slots[self.index(tag)]
+        let i = self.index(tag);
+        self.slots.get(i)
     }
 
     /// Records `addr` as the most recent link carrying `tag`.
@@ -90,7 +182,7 @@ impl TranslationTable {
     pub fn set(&mut self, tag: Tag, addr: LinkAddr) {
         self.stats.record_write();
         let i = self.index(tag);
-        self.slots[i] = Some(addr);
+        self.slots.set(i, Some(addr));
     }
 
     /// Clears `tag`'s entry (its last instance left the system).
@@ -101,7 +193,7 @@ impl TranslationTable {
     pub fn clear(&mut self, tag: Tag) {
         self.stats.record_write();
         let i = self.index(tag);
-        self.slots[i] = None;
+        self.slots.set(i, None);
     }
 
     /// Clears every entry in one top-level section, mirroring
@@ -119,9 +211,7 @@ impl TranslationTable {
         self.stats.record_write();
         let span = self.slots.len() / self.geometry.branching() as usize;
         let start = section as usize * span;
-        for slot in &mut self.slots[start..start + span] {
-            *slot = None;
-        }
+        self.slots.clear_range(start, span);
     }
 
     /// Reads `tag`'s entry without access accounting — scrub ground
@@ -132,7 +222,7 @@ impl TranslationTable {
     ///
     /// Panics if `tag` does not fit the geometry.
     pub fn peek(&self, tag: Tag) -> Option<LinkAddr> {
-        self.slots[self.index(tag)]
+        self.slots.get(self.index(tag))
     }
 
     fn index(&self, tag: Tag) -> usize {
@@ -162,13 +252,19 @@ impl FaultTarget for TranslationTable {
             Some(a) => (1u64 << PRESENCE_BIT) | u64::from(a.0),
             None => 0,
         };
-        let old = encode(self.slots[word]);
+        let old = encode(self.slots.get(word));
         let new = old ^ mask;
-        self.slots[word] = if new >> PRESENCE_BIT & 1 == 1 {
-            Some(LinkAddr((new & 0xffff_ffff) as u32))
-        } else {
-            None
-        };
+        // A presence-bit flip on a never-materialized paged entry
+        // conjures the same bogus `Some(LinkAddr(0))` the eager table
+        // produces — the page materializes to hold it.
+        self.slots.set(
+            word,
+            if new >> PRESENCE_BIT & 1 == 1 {
+                Some(LinkAddr((new & 0xffff_ffff) as u32))
+            } else {
+                None
+            },
+        );
         old
     }
 }
@@ -241,6 +337,65 @@ mod tests {
         assert_eq!(t.peek(Tag(7)), Some(LinkAddr(11)));
         assert_eq!(t.peek(Tag(8)), None);
         assert_eq!(t.stats().reads(), reads_before);
+    }
+
+    #[test]
+    fn paged_mode_is_observationally_identical() {
+        let mut eager = TranslationTable::new(Geometry::paper());
+        let mut paged = TranslationTable::new_paged(Geometry::paper());
+        assert!(paged.is_paged() && !eager.is_paged());
+        let ops: &[(u32, Option<u32>)] = &[
+            (5, Some(1)),
+            (5, Some(2)),
+            (0xa00, Some(3)),
+            (0xaff, Some(4)),
+            (5, None),
+            (0xfff, Some(9)),
+        ];
+        for &(tag, addr) in ops {
+            match addr {
+                Some(a) => {
+                    eager.set(Tag(tag), LinkAddr(a));
+                    paged.set(Tag(tag), LinkAddr(a));
+                }
+                None => {
+                    eager.clear(Tag(tag));
+                    paged.clear(Tag(tag));
+                }
+            }
+        }
+        eager.clear_section(0xa);
+        paged.clear_section(0xa);
+        for v in 0..4096 {
+            assert_eq!(eager.peek(Tag(v)), paged.peek(Tag(v)), "tag {v}");
+        }
+        assert_eq!(eager.stats().reads(), paged.stats().reads());
+        assert_eq!(eager.stats().writes(), paged.stats().writes());
+        let (resident, peak, total) = paged.resident_entries();
+        assert!(resident <= peak && peak <= total);
+    }
+
+    #[test]
+    fn set_paged_converts_an_empty_table() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set_paged();
+        assert!(t.is_paged());
+        let (resident, _, total) = t.resident_entries();
+        assert_eq!(resident, 0);
+        assert_eq!(total, 4096);
+        t.set(Tag(3), LinkAddr(7));
+        assert_eq!(t.get(Tag(3)), Some(LinkAddr(7)));
+        // Idempotent once paged.
+        t.set_paged();
+        assert_eq!(t.peek(Tag(3)), Some(LinkAddr(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty translation table")]
+    fn set_paged_rejects_a_populated_table() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(1), LinkAddr(1));
+        t.set_paged();
     }
 
     #[test]

@@ -42,7 +42,7 @@ use traffic::rng::Rng;
 /// pattern for the node sizes modeled here).
 pub const MAX_FAULT_BITS: u32 = 8;
 
-/// A corruptible state component of the sort/retrieve circuit.
+/// A corruptible state component of the scheduler datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultComponent {
     /// Multi-bit trie node occupancy words (all levels, root included).
@@ -51,14 +51,19 @@ pub enum FaultComponent {
     Translation,
     /// Tag-store link words in external SRAM.
     TagStore,
+    /// Packet-buffer descriptor words (flow id + length) in the
+    /// scheduler's payload memory — damage here corrupts the packet a
+    /// sorted tag points at, not the sort order itself.
+    Buffer,
 }
 
 impl FaultComponent {
     /// Every concrete component, in the order `any` cycles through.
-    pub const ALL: [FaultComponent; 3] = [
+    pub const ALL: [FaultComponent; 4] = [
         FaultComponent::Trie,
         FaultComponent::Translation,
         FaultComponent::TagStore,
+        FaultComponent::Buffer,
     ];
 
     /// Stable lowercase name (spec syntax and report lines).
@@ -67,6 +72,7 @@ impl FaultComponent {
             FaultComponent::Trie => "trie",
             FaultComponent::Translation => "translation",
             FaultComponent::TagStore => "tagstore",
+            FaultComponent::Buffer => "buffer",
         }
     }
 }
@@ -177,9 +183,9 @@ impl Error for FaultAttachError {}
 
 /// Parsed `--inject-faults` specification: `COUNT@SEED[:COMPONENT[:BITS]]`.
 ///
-/// `COMPONENT` is `trie`, `translation`, `tagstore`, or `any` (the
-/// default — each fault picks a component); `BITS` is flips per fault
-/// (default 1, at most [`MAX_FAULT_BITS`]).
+/// `COMPONENT` is `trie`, `translation`, `tagstore`, `buffer`, or `any`
+/// (the default — each fault picks a component); `BITS` is flips per
+/// fault (default 1, at most [`MAX_FAULT_BITS`]).
 ///
 /// # Example
 ///
@@ -237,9 +243,10 @@ impl FromStr for FaultSpec {
                 "trie" => Some(FaultComponent::Trie),
                 "translation" => Some(FaultComponent::Translation),
                 "tagstore" => Some(FaultComponent::TagStore),
+                "buffer" => Some(FaultComponent::Buffer),
                 other => {
                     return Err(format!(
-                        "unknown fault component {other:?} in spec {s:?} (expected trie, translation, tagstore, or any)"
+                        "unknown fault component {other:?} in spec {s:?} (expected trie, translation, tagstore, buffer, or any)"
                     ))
                 }
             };
@@ -271,6 +278,52 @@ impl fmt::Display for FaultSpec {
     }
 }
 
+/// How the scrubber picks which trie sections to audit each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScrubOrder {
+    /// Cycle through sections in index order, one budget's worth per
+    /// round — uniform detection latency regardless of traffic shape.
+    #[default]
+    RoundRobin,
+    /// Audit recently-written sections first (tracked by a per-section
+    /// dirty bitmap), falling back to the round-robin cursor for any
+    /// leftover budget. Under skewed traffic most upsets land in the hot
+    /// sections, so this finds them sooner; cold sections still age into
+    /// the fallback cursor, and the wrapping virtual clock rotates which
+    /// sections are hot, bounding starvation.
+    WritePriority,
+}
+
+impl ScrubOrder {
+    /// Stable kebab-case name (CLI syntax and report lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScrubOrder::RoundRobin => "round-robin",
+            ScrubOrder::WritePriority => "write-priority",
+        }
+    }
+}
+
+impl fmt::Display for ScrubOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ScrubOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "round-robin" => Ok(ScrubOrder::RoundRobin),
+            "write-priority" => Ok(ScrubOrder::WritePriority),
+            other => Err(format!(
+                "unknown scrub order {other:?} (expected round-robin or write-priority)"
+            )),
+        }
+    }
+}
+
 /// Everything a scheduler shard needs to run faulted, as plain values —
 /// `Copy`, so it rides inside a scheduler config into worker threads.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,17 +339,20 @@ pub struct FaultConfig {
     /// at least the geometry's section count means a full audit every
     /// round).
     pub scrub_sections: u32,
+    /// Which sections the per-round scrub budget is spent on.
+    pub scrub_order: ScrubOrder,
 }
 
 impl FaultConfig {
     /// A config for `spec` under `policy` with a one-section-per-round
-    /// scrub schedule.
+    /// round-robin scrub schedule.
     pub fn new(spec: FaultSpec, policy: FaultPolicy, horizon_ops: u64) -> Self {
         Self {
             spec,
             policy,
             horizon_ops,
             scrub_sections: 1,
+            scrub_order: ScrubOrder::default(),
         }
     }
 
@@ -621,6 +677,8 @@ mod tests {
         assert_eq!((s.component, s.bits), (Some(FaultComponent::TagStore), 8));
         let s: FaultSpec = "7@1:any:2".parse().unwrap();
         assert_eq!(s.component, None);
+        let s: FaultSpec = "3@4:buffer:2".parse().unwrap();
+        assert_eq!((s.component, s.bits), (Some(FaultComponent::Buffer), 2));
     }
 
     #[test]
@@ -643,7 +701,12 @@ mod tests {
 
     #[test]
     fn spec_display_round_trips() {
-        for text in ["4@7:trie:1", "1@0:any:8", "9@123:tagstore:2"] {
+        for text in [
+            "4@7:trie:1",
+            "1@0:any:8",
+            "9@123:tagstore:2",
+            "2@5:buffer:1",
+        ] {
             let spec: FaultSpec = text.parse().unwrap();
             assert_eq!(spec.to_string(), text);
             assert_eq!(spec.to_string().parse::<FaultSpec>().unwrap(), spec);
@@ -660,6 +723,15 @@ mod tests {
             assert_eq!(p.name().parse::<FaultPolicy>().unwrap(), p);
         }
         assert!("eventually-consistent".parse::<FaultPolicy>().is_err());
+    }
+
+    #[test]
+    fn scrub_order_parses_and_names() {
+        for o in [ScrubOrder::RoundRobin, ScrubOrder::WritePriority] {
+            assert_eq!(o.name().parse::<ScrubOrder>().unwrap(), o);
+        }
+        assert_eq!(ScrubOrder::default(), ScrubOrder::RoundRobin);
+        assert!("hottest-first".parse::<ScrubOrder>().is_err());
     }
 
     #[test]

@@ -239,6 +239,69 @@ impl SramStats {
     }
 }
 
+/// Words per lazily-allocated page in [`Sram`] paged mode.
+const PAGE_WORDS: usize = 4096;
+
+/// The word array behind an [`Sram`]: the eager zero-initialized `Vec`,
+/// or a page-granular lazy store where never-written pages read as zero
+/// and materialize on the first non-zero write. The two are
+/// observationally identical through every access path (reads, writes,
+/// peeks, and fault corruption), so paged mode only changes how much of
+/// the configured word count is resident in host memory.
+#[derive(Debug, Clone)]
+enum Words {
+    Eager(Vec<u64>),
+    Paged {
+        pages: Vec<Option<Box<[u64]>>>,
+        resident: usize,
+        peak: usize,
+    },
+}
+
+impl Words {
+    fn paged(words: usize) -> Self {
+        Words::Paged {
+            pages: (0..words.div_ceil(PAGE_WORDS)).map(|_| None).collect(),
+            resident: 0,
+            peak: 0,
+        }
+    }
+
+    fn get(&self, addr: usize) -> u64 {
+        match self {
+            Words::Eager(v) => v[addr],
+            Words::Paged { pages, .. } => match &pages[addr / PAGE_WORDS] {
+                Some(page) => page[addr % PAGE_WORDS],
+                None => 0,
+            },
+        }
+    }
+
+    fn set(&mut self, addr: usize, value: u64) {
+        match self {
+            Words::Eager(v) => v[addr] = value,
+            Words::Paged {
+                pages,
+                resident,
+                peak,
+            } => {
+                let slot = &mut pages[addr / PAGE_WORDS];
+                match slot {
+                    Some(page) => page[addr % PAGE_WORDS] = value,
+                    None if value == 0 => {} // already reads as zero
+                    None => {
+                        let mut page = vec![0u64; PAGE_WORDS].into_boxed_slice();
+                        page[addr % PAGE_WORDS] = value;
+                        *slot = Some(page);
+                        *resident += 1;
+                        *peak = (*peak).max(*resident);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A cycle-accurate word-addressed static RAM.
 ///
 /// Reads are modelled as same-cycle (the surrounding FSM accounts for
@@ -265,7 +328,7 @@ impl SramStats {
 #[derive(Debug, Clone)]
 pub struct Sram {
     config: SramConfig,
-    data: Vec<u64>,
+    data: Words,
     /// One parity bit per word, packed 64 per entry. Writes refresh it;
     /// [`Sram::corrupt`] deliberately does not, which is what makes a
     /// corrupted word detectable on the next port read.
@@ -300,7 +363,7 @@ impl Sram {
         let ports = config.ports().len();
         Self {
             config,
-            data: vec![0; words],
+            data: Words::Eager(vec![0; words]),
             parity: vec![0; words.div_ceil(64)],
             alarmed: vec![0; words.div_ceil(64)],
             alarms: Vec::new(),
@@ -309,6 +372,46 @@ impl Sram {
             stats: SramStats::default(),
             access_stats: AccessStats::default(),
             trace: None,
+        }
+    }
+
+    /// Switches an **all-zero** memory into paged mode: pages of
+    /// pages of 4096 words materialize on the first non-zero write, so
+    /// host-resident memory is proportional to the words actually used
+    /// instead of the configured word count. Observationally identical
+    /// to the eager array (zero-initialized reads included); a no-op
+    /// when already paged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is non-zero — mode switches are a
+    /// construction-time decision, not a live migration.
+    pub fn set_paged(&mut self) {
+        if let Words::Eager(v) = &self.data {
+            assert!(
+                v.iter().all(|&w| w == 0),
+                "set_paged requires an all-zero memory"
+            );
+            self.data = Words::paged(v.len());
+        }
+    }
+
+    /// Whether the word array is in paged mode.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.data, Words::Paged { .. })
+    }
+
+    /// `(resident, peak_resident, total)` word counts. Eager memories
+    /// are always fully resident.
+    pub fn resident_words(&self) -> (usize, usize, usize) {
+        let total = self.config.words();
+        match &self.data {
+            Words::Eager(_) => (total, total, total),
+            Words::Paged { resident, peak, .. } => (
+                (resident * PAGE_WORDS).min(total),
+                (peak * PAGE_WORDS).min(total),
+                total,
+            ),
         }
     }
 
@@ -378,7 +481,7 @@ impl Sram {
         self.claim_port(cycle, port, /*is_write=*/ false)?;
         self.stats.reads += 1;
         self.access_stats.record_read();
-        let value = self.data[addr];
+        let value = self.data.get(addr);
         let stored_parity = bitset_get(&self.parity, addr);
         if (value.count_ones() & 1 == 1) != stored_parity && !bitset_get(&self.alarmed, addr) {
             bitset_assign(&mut self.alarmed, addr, true);
@@ -421,7 +524,7 @@ impl Sram {
         self.claim_port(cycle, port, /*is_write=*/ true)?;
         self.stats.writes += 1;
         self.access_stats.record_write();
-        self.data[addr] = value;
+        self.data.set(addr, value);
         // A write refreshes the sideband parity and re-arms detection for
         // this word — overwriting a corrupted word silently "heals" it,
         // exactly as real parity-per-word memories behave.
@@ -450,7 +553,7 @@ impl Sram {
     /// Fails if `addr` is out of range.
     pub fn peek(&self, addr: usize) -> Result<u64, SramError> {
         self.check_addr(addr)?;
-        Ok(self.data[addr])
+        Ok(self.data.get(addr))
     }
 
     /// Flips the bits of `mask` in word `addr` *without* refreshing the
@@ -476,8 +579,8 @@ impl Sram {
         } else {
             mask
         };
-        let old = self.data[addr];
-        self.data[addr] ^= mask;
+        let old = self.data.get(addr);
+        self.data.set(addr, old ^ mask);
         old
     }
 
@@ -768,6 +871,57 @@ mod tests {
         assert_eq!(mem.fault_word_bits(3), 12);
         assert_eq!(mem.inject_fault(3, 0b1000), 0);
         assert_eq!(mem.peek(3).unwrap(), 0b1000);
+    }
+
+    #[test]
+    fn paged_mode_reads_zero_and_materializes_on_write() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(3 * PAGE_WORDS, 16));
+        mem.set_paged();
+        assert!(mem.is_paged());
+        assert_eq!(mem.resident_words(), (0, 0, 3 * PAGE_WORDS));
+        assert_eq!(mem.read(clk.now(), 2 * PAGE_WORDS + 1).unwrap(), 0);
+        assert_eq!(mem.resident_words().0, 0, "a read materializes nothing");
+        clk.tick();
+        // A zero write is already represented; a non-zero write pages in.
+        mem.write(clk.now(), 5, 0).unwrap();
+        assert_eq!(mem.resident_words().0, 0);
+        clk.tick();
+        mem.write(clk.now(), 5, 0xbeef).unwrap();
+        assert_eq!(
+            mem.resident_words(),
+            (PAGE_WORDS, PAGE_WORDS, 3 * PAGE_WORDS)
+        );
+        clk.tick();
+        assert_eq!(mem.read(clk.now(), 5).unwrap(), 0xbeef);
+        assert_eq!(mem.peek(5).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn paged_mode_parity_behaves_like_eager() {
+        let mut clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(2 * PAGE_WORDS, 16));
+        mem.set_paged();
+        mem.write(clk.now(), 7, 0xff).unwrap();
+        // Corruption of a never-written word pages it in without
+        // refreshing parity — same latent-alarm semantics as eager mode.
+        assert_eq!(mem.corrupt(PAGE_WORDS + 3, 0b1), 0);
+        clk.tick();
+        assert_eq!(mem.read(clk.now(), PAGE_WORDS + 3).unwrap(), 1);
+        assert_eq!(mem.take_parity_alarms().len(), 1);
+        mem.corrupt(7, 0b100);
+        clk.tick();
+        mem.read(clk.now(), 7).unwrap();
+        assert_eq!(mem.take_parity_alarms().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero memory")]
+    fn set_paged_rejects_a_written_memory() {
+        let clk = Clock::new();
+        let mut mem = Sram::new(SramConfig::single_port(8, 16));
+        mem.write(clk.now(), 0, 1).unwrap();
+        mem.set_paged();
     }
 
     #[test]

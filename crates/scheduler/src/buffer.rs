@@ -5,7 +5,8 @@
 //! buffer is a slotted memory with a free list — the same allocation
 //! discipline as the tag store's empty list, at packet granularity.
 
-use traffic::Packet;
+use faultsim::FaultTarget;
+use traffic::{FlowId, Packet};
 
 use tagsort::{PacketRef, PACKET_SLOT_BITS};
 
@@ -60,6 +61,34 @@ pub struct PacketBuffer {
     gens: Vec<u8>,
     free: Vec<u32>,
     stats: BufferStats,
+    /// One parity bit per slot over the descriptor word, packed 64 per
+    /// entry. Refreshed by [`store`](PacketBuffer::store); fault
+    /// injection deliberately leaves it stale, which is what makes a
+    /// corrupted descriptor detectable at release time.
+    parity: Vec<u64>,
+    /// Slots whose mismatch has already been reported (alarm dedup).
+    alarmed: Vec<u64>,
+    alarms: Vec<u32>,
+}
+
+/// The descriptor word faults land in: flow id in the high half, packet
+/// length in the low half. Arrival time and sequence number are modeled
+/// as control metadata outside the buffer SRAM, so upsets cannot reach
+/// them.
+fn descriptor(pkt: &Packet) -> u64 {
+    (u64::from(pkt.flow.0) << 32) | u64::from(pkt.size_bytes)
+}
+
+fn bitset_get(set: &[u64], idx: usize) -> bool {
+    set[idx / 64] >> (idx % 64) & 1 == 1
+}
+
+fn bitset_assign(set: &mut [u64], idx: usize, value: bool) {
+    if value {
+        set[idx / 64] |= 1 << (idx % 64);
+    } else {
+        set[idx / 64] &= !(1 << (idx % 64));
+    }
 }
 
 impl PacketBuffer {
@@ -80,6 +109,9 @@ impl PacketBuffer {
             gens: vec![0; capacity],
             free: (0..capacity as u32).rev().collect(),
             stats: BufferStats::default(),
+            parity: vec![0; capacity.div_ceil(64)],
+            alarmed: vec![0; capacity.div_ceil(64)],
+            alarms: Vec::new(),
         }
     }
 
@@ -105,6 +137,9 @@ impl PacketBuffer {
     pub fn store(&mut self, pkt: Packet) -> Option<PacketRef> {
         match self.free.pop() {
             Some(slot) => {
+                let parity = descriptor(&pkt).count_ones() & 1 == 1;
+                bitset_assign(&mut self.parity, slot as usize, parity);
+                bitset_assign(&mut self.alarmed, slot as usize, false);
                 self.slots[slot as usize] = Some(pkt);
                 self.stats.occupied += 1;
                 self.stats.peak = self.stats.peak.max(self.stats.occupied);
@@ -158,11 +193,59 @@ impl PacketBuffer {
             return None;
         }
         let slot = r.index() as usize;
+        self.check_parity(slot);
         let pkt = self.slots[slot].take().expect("checked occupied");
         self.gens[slot] = self.gens[slot].wrapping_add(1);
         self.free.push(r.index());
         self.stats.occupied -= 1;
         Some(pkt)
+    }
+
+    /// Compares the slot's descriptor parity against the bit refreshed
+    /// at store time, raising one alarm per corrupted occupancy.
+    fn check_parity(&mut self, slot: usize) {
+        if let Some(pkt) = &self.slots[slot] {
+            let parity = descriptor(pkt).count_ones() & 1 == 1;
+            if parity != bitset_get(&self.parity, slot) && !bitset_get(&self.alarmed, slot) {
+                bitset_assign(&mut self.alarmed, slot, true);
+                self.alarms.push(slot as u32);
+            }
+        }
+    }
+
+    /// Drains the slots whose descriptor failed its release-time parity
+    /// check since the last drain. The scheduler treats each as a
+    /// detected buffer fault: the packet's flow id or length can no
+    /// longer be trusted, so it is dropped rather than served.
+    pub fn take_fault_alarms(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.alarms)
+    }
+}
+
+impl FaultTarget for PacketBuffer {
+    fn fault_words(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn fault_word_bits(&self, _word: usize) -> u32 {
+        64 // flow id (32) over length (32)
+    }
+
+    fn inject_fault(&mut self, word: usize, mask: u64) -> u64 {
+        match self.slots[word].as_mut() {
+            Some(pkt) => {
+                let old = descriptor(pkt);
+                let new = old ^ mask;
+                pkt.flow = FlowId((new >> 32) as u32);
+                pkt.size_bytes = new as u32;
+                // Parity is NOT refreshed — the release-time check is
+                // what detects the flip.
+                old
+            }
+            // An upset in a free slot damages nothing observable; the
+            // next store rewrites word and parity together.
+            None => 0,
+        }
     }
 }
 
@@ -234,6 +317,43 @@ mod tests {
         let r = b.store(pkt(0)).unwrap();
         b.release(r);
         b.release(r);
+    }
+
+    #[test]
+    fn injected_fault_trips_the_release_parity_check() {
+        let mut b = PacketBuffer::new(4);
+        let r = b.store(pkt(3)).unwrap();
+        let old = b.inject_fault(r.index() as usize, 1 << 40); // flow-id bit
+        assert_eq!(old, 100); // descriptor was flow 0, length 100
+                              // The flip is live immediately...
+        assert_eq!(b.peek(r).flow, FlowId(1 << 8));
+        // ...and detected exactly once, at release.
+        let released = b.try_release(r).unwrap();
+        assert_eq!(released.flow, FlowId(1 << 8));
+        assert_eq!(b.take_fault_alarms(), vec![r.index()]);
+        assert_eq!(b.take_fault_alarms(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn fault_in_a_free_slot_is_silent_and_store_heals_parity() {
+        let mut b = PacketBuffer::new(2);
+        assert_eq!(b.inject_fault(1, 0xff), 0);
+        let r0 = b.store(pkt(0)).unwrap();
+        let r1 = b.store(pkt(1)).unwrap();
+        // Slot 1's parity was refreshed by the store, so no alarm.
+        b.try_release(r1).unwrap();
+        b.try_release(r0).unwrap();
+        assert_eq!(b.take_fault_alarms(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn even_bit_flips_defeat_buffer_parity() {
+        let mut b = PacketBuffer::new(1);
+        let r = b.store(pkt(0)).unwrap();
+        b.inject_fault(0, 0b11); // two flipped bits keep parity even
+        let released = b.try_release(r).unwrap();
+        assert_eq!(released.size_bytes, 100 ^ 0b11);
+        assert_eq!(b.take_fault_alarms(), Vec::<u32>::new(), "silent by design");
     }
 
     #[test]

@@ -7,11 +7,11 @@ use std::fmt;
 use fairq::{GpsVirtualClock, RankPolicy, VirtualTime, WfqRank};
 use faultsim::{
     DetectionKind, FaultAttachError, FaultComponent, FaultConfig, FaultLedger, FaultPlan,
-    FaultPolicy, FaultRecord,
+    FaultPolicy, FaultRecord, FaultTarget, ScrubOrder,
 };
 use tagsort::{
     BackendSpec, CircuitStats, CleanupPolicy, Geometry, IntegrityEvent, MemoryKind, PacketRef,
-    SortBackend, SortError, SortRetrieveCircuit, Tag,
+    ResidentMemory, SortBackend, SortError, SortRetrieveCircuit, Tag,
 };
 use telemetry::{Counter, EventKind, Gauge, GaugeMerge, Histogram, Snapshot, Telemetry, Tracer};
 use traffic::{FlowSpec, Packet, Time};
@@ -341,7 +341,12 @@ struct FaultState {
     plan: FaultPlan,
     policy: FaultPolicy,
     scrub_sections: u32,
+    scrub_order: ScrubOrder,
     scrub_cursor: u32,
+    /// Per-section dirty bitmap (sections are at most 2^6): set on every
+    /// sorter write into a section, cleared when the scrubber audits it.
+    /// Only consulted under [`ScrubOrder::WritePriority`].
+    dirty: u64,
     ledger: FaultLedger,
     /// Planned injections the backend refused (no addressable state for
     /// the targeted component), as `(operation index, rejection)` pairs.
@@ -489,7 +494,9 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
                 plan: FaultPlan::generate(&fc.spec, fc.horizon_ops),
                 policy: fc.policy,
                 scrub_sections: fc.scrub_sections,
+                scrub_order: fc.scrub_order,
                 scrub_cursor: 0,
+                dirty: 0,
                 ledger: FaultLedger::new(),
                 rejected: Vec::new(),
                 op: 0,
@@ -618,6 +625,20 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         self.sorter.name()
     }
 
+    /// Switches the sorter's off-chip state to lazily paged allocation
+    /// (see [`SortBackend::set_paged`]). Call before the first enqueue;
+    /// returns `false` for backends without paged storage, which simply
+    /// stay eager.
+    pub fn set_paged_state(&mut self) -> bool {
+        self.sorter.set_paged()
+    }
+
+    /// The sorter's resident/peak/total state-memory accounting, when
+    /// the backend models it (see [`SortBackend::resident_memory`]).
+    pub fn resident_memory(&self) -> Option<ResidentMemory> {
+        self.sorter.resident_memory()
+    }
+
     /// `(injected, detected, repaired, silent)` ledger totals.
     pub fn fault_totals(&self) -> (u64, u64, u64, u64) {
         self.faults.as_ref().map_or((0, 0, 0, 0), |f| {
@@ -722,6 +743,17 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             );
         }
         let now = self.sorter.cycles();
+        // Buffer parity alarms raised outside the dequeue fast path (the
+        // push-out eviction also releases slots).
+        for slot in self.buffer.take_fault_alarms() {
+            self.note_detection(
+                &mut fs,
+                FaultComponent::Buffer,
+                Some(slot as usize),
+                now,
+                DetectionKind::Parity,
+            );
+        }
         for ev in self.sorter.take_integrity_events() {
             let (component, word) = match ev {
                 IntegrityEvent::TrieDeadEnd { level, index } => (
@@ -749,7 +781,14 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         };
         while let Some(pf) = fs.plan.next_due(fs.op) {
             let cycle = self.sorter.cycles();
-            match self.sorter.fault_target_mut(pf.component) {
+            // Buffer faults land in the scheduler's own payload memory;
+            // everything else is routed to the sorting backend.
+            let target = if pf.component == FaultComponent::Buffer {
+                Ok(&mut self.buffer as &mut dyn FaultTarget)
+            } else {
+                self.sorter.fault_target_mut(pf.component)
+            };
+            match target {
                 Ok(target) => {
                     if let Some((word, mask)) = pf.resolve(target) {
                         target.inject_fault(word, mask);
@@ -791,9 +830,37 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         }
         let sections = self.sorter.geometry().sections();
         let repair = fs.policy == FaultPolicy::ScrubAndRepair;
-        for _ in 0..fs.scrub_sections.min(sections) {
-            let section = fs.scrub_cursor % sections;
-            fs.scrub_cursor = (fs.scrub_cursor + 1) % sections;
+        let budget = fs.scrub_sections.min(sections) as usize;
+        let mut chosen: Vec<u32> = Vec::with_capacity(budget);
+        match fs.scrub_order {
+            ScrubOrder::RoundRobin => {
+                while chosen.len() < budget {
+                    chosen.push(fs.scrub_cursor % sections);
+                    fs.scrub_cursor = (fs.scrub_cursor + 1) % sections;
+                }
+            }
+            ScrubOrder::WritePriority => {
+                // Recently-written sections first (ascending index), then
+                // the round-robin cursor fills any leftover budget so
+                // cold sections still age into an audit.
+                while chosen.len() < budget && fs.dirty != 0 {
+                    let section = fs.dirty.trailing_zeros();
+                    fs.dirty &= !(1u64 << section);
+                    chosen.push(section);
+                }
+                let mut scanned = 0;
+                while chosen.len() < budget && scanned < sections {
+                    let section = fs.scrub_cursor % sections;
+                    fs.scrub_cursor = (fs.scrub_cursor + 1) % sections;
+                    scanned += 1;
+                    if !chosen.contains(&section) {
+                        fs.dirty &= !(1u64 << section);
+                        chosen.push(section);
+                    }
+                }
+            }
+        }
+        for section in chosen {
             let scrub = self.sorter.scrub_section(section, repair);
             let cycle = self.sorter.cycles();
             self.instr.scrub_sections_audited.inc(self.instr.shard, 1);
@@ -936,6 +1003,7 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         self.instr
             .sort_cycles
             .observe(self.instr.shard, self.sorter.cycles() - cycles_before);
+        self.note_section_write(out.tag);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         let enq_cycle = self.sorter.cycles();
@@ -992,6 +1060,17 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         }
     }
 
+    /// Marks `tag`'s top-level section as recently written, feeding the
+    /// write-priority scrub schedule. A no-op under round-robin order.
+    fn note_section_write(&mut self, tag: Tag) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if fs.scrub_order == ScrubOrder::WritePriority {
+            fs.dirty |= 1u64 << self.sorter.geometry().section_of(tag);
+        }
+    }
+
     /// Records a refused packet (counter + trace event).
     fn note_drop(&self, flow: u32) {
         self.instr.dropped.inc(self.instr.shard, 1);
@@ -1032,13 +1111,14 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         self.fault_sweep();
         loop {
             let cycles_before = self.sorter.cycles();
-            let Some((_, slot)) = self.sorter.pop_min() else {
+            let Some((tag, slot)) = self.sorter.pop_min() else {
                 self.fault_sweep();
                 return None;
             };
             self.instr
                 .sort_cycles
                 .observe(self.instr.shard, self.sorter.cycles() - cycles_before);
+            self.note_section_write(tag);
             let entry = self
                 .slot_info
                 .get_mut(slot.index() as usize)
@@ -1054,6 +1134,32 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
                 self.outstanding.remove(&(tick, stamp));
                 continue;
             };
+            // The release ran the buffer's descriptor parity check; an
+            // alarm here means this packet's flow id or length was hit
+            // by an upset — it is claimed against the ledger and the
+            // packet is dropped rather than served with corrupted
+            // metadata.
+            let alarms = self.buffer.take_fault_alarms();
+            if !alarms.is_empty() {
+                let cycle = self.sorter.cycles();
+                if let Some(mut fs) = self.faults.take() {
+                    for &alarm_slot in &alarms {
+                        self.note_detection(
+                            &mut fs,
+                            FaultComponent::Buffer,
+                            Some(alarm_slot as usize),
+                            cycle,
+                            DetectionKind::Parity,
+                        );
+                    }
+                    self.faults = Some(fs);
+                }
+                if alarms.contains(&full.index()) {
+                    self.outstanding.remove(&(tick, stamp));
+                    self.note_drop(pkt.flow.0);
+                    continue;
+                }
+            }
             // Service feedback for state-coupled policies (STFQ's
             // virtual time follows the served rank); a no-op for the
             // default WFQ policy.

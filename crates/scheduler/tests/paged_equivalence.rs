@@ -1,0 +1,144 @@
+//! Paged-state equivalence: the lazily paged translation table and tag
+//! store behind [`HwScheduler::set_paged_state`] are a pure allocation
+//! strategy — the datapath never observes them.
+//!
+//! The contract is exact: on every workload of the backend-conformance
+//! matrix (seeds × wrap policies × memory kinds × rank policies), a
+//! paged trie scheduler must serve the **identical departure sequence**
+//! to an eager one, while its resident footprint stays proportional to
+//! live tags instead of the tag universe.
+
+use fairq::AnyPolicy;
+use fairq::RankPolicy;
+use scheduler::{HwLinkSim, HwScheduler, SchedulerConfig, WrapPolicy};
+use tagsort::{Geometry, MemoryKind, SortRetrieveCircuit};
+use traffic::{generate, FlowId, FlowSpec, Packet, SizeDist};
+
+fn flows() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec::new(FlowId(0), 4.0, 300_000.0).size(SizeDist::Fixed(140)),
+        FlowSpec::new(FlowId(1), 1.0, 500_000.0).size(SizeDist::Imix),
+        FlowSpec::new(FlowId(2), 2.0, 200_000.0).size(SizeDist::Fixed(700)),
+    ]
+}
+
+type Dep = (u32, u64);
+
+fn departures(
+    fl: &[FlowSpec],
+    rate: f64,
+    config: SchedulerConfig,
+    proto: &AnyPolicy,
+    trace: &[Packet],
+    paged: bool,
+) -> Vec<Dep> {
+    let mut hw = HwScheduler::<SortRetrieveCircuit, AnyPolicy>::with_backend_and_policy(
+        fl, rate, config, proto,
+    );
+    if paged {
+        assert!(hw.set_paged_state(), "the trie circuit pages its state");
+    }
+    HwLinkSim::new(rate, hw)
+        .run(trace)
+        .expect("conformance workloads fit the configuration")
+        .into_iter()
+        .map(|d| (d.packet.flow.0, d.packet.seq))
+        .collect()
+}
+
+/// The backend-matrix sweep, paged against eager: identical departures
+/// on every seed × wrap policy × memory kind.
+#[test]
+fn paged_matches_eager_on_backend_matrix_seeds() {
+    let fl = flows();
+    let rate = 1e6;
+    let proto = AnyPolicy::default();
+    for seed in [31, 47, 202] {
+        let trace = generate(&fl, 0.8, seed);
+        for wrap_policy in [WrapPolicy::Saturate, WrapPolicy::Wrap] {
+            for memory in [MemoryKind::SinglePort, MemoryKind::QdrLike] {
+                let config = SchedulerConfig {
+                    geometry: Geometry::new(4, 5),
+                    capacity: 1 << 12,
+                    tick_scale: 30.0,
+                    wrap_policy,
+                    memory,
+                    ..SchedulerConfig::default()
+                };
+                let eager = departures(&fl, rate, config, &proto, &trace, false);
+                let paged = departures(&fl, rate, config, &proto, &trace, true);
+                assert_eq!(
+                    eager, paged,
+                    "paged trie diverged on seed={seed}/{wrap_policy:?}/{memory:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The policy dimension: paging is invisible to every rank policy,
+/// including the non-monotone ones whose recycling patterns free and
+/// re-materialize pages mid-run.
+#[test]
+fn paged_matches_eager_for_every_rank_policy() {
+    let fl = flows();
+    let rate = 1e6;
+    let trace = generate(&fl, 0.5, 47);
+    for name in AnyPolicy::NAMES {
+        let proto = AnyPolicy::by_name(name).expect("known policy");
+        let config = SchedulerConfig {
+            geometry: Geometry::new(4, 5),
+            capacity: 1 << 12,
+            tick_scale: proto.tick_scale(rate),
+            ..SchedulerConfig::default()
+        };
+        let eager = departures(&fl, rate, config, &proto, &trace, false);
+        let paged = departures(&fl, rate, config, &proto, &trace, true);
+        assert_eq!(eager, paged, "paged trie diverged under policy {name}");
+    }
+}
+
+/// Resident memory is a live-tag figure, not a universe figure: a
+/// paged scheduler holding a handful of packets keeps orders of
+/// magnitude fewer words resident than the eager layout, and frees
+/// pages again as the clock laps recycled sections.
+#[test]
+fn paged_resident_memory_tracks_live_tags() {
+    let fl = flows();
+    let trace = generate(&fl, 0.5, 31);
+    let config = SchedulerConfig {
+        geometry: Geometry::new(4, 5),
+        capacity: 1 << 12,
+        tick_scale: 30.0,
+        ..SchedulerConfig::default()
+    };
+    let mut hw = HwScheduler::<SortRetrieveCircuit>::with_backend(&fl, 1e6, config);
+    assert!(hw.set_paged_state());
+    let before = hw.resident_memory().expect("the trie models memory");
+    for p in &trace {
+        hw.enqueue(*p).expect("trace fits");
+    }
+    let loaded = hw.resident_memory().expect("the trie models memory");
+    while hw.dequeue().is_some() {}
+    let drained = hw.resident_memory().expect("the trie models memory");
+
+    assert!(
+        loaded.resident_words > before.resident_words,
+        "pages materialize on write"
+    );
+    assert!(
+        loaded.peak_resident_words * 4 < loaded.total_words,
+        "peak resident {} should stay well under the {}-word universe",
+        loaded.peak_resident_words,
+        loaded.total_words
+    );
+    assert!(
+        drained.resident_words <= loaded.resident_words,
+        "draining must never grow residency"
+    );
+
+    // The eager layout reports the whole universe resident.
+    let eager = HwScheduler::<SortRetrieveCircuit>::with_backend(&fl, 1e6, config);
+    let full = eager.resident_memory().expect("the trie models memory");
+    assert_eq!(full.resident_words, full.total_words);
+}

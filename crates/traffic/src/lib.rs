@@ -45,12 +45,16 @@ pub mod multiport;
 mod packet;
 pub mod profiles;
 pub mod rng;
+mod scale;
 mod shaping;
 mod spec;
 pub mod trace;
+mod zipf;
 
 pub use gen::{generate, generate_flow};
 pub use multiport::{generate_multiport, rate_weighted_ports, MultiPortTrace, PortSpec};
 pub use packet::{FlowId, Packet, Time};
+pub use scale::{ChurnSpec, ScaleConfig, ScaleWorkload};
 pub use shaping::TokenBucket;
 pub use spec::{ArrivalProcess, FlowSpec, SizeDist};
+pub use zipf::Zipf;

@@ -1,0 +1,218 @@
+//! Zipf-distributed flow popularity.
+//!
+//! Internet flow popularity is heavy-tailed: a few elephant flows carry
+//! most packets while millions of mice barely speak. Campaign workloads
+//! model that with a Zipf law — the probability of rank `k` out of `n`
+//! proportional to `k^-s` — sampled by Hörmann and Derflinger's
+//! rejection-inversion method, which needs no `O(n)` table and therefore
+//! scales to the paper's 8 M-session populations with constant memory.
+//! Sampling draws only from [`Rng`](crate::rng::Rng), so a seed fully
+//! determines the sequence.
+
+use crate::rng::Rng;
+
+/// A Zipf(`n`, `s`) sampler over ranks `1..=n` by rejection inversion.
+///
+/// Exponent `s = 0` degenerates to the uniform distribution; `s ≈ 1` is
+/// the classic web/flow popularity curve; larger `s` concentrates mass
+/// on the head. Construction is `O(1)` and samples are `O(1)` expected,
+/// independent of `n`.
+///
+/// # Example
+///
+/// ```
+/// use traffic::{rng::Rng, Zipf};
+///
+/// let zipf = Zipf::new(1_000_000, 1.1);
+/// let mut rng = Rng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&rank));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `1 - s`, the exponent of the integrated weight function.
+    q: f64,
+    h_x1: f64,
+    h_n: f64,
+    cutoff: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "population must be positive");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
+        let q = 1.0 - s;
+        let h_x1 = h_integral(1.5, q) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, q);
+        let cutoff = 2.0 - h_integral_inv(h_integral(2.5, q) - h(2.0, s), q);
+        Self {
+            n,
+            s,
+            q,
+            h_x1,
+            h_n,
+            cutoff,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            let u = self.h_n + rng.unit_f64() * (self.h_x1 - self.h_n);
+            let x = h_integral_inv(u, self.q);
+            let k = x.round().clamp(1.0, self.n as f64);
+            // Accept k when x is within the squeeze around it, or by the
+            // exact rejection test against the integrated weight.
+            if (k - x).abs() <= self.cutoff || u >= h_integral(k + 0.5, self.q) - h(k, self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// The weight function `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// `H(x) = ∫ h`, normalized so `H` is continuous in the exponent:
+/// `(x^q - 1)/q` for `q = 1 - s ≠ 0`, and `ln x` in the limit `q → 0`.
+fn h_integral(x: f64, q: f64) -> f64 {
+    let log_x = x.ln();
+    if q.abs() > 1e-9 {
+        ((q * log_x).exp() - 1.0) / q
+    } else {
+        log_x
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inv(y: f64, q: f64) -> f64 {
+    if q.abs() > 1e-9 {
+        // Guard the q < 0 branch against rounding pushing the base
+        // non-positive for the largest representable y.
+        ((1.0 + q * y).max(f64::MIN_POSITIVE).ln() / q).exp()
+    } else {
+        y.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, s: f64, seed: u64, draws: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let zipf = Zipf::new(1 << 20, 1.2);
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+        let mut c = Rng::seed_from_u64(100);
+        let differs = (0..100).any(|_| zipf.sample(&mut a) != zipf.sample(&mut c));
+        assert!(differs, "different seeds should diverge");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let counts = histogram(8, 0.0, 5, 80_000);
+        for (rank, &c) in counts.iter().enumerate() {
+            // Each rank expects 10 000 draws; allow 5% slack.
+            assert!(
+                (9_500..=10_500).contains(&c),
+                "rank {} count {c} far from uniform",
+                rank + 1
+            );
+        }
+    }
+
+    #[test]
+    fn head_mass_matches_the_zipf_law() {
+        let n = 1000;
+        let s = 1.0;
+        let draws = 200_000;
+        let counts = histogram(n, s, 11, draws);
+        // Exact head probabilities from the normalization constant.
+        let z: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for k in [1usize, 2, 3, 10] {
+            let expect = (k as f64).powf(-s) / z * draws as f64;
+            let got = counts[k - 1] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.1 + 30.0,
+                "rank {k}: got {got}, expected ~{expect:.0}"
+            );
+        }
+        // Monotone head: rank 1 strictly dominates rank 2 dominates 10.
+        assert!(counts[0] > counts[1] && counts[1] > counts[9]);
+    }
+
+    #[test]
+    fn larger_exponent_concentrates_the_head() {
+        let mild = histogram(100, 0.8, 3, 50_000);
+        let steep = histogram(100, 1.6, 3, 50_000);
+        assert!(
+            steep[0] > mild[0],
+            "steeper exponent must favor rank 1: {} vs {}",
+            steep[0],
+            mild[0]
+        );
+    }
+
+    #[test]
+    fn huge_population_samples_stay_in_range() {
+        let zipf = Zipf::new(1 << 33, 1.05);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen_large = false;
+        for _ in 0..50_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1 << 33).contains(&k));
+            seen_large |= k > 1 << 20;
+        }
+        assert!(seen_large, "the tail should be reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be finite")]
+    fn negative_exponent_rejected() {
+        let _ = Zipf::new(10, -0.5);
+    }
+}

@@ -36,6 +36,7 @@
 
 use std::process::ExitCode;
 
+use wfq_sorter::campaign::{run as run_campaign, CampaignSpec};
 use wfq_sorter::fairq::{
     metrics, AnyPolicy, Departure, Drr, Fbfq, Fifo, LinkSim, Mdrr, RankPolicy, Scfq, Scheduler,
     Sfq, StratifiedRr, Wf2q, Wf2qPlus, Wfq, Wrr,
@@ -114,6 +115,12 @@ OPTIONS:
   --fault-report FILE
                      write the byte-deterministic per-port fault
                      ledger after the run (needs --inject-faults)
+  --campaign NAME|FILE
+                     run a grid-sweep campaign instead of a single
+                     simulation: builtin 'smoke' or 'soak', or a spec
+                     file (see DESIGN.md §16); prints the
+                     byte-deterministic campaign report and exits,
+                     ignoring the single-run options below
   --trace FILE       replay a saved trace (see traffic::trace format)
   --flows N          synthetic: number of flows      (default: 4)
   --horizon S        synthetic: seconds of traffic   (default: 1.0)
@@ -188,6 +195,7 @@ struct Args {
     inject_faults: Option<FaultSpec>,
     fault_policy: Option<FaultPolicy>,
     fault_report: Option<String>,
+    campaign: Option<String>,
 }
 
 impl Args {
@@ -244,6 +252,7 @@ fn parse_args() -> Result<Args, String> {
         inject_faults: None,
         fault_policy: None,
         fault_report: None,
+        campaign: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -344,6 +353,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--fault-report" => args.fault_report = Some(value("--fault-report")?),
+            "--campaign" => args.campaign = Some(value("--campaign")?),
             "--trace-events" => {
                 args.trace_events = value("--trace-events")?
                     .parse()
@@ -873,6 +883,21 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    // Campaign mode replaces the single simulation entirely: resolve
+    // the spec (builtin name first, then file), sweep the grid, print
+    // the byte-deterministic report.
+    if let Some(arg) = &args.campaign {
+        let spec = match CampaignSpec::resolve(arg) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: --campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", run_campaign(&spec).text);
+        return ExitCode::SUCCESS;
+    }
 
     // Workload.
     let trace = match &args.trace {

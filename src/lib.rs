@@ -27,6 +27,9 @@
 //!   exporters shared by every scheduler layer.
 //! * [`faultsim`] — deterministic SEU fault models, detection bookkeeping,
 //!   and the repair policies wired through the scheduler stack.
+//! * [`campaign`] — the million-flow campaign runner: grid sweeps over
+//!   {flows × policy × backend × admission × faults} against Zipf/churn
+//!   workloads, with paged sorter state and deterministic reports.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use baselines;
+pub use campaign;
 pub use fairq;
 pub use fastpath;
 pub use faultsim;

@@ -540,14 +540,17 @@ fn backends_without_addressable_state_record_fault_rejections() {
         "--horizon",
         "0.1",
         "--inject-faults",
-        "4@7:any:1",
+        "4@7:trie:1",
         "--fault-report",
         path,
     ]);
     assert!(out.status.success(), "run failed: {}", stderr(&out));
     let report = std::fs::read_to_string(path).expect("fault report written");
-    // The heap oracle has no hardware state: every scheduled fault must
-    // surface as a structured rejection, not a silent drop or a panic.
+    // The heap oracle has no sorter hardware state: every scheduled
+    // sorter fault must surface as a structured rejection, not a
+    // silent drop or a panic. (An `any` plan would not do: the shared
+    // packet buffer is scheduler-owned and faultable under every
+    // backend, so its draws inject rather than reject.)
     assert!(
         report.contains("injected=0 detected=0 repaired=0 silent=0"),
         "heap must inject nothing:\n{report}"
