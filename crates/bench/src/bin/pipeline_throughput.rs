@@ -1,0 +1,167 @@
+//! **Experiment E19 — deep-pipelined tag sorter:** sustained modeled
+//! throughput of the [`PipelinedSortBackend`], which registers every
+//! trie level (plus the translation and tag-store stages) so a new
+//! operation can enter the circuit each cycle instead of every four.
+//!
+//! Both workloads are pure functions of the cycle model — bit-stable on
+//! any host — so the JSON gates exactly:
+//!
+//! * `ceil_cycles_per_op` — steady-state cycles/op on the hazard-free
+//!   sweep (each round inserts one tag per top-level section in
+//!   ascending order, then pops them back; every operation hops a
+//!   section and an SRAM bank). **Gated in CI** as a ceiling against
+//!   `ci/baseline_pipeline.json`: the deep pipeline must stay within a
+//!   third of the ideal one operation per cycle.
+//! * `pipelined_mpps` / `speedup_vs_sequential` — the derived line rate
+//!   at the paper's 143.2 MHz clock and the ratio over the sequential
+//!   circuit's fixed four-cycle slot (floors).
+//! * `ceil_hazard_cycles_per_op`, `ceil_hazard_stall_rate` — the
+//!   worst-case stream: every operation lands in the same trie section,
+//!   so each one read-after-write hazards against the one in flight and
+//!   the hazard unit inserts a bubble (ceilings; deeper stalling fails).
+//! * `pipeline_depth`, `stage_register_bits` — the structural cost the
+//!   netlist model adds for the stage registers (floors).
+//!
+//! With `--json [PATH]` the metrics are written as a flat JSON object
+//! (default `BENCH_pipeline.json`) for `check_regression`; `--quick`
+//! shortens the sweeps (steady-state rates, so the numbers barely move).
+
+use bench::{eng, json_object, print_table};
+use tagsort::{
+    BackendSpec, CleanupPolicy, Geometry, MemoryKind, PacketRef, PipelinedSortBackend, SortBackend,
+    Tag, PAPER_CLOCK_HZ,
+};
+
+fn build(memory: MemoryKind) -> PipelinedSortBackend {
+    PipelinedSortBackend::build(&BackendSpec {
+        geometry: Geometry::paper(),
+        capacity: 1024,
+        cleanup: CleanupPolicy::Eager,
+        memory,
+    })
+}
+
+/// Hazard-free steady state: each round inserts one tag per top-level
+/// section in ascending order, then pops them all back out. Both halves
+/// hop a section (and its SRAM bank) every operation — the stream shape
+/// a line-rate scheduler arranges for — so nothing stalls and the
+/// sustained rate converges on one operation per cycle.
+fn sweep(memory: MemoryKind, ops: usize) -> PipelinedSortBackend {
+    let mut backend = build(memory);
+    let g = Geometry::paper();
+    let span = g.tag_space() / u64::from(g.branching());
+    let mut issued = 0usize;
+    let mut round = 0u64;
+    while issued < ops {
+        for s in 0..g.branching() {
+            let tag = Tag((u64::from(s) * span + (round % span)) as u32);
+            backend.insert(tag, PacketRef(s)).expect("capacity");
+        }
+        for _ in 0..g.branching() {
+            backend.pop_min().expect("backlogged");
+        }
+        issued += 2 * g.branching() as usize;
+        round += 1;
+    }
+    backend
+}
+
+/// Adversarial steady state: every operation lands in trie section 0,
+/// so each insert read-after-write hazards against the pop in flight
+/// (and vice versa) and the hazard unit stalls the issue slot — the
+/// worst case the forwarding path cannot hide.
+fn hazard_burst(memory: MemoryKind, ops: usize) -> PipelinedSortBackend {
+    let mut backend = build(memory);
+    backend.insert(Tag(0), PacketRef(0)).expect("capacity");
+    for i in 0..ops as u64 {
+        backend
+            .insert(Tag((i % 256) as u32), PacketRef(1))
+            .expect("capacity");
+        backend.pop_min().expect("backlogged");
+    }
+    backend
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_pipeline.json".into())
+    });
+    let ops = if quick { 5_000usize } else { 50_000 };
+
+    let single = sweep(MemoryKind::SinglePort, ops);
+    let qdr = sweep(MemoryKind::QdrLike, ops);
+    let hazard = hazard_burst(MemoryKind::SinglePort, ops);
+
+    let cpo = single.pipeline_stats().cycles_per_op();
+    let cpo_qdr = qdr.pipeline_stats().cycles_per_op();
+    let hz = hazard.pipeline_stats();
+    let hazard_cpo = hz.cycles_per_op();
+    let stall_rate = hz.stalls as f64 / hz.issued as f64;
+    let pps = PAPER_CLOCK_HZ / cpo;
+
+    let mut rows = Vec::new();
+    for (label, backend) in [
+        ("section sweep, single-port SRAM", &single),
+        ("section sweep, QDR-like SRAM", &qdr),
+        ("same-section burst (worst case)", &hazard),
+    ] {
+        let s = backend.pipeline_stats();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", s.cycles_per_op()),
+            format!("{}pps", eng(PAPER_CLOCK_HZ / s.cycles_per_op())),
+            format!("{}", s.stalls),
+            format!("{}", s.forwards),
+            format!("{}", s.port_conflicts),
+        ]);
+    }
+    print_table(
+        "E19 — deep-pipelined sorter, modeled cycles per operation",
+        &[
+            "workload",
+            "cycles/op",
+            "@143.2 MHz",
+            "stalls",
+            "forwards",
+            "bank conflicts",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe sequential circuit charges a fixed {} cycles per operation;\n\
+         stage registers between the trie levels bring the hazard-free\n\
+         sustained cost to {cpo:.3} cycles/op ({}pps at the paper's clock,\n\
+         {:.2}x the sequential rate), at a cost of {} stage-register bits\n\
+         across {} pipeline stages. Only same-section back-to-back traffic\n\
+         pays: the worst-case single-section stream stalls every slot and\n\
+         runs at {hazard_cpo:.2} cycles/op.",
+        4.0,
+        eng(pps),
+        4.0 / cpo,
+        single.stage_register_bits(),
+        single.pipeline_depth(),
+    );
+
+    let metrics: Vec<(String, f64)> = vec![
+        ("ceil_cycles_per_op".into(), cpo),
+        ("ceil_cycles_per_op_qdr".into(), cpo_qdr),
+        ("pipelined_mpps".into(), pps / 1e6),
+        ("speedup_vs_sequential".into(), 4.0 / cpo),
+        ("ceil_hazard_cycles_per_op".into(), hazard_cpo),
+        ("ceil_hazard_stall_rate".into(), stall_rate),
+        ("pipeline_depth".into(), single.pipeline_depth() as f64),
+        (
+            "stage_register_bits".into(),
+            single.stage_register_bits() as f64,
+        ),
+    ];
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_object(&metrics)).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

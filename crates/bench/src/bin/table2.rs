@@ -88,6 +88,22 @@ fn main() {
             "see paper Table II".into(),
         ],
         {
+            // The deep-pipelined variant: stage registers between the
+            // trie levels (plus translation and tag-store stages) buy
+            // ~1 op/cycle for a few hundred extra flip-flop bits.
+            use tagsort::PipelinedSortBackend;
+            let p = PipelinedSortBackend::new(g, 4096);
+            vec![
+                "pipeline stage registers (deep variant)".into(),
+                format!(
+                    "{} bits across {} stages",
+                    p.stage_register_bits(),
+                    p.pipeline_depth()
+                ),
+                "not in paper (extension)".into(),
+            ]
+        },
+        {
             // The §III-C "QDRII ... under development" variant: read and
             // write ports overlap the schedule into a 2-cycle slot.
             use tagsort::{CleanupPolicy, MemoryKind};

@@ -40,6 +40,7 @@ use hwsim::ParityAlarm;
 
 use crate::circuit::{
     CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
+    TranslationScrub,
 };
 use crate::geometry::Geometry;
 use crate::tag::{PacketRef, Tag};
@@ -225,6 +226,21 @@ pub trait SortBackend {
         }
     }
 
+    /// Audits one translation-table section against its running check
+    /// code, optionally repairing it (see
+    /// [`SortRetrieveCircuit::scrub_translation_section`]). Backends
+    /// without a translation table report a trivially clean audit.
+    fn scrub_translation(&mut self, section: u32, _repair: bool) -> TranslationScrub {
+        TranslationScrub {
+            section,
+            words_checked: 0,
+            crc_mismatch: false,
+            damaged_words: Vec::new(),
+            repaired_entries: 0,
+            repaired: false,
+        }
+    }
+
     /// Drains the integrity violations logged in tolerant mode.
     fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
         Vec::new()
@@ -342,6 +358,10 @@ impl SortBackend for SortRetrieveCircuit {
 
     fn scrub_section(&mut self, section: u32, repair: bool) -> SectionScrub {
         self.scrub_section(section, repair)
+    }
+
+    fn scrub_translation(&mut self, section: u32, repair: bool) -> TranslationScrub {
+        self.scrub_translation_section(section, repair)
     }
 
     fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {

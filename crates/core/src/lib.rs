@@ -63,12 +63,12 @@ pub use backend::{BackendSpec, ResidentMemory, SortBackend};
 pub use banking::BankModel;
 pub use circuit::{
     CircuitStats, CleanupPolicy, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit,
-    TrieMismatch, PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES,
+    TranslationScrub, TrieMismatch, PAPER_CLOCK_HZ, PAPER_MEAN_PACKET_BYTES,
 };
 pub use geometry::Geometry;
 pub use heap::HeapSorter;
 pub use paged::{PagedTranslationTable, PAGE_ENTRIES};
-pub use pipeline::{Issue, PipelineStats, PipelinedSorter};
+pub use pipeline::{Issue, PipelineStats, PipelinedSortBackend, PipelinedSorter};
 pub use tag::{PacketRef, Tag, PACKET_SLOT_BITS};
 pub use tagstore::{LinkAddr, MemoryKind, StoreCorruption, StoreFullError, StoreLayout, TagStore};
 pub use translation::TranslationTable;

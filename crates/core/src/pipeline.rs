@@ -25,11 +25,18 @@
 //! proves functional equivalence with the unpipelined circuit (the
 //! forward path makes the pipeline transparent).
 
-use hwsim::{Clock, Cycle};
+use std::collections::VecDeque;
 
-use crate::circuit::{SortError, SortRetrieveCircuit};
+use faultsim::{FaultAttachError, FaultComponent, FaultTarget};
+use hwsim::{Clock, Cycle, ParityAlarm, PortArbiter};
+
+use crate::backend::{BackendSpec, ResidentMemory, SortBackend};
+use crate::circuit::{
+    CircuitStats, IntegrityEvent, SectionScrub, SortError, SortRetrieveCircuit, TranslationScrub,
+};
 use crate::geometry::Geometry;
 use crate::tag::{PacketRef, Tag};
+use crate::tagstore::{MemoryKind, StoreCorruption};
 
 /// Timing receipt for one pipelined operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,15 +56,32 @@ impl Issue {
 }
 
 /// Pipeline instrumentation.
+///
+/// [`PipelinedSorter`] (the paper's two-stage beat) only populates the
+/// first three fields; the deep [`PipelinedSortBackend`] additionally
+/// counts the stalls and banked-port conflicts its one-op-per-cycle
+/// issue exposes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Operations issued.
     pub issued: u64,
-    /// Translation-table read-after-write forwards (op's closest match
-    /// was the immediately preceding insert).
+    /// Read-after-write forwards: the op read state an in-flight op of
+    /// the *same kind* had not yet written back, and took it from a
+    /// pipeline latch instead (free — no bubble).
     pub forwards: u64,
     /// Cycles from first issue to last completion.
     pub busy_cycles: u64,
+    /// One-cycle bubbles for cross-kind hazards (an insert and a pop in
+    /// flight against the same trie section cannot forward — the
+    /// occupancy update direction differs — so the younger op stalls).
+    pub stalls: u64,
+    /// Total bubble cycles inserted by those stalls.
+    pub stall_cycles: u64,
+    /// Tag-store accesses that found their section's SRAM bank port
+    /// still held by an earlier in-flight op.
+    pub port_conflicts: u64,
+    /// Total cycles those conflicting accesses waited for the port.
+    pub conflict_cycles: u64,
 }
 
 impl PipelineStats {
@@ -210,6 +234,335 @@ impl PipelinedSorter {
     }
 }
 
+/// What an in-flight operation does to its trie section's occupancy,
+/// for hazard classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// Sets occupancy bits / writes a translation entry.
+    Insert,
+    /// Clears occupancy bits / clears or redirects a translation entry.
+    Pop,
+}
+
+/// One operation still inside the deep pipeline.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    /// Top-level trie section the op touches.
+    section: u32,
+    /// Cycle the op entered stage 0.
+    issue: u64,
+    kind: OpKind,
+}
+
+/// The deep-pipelined sort/retrieve circuit: one operation per cycle.
+///
+/// Where [`PipelinedSorter`] keeps the paper's two coarse stages on a
+/// four-cycle beat, this backend registers **every** component boundary
+/// — one stage per trie level, one for the translation table, one for
+/// the tag store — the way Jiang et al. pipeline tries for IP lookup.
+/// With `L` trie levels the pipeline is `L + 2` deep and issues one
+/// operation per cycle when hazard-free, so modeled throughput at the
+/// paper's geometry rises from one tag per four cycles to one per
+/// cycle (~143 Mpps per port at the 143.2-MHz fabricated clock).
+///
+/// Two hazards can break the beat, both detected from the operation
+/// stream against the in-flight window:
+///
+/// * **Same-kind, same-section** back-to-back ops forward through the
+///   stage latches (the younger op's read would miss the older op's
+///   pending write; the latch supplies it) — counted, free.
+/// * **Cross-kind, same-section** ops stall one cycle: an insert and a
+///   pop drive a section's occupancy bits in opposite directions, and
+///   the read-modify-write cannot be forwarded — counted, one bubble.
+///
+/// The tag-store stage additionally contends for banked SRAM ports
+/// through [`hwsim::PortArbiter`] (one bank per top-level section): a
+/// burst into one section serializes on that bank's port even when the
+/// trie stages themselves flow freely.
+///
+/// Architecturally the backend is the sequential circuit — every
+/// [`SortBackend`] method delegates, so service order, cycle charges,
+/// fault surfaces, and scrubbing are *identical* to the `trie` backend
+/// (the conformance matrix pins this). The pipeline is a parallel
+/// timing model; read it through
+/// [`pipeline_stats`](PipelinedSortBackend::pipeline_stats).
+///
+/// # Example
+///
+/// ```
+/// use tagsort::{
+///     BackendSpec, CleanupPolicy, Geometry, MemoryKind, PacketRef, PipelinedSortBackend,
+///     SortBackend, Tag,
+/// };
+///
+/// # fn main() -> Result<(), tagsort::SortError> {
+/// let mut b = PipelinedSortBackend::build(&BackendSpec {
+///     geometry: Geometry::paper(),
+///     capacity: 1024,
+///     cleanup: CleanupPolicy::Eager,
+///     memory: MemoryKind::SinglePort,
+/// });
+/// for i in 0..100u32 {
+///     b.insert(Tag((i * 289) % 4096), PacketRef(i))?;
+/// }
+/// // Hazard-free issue sustains close to one op per cycle.
+/// assert!(b.pipeline_stats().cycles_per_op() < 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedSortBackend {
+    circuit: SortRetrieveCircuit,
+    memory: MemoryKind,
+    /// Stage count: one per trie level + translation + tag store.
+    depth: u64,
+    /// Cycle the next operation would enter stage 0 (monotone).
+    next_issue: u64,
+    /// Completion cycle of the latest-finishing operation so far.
+    final_cycle: u64,
+    in_flight: VecDeque<InFlight>,
+    arbiter: PortArbiter,
+    stats: PipelineStats,
+}
+
+impl PipelinedSortBackend {
+    /// Creates a deep-pipelined backend with eager cleanup and
+    /// single-port storage (the conventions of
+    /// [`SortRetrieveCircuit::new`]).
+    pub fn new(geometry: Geometry, capacity: usize) -> Self {
+        Self::build(&BackendSpec {
+            geometry,
+            capacity,
+            cleanup: crate::circuit::CleanupPolicy::Eager,
+            memory: MemoryKind::SinglePort,
+        })
+    }
+
+    /// The wrapped sequential circuit (read access).
+    pub fn circuit(&self) -> &SortRetrieveCircuit {
+        &self.circuit
+    }
+
+    /// Pipeline depth in stages: one per trie level, plus the
+    /// translation and tag-store stages.
+    pub fn pipeline_depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Deep-pipeline timing instrumentation (issue count, forwards,
+    /// stalls, port conflicts, busy cycles). Distinct from
+    /// [`SortBackend::stats`], which reports the architectural circuit
+    /// counters shared with the `trie` backend.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Flip-flop bits added by the stage registers: each of the
+    /// `depth` stage boundaries latches the tag, the packet reference,
+    /// the link address resolved so far, and valid/kind control. This
+    /// is the area the deep pipeline costs over the two-stage design
+    /// (the netlist gate model is untouched — registers, not logic).
+    pub fn stage_register_bits(&self) -> u64 {
+        let tag_bits = u64::from(self.circuit.geometry().tag_bits());
+        let payload_bits = 32; // PacketRef: slot index + generation
+        let addr_bits = u64::from(
+            (self.circuit.capacity().next_power_of_two().max(2))
+                .trailing_zeros()
+                .max(1),
+        );
+        let control_bits = 2; // valid + op kind
+        self.depth * (tag_bits + payload_bits + addr_bits + control_bits)
+    }
+
+    /// How many cycles the tag-store stage holds its SRAM bank port:
+    /// half the architectural slot (the slot pairs a read phase with a
+    /// write phase; the banked layout lets consecutive ops overlap
+    /// them), so 2 for single-port and 1 for QDR-like memory.
+    fn store_hold_cycles(&self) -> u64 {
+        (self.memory.slot_cycles() / 2).max(1)
+    }
+
+    /// Models one operation entering the pipeline: hazard-checks it
+    /// against the in-flight window, arbitrates the tag-store bank
+    /// port, and advances the issue pointer.
+    fn issue_op(&mut self, section: u32, kind: OpKind) {
+        let issue = self.next_issue;
+        let depth = self.depth;
+        // Ops whose write-back stage has passed are architecturally
+        // visible: they leave the hazard window.
+        self.in_flight.retain(|op| op.issue + depth > issue);
+
+        let mut stall = false;
+        let mut forward = false;
+        for op in &self.in_flight {
+            if op.section == section {
+                if op.kind == kind {
+                    forward = true;
+                } else {
+                    stall = true;
+                }
+            }
+        }
+        // A stall dominates: the bubble gives the conflicting update
+        // time to land, so no forward is needed on top.
+        let issue = if stall {
+            self.stats.stalls += 1;
+            self.stats.stall_cycles += 1;
+            issue + 1
+        } else {
+            if forward {
+                self.stats.forwards += 1;
+            }
+            issue
+        };
+
+        // The tag-store stage is the last: it wants its section's bank
+        // port when the op reaches it.
+        let want = issue + depth - 1;
+        let hold = self.store_hold_cycles();
+        let grant = self.arbiter.request(section as usize, want, hold);
+        let completed = grant + hold;
+
+        self.stats.issued += 1;
+        self.stats.port_conflicts = self.arbiter.conflicts();
+        self.stats.conflict_cycles = self.arbiter.conflict_cycles();
+        self.final_cycle = self.final_cycle.max(completed);
+        self.stats.busy_cycles = self.final_cycle;
+        self.in_flight.push_back(InFlight {
+            section,
+            issue,
+            kind,
+        });
+        self.next_issue = issue + 1;
+    }
+}
+
+impl SortBackend for PipelinedSortBackend {
+    fn build(spec: &BackendSpec) -> Self {
+        let depth = u64::from(spec.geometry.levels()) + 2;
+        Self {
+            circuit: SortRetrieveCircuit::with_policy_and_memory(
+                spec.geometry,
+                spec.capacity,
+                spec.cleanup,
+                spec.memory,
+            ),
+            memory: spec.memory,
+            depth,
+            next_issue: 0,
+            final_cycle: 0,
+            in_flight: VecDeque::new(),
+            arbiter: PortArbiter::new(spec.geometry.sections() as usize),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pipelined"
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.circuit.geometry()
+    }
+
+    fn capacity(&self) -> usize {
+        self.circuit.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.circuit.len()
+    }
+
+    fn insert(&mut self, tag: Tag, payload: PacketRef) -> Result<(), SortError> {
+        self.circuit.insert(tag, payload)?;
+        // Rejected inserts never enter the pipeline; accepted ones
+        // issue into the section their tag's top literal selects.
+        self.issue_op(self.circuit.geometry().section_of(tag), OpKind::Insert);
+        Ok(())
+    }
+
+    fn pop_min(&mut self) -> Option<(Tag, PacketRef)> {
+        let (tag, payload) = self.circuit.pop_min()?;
+        // A pop's section is known once the head register names the
+        // minimum — deterministic from the served tag.
+        self.issue_op(self.circuit.geometry().section_of(tag), OpKind::Pop);
+        Some((tag, payload))
+    }
+
+    fn pop_max(&mut self) -> Option<(Tag, PacketRef)> {
+        let (tag, payload) = self.circuit.pop_max()?;
+        self.issue_op(self.circuit.geometry().section_of(tag), OpKind::Pop);
+        Some((tag, payload))
+    }
+
+    fn peek_min(&self) -> Option<(Tag, PacketRef)> {
+        self.circuit.peek_min()
+    }
+
+    fn recycle_section(&mut self, section: u32) -> usize {
+        // Bulk maintenance between wraps, not a pipelined datapath op.
+        self.circuit.recycle_section(section)
+    }
+
+    fn cycles(&self) -> u64 {
+        self.circuit.cycles().value()
+    }
+
+    fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+
+    fn set_tolerant(&mut self, tolerant: bool) {
+        self.circuit.set_tolerant(tolerant);
+    }
+
+    fn fault_target_mut(
+        &mut self,
+        component: FaultComponent,
+    ) -> Result<&mut dyn FaultTarget, FaultAttachError> {
+        if component == FaultComponent::Buffer {
+            return Err(FaultAttachError {
+                backend: self.name(),
+                component,
+            });
+        }
+        Ok(self.circuit.fault_target_mut(component))
+    }
+
+    fn scrub_section(&mut self, section: u32, repair: bool) -> SectionScrub {
+        self.circuit.scrub_section(section, repair)
+    }
+
+    fn scrub_translation(&mut self, section: u32, repair: bool) -> TranslationScrub {
+        self.circuit.scrub_translation_section(section, repair)
+    }
+
+    fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        self.circuit.take_integrity_events()
+    }
+
+    fn take_store_corruptions(&mut self) -> Vec<StoreCorruption> {
+        self.circuit.take_store_corruptions()
+    }
+
+    fn take_parity_alarms(&mut self) -> Vec<ParityAlarm> {
+        self.circuit.take_parity_alarms()
+    }
+
+    fn trie_fault_word_index(&self, level: u32, index: u32) -> usize {
+        self.circuit.trie_fault_word_index(level, index)
+    }
+
+    fn set_paged(&mut self) -> bool {
+        self.circuit.set_paged();
+        true
+    }
+
+    fn resident_memory(&self) -> Option<ResidentMemory> {
+        Some(self.circuit.resident_memory())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +653,122 @@ mod tests {
         let mut p = PipelinedSorter::new(Geometry::paper(), 16);
         assert!(p.pop_min().is_none());
         assert_eq!(p.stats().issued, 0);
+    }
+
+    fn deep(capacity: usize) -> PipelinedSortBackend {
+        PipelinedSortBackend::new(Geometry::paper(), capacity)
+    }
+
+    #[test]
+    fn deep_pipeline_is_five_stages_at_paper_geometry() {
+        let b = deep(64);
+        // Three trie levels + translation + tag store.
+        assert_eq!(b.pipeline_depth(), 5);
+        assert!(b.stage_register_bits() > 0);
+    }
+
+    #[test]
+    fn hazard_free_issue_sustains_one_op_per_cycle() {
+        let mut b = deep(4096);
+        // Stride 289 hops to a new section every op (each bank is
+        // revisited ~15 ops later), so neither the hazard window nor
+        // any bank port sees back-to-back traffic.
+        for i in 0..2000u32 {
+            b.insert(Tag((i * 289) % 4096), PacketRef(i)).unwrap();
+        }
+        let s = b.pipeline_stats();
+        assert_eq!(s.issued, 2000);
+        assert_eq!(s.stalls, 0);
+        assert_eq!(s.port_conflicts, 0);
+        let cpo = s.cycles_per_op();
+        assert!(cpo < 1.1, "cycles/op {cpo} should approach 1");
+    }
+
+    #[test]
+    fn same_kind_same_section_forwards_cross_kind_stalls() {
+        let mut b = deep(64);
+        // Three inserts into section 0: the younger two forward.
+        b.insert(Tag(1), PacketRef(0)).unwrap();
+        b.insert(Tag(2), PacketRef(1)).unwrap();
+        b.insert(Tag(3), PacketRef(2)).unwrap();
+        let s = b.pipeline_stats();
+        assert_eq!(s.forwards, 2);
+        assert_eq!(s.stalls, 0);
+        // A pop of section 0 against in-flight inserts cannot forward:
+        // one bubble.
+        assert_eq!(b.pop_min(), Some((Tag(1), PacketRef(0))));
+        let s = b.pipeline_stats();
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.stall_cycles, 1);
+    }
+
+    #[test]
+    fn same_section_burst_contends_for_the_bank_port() {
+        let mut b = deep(64);
+        for i in 0..8u32 {
+            b.insert(Tag(i), PacketRef(i)).unwrap();
+        }
+        let s = b.pipeline_stats();
+        // Single-port storage holds the section-0 bank two cycles per
+        // access; one-per-cycle issue into one section must queue.
+        assert!(s.port_conflicts > 0);
+        assert!(s.conflict_cycles >= s.port_conflicts);
+        assert!(s.cycles_per_op() > 1.0);
+    }
+
+    #[test]
+    fn deep_pipeline_is_functionally_transparent() {
+        let mut plain = SortRetrieveCircuit::new(Geometry::paper(), 512);
+        let mut piped = deep(512);
+        let mut state = 1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..600u32 {
+            let tag = Tag((next() % 4096) as u32);
+            match next() % 3 {
+                0 | 1 => {
+                    assert_eq!(
+                        plain.insert(tag, PacketRef(i)),
+                        piped.insert(tag, PacketRef(i))
+                    );
+                }
+                _ => assert_eq!(plain.pop_min(), piped.pop_min()),
+            }
+        }
+        let a: Vec<_> = std::iter::from_fn(|| plain.pop_min()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| piped.pop_min()).collect();
+        assert_eq!(a, b);
+        // The architectural counters are the sequential circuit's.
+        assert_eq!(SortBackend::stats(&piped), plain.stats());
+    }
+
+    #[test]
+    fn pipeline_timing_is_deterministic() {
+        let run = || {
+            let mut b = deep(256);
+            for i in 0..300u32 {
+                let tag = Tag((i * 7919) % 4096);
+                if i % 3 == 2 {
+                    b.pop_min();
+                } else {
+                    b.insert(tag, PacketRef(i)).unwrap();
+                }
+            }
+            b.pipeline_stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejected_inserts_and_empty_pops_do_not_issue() {
+        let mut b = deep(1);
+        assert!(b.pop_min().is_none());
+        b.insert(Tag(1), PacketRef(0)).unwrap();
+        assert!(b.insert(Tag(2), PacketRef(1)).is_err(), "over capacity");
+        assert_eq!(b.pipeline_stats().issued, 1);
     }
 }

@@ -729,6 +729,22 @@ impl TagStore {
         self.clock.advance(self.slot_cycles());
     }
 
+    /// Walks the sorted list yielding each link's address alongside its
+    /// contents, without cycle accounting — scrub ground truth (the
+    /// translation-table audit rebuilds "most recent duplicate" pointers
+    /// from it), not a datapath walk.
+    pub fn iter_links(&self) -> impl Iterator<Item = (LinkAddr, Tag, PacketRef)> + '_ {
+        let mut cursor = self.head.map(|(a, _)| a);
+        std::iter::from_fn(move || {
+            let addr = cursor?;
+            let link = self
+                .layout
+                .unpack(self.sram.peek(addr.0 as usize).expect("valid link address"));
+            cursor = link.next;
+            Some((addr, link.tag, link.payload))
+        })
+    }
+
     /// Walks the sorted list without cycle accounting — test/debug
     /// inspection only.
     pub fn iter_sorted(&self) -> impl Iterator<Item = (Tag, PacketRef)> + '_ {

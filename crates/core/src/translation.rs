@@ -19,6 +19,23 @@ use crate::tagstore::LinkAddr;
 /// translation entry (`Some(addr)` ⇔ bit 32 set, address in bits 0..32).
 const PRESENCE_BIT: u32 = 32;
 
+/// Finalizer of the splitmix64 generator — mixes one entry's
+/// `(index, presence, address)` encoding into a 64-bit digest whose
+/// XOR over a section is the section's check code. XOR-combining is
+/// what makes the code incrementally maintainable: a write updates it
+/// as `crc ^= digest(old) ^ digest(new)` without re-reading the
+/// section.
+fn entry_digest(index: usize, slot: Option<LinkAddr>) -> u64 {
+    let Some(addr) = slot else {
+        return 0; // empty entries contribute nothing: a fresh section checks as zero
+    };
+    let mut z = ((index as u64) << (PRESENCE_BIT + 1)) | (1u64 << PRESENCE_BIT) | u64::from(addr.0);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// The slot array behind the table: one eager `Vec` entry per
 /// representable tag value, or the lazily-paged store campaigns use for
 /// paper-scale tag spaces. Both reprs are driven through the same
@@ -85,6 +102,12 @@ pub struct TranslationTable {
     geometry: Geometry,
     slots: Slots,
     stats: AccessStats,
+    /// Running per-section check codes (one per top-level section),
+    /// updated on every datapath write. [`FaultTarget::inject_fault`]
+    /// deliberately bypasses them — a soft error does not update the
+    /// checker — which is what lets a scrub pass *detect* damage by
+    /// recomputing the code from content and comparing.
+    section_crcs: Vec<u64>,
 }
 
 impl TranslationTable {
@@ -94,6 +117,7 @@ impl TranslationTable {
             geometry,
             slots: Slots::Eager(vec![None; geometry.translation_entries() as usize]),
             stats: AccessStats::new(),
+            section_crcs: vec![0; geometry.branching() as usize],
         }
     }
 
@@ -107,6 +131,7 @@ impl TranslationTable {
                 geometry.translation_entries() as usize
             )),
             stats: AccessStats::new(),
+            section_crcs: vec![0; geometry.branching() as usize],
         }
     }
 
@@ -182,7 +207,7 @@ impl TranslationTable {
     pub fn set(&mut self, tag: Tag, addr: LinkAddr) {
         self.stats.record_write();
         let i = self.index(tag);
-        self.slots.set(i, Some(addr));
+        self.write_checked(i, Some(addr));
     }
 
     /// Clears `tag`'s entry (its last instance left the system).
@@ -193,7 +218,25 @@ impl TranslationTable {
     pub fn clear(&mut self, tag: Tag) {
         self.stats.record_write();
         let i = self.index(tag);
-        self.slots.set(i, None);
+        self.write_checked(i, None);
+    }
+
+    /// Writes one slot keeping its section's running check code in
+    /// step (the datapath write path; fault injection bypasses this).
+    fn write_checked(&mut self, index: usize, value: Option<LinkAddr>) {
+        let old = self.slots.get(index);
+        let section = self.section_of_index(index);
+        self.section_crcs[section] ^= entry_digest(index, old) ^ entry_digest(index, value);
+        self.slots.set(index, value);
+    }
+
+    /// Entries per top-level section.
+    fn section_span(&self) -> usize {
+        self.slots.len() / self.geometry.branching() as usize
+    }
+
+    fn section_of_index(&self, index: usize) -> usize {
+        index / self.section_span()
     }
 
     /// Clears every entry in one top-level section, mirroring
@@ -209,9 +252,48 @@ impl TranslationTable {
             "section {section} out of range"
         );
         self.stats.record_write();
-        let span = self.slots.len() / self.geometry.branching() as usize;
+        let span = self.section_span();
         let start = section as usize * span;
         self.slots.clear_range(start, span);
+        // An all-empty section digests to zero.
+        self.section_crcs[section as usize] = 0;
+    }
+
+    /// Whether `section`'s running check code still matches a fresh
+    /// recomputation from content. `false` means a write landed that
+    /// did not go through the datapath — i.e. a fault — even if the
+    /// damaged entry was later legitimately overwritten (the running
+    /// code latched the discrepancy). Out-of-band audit traffic: no
+    /// access accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not below the branching factor.
+    pub fn verify_section_crc(&self, section: u32) -> bool {
+        self.section_crcs[section as usize] == self.computed_section_crc(section)
+    }
+
+    /// Re-latches `section`'s running check code onto the current
+    /// content — the last step of a repair (or of accepting the content
+    /// as the new baseline when no ground truth exists to rebuild from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not below the branching factor.
+    pub fn resync_section_crc(&mut self, section: u32) {
+        self.section_crcs[section as usize] = self.computed_section_crc(section);
+    }
+
+    fn computed_section_crc(&self, section: u32) -> u64 {
+        assert!(
+            section < self.geometry.branching(),
+            "section {section} out of range"
+        );
+        let span = self.section_span();
+        let start = section as usize * span;
+        (start..start + span)
+            .map(|i| entry_digest(i, self.slots.get(i)))
+            .fold(0, |acc, d| acc ^ d)
     }
 
     /// Reads `tag`'s entry without access accounting — scrub ground
@@ -396,6 +478,54 @@ mod tests {
         let mut t = TranslationTable::new(Geometry::paper());
         t.set(Tag(1), LinkAddr(1));
         t.set_paged();
+    }
+
+    #[test]
+    fn section_crc_detects_injected_damage_and_resyncs() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(0xa05), LinkAddr(7));
+        assert!(t.verify_section_crc(0xa));
+        // The fault path writes behind the checker's back.
+        t.inject_fault(0xa05, 0b1);
+        assert!(!t.verify_section_crc(0xa));
+        for section in 0..16u32 {
+            if section != 0xa {
+                assert!(t.verify_section_crc(section), "section {section}");
+            }
+        }
+        t.resync_section_crc(0xa);
+        assert!(t.verify_section_crc(0xa));
+    }
+
+    #[test]
+    fn section_crc_latches_damage_across_legitimate_overwrites() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(5), LinkAddr(1));
+        t.inject_fault(5, 0b10);
+        // A later datapath write replaces the damaged word entirely…
+        t.set(Tag(5), LinkAddr(9));
+        assert_eq!(t.peek(Tag(5)), Some(LinkAddr(9)));
+        // …but the running code latched the unaccounted transition.
+        assert!(!t.verify_section_crc(0));
+    }
+
+    #[test]
+    fn clear_section_resets_its_crc() {
+        let mut t = TranslationTable::new(Geometry::paper());
+        t.set(Tag(0xa05), LinkAddr(7));
+        t.inject_fault(0xaff, 1 << 32);
+        assert!(!t.verify_section_crc(0xa));
+        t.clear_section(0xa);
+        assert!(t.verify_section_crc(0xa), "empty section digests to zero");
+    }
+
+    #[test]
+    fn section_crc_works_in_paged_mode() {
+        let mut t = TranslationTable::new_paged(Geometry::paper());
+        t.set(Tag(0x305), LinkAddr(4));
+        assert!(t.verify_section_crc(3));
+        t.inject_fault(0x305, 1 << 32);
+        assert!(!t.verify_section_crc(3));
     }
 
     #[test]

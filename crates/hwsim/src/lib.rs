@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod clock;
 pub mod netlist;
 mod register;
@@ -45,6 +46,7 @@ mod sram;
 mod stats;
 mod verilog;
 
+pub use arbiter::PortArbiter;
 pub use clock::{Clock, Cycle};
 pub use netlist::{GateView, Netlist, Signal, Word};
 pub use register::Register;

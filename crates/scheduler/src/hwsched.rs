@@ -861,6 +861,52 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             }
         }
         for section in chosen {
+            // Audit the translation table first: the trie scrub below
+            // treats it as ground truth, so a repair must land before
+            // the trie section is rebuilt from it.
+            let tscrub = self.sorter.scrub_translation(section, repair);
+            let cycle = self.sorter.cycles();
+            self.instr
+                .scrub_words_checked
+                .inc(self.instr.shard, tscrub.words_checked);
+            if tscrub.crc_mismatch {
+                // Attribute per damaged entry when ground truth named
+                // them; a latched mismatch whose content healed (or
+                // lazy-mode detect-only) claims by component alone.
+                let claims: Vec<Option<usize>> = if tscrub.damaged_words.is_empty() {
+                    vec![None]
+                } else {
+                    tscrub.damaged_words.iter().map(|&w| Some(w)).collect()
+                };
+                for word in claims {
+                    let claimed = self.note_detection(
+                        &mut fs,
+                        FaultComponent::Translation,
+                        word,
+                        cycle,
+                        DetectionKind::Scrub,
+                    );
+                    if tscrub.repaired {
+                        if let Some(idx) = claimed {
+                            fs.ledger.mark_repaired(idx, cycle);
+                            self.instr.faults_repaired.inc(self.instr.shard, 1);
+                        }
+                    }
+                }
+                if tscrub.repaired {
+                    // Modeled repair cost: the audit reads plus one
+                    // write per restored entry.
+                    let cost = tscrub.words_checked + tscrub.repaired_entries;
+                    self.instr.fault_repair_cost.observe(self.instr.shard, cost);
+                    self.instr.tracer.emit(
+                        self.instr.shard,
+                        cycle,
+                        EventKind::Repair,
+                        section as u64,
+                        tscrub.repaired_entries,
+                    );
+                }
+            }
             let scrub = self.sorter.scrub_section(section, repair);
             let cycle = self.sorter.cycles();
             self.instr.scrub_sections_audited.inc(self.instr.shard, 1);

@@ -690,6 +690,15 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
             shard.reconcile_faults();
         }
     }
+
+    /// Aggregated `(injected, detected, repaired, silent)` fault-ledger
+    /// totals across ports (see [`HwScheduler::fault_totals`]).
+    pub fn fault_totals(&self) -> (u64, u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, shard| {
+            let (i, d, r, s) = shard.fault_totals();
+            (acc.0 + i, acc.1 + d, acc.2 + r, acc.3 + s)
+        })
+    }
 }
 
 /// One departure from a multi-port frontend: which port served the

@@ -90,6 +90,9 @@ enum Command {
     DequeueAll,
     /// Reply with [`Reply::Stats`].
     Stats,
+    /// Run end-of-run fault accounting on the shard; reply with
+    /// [`Reply::FaultTotals`].
+    ReconcileFaults,
 }
 
 /// Worker replies, one per command, in command order.
@@ -105,6 +108,9 @@ enum Reply {
     Packets(Vec<(Packet, SojournStamp)>),
     /// The shard's scheduler statistics.
     Stats(Box<SchedulerStats>),
+    /// The shard's reconciled `(injected, detected, repaired, silent)`
+    /// fault-ledger totals.
+    FaultTotals((u64, u64, u64, u64)),
 }
 
 /// Commands in flight per worker. Every public operation is
@@ -149,12 +155,20 @@ fn worker_loop<B: SortBackend, P: RankPolicy>(
                 Reply::Packets(std::iter::from_fn(|| shard.dequeue_stamped()).collect())
             }
             Command::Stats => Reply::Stats(Box::new(shard.stats())),
+            Command::ReconcileFaults => {
+                shard.reconcile_faults();
+                Reply::FaultTotals(shard.fault_totals())
+            }
         };
         if replies.send(reply).is_err() {
             // Frontend dropped mid-command; nothing left to serve.
             break;
         }
     }
+    // Shutdown path: reconcile before the shard (and its ledger) drops,
+    // so a frontend that never asked explicitly still gets the silent-
+    // corruption accounting folded into the shared telemetry.
+    shard.reconcile_faults();
 }
 
 /// One port's worker: its channels and join handle.
@@ -740,6 +754,36 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
             })
             .collect();
         aggregate_stats(per_port, self.peak)
+    }
+
+    /// End-of-run fault accounting on every port (see
+    /// [`HwScheduler::reconcile_faults`]): each worker sweeps
+    /// outstanding detections, folds never-detected faults into its
+    /// silent counter, and reports its ledger totals. Returns the
+    /// aggregated `(injected, detected, repaired, silent)` across
+    /// ports, so `detected + silent == injected` is verifiable from
+    /// the parallel frontend exactly as from the sequential one.
+    /// Idempotent; all zeros without a fault campaign. Workers also
+    /// reconcile on shutdown, so dropping the frontend without calling
+    /// this never loses the accounting.
+    pub fn reconcile_faults(&mut self) -> (u64, u64, u64, u64) {
+        let ports = self.workers.len();
+        for port in 0..ports {
+            self.send(port, Command::ReconcileFaults);
+        }
+        let mut totals = (0u64, 0u64, 0u64, 0u64);
+        for port in 0..ports {
+            match self.recv(port) {
+                Reply::FaultTotals((injected, detected, repaired, silent)) => {
+                    totals.0 += injected;
+                    totals.1 += detected;
+                    totals.2 += repaired;
+                    totals.3 += silent;
+                }
+                _ => unreachable!("worker replies in command order"),
+            }
+        }
+        totals
     }
 }
 

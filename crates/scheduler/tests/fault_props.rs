@@ -16,7 +16,7 @@ use proptest::prelude::*;
 
 use fairq::{AnyPolicy, RankPolicy};
 use faultsim::{DetectionKind, FaultConfig, FaultPolicy, FaultSpec, ScrubOrder};
-use scheduler::{HwScheduler, SchedulerConfig};
+use scheduler::{HwScheduler, ParallelShardedScheduler, SchedulerConfig, ShardedScheduler};
 use tagsort::{Geometry, SortRetrieveCircuit};
 use telemetry::Telemetry;
 use traffic::{FlowId, FlowSpec, Packet, SizeDist, Time};
@@ -55,14 +55,18 @@ fn drain(sched: &mut HwScheduler) -> Vec<Packet> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// With a full trie audit every dequeue round, every injected trie
-    /// fault is repaired in the same round it lands — before the pop —
-    /// so the served sequence is byte-identical to a fault-free run.
+    /// With a full audit of every section each dequeue round, every
+    /// injected trie *or translation* fault is repaired in the same
+    /// round it lands — before the pop — so the served sequence is
+    /// byte-identical to a fault-free run. (Trie repairs rebuild from
+    /// the translation table; translation repairs rebuild from the tag
+    /// store's per-section check codes and list walk.)
     #[test]
     fn scrub_and_repair_preserves_the_dequeue_sequence(
         picks in proptest::collection::vec(0u32..10_000, 16..200),
         count in 1u32..24,
         seed in 0u64..1_000,
+        component in prop_oneof![Just("trie"), Just("translation")],
     ) {
         let fl = flows(24);
         let trace = stream(&picks, 24);
@@ -73,7 +77,7 @@ proptest! {
         }
         let reference = drain(&mut clean);
 
-        let spec: FaultSpec = format!("{count}@{seed}:trie:1").parse().unwrap();
+        let spec: FaultSpec = format!("{count}@{seed}:{component}:1").parse().unwrap();
         let mut cfg = FaultConfig::new(
             spec,
             FaultPolicy::ScrubAndRepair,
@@ -201,6 +205,73 @@ fn buffer_fault_ledger_reconciles() {
         detected_somewhere > 0,
         "across seeds, the release parity check must catch some corruption"
     );
+}
+
+/// The parallel frontend reconciles its per-worker fault ledgers: with
+/// the same per-port seed offsets as the sequential frontend, the same
+/// campaign run through [`ParallelShardedScheduler`] serves the same
+/// schedule and reports the same aggregated `(injected, detected,
+/// repaired, silent)` totals, and the `detected + silent == injected`
+/// invariant is verifiable from the parallel side. The op clock also
+/// ticks on *empty* dequeue polls, and the sequential round-robin
+/// polls idle ports where the parallel drain does not — so the horizon
+/// is kept below every port's enqueue count, making the whole plan due
+/// before the first dequeue in both frontends; scrub-and-repair with a
+/// full section budget then pins the detected/silent split too.
+#[test]
+fn parallel_frontend_reconciles_fault_ledgers_like_the_sequential_one() {
+    let fl = flows(24);
+    let picks: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let trace = stream(&picks, 24);
+    for (seed, component) in [(3u64, "trie"), (11, "translation"), (17, "trie")] {
+        let spec: FaultSpec = format!("12@{seed}:{component}:1").parse().unwrap();
+        let mut cfg = FaultConfig::new(spec, FaultPolicy::ScrubAndRepair, 32);
+        cfg.scrub_sections = Geometry::paper().sections();
+        let config = SchedulerConfig {
+            faults: Some(cfg),
+            ..SchedulerConfig::default()
+        };
+
+        let mut seq = ShardedScheduler::new(&fl, 1e9, 4, config);
+        for p in &trace {
+            seq.enqueue(*p).unwrap();
+        }
+        let mut seq_order = Vec::new();
+        while let Some(served) = seq.dequeue() {
+            seq_order.push(served);
+        }
+        seq.reconcile_faults();
+        let seq_totals = seq.fault_totals();
+
+        let mut par = ParallelShardedScheduler::new(&fl, 1e9, 4, config);
+        for p in &trace {
+            par.enqueue(*p).unwrap();
+        }
+        let par_order = par.drain();
+        let par_totals = par.reconcile_faults();
+
+        assert_eq!(
+            par_order, seq_order,
+            "seed {seed}/{component}: frontends must serve the same schedule"
+        );
+        assert_eq!(
+            par_totals, seq_totals,
+            "seed {seed}/{component}: ledger totals must agree"
+        );
+        let (injected, detected, repaired, silent) = par_totals;
+        assert!(
+            injected > 0,
+            "seed {seed}/{component}: no faults materialized"
+        );
+        assert_eq!(detected, repaired, "a detected fault went unrepaired");
+        assert_eq!(
+            detected + silent,
+            injected,
+            "seed {seed}/{component}: the parallel ledger must reconcile"
+        );
+        // Idempotent, like the sequential reconcile.
+        assert_eq!(par.reconcile_faults(), par_totals);
+    }
 }
 
 /// Detection-latency accounting for the scrub orders on *skewed*

@@ -48,7 +48,9 @@ use wfq_sorter::scheduler::{
     ShardedLinkSim, ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
-use wfq_sorter::tagsort::{HeapSorter, SortBackend, SortRetrieveCircuit, PAPER_CLOCK_HZ};
+use wfq_sorter::tagsort::{
+    HeapSorter, PipelinedSortBackend, SortBackend, SortRetrieveCircuit, PAPER_CLOCK_HZ,
+};
 use wfq_sorter::telemetry::{EventLogFormat, FileSink, LatencyTracker, Snapshot, Telemetry};
 use wfq_sorter::traffic::{
     generate, trace as tracefile, ArrivalProcess, FlowId, FlowSpec, Packet, SizeDist,
@@ -68,7 +70,8 @@ OPTIONS:
   --backend NAME     sorting engine behind the hw pipeline:
                      trie (the paper's sort/retrieve circuit) |
                      fastpath (FFS software sorter) | heap
-                     (binary-heap oracle); needs --scheduler hw
+                     (binary-heap oracle) | pipelined (deep-pipelined
+                     trie, ~1 op/cycle); needs --scheduler hw
                      or --ports > 1                 (default: trie)
   --policy NAME      rank policy programmed into the hw pipeline
                      (PIFO-style: the policy computes each packet's
@@ -140,6 +143,7 @@ enum BackendChoice {
     Trie,
     Fastpath,
     Heap,
+    Pipelined,
 }
 
 impl BackendChoice {
@@ -148,6 +152,7 @@ impl BackendChoice {
             Self::Trie => "trie",
             Self::Fastpath => "fastpath",
             Self::Heap => "heap",
+            Self::Pipelined => "pipelined",
         }
     }
 }
@@ -160,8 +165,9 @@ impl std::str::FromStr for BackendChoice {
             "trie" => Ok(Self::Trie),
             "fastpath" => Ok(Self::Fastpath),
             "heap" => Ok(Self::Heap),
+            "pipelined" => Ok(Self::Pipelined),
             other => Err(format!(
-                "unknown backend \"{other}\" (expected trie, fastpath, or heap)"
+                "unknown backend \"{other}\" (expected trie, fastpath, heap, or pipelined)"
             )),
         }
     }
@@ -939,6 +945,9 @@ fn main() -> ExitCode {
             BackendChoice::Trie => run_multiport::<SortRetrieveCircuit>(&args, &flows, &trace),
             BackendChoice::Fastpath => run_multiport::<FfsSorter>(&args, &flows, &trace),
             BackendChoice::Heap => run_multiport::<HeapSorter>(&args, &flows, &trace),
+            BackendChoice::Pipelined => {
+                run_multiport::<PipelinedSortBackend>(&args, &flows, &trace)
+            }
         };
     }
     let mut hw_export: Option<(Telemetry, SchedulerStats)> = None;
@@ -947,6 +956,7 @@ fn main() -> ExitCode {
             BackendChoice::Trie => run_hw::<SortRetrieveCircuit>(&args, &flows, &trace),
             BackendChoice::Fastpath => run_hw::<FfsSorter>(&args, &flows, &trace),
             BackendChoice::Heap => run_hw::<HeapSorter>(&args, &flows, &trace),
+            BackendChoice::Pipelined => run_hw::<PipelinedSortBackend>(&args, &flows, &trace),
         };
         match run {
             Ok((deps, tel, stats)) => {

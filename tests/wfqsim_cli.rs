@@ -302,6 +302,14 @@ fn backend_with_software_scheduler_is_rejected_in_either_flag_order() {
         );
         assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
     }
+    // The pipelined backend is held to the same parse-time contract.
+    let out = wfqsim(&["--scheduler", "wfq", "--backend", "pipelined"]);
+    assert!(!out.status.success(), "--backend pipelined needs hw");
+    let err = stderr(&out);
+    assert!(
+        err.contains("--backend pipelined") && err.contains("--scheduler wfq"),
+        "pipelined rejection should name both flags, got: {err}"
+    );
     // With the hardware pipeline (explicit or via --ports) it runs.
     for args in [
         &[
@@ -322,6 +330,16 @@ fn backend_with_software_scheduler_is_rejected_in_either_flag_order() {
             "--horizon",
             "0.1",
         ][..],
+        &[
+            "--ports",
+            "2",
+            "--flows",
+            "8",
+            "--backend",
+            "pipelined",
+            "--horizon",
+            "0.1",
+        ][..],
     ] {
         let out = wfqsim(args);
         assert!(out.status.success(), "{args:?} failed: {}", stderr(&out));
@@ -338,7 +356,7 @@ fn unknown_backend_is_a_structured_error() {
         "expected structured backend error, got: {err}"
     );
     assert!(
-        err.contains("trie, fastpath, or heap"),
+        err.contains("trie, fastpath, heap, or pipelined"),
         "error should list the valid backends: {err}"
     );
 }
@@ -471,7 +489,7 @@ fn help_enumerates_every_accepted_flag_value() {
     assert!(out.status.success(), "--help must exit successfully");
     let help = stderr(&out);
     let catalogs: [(&str, &[&str]); 4] = [
-        ("--backend", &["trie", "fastpath", "heap"]),
+        ("--backend", &["trie", "fastpath", "heap", "pipelined"]),
         (
             "--policy",
             &["wfq", "stfq", "srpt", "fifo+", "prio", "leaky", "hwfq"],
@@ -520,8 +538,10 @@ fn all_backends_serve_the_same_departure_schedule_end_to_end() {
     );
     let (_, fastpath) = run("fastpath");
     let (_, heap) = run("heap");
+    let (_, pipelined) = run("pipelined");
     assert_eq!(trie, fastpath, "fastpath report diverges from trie");
     assert_eq!(trie, heap, "heap report diverges from trie");
+    assert_eq!(trie, pipelined, "pipelined report diverges from trie");
 }
 
 #[test]
