@@ -21,7 +21,10 @@
 //!   resident instead, so the weight-8 heavyweight must keep at least
 //!   its tail-drop share:
 //!   `admission_pushout_heavy_served / admission_taildrop_heavy_served`
-//!   is gated as `admission_pushout_retention`.
+//!   is gated as `admission_pushout_retention`. The WRED ramp
+//!   ([`AdmissionPolicy::wred`], 50→90% occupancy at 200‰) sheds the
+//!   same worst-ranked backlog early with a deterministic coin and is
+//!   gated the same way as `admission_wred_retention`.
 //!
 //! With `--json [PATH]` everything is written as a flat JSON object
 //! (default `BENCH_policies.json`) for `check_regression`.
@@ -165,18 +168,26 @@ fn overload_run(fl: &[FlowSpec], trace: &[Packet], admission: AdmissionPolicy) -
     (heavy as f64, deps.len() as f64, sim.drops() as f64)
 }
 
-/// Tail-drop vs rank-aware push-out under the same overload.
+/// Tail-drop vs rank-aware push-out vs the WRED early-eviction ramp
+/// under the same overload. WRED sheds worst-ranked backlog *before*
+/// the buffer hard-fills, so like push-out the heavyweight keeps at
+/// least its tail-drop share; its deterministic counter-keyed coin
+/// makes the served counts exact gates, not noisy estimates.
 fn admission_contrast() -> (Vec<(String, f64)>, Vec<Vec<String>>) {
     let fl = overload_flows();
     let trace = generate(&fl, 0.2, SEED);
     let (td_heavy, td_total, td_drops) = overload_run(&fl, &trace, AdmissionPolicy::TailDrop);
     let (po_heavy, po_total, po_drops) = overload_run(&fl, &trace, AdmissionPolicy::PushOut);
+    let (wr_heavy, wr_total, wr_drops) = overload_run(&fl, &trace, AdmissionPolicy::wred());
     let metrics = vec![
         ("admission_taildrop_heavy_served".into(), td_heavy),
         ("admission_pushout_heavy_served".into(), po_heavy),
         ("admission_pushout_retention".into(), po_heavy / td_heavy),
+        ("admission_wred_heavy_served".into(), wr_heavy),
+        ("admission_wred_retention".into(), wr_heavy / td_heavy),
         ("ceil_admission_taildrop_drops".into(), td_drops),
         ("ceil_admission_pushout_drops".into(), po_drops),
+        ("ceil_admission_wred_drops".into(), wr_drops),
     ];
     let rows = vec![
         vec![
@@ -190,6 +201,12 @@ fn admission_contrast() -> (Vec<(String, f64)>, Vec<Vec<String>>) {
             format!("{po_heavy:.0}"),
             format!("{po_total:.0}"),
             format!("{po_drops:.0}"),
+        ],
+        vec![
+            "wred".into(),
+            format!("{wr_heavy:.0}"),
+            format!("{wr_total:.0}"),
+            format!("{wr_drops:.0}"),
         ],
     ];
     (metrics, rows)

@@ -17,13 +17,16 @@
 use fairq::{AnyPolicy, RankPolicy};
 use fastpath::FfsSorter;
 use faultsim::FaultConfig;
-use scheduler::{HwScheduler, SchedulerConfig, WrapPolicy};
+use scheduler::{
+    HwScheduler, ParallelShardedScheduler, Placement, RebalancerConfig, SchedulerConfig,
+    ShardedScheduler, WrapPolicy,
+};
 use tagsort::{
     CleanupPolicy, HeapSorter, MemoryKind, ResidentMemory, SortBackend, SortRetrieveCircuit,
 };
 use traffic::{FlowId, FlowSpec, Packet, ScaleConfig, ScaleWorkload};
 
-use crate::spec::{CampaignSpec, Cell, Mode};
+use crate::spec::{CampaignSpec, Cell, Frontend, Mode};
 
 /// One cell executed under one storage mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +49,11 @@ pub struct ModeRun {
     pub resident: Option<ResidentMemory>,
     /// `(injected, detected, repaired, silent)` fault-ledger totals.
     pub faults: (u64, u64, u64, u64),
+    /// Max/mean ratio of per-port admissions; `None` on the single
+    /// frontend (one port is trivially balanced).
+    pub shard_balance: Option<f64>,
+    /// Cross-shard flow migrations executed by the rebalancer.
+    pub migrations: u64,
 }
 
 /// One grid cell's runs across the spec's storage modes.
@@ -89,9 +97,10 @@ pub fn run(spec: &CampaignSpec) -> CampaignReport {
 
 /// Storage modes a cell actually runs: only the trie backend has paged
 /// off-chip state, so for the others every mode collapses to one eager
-/// run.
+/// run. Sharded frontends never page (dynamic migration walks live
+/// state), so they always run eager.
 fn modes_for(spec: &CampaignSpec, cell: &Cell) -> Vec<bool> {
-    let has_paged = cell.backend == "trie";
+    let has_paged = cell.backend == "trie" && cell.frontend == Frontend::Single;
     match spec.mode {
         Mode::Eager => vec![false],
         Mode::Paged => vec![has_paged],
@@ -169,7 +178,97 @@ fn bucket(ns: u64) -> usize {
     (64 - ns.leading_zeros()) as usize
 }
 
-fn run_one<B: SortBackend>(spec: &CampaignSpec, cell: &Cell, paged: bool) -> ModeRun {
+/// What a frontend reports once its run drains: the admission/fault
+/// counters plus the sharding figures the single path doesn't have.
+struct FrontendTail {
+    pushed_out: u64,
+    resident: Option<ResidentMemory>,
+    faults: (u64, u64, u64, u64),
+    shard_balance: Option<f64>,
+    migrations: u64,
+}
+
+/// One cell's scheduler behind a uniform enqueue/dequeue surface, so
+/// the link loop below is written once for all three frontends.
+enum AnyFrontend<B: SortBackend + Send + 'static> {
+    Single(Box<HwScheduler<B, AnyPolicy>>),
+    Sharded(Box<ShardedScheduler<B, AnyPolicy>>),
+    Parallel(Box<ParallelShardedScheduler<B, AnyPolicy>>),
+}
+
+impl<B: SortBackend + Send + 'static> AnyFrontend<B> {
+    fn enqueue(&mut self, pkt: Packet) -> bool {
+        match self {
+            AnyFrontend::Single(s) => s.enqueue(pkt).is_ok(),
+            AnyFrontend::Sharded(s) => s.enqueue(pkt).is_ok(),
+            AnyFrontend::Parallel(s) => s.enqueue(pkt).is_ok(),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        match self {
+            AnyFrontend::Single(s) => s.dequeue(),
+            AnyFrontend::Sharded(s) => s.dequeue().map(|(_, p)| p),
+            AnyFrontend::Parallel(s) => s.dequeue().map(|(_, p)| p),
+        }
+    }
+
+    /// One rebalance round; a no-op without an armed rebalancer.
+    fn maybe_rebalance(&mut self) {
+        match self {
+            AnyFrontend::Single(_) => {}
+            AnyFrontend::Sharded(s) => {
+                s.maybe_rebalance();
+            }
+            AnyFrontend::Parallel(s) => {
+                s.maybe_rebalance();
+            }
+        }
+    }
+
+    fn finish(self) -> FrontendTail {
+        match self {
+            AnyFrontend::Single(mut s) => {
+                s.reconcile_faults();
+                FrontendTail {
+                    pushed_out: s.stats().pushed_out,
+                    resident: s.resident_memory(),
+                    faults: s.fault_totals(),
+                    shard_balance: None,
+                    migrations: 0,
+                }
+            }
+            AnyFrontend::Sharded(mut s) => {
+                s.reconcile_faults();
+                let stats = s.stats();
+                FrontendTail {
+                    pushed_out: stats.aggregate.pushed_out,
+                    resident: None,
+                    faults: s.fault_totals(),
+                    shard_balance: Some(stats.shard_balance()),
+                    migrations: s.migrations(),
+                }
+            }
+            AnyFrontend::Parallel(mut s) => {
+                let faults = s.reconcile_faults();
+                let stats = s.stats();
+                FrontendTail {
+                    pushed_out: stats.aggregate.pushed_out,
+                    resident: None,
+                    faults,
+                    shard_balance: Some(stats.shard_balance()),
+                    migrations: s.migrations(),
+                }
+            }
+        }
+    }
+}
+
+fn run_one<B: SortBackend + Send + 'static>(
+    spec: &CampaignSpec,
+    cell: &Cell,
+    paged: bool,
+) -> ModeRun {
     let workload = ScaleWorkload::new(ScaleConfig {
         flows: cell.flows,
         packets: spec.packets,
@@ -204,18 +303,57 @@ fn run_one<B: SortBackend>(spec: &CampaignSpec, cell: &Cell, paged: bool) -> Mod
         faults,
         admission: cell.admission,
     };
-    let mut sched =
-        HwScheduler::<B, AnyPolicy>::with_backend_and_policy(&flows, service_rate, config, &proto);
-    if paged {
-        assert!(
-            sched.set_paged_state(),
-            "paged mode on a backend without paged storage"
-        );
-    }
+    let mut sched = match cell.frontend {
+        Frontend::Single => {
+            let mut s = HwScheduler::<B, AnyPolicy>::with_backend_and_policy(
+                &flows,
+                service_rate,
+                config,
+                &proto,
+            );
+            if paged {
+                assert!(
+                    s.set_paged_state(),
+                    "paged mode on a backend without paged storage"
+                );
+            }
+            AnyFrontend::Single(Box::new(s))
+        }
+        Frontend::Sharded => {
+            let rates = vec![service_rate / spec.ports as f64; spec.ports];
+            let mut s = ShardedScheduler::<B, AnyPolicy>::with_policy_port_rates_placement(
+                &flows,
+                &rates,
+                config,
+                &proto,
+                spec.placement,
+            );
+            if spec.placement == Placement::Dynamic {
+                s = s.with_rebalancer(RebalancerConfig::default());
+            }
+            AnyFrontend::Sharded(Box::new(s))
+        }
+        Frontend::Parallel => {
+            let rates = vec![service_rate / spec.ports as f64; spec.ports];
+            let mut s = ParallelShardedScheduler::<B, AnyPolicy>::with_policy_placement(
+                &flows,
+                &rates,
+                config,
+                &proto,
+                spec.placement,
+            );
+            if spec.placement == Placement::Dynamic {
+                s = s.with_rebalancer(RebalancerConfig::default());
+            }
+            AnyFrontend::Parallel(Box::new(s))
+        }
+    };
 
+    let rebalancing = cell.frontend != Frontend::Single && spec.placement == Placement::Dynamic;
     let mut offered_bytes = vec![0u64; cell.flows as usize];
     let mut link = LinkModel::new(service_rate, cell.flows);
     let mut dropped = 0u64;
+    let mut arrivals = 0u64;
     for pkt in workload {
         let now = pkt.arrival.0;
         offered_bytes[pkt.flow.0 as usize] += u64::from(pkt.size_bytes);
@@ -230,25 +368,34 @@ fn run_one<B: SortBackend>(spec: &CampaignSpec, cell: &Cell, paged: bool) -> Mod
                 }
             }
         }
-        if sched.enqueue(pkt).is_err() {
+        if !sched.enqueue(pkt) {
             dropped += 1;
+        }
+        arrivals += 1;
+        // Dynamic placement: one rebalance round every 1024 arrivals —
+        // frequent enough to chase Zipf skew, sparse enough that the
+        // EWMA sees fresh load between rounds.
+        if rebalancing && arrivals.is_multiple_of(1024) {
+            sched.maybe_rebalance();
         }
     }
     while let Some(p) = sched.dequeue() {
         link.serve(&p);
     }
-    sched.reconcile_faults();
+    let tail = sched.finish();
 
     ModeRun {
         paged,
         served: link.served_pkts,
         dropped,
-        pushed_out: sched.stats().pushed_out,
+        pushed_out: tail.pushed_out,
         fairness_p99: fairness_p99(&offered_bytes, &link.served_bytes),
         sojourn_p99_ms: hist_p99_ms(&link.sojourn_hist),
         departure_hash: link.hash,
-        resident: sched.resident_memory(),
-        faults: sched.fault_totals(),
+        resident: tail.resident,
+        faults: tail.faults,
+        shard_balance: tail.shard_balance,
+        migrations: tail.migrations,
     }
 }
 
@@ -334,6 +481,13 @@ fn render(spec: &CampaignSpec, results: Vec<CellResult>) -> CampaignReport {
                     mem.peak_resident_words as f64 / mem.total_words as f64
                 );
             }
+            if let Some(balance) = run.shard_balance {
+                let _ = write!(
+                    text,
+                    " shard_balance={balance:.4} migrations={}",
+                    run.migrations
+                );
+            }
             if result.cell.fault != "none" {
                 let (inj, det, rep, silent) = run.faults;
                 let _ = write!(
@@ -374,6 +528,10 @@ fn render(spec: &CampaignSpec, results: Vec<CellResult>) -> CampaignReport {
                 format!("ceil_campaign_{key}_resident_ratio"),
                 mem.peak_resident_words as f64 / mem.total_words as f64,
             ));
+        }
+        if let Some(balance) = run.shard_balance {
+            metrics.push((format!("ceil_campaign_{key}_shard_balance"), balance));
+            metrics.push((format!("campaign_{key}_migrations"), run.migrations as f64));
         }
         if result.cell.fault != "none" {
             let (inj, det, _, silent) = run.faults;
@@ -479,6 +637,60 @@ mod tests {
         assert!(inj > 0, "plan should inject within the horizon");
         assert_eq!(det + silent, inj, "ledger must reconcile");
         assert!(report.text.contains("faults_injected=8"));
+    }
+
+    #[test]
+    fn frontend_axis_adds_suffixed_cells() {
+        let mut spec = tiny(Mode::Eager);
+        spec.frontends = vec![Frontend::Single, Frontend::Sharded];
+        let report = run(&spec);
+        assert_eq!(report.results.len(), 2);
+        let single = &report.results[0];
+        let sharded = &report.results[1];
+        assert!(!single.cell.key().contains("__"));
+        assert!(sharded.cell.key().ends_with("__sharded"));
+        // The single-frontend key (and thus its baseline entry) is
+        // untouched by the new axis.
+        assert_eq!(single.cell.key(), {
+            let mut base = tiny(Mode::Eager);
+            base.frontends = vec![Frontend::Single];
+            base.cells()[0].key()
+        });
+        // Sharded run drains the same workload and reports balance.
+        assert_eq!(
+            single.primary().served + single.primary().dropped,
+            sharded.primary().served + sharded.primary().dropped,
+        );
+        let balance = sharded.primary().shard_balance.unwrap();
+        assert!((1.0..=spec.ports as f64).contains(&balance), "{balance}");
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(k, _)| k.ends_with("__sharded_shard_balance") && k.starts_with("ceil_")));
+        assert!(single.primary().shard_balance.is_none());
+    }
+
+    #[test]
+    fn dynamic_frontends_rebalance_and_stay_deterministic() {
+        let mut spec = tiny(Mode::Both);
+        spec.frontends = vec![Frontend::Sharded, Frontend::Parallel];
+        spec.placement = scheduler::Placement::Dynamic;
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.text, b.text, "dynamic rebalancing must be deterministic");
+        // Sharded frontends never page: Mode::Both collapses to one
+        // eager run per cell.
+        for cell in &a.results {
+            assert_eq!(cell.runs.len(), 1);
+            assert!(!cell.runs[0].paged);
+        }
+        // The sequential and threaded frontends agree departure for
+        // departure, including every migration the rebalancer issued.
+        let seq = a.results[0].primary();
+        let par = a.results[1].primary();
+        assert_eq!(seq.departure_hash, par.departure_hash);
+        assert_eq!(seq.migrations, par.migrations);
+        assert!(a.text.contains("migrations="));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! parse.
 //!
 //! A spec file is `key = value` lines; `#` starts a comment. Axis keys
-//! (`flows`, `policies`, `backends`, `admissions`, `faults`) take
-//! comma-separated lists and multiply into the grid; every other key is
-//! a scalar shared by all cells. Two specs are built in — `smoke`
+//! (`flows`, `policies`, `backends`, `admissions`, `faults`,
+//! `frontends`) take comma-separated lists and multiply into the grid;
+//! every other key is a scalar shared by all cells (sharded frontends
+//! read the `ports` and `placement` scalars). Two specs are built in — `smoke`
 //! (a small cross-product with paged/eager cross-checking, fast enough
 //! for per-commit CI) and `soak` (one 2²⁰-flow, 10 M-packet churn cell
 //! in paged mode) — and resolve by name before any file path.
@@ -15,9 +16,55 @@ use std::str::FromStr;
 
 use fairq::AnyPolicy;
 use faultsim::{FaultPolicy, FaultSpec, ScrubOrder};
-use scheduler::AdmissionPolicy;
+use scheduler::{AdmissionPolicy, Placement};
 use tagsort::Geometry;
 use traffic::ChurnSpec;
+
+/// Which scheduler frontend a cell drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// One [`scheduler::HwScheduler`] serving one egress link.
+    #[default]
+    Single,
+    /// [`scheduler::ShardedScheduler`] — one scheduler per port,
+    /// sequential coordination.
+    Sharded,
+    /// [`scheduler::ParallelShardedScheduler`] — one worker thread per
+    /// port.
+    Parallel,
+}
+
+impl Frontend {
+    /// Stable lowercase name (spec syntax and metric-key suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Single => "single",
+            Self::Sharded => "sharded",
+            Self::Parallel => "parallel",
+        }
+    }
+}
+
+impl fmt::Display for Frontend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "single" => Ok(Self::Single),
+            "sharded" => Ok(Self::Sharded),
+            "parallel" => Ok(Self::Parallel),
+            other => Err(format!(
+                "unknown frontend \"{other}\" (expected single, sharded, or parallel)"
+            )),
+        }
+    }
+}
 
 /// Which storage mode(s) each cell runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,13 +116,17 @@ pub struct Cell {
     pub admission: AdmissionPolicy,
     /// Fault campaign spec string, or `"none"` for a fault-free cell.
     pub fault: String,
+    /// Which scheduler frontend drives the cell.
+    pub frontend: Frontend,
 }
 
 impl Cell {
     /// The cell's metric-key slug: `f{flows}_{policy}_{backend}_
     /// {admission}_{fault}` with every non-alphanumeric character
     /// folded to `_` (and `+` spelled `plus`), so the key satisfies the
-    /// bench JSON emitter's `[A-Za-z0-9_]` constraint.
+    /// bench JSON emitter's `[A-Za-z0-9_]` constraint. Multi-port
+    /// frontends append `__{frontend}`; the default single frontend
+    /// appends nothing, so pre-existing baselines keep their keys.
     pub fn key(&self) -> String {
         let mut key = format!("f{}", self.flows);
         for part in [
@@ -94,6 +145,11 @@ impl Cell {
                     key.push('_');
                 }
             }
+        }
+        if self.frontend != Frontend::Single {
+            key.push('_');
+            key.push('_');
+            key.push_str(self.frontend.name());
         }
         key
     }
@@ -115,6 +171,15 @@ pub struct CampaignSpec {
     pub admissions: Vec<AdmissionPolicy>,
     /// Fault axis: `"none"` or `COUNT@SEED[:COMPONENT[:BITS]]` specs.
     pub faults: Vec<String>,
+    /// Frontend axis (single, sharded, parallel).
+    pub frontends: Vec<Frontend>,
+    /// Output-port count for the multi-port frontends (ignored by
+    /// `single`).
+    pub ports: usize,
+    /// Flow placement for the multi-port frontends: `hash` is the
+    /// static affinity map, `dynamic` arms the rebalancer (ignored by
+    /// `single`).
+    pub placement: Placement,
     /// Packets per cell.
     pub packets: u64,
     /// Workload seed (cells share it, so axes — not noise — explain
@@ -162,6 +227,9 @@ impl CampaignSpec {
                 backends: vec!["trie".into(), "fastpath".into()],
                 admissions: vec![AdmissionPolicy::TailDrop],
                 faults: vec!["none".into()],
+                frontends: vec![Frontend::Single],
+                ports: 4,
+                placement: Placement::Hash,
                 packets: 20_000,
                 seed: 7,
                 zipf_exponent: 1.1,
@@ -183,6 +251,9 @@ impl CampaignSpec {
                 backends: vec!["trie".into()],
                 admissions: vec![AdmissionPolicy::TailDrop],
                 faults: vec!["none".into()],
+                frontends: vec![Frontend::Single],
+                ports: 4,
+                placement: Placement::Hash,
                 packets: 10_000_000,
                 seed: 7,
                 zipf_exponent: 1.05,
@@ -231,6 +302,9 @@ impl CampaignSpec {
                 }
                 "admissions" => spec.admissions = parse_list(value).map_err(err)?,
                 "faults" => spec.faults = value.split(',').map(|s| s.trim().to_string()).collect(),
+                "frontends" => spec.frontends = parse_list(value).map_err(err)?,
+                "ports" => spec.ports = parse_one(value).map_err(err)?,
+                "placement" => spec.placement = parse_one(value).map_err(err)?,
                 "packets" => spec.packets = parse_one(value).map_err(err)?,
                 "seed" => spec.seed = parse_one(value).map_err(err)?,
                 "zipf" => spec.zipf_exponent = parse_one(value).map_err(err)?,
@@ -271,6 +345,7 @@ impl CampaignSpec {
             ("backends", self.backends.is_empty()),
             ("admissions", self.admissions.is_empty()),
             ("faults", self.faults.is_empty()),
+            ("frontends", self.frontends.is_empty()),
         ] {
             if axis.1 {
                 return Err(format!("axis {} must not be empty", axis.0));
@@ -305,6 +380,9 @@ impl CampaignSpec {
         if self.capacity == 0 {
             return Err("capacity must be positive".into());
         }
+        if self.ports == 0 {
+            return Err("ports must be positive".into());
+        }
         for &flows in &self.flows {
             if flows == 0 {
                 return Err("flow populations must be positive".into());
@@ -313,8 +391,8 @@ impl CampaignSpec {
         Ok(())
     }
 
-    /// The grid, in deterministic sweep order (flows outermost, faults
-    /// innermost).
+    /// The grid, in deterministic sweep order (flows outermost,
+    /// frontends innermost).
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::new();
         for &flows in &self.flows {
@@ -322,13 +400,16 @@ impl CampaignSpec {
                 for backend in &self.backends {
                     for &admission in &self.admissions {
                         for fault in &self.faults {
-                            cells.push(Cell {
-                                flows,
-                                policy: policy.clone(),
-                                backend: backend.clone(),
-                                admission,
-                                fault: fault.clone(),
-                            });
+                            for &frontend in &self.frontends {
+                                cells.push(Cell {
+                                    flows,
+                                    policy: policy.clone(),
+                                    backend: backend.clone(),
+                                    admission,
+                                    fault: fault.clone(),
+                                    frontend,
+                                });
+                            }
                         }
                     }
                 }
@@ -435,11 +516,20 @@ mod tests {
             churn = 0.1:0.2:32:0.5
             scrub_order = write-priority
             fault_policy = detect-and-count
+            frontends = single, sharded, parallel
+            ports = 8
+            placement = dynamic
         ";
         let spec = CampaignSpec::parse("t", text).unwrap();
         assert_eq!(spec.flows, vec![64, 128]);
         assert_eq!(spec.policies, vec!["wfq", "srpt"]);
-        assert_eq!(spec.cells().len(), 2 * 2 * 2 * 2 * 2);
+        assert_eq!(
+            spec.frontends,
+            vec![Frontend::Single, Frontend::Sharded, Frontend::Parallel]
+        );
+        assert_eq!(spec.ports, 8);
+        assert_eq!(spec.placement, Placement::Dynamic);
+        assert_eq!(spec.cells().len(), 2 * 2 * 2 * 2 * 2 * 3);
         assert_eq!(spec.geometry, Geometry::new(3, 4));
         assert_eq!(spec.mode, Mode::Paged);
         assert_eq!(spec.scrub_order, ScrubOrder::WritePriority);
@@ -464,5 +554,30 @@ mod tests {
         assert!(CampaignSpec::parse("t", "load = 1.5").is_err());
         assert!(CampaignSpec::parse("t", "geometry = 9x1").is_err());
         assert!(CampaignSpec::parse("t", "mode = sometimes").is_err());
+        assert!(CampaignSpec::parse("t", "frontends = mesh").is_err());
+        assert!(CampaignSpec::parse("t", "placement = roulette").is_err());
+        assert!(CampaignSpec::parse("t", "ports = 0").is_err());
+    }
+
+    #[test]
+    fn frontend_suffix_leaves_single_keys_unchanged() {
+        let mut spec = CampaignSpec::builtin("smoke").unwrap();
+        let before: Vec<String> = spec.cells().iter().map(Cell::key).collect();
+        spec.frontends = vec![Frontend::Single, Frontend::Sharded, Frontend::Parallel];
+        let after: Vec<String> = spec.cells().iter().map(Cell::key).collect();
+        assert_eq!(after.len(), before.len() * 3);
+        // Every pre-axis key survives verbatim; the new cells append a
+        // frontend suffix.
+        for key in &before {
+            assert!(after.contains(key), "missing {key}");
+        }
+        assert_eq!(
+            after.iter().filter(|k| k.ends_with("__sharded")).count(),
+            before.len()
+        );
+        assert_eq!(
+            after.iter().filter(|k| k.ends_with("__parallel")).count(),
+            before.len()
+        );
     }
 }

@@ -40,7 +40,7 @@
 //! policy's rank formula, reference-model pseudocode, and example
 //! `wfqsim --policy` invocations.
 
-use traffic::{FlowSpec, Packet, Time};
+use traffic::{FlowId, FlowSpec, Packet, Time};
 
 use crate::virtual_time::{GpsVirtualClock, VirtualTime};
 
@@ -92,6 +92,48 @@ pub trait RankPolicy: std::fmt::Debug + Clone {
     /// Stable lowercase policy name (`wfq`, `stfq`, ...), used in CLI
     /// flags and reports.
     fn name(&self) -> &'static str;
+
+    /// The policy's mutable per-link state as checkpoint words (virtual
+    /// clocks, last-finish tags, bucket levels — everything `rank`
+    /// mutates). Configuration is *not* included: a restore builds the
+    /// policy for the same link via [`RankPolicy::for_link`] first and
+    /// then loads these words. Stateless policies return an empty
+    /// vector, which is also the default.
+    fn state_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores the state captured by [`RankPolicy::state_words`] into
+    /// a policy built for the same link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words do not match this policy's shape (wrong
+    /// policy, or a different flow population).
+    fn load_state_words(&mut self, words: &[u64]) {
+        assert!(
+            words.is_empty(),
+            "{} carries no checkpoint state, got {} words",
+            self.name(),
+            words.len()
+        );
+    }
+
+    /// The scheduling history a flow takes with it when it migrates off
+    /// this link: the largest rank the policy has handed the flow so
+    /// far, on this link's rank axis. Policies without per-flow history
+    /// (the default) export the rank floor — the flow restarts at the
+    /// destination as if freshly idle.
+    fn flow_finish(&self, _flow: FlowId) -> VirtualTime {
+        self.rank_floor()
+    }
+
+    /// Adopts a migrated-in flow: `finish` is the flow's exported
+    /// history, already translated onto *this* link's rank axis (see
+    /// `statesync::VClockXlat`). After adoption the flow's next rank
+    /// must be ≥ `finish`, so its packets keep their relative order
+    /// across the move. Policies without per-flow history ignore it.
+    fn adopt_flow(&mut self, _flow: FlowId, _finish: VirtualTime) {}
 }
 
 /// Builds the dense per-flow weight vector the virtual clocks consume.
@@ -168,6 +210,23 @@ impl RankPolicy for WfqRank {
     fn name(&self) -> &'static str {
         "wfq"
     }
+
+    fn state_words(&self) -> Vec<u64> {
+        self.clock().state_words()
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        self.clock_mut().load_state_words(words);
+    }
+
+    fn flow_finish(&self, flow: FlowId) -> VirtualTime {
+        self.clock().last_finish_of(flow)
+    }
+
+    fn adopt_flow(&mut self, flow: FlowId, finish: VirtualTime) {
+        let cur = self.clock().last_finish_of(flow);
+        self.clock_mut().set_last_finish(flow, cur.max(finish));
+    }
 }
 
 /// Start-time fair queueing (Goyal et al.): rank = the packet's virtual
@@ -215,6 +274,34 @@ impl RankPolicy for StfqRank {
 
     fn name(&self) -> &'static str {
         "stfq"
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        let mut words = vec![self.v.to_bits(), self.last_finish.len() as u64];
+        words.extend(self.last_finish.iter().map(|f| f.to_bits()));
+        words
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        let n = self.last_finish.len();
+        assert!(
+            words.len() == 2 + n && words[1] as usize == n,
+            "stfq state for {} flows cannot restore into {n}",
+            words.get(1).copied().unwrap_or(0),
+        );
+        self.v = f64::from_bits(words[0]);
+        for (slot, &w) in self.last_finish.iter_mut().zip(&words[2..]) {
+            *slot = f64::from_bits(w);
+        }
+    }
+
+    fn flow_finish(&self, flow: FlowId) -> VirtualTime {
+        VirtualTime(self.last_finish[flow.0 as usize])
+    }
+
+    fn adopt_flow(&mut self, flow: FlowId, finish: VirtualTime) {
+        let f = flow.0 as usize;
+        self.last_finish[f] = self.last_finish[f].max(finish.value());
     }
 }
 
@@ -287,6 +374,15 @@ impl RankPolicy for FifoPlusRank {
 
     fn name(&self) -> &'static str {
         "fifo+"
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        vec![self.last_arrival.to_bits()]
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), 1, "fifo+ state is one word");
+        self.last_arrival = f64::from_bits(words[0]);
     }
 }
 
@@ -404,6 +500,34 @@ impl RankPolicy for LeakyBucketRank {
     fn name(&self) -> &'static str {
         "leaky"
     }
+
+    fn state_words(&self) -> Vec<u64> {
+        let mut words = vec![self.last_arrival.to_bits(), self.eta.len() as u64];
+        words.extend(self.eta.iter().map(|e| e.to_bits()));
+        words
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        let n = self.eta.len();
+        assert!(
+            words.len() == 2 + n && words[1] as usize == n,
+            "leaky state for {} flows cannot restore into {n}",
+            words.get(1).copied().unwrap_or(0),
+        );
+        self.last_arrival = f64::from_bits(words[0]);
+        for (slot, &w) in self.eta.iter_mut().zip(&words[2..]) {
+            *slot = f64::from_bits(w);
+        }
+    }
+
+    fn flow_finish(&self, flow: FlowId) -> VirtualTime {
+        VirtualTime(self.eta[flow.0 as usize])
+    }
+
+    fn adopt_flow(&mut self, flow: FlowId, finish: VirtualTime) {
+        let f = flow.0 as usize;
+        self.eta[f] = self.eta[f].max(finish.value());
+    }
 }
 
 /// Two-level hierarchical WFQ: flows are grouped into classes, the link
@@ -512,6 +636,43 @@ impl RankPolicy for HierarchicalWfqRank {
     fn name(&self) -> &'static str {
         "hwfq"
     }
+
+    fn state_words(&self) -> Vec<u64> {
+        let mut words = vec![self.clocks.len() as u64];
+        for clock in &self.clocks {
+            let s = clock.state_words();
+            words.push(s.len() as u64);
+            words.extend(s);
+        }
+        words
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        assert!(
+            words.first().copied() == Some(self.clocks.len() as u64),
+            "hwfq state for {} classes cannot restore into {}",
+            words.first().copied().unwrap_or(0),
+            self.clocks.len(),
+        );
+        let mut at = 1;
+        for clock in &mut self.clocks {
+            let len = words[at] as usize;
+            at += 1;
+            clock.load_state_words(&words[at..at + len]);
+            at += len;
+        }
+        assert_eq!(at, words.len(), "trailing words in hwfq state");
+    }
+
+    fn flow_finish(&self, flow: FlowId) -> VirtualTime {
+        self.clocks[self.class_of[flow.0 as usize]].last_finish_of(flow)
+    }
+
+    fn adopt_flow(&mut self, flow: FlowId, finish: VirtualTime) {
+        let class = self.class_of[flow.0 as usize];
+        let cur = self.clocks[class].last_finish_of(flow);
+        self.clocks[class].set_last_finish(flow, cur.max(finish));
+    }
 }
 
 /// Every shipped policy behind one concrete type, for runtime selection
@@ -614,6 +775,22 @@ impl RankPolicy for AnyPolicy {
 
     fn name(&self) -> &'static str {
         delegate!(self, p => p.name())
+    }
+
+    fn state_words(&self) -> Vec<u64> {
+        delegate!(self, p => p.state_words())
+    }
+
+    fn load_state_words(&mut self, words: &[u64]) {
+        delegate!(self, p => p.load_state_words(words))
+    }
+
+    fn flow_finish(&self, flow: FlowId) -> VirtualTime {
+        delegate!(self, p => p.flow_finish(flow))
+    }
+
+    fn adopt_flow(&mut self, flow: FlowId, finish: VirtualTime) {
+        delegate!(self, p => p.adopt_flow(flow, finish))
     }
 }
 
@@ -721,6 +898,85 @@ mod tests {
         // Class count is clamped to the population.
         let h = HierarchicalWfqRank::with_classes(9).for_link(&fl, 1e6);
         assert_eq!(h.class_of(3), Some(3));
+    }
+
+    #[test]
+    fn state_words_round_trip_every_policy() {
+        // Drive each policy through a mixed arrival/service history,
+        // snapshot it, load the snapshot into a freshly built twin, and
+        // check both emit identical ranks from there on.
+        let fl = flows(&[1.0, 3.0, 2.0]);
+        for name in AnyPolicy::NAMES {
+            let proto = AnyPolicy::by_name(name).expect(name);
+            let mut live = proto.for_link(&fl, 1e6);
+            for i in 0..30u32 {
+                let p = pkt(i % 3, f64::from(i) * 1e-4, 200 + 31 * i);
+                let r = live.rank(&p);
+                if i % 4 == 0 {
+                    live.on_service(&p, r);
+                }
+            }
+            let words = live.state_words();
+            let mut twin = proto.for_link(&fl, 1e6);
+            twin.load_state_words(&words);
+            assert_eq!(twin.state_words(), words, "{name}: reload changed state");
+            assert_eq!(twin.rank_floor(), live.rank_floor(), "{name}");
+            for i in 30..60u32 {
+                let p = pkt(i % 3, f64::from(i) * 1e-4, 200 + 31 * i);
+                assert_eq!(twin.rank(&p), live.rank(&p), "{name} packet {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_words_reject_the_wrong_population() {
+        let mut small = StfqRank::default().for_link(&flows(&[1.0]), 1e6);
+        let big = StfqRank::default().for_link(&flows(&[1.0, 2.0]), 1e6);
+        let words = big.state_words();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            small.load_state_words(&words)
+        }));
+        assert!(result.is_err(), "cross-population restore must panic");
+    }
+
+    #[test]
+    fn adopt_flow_keeps_per_flow_ranks_monotone() {
+        // A migrated-in flow whose translated history sits ahead of the
+        // destination clock must rank at or after that history.
+        let fl = flows(&[1.0, 1.0]);
+        for name in AnyPolicy::NAMES {
+            let proto = AnyPolicy::by_name(name).expect(name);
+            let mut p = proto.for_link(&fl, 1e6);
+            // Local traffic on flow 1 moves the destination clock.
+            for i in 0..5u32 {
+                let r = p.rank(&pkt(1, f64::from(i) * 1e-4, 400));
+                p.on_service(&pkt(1, f64::from(i) * 1e-4, 400), r);
+            }
+            let inherited = VirtualTime(p.rank_floor().value() + 1000.0);
+            p.adopt_flow(FlowId(0), inherited);
+            assert!(
+                p.flow_finish(FlowId(0)) >= p.rank_floor(),
+                "{name}: exported finish below floor"
+            );
+            if matches!(name, "wfq" | "stfq" | "leaky" | "hwfq") {
+                let r = p.rank(&pkt(0, 5e-4, 400));
+                assert!(
+                    r >= inherited,
+                    "{name}: post-adoption rank {r} precedes inherited {inherited}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adopt_flow_never_moves_history_backwards() {
+        let fl = flows(&[1.0, 1.0]);
+        let mut p = WfqRank::default().for_link(&fl, 1e6);
+        let r = p.rank(&pkt(0, 0.0, 1500));
+        // Adopting an older (smaller) finish than the flow already has
+        // must keep the larger one.
+        p.adopt_flow(FlowId(0), VirtualTime(r.value() - 500.0));
+        assert_eq!(p.flow_finish(FlowId(0)), r);
     }
 
     #[test]

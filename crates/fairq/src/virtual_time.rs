@@ -257,6 +257,99 @@ impl GpsVirtualClock {
         }
     }
 
+    /// The per-flow largest finishing tag handed out so far (the state
+    /// a flow migration exports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is out of range.
+    pub fn last_finish_of(&self, flow: FlowId) -> VirtualTime {
+        let idx = flow.0 as usize;
+        assert!(idx < self.weights.len(), "unknown {flow}");
+        VirtualTime(self.last_finish[idx])
+    }
+
+    /// Overwrites one flow's last finishing tag, keeping the busy set
+    /// consistent: the flow is busy exactly while its tag is ahead of
+    /// V. This is how a migrated-in flow is adopted — its translated
+    /// finish from the source shard becomes its history here, so its
+    /// next tag is `max(V, finish) + L/φ` and the flow's packets keep
+    /// their relative order across the move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is out of range or the tag is non-finite.
+    pub fn set_last_finish(&mut self, flow: FlowId, v: VirtualTime) {
+        let idx = flow.0 as usize;
+        assert!(idx < self.weights.len(), "unknown {flow}");
+        assert!(v.0.is_finite(), "finish tag must be finite, got {v}");
+        if let Some(old) = self.busy_key[idx].take() {
+            self.busy.remove(&(old, flow.0));
+            self.sum_phi_busy -= self.weights[idx];
+            if self.busy.is_empty() {
+                self.sum_phi_busy = 0.0; // kill accumulated error
+            }
+        }
+        self.last_finish[idx] = v.0;
+        if v.0 > self.v {
+            self.busy.insert((v, flow.0), ());
+            self.busy_key[idx] = Some(v);
+            self.sum_phi_busy += self.weights[idx];
+        }
+    }
+
+    /// Serializes the clock's mutable state as checkpoint words: V,
+    /// the last event time, every per-flow finish tag, and the busy
+    /// flags. Configuration (weights, rate) is *not* included — a
+    /// restore rebuilds the clock for the same link first and then
+    /// loads these words. Segment recording is excluded too (the fluid
+    /// GPS reference records; scheduler clocks never do).
+    pub fn state_words(&self) -> Vec<u64> {
+        let n = self.weights.len();
+        let mut words = Vec::with_capacity(3 + 2 * n);
+        words.push(self.v.to_bits());
+        words.push(self.t_last.to_bits());
+        words.push(n as u64);
+        words.extend(self.last_finish.iter().map(|f| f.to_bits()));
+        words.extend(self.busy_key.iter().map(|k| u64::from(k.is_some())));
+        words
+    }
+
+    /// Restores the state captured by [`GpsVirtualClock::state_words`]
+    /// into a clock built for the same flows and link. The busy set and
+    /// its aggregate weight are rebuilt from the flags, so the restored
+    /// clock's V trajectory continues exactly where the source left
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words do not describe a clock over the same number
+    /// of flows (a checkpoint CRC guards against corruption upstream;
+    /// this guards against restoring into the wrong link).
+    pub fn load_state_words(&mut self, words: &[u64]) {
+        let n = self.weights.len();
+        assert!(
+            words.len() == 3 + 2 * n && words[2] as usize == n,
+            "clock state for {} flows cannot restore into {n}",
+            words.get(2).copied().unwrap_or(0),
+        );
+        self.v = f64::from_bits(words[0]);
+        self.t_last = f64::from_bits(words[1]);
+        self.busy.clear();
+        self.sum_phi_busy = 0.0;
+        for i in 0..n {
+            self.last_finish[i] = f64::from_bits(words[3 + i]);
+            self.busy_key[i] = None;
+            if words[3 + n + i] != 0 {
+                let key = VirtualTime(self.last_finish[i]);
+                self.busy.insert((key, i as u32), ());
+                self.busy_key[i] = Some(key);
+                self.sum_phi_busy += self.weights[i];
+            }
+        }
+        self.breakpoints = vec![(self.t_last, self.v)];
+    }
+
     fn push_breakpoint(&mut self) {
         if !self.record_segments {
             return;

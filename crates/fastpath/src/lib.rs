@@ -874,6 +874,31 @@ mod tests {
     }
 
     #[test]
+    fn extract_flow_leaves_survivors_sequence_identical_to_the_trie() {
+        // The fastpath's migration walk must agree with the circuit's:
+        // extract the same flow from both, the survivors must drain in
+        // the same sequence.
+        let mut ffs = FfsSorter::build(&spec(CleanupPolicy::Eager));
+        let mut trie = SortRetrieveCircuit::build(&spec(CleanupPolicy::Eager));
+        for i in 0..100u32 {
+            let tag = Tag((i * 37) % 512);
+            ffs.insert(tag, PacketRef(i)).unwrap();
+            trie.insert(tag, PacketRef(i)).unwrap();
+        }
+        let mut belongs = |p: PacketRef| p.index().is_multiple_of(3);
+        let a = ffs.extract_flow(&mut belongs);
+        let b = trie.extract_flow(&mut belongs);
+        assert_eq!(a, b, "extracted sequences diverge");
+        assert_eq!(drain(&mut ffs), {
+            let mut out = Vec::new();
+            while let Some((t, p)) = trie.pop_min() {
+                out.push((t.value(), p.index()));
+            }
+            out
+        });
+    }
+
+    #[test]
     fn sorts_arbitrary_insert_order() {
         let mut s = FfsSorter::build(&spec(CleanupPolicy::Eager));
         for (i, t) in [500u32, 3, 1000, 42, 999, 4, 4095, 0].iter().enumerate() {

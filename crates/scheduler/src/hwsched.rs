@@ -9,12 +9,13 @@ use faultsim::{
     DetectionKind, FaultAttachError, FaultComponent, FaultConfig, FaultLedger, FaultPlan,
     FaultPolicy, FaultRecord, FaultTarget, ScrubOrder,
 };
+use statesync::{Checkpoint, CheckpointBuilder, VClockXlat};
 use tagsort::{
     BackendSpec, CircuitStats, CleanupPolicy, Geometry, IntegrityEvent, MemoryKind, PacketRef,
     ResidentMemory, SortBackend, SortError, SortRetrieveCircuit, Tag,
 };
 use telemetry::{Counter, EventKind, Gauge, GaugeMerge, Histogram, Snapshot, Telemetry, Tracer};
-use traffic::{FlowSpec, Packet, Time};
+use traffic::{FlowId, FlowSpec, Packet, Time};
 
 use crate::buffer::{BufferStats, PacketBuffer};
 use crate::quantize::{TagQuantizer, WrapPolicy};
@@ -37,14 +38,53 @@ pub enum AdmissionPolicy {
     /// matters for low-rank flows under overload. Intended for
     /// [`WrapPolicy::Saturate`], where tag order equals tick order.
     PushOut,
+    /// Weighted-random early push-out: RED's congestion-avoidance ramp
+    /// reinterpreted for a PIFO. Below `min_pct`% occupancy every
+    /// arrival admits untouched. Between `min_pct`% and `max_pct`% a
+    /// deterministic coin fires with probability ramping linearly from
+    /// zero to `max_p_pm`‰, and a hit evicts the sorter's *maximum*
+    /// entry (via [`SortBackend::pop_max`], like [`Self::PushOut`])
+    /// instead of dropping the arrival — congestion pressure sheds the
+    /// worst-ranked backlog early, before the buffer hard-fills. At or
+    /// above `max_pct`% the eviction is unconditional, and a full
+    /// buffer falls back to plain push-out admission. The coin stream
+    /// is a counter-keyed hash: identical arrival sequences make
+    /// identical decisions, and a checkpoint carries the counter so
+    /// restored runs continue the same stream.
+    Wred {
+        /// Occupancy percentage where the eviction ramp starts.
+        min_pct: u8,
+        /// Occupancy percentage where eviction becomes unconditional.
+        max_pct: u8,
+        /// Eviction probability in per-mille (‰) at the top of the ramp.
+        max_p_pm: u16,
+    },
+}
+
+impl AdmissionPolicy {
+    /// [`AdmissionPolicy::Wred`] with the classic RED defaults: ramp
+    /// from 50% to 90% occupancy, peaking at a 200‰ eviction chance.
+    pub fn wred() -> Self {
+        Self::Wred {
+            min_pct: 50,
+            max_pct: 90,
+            max_p_pm: 200,
+        }
+    }
 }
 
 impl std::fmt::Display for AdmissionPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Self::TailDrop => "tail-drop",
-            Self::PushOut => "push-out",
-        })
+        match self {
+            Self::TailDrop => f.write_str("tail-drop"),
+            Self::PushOut => f.write_str("push-out"),
+            Self::Wred { .. } if *self == Self::wred() => f.write_str("wred"),
+            Self::Wred {
+                min_pct,
+                max_pct,
+                max_p_pm,
+            } => write!(f, "wred:{min_pct}:{max_pct}:{max_p_pm}"),
+        }
     }
 }
 
@@ -55,9 +95,36 @@ impl std::str::FromStr for AdmissionPolicy {
         match s {
             "tail-drop" => Ok(Self::TailDrop),
             "push-out" => Ok(Self::PushOut),
-            other => Err(format!(
-                "unknown admission policy \"{other}\" (expected tail-drop or push-out)"
-            )),
+            "wred" => Ok(Self::wred()),
+            other => {
+                if let Some(spec) = other.strip_prefix("wred:") {
+                    let parts: Vec<&str> = spec.split(':').collect();
+                    let parse = |what: &str, s: &str| -> Result<u64, String> {
+                        s.parse::<u64>()
+                            .map_err(|e| format!("wred {what} \"{s}\": {e}"))
+                    };
+                    let [min, max, p] = parts.as_slice() else {
+                        return Err(format!(
+                            "malformed wred spec \"{other}\" (expected wred:MIN:MAX:PERMILLE)"
+                        ));
+                    };
+                    let (min_pct, max_pct) = (parse("min_pct", min)?, parse("max_pct", max)?);
+                    let max_p_pm = parse("max_p_pm", p)?;
+                    if min_pct > 100 || max_pct > 100 || min_pct >= max_pct || max_p_pm > 1000 {
+                        return Err(format!(
+                            "wred thresholds need min < max <= 100 and permille <= 1000, got {other}"
+                        ));
+                    }
+                    return Ok(Self::Wred {
+                        min_pct: min_pct as u8,
+                        max_pct: max_pct as u8,
+                        max_p_pm: max_p_pm as u16,
+                    });
+                }
+                Err(format!(
+                    "unknown admission policy \"{other}\" (expected tail-drop, push-out, wred, or wred:MIN:MAX:PERMILLE)"
+                ))
+            }
         }
     }
 }
@@ -172,6 +239,14 @@ pub struct SchedulerStats {
     /// Queued packets evicted by [`AdmissionPolicy::PushOut`] to admit a
     /// better-ranked arrival (always zero under tail-drop).
     pub pushed_out: u64,
+    /// Packets installed by cross-shard flow migration
+    /// ([`HwScheduler::install_flow`]). Not counted in `enqueued`:
+    /// migration moves already-admitted packets, so frontend-wide
+    /// `enqueued == dequeued + queued` conservation still holds.
+    pub migrated_in: u64,
+    /// Packets extracted by cross-shard flow migration
+    /// ([`HwScheduler::extract_flow`]). Not counted as drops.
+    pub migrated_out: u64,
 }
 
 impl SchedulerStats {
@@ -184,6 +259,8 @@ impl SchedulerStats {
         snap.put(&format!("{prefix}_clamped"), self.clamped as f64);
         snap.put(&format!("{prefix}_inversions"), self.inversions as f64);
         snap.put(&format!("{prefix}_pushed_out"), self.pushed_out as f64);
+        snap.put(&format!("{prefix}_migrated_in"), self.migrated_in as f64);
+        snap.put(&format!("{prefix}_migrated_out"), self.migrated_out as f64);
         let c = &self.circuit;
         snap.put(&format!("{prefix}_circuit_ops"), c.ops as f64);
         snap.put(
@@ -238,6 +315,8 @@ struct Instruments {
     clamped: Counter,
     inversions: Counter,
     pushed_out: Counter,
+    migrated_in: Counter,
+    migrated_out: Counter,
     recycled_sections: Counter,
     recycled_markers: Counter,
     depth: Gauge,
@@ -266,6 +345,8 @@ impl Instruments {
             clamped: Counter::disabled(),
             inversions: Counter::disabled(),
             pushed_out: Counter::disabled(),
+            migrated_in: Counter::disabled(),
+            migrated_out: Counter::disabled(),
             recycled_sections: Counter::disabled(),
             recycled_markers: Counter::disabled(),
             depth: Gauge::disabled(),
@@ -294,6 +375,8 @@ impl Instruments {
             clamped: tel.counter("sched_clamped"),
             inversions: tel.counter("sched_inversions"),
             pushed_out: tel.counter("sched_pushed_out"),
+            migrated_in: tel.counter("sched_migrated_in"),
+            migrated_out: tel.counter("sched_migrated_out"),
             recycled_sections: tel.counter("trie_recycled_sections"),
             recycled_markers: tel.counter("trie_recycled_markers"),
             depth: tel.gauge("queue_depth", GaugeMerge::Sum),
@@ -388,6 +471,13 @@ pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = Wfq
     sorter: B,
     flows: usize,
     admission: AdmissionPolicy,
+    cleanup: CleanupPolicy,
+    /// Whether [`HwScheduler::set_paged_state`] has been requested, so a
+    /// checkpoint can replay the request at restore.
+    paged: bool,
+    /// Arrivals the WRED coin has judged so far — the counter keying the
+    /// deterministic coin stream (checkpointed in one word).
+    wred_coins: u64,
     /// Outstanding assigned ticks, for the quantizer's window tracking.
     outstanding: BTreeSet<(u64, u64)>,
     /// (tick, stamp, finishing tag, enqueue cycle, generational buffer
@@ -399,6 +489,8 @@ pub struct HwScheduler<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = Wfq
     dequeued: u64,
     inversions: u64,
     pushed_out: u64,
+    migrated_in: u64,
+    migrated_out: u64,
     /// Shard-local → global flow id map for trace events (identity when
     /// empty; set by sharded frontends so joined event streams keep
     /// globally meaningful flow ids).
@@ -514,6 +606,9 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             sorter,
             flows: flows.len(),
             admission: config.admission,
+            cleanup: config.cleanup,
+            paged: false,
+            wred_coins: 0,
             outstanding: BTreeSet::new(),
             slot_info: vec![None; config.capacity],
             next_stamp: 0,
@@ -521,6 +616,8 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             dequeued: 0,
             inversions: 0,
             pushed_out: 0,
+            migrated_in: 0,
+            migrated_out: 0,
             global_flows: Vec::new(),
             faults,
             instr: Instruments::disabled(),
@@ -595,6 +692,8 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             clamped: self.quantizer.clamped_count(),
             inversions: self.inversions,
             pushed_out: self.pushed_out,
+            migrated_in: self.migrated_in,
+            migrated_out: self.migrated_out,
         }
     }
 
@@ -630,6 +729,7 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
     /// returns `false` for backends without paged storage, which simply
     /// stay eager.
     pub fn set_paged_state(&mut self) -> bool {
+        self.paged = true;
         self.sorter.set_paged()
     }
 
@@ -985,6 +1085,23 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
             });
         }
         let finish = self.policy.rank(&pkt);
+        self.admit_ranked(pkt, finish, true)?;
+        self.fault_sweep();
+        Ok(())
+    }
+
+    /// The shared admission tail: quantizes an already-computed rank,
+    /// parks the packet, and sorts the tag in. `arrival` distinguishes
+    /// a fresh arrival ([`HwScheduler::enqueue`] — admission policy
+    /// applies, `enqueued` counts, an `Enqueue` event is traced) from a
+    /// migrated install ([`HwScheduler::install_flow`] — the packet was
+    /// already admitted on its source shard, so none of those fire).
+    fn admit_ranked(
+        &mut self,
+        pkt: Packet,
+        finish: VirtualTime,
+        arrival: bool,
+    ) -> Result<(), SchedulerError> {
         if self.sorter.is_empty()
             && self.quantizer.policy() == WrapPolicy::Saturate
             && self.policy.monotone()
@@ -1024,15 +1141,31 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
                 removed as u64,
             );
         }
+        if arrival {
+            if let AdmissionPolicy::Wred {
+                min_pct,
+                max_pct,
+                max_p_pm,
+            } = self.admission
+            {
+                self.wred_early_push_out(out.tick, min_pct, max_pct, max_p_pm);
+            }
+        }
+        let evicting = matches!(
+            self.admission,
+            AdmissionPolicy::PushOut | AdmissionPolicy::Wred { .. }
+        );
         let stored = match self.buffer.store(pkt) {
             Some(full) => Some(full),
-            None if self.admission == AdmissionPolicy::PushOut => self
+            None if arrival && evicting => self
                 .try_push_out(out.tick)
                 .and_then(|()| self.buffer.store(pkt)),
             None => None,
         };
         let Some(full) = stored else {
-            self.note_drop(pkt.flow.0);
+            if arrival {
+                self.note_drop(pkt.flow.0);
+            }
             return Err(SchedulerError::BufferFull {
                 capacity: self.buffer.capacity(),
             });
@@ -1043,7 +1176,9 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         let cycles_before = self.sorter.cycles();
         if let Err(e) = self.sorter.insert(out.tag, slot) {
             self.buffer.release(full);
-            self.note_drop(pkt.flow.0);
+            if arrival {
+                self.note_drop(pkt.flow.0);
+            }
             return Err(e.into());
         }
         self.instr
@@ -1055,21 +1190,66 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         let enq_cycle = self.sorter.cycles();
         self.outstanding.insert((out.tick, stamp));
         self.slot_info[slot.index() as usize] = Some((out.tick, stamp, finish, enq_cycle, full));
-        self.enqueued += 1;
-        self.instr.enqueued.inc(self.instr.shard, 1);
+        if arrival {
+            self.enqueued += 1;
+            self.instr.enqueued.inc(self.instr.shard, 1);
+        }
         self.note_depth();
         self.instr
             .occupancy
             .observe(self.instr.shard, self.buffer.stats().occupied as u64);
-        self.instr.tracer.emit(
-            self.instr.shard,
-            enq_cycle,
-            EventKind::Enqueue,
-            self.event_flow(pkt.flow.0),
-            pkt.seq,
-        );
-        self.fault_sweep();
+        if arrival {
+            self.instr.tracer.emit(
+                self.instr.shard,
+                enq_cycle,
+                EventKind::Enqueue,
+                self.event_flow(pkt.flow.0),
+                pkt.seq,
+            );
+        }
         Ok(())
+    }
+
+    /// The WRED ramp (see [`AdmissionPolicy::Wred`]): below `min_pct`%
+    /// occupancy does nothing; between the thresholds flips the
+    /// deterministic coin and evicts the sorter's maximum on a hit; at
+    /// or above `max_pct`% evicts unconditionally. The eviction reuses
+    /// [`HwScheduler::try_push_out`], so an arrival that itself ranks
+    /// worst never evicts a better-ranked resident.
+    fn wred_early_push_out(&mut self, tick: u64, min_pct: u8, max_pct: u8, max_p_pm: u16) {
+        let occupied = self.buffer.stats().occupied;
+        let capacity = self.buffer.capacity();
+        let min = capacity * min_pct as usize / 100;
+        let max = capacity * max_pct as usize / 100;
+        if occupied < min.max(1) {
+            return;
+        }
+        let evict = if occupied >= max {
+            true
+        } else {
+            let span = (max - min).max(1) as u64;
+            let threshold_pm = u64::from(max_p_pm) * (occupied - min) as u64 / span;
+            self.wred_coin() < threshold_pm
+        };
+        if evict {
+            let _ = self.try_push_out(tick);
+        }
+    }
+
+    /// One draw of the counter-keyed WRED coin, uniform in `0..1000`.
+    /// SplitMix64 over a fixed seed XOR the draw counter: stateless up
+    /// to one u64 of state, so the stream is reproducible from the
+    /// checkpointed counter alone.
+    fn wred_coin(&mut self) -> u64 {
+        /// "WREDCOIN" in ASCII — an arbitrary fixed seed, never varied:
+        /// determinism across runs matters more than stream choice.
+        const WRED_COIN_SEED: u64 = 0x5752_4544_434f_494e;
+        let mut z = WRED_COIN_SEED ^ self.wred_coins;
+        self.wred_coins += 1;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % 1000
     }
 
     /// Attempts to free one buffer slot for an arrival quantized to
@@ -1265,6 +1445,411 @@ impl<B: SortBackend, P: RankPolicy> HwScheduler<B, P> {
         }
         Ok(std::iter::from_fn(|| self.dequeue()).collect())
     }
+
+    /// Serializes the scheduler's complete live state into a versioned
+    /// [`Checkpoint`]: counters, quantizer window, rank-policy state,
+    /// and every queued packet with its exact (pre-quantization) rank.
+    /// A scheduler restored from the checkpoint with
+    /// [`HwScheduler::restore`] produces the **identical departure
+    /// sequence** the original would have — same packets, same order —
+    /// across every backend and rank policy. Identical logical state
+    /// checkpoints to byte-identical words (the CI determinism gate).
+    ///
+    /// Reading the queue means draining and reinstalling it, so the
+    /// circuit's cycle counters advance; the pinned invariant is the
+    /// departure sequence, not cycle stamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault campaign is active (checkpointing mid-campaign
+    /// would fork the fault plan) or under [`CleanupPolicy::Lazy`],
+    /// whose stale markers would reject the reinstall.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        assert!(
+            self.faults.is_none(),
+            "checkpoint requires a fault-free scheduler (campaign state is not serializable)"
+        );
+        assert_eq!(
+            self.cleanup,
+            CleanupPolicy::Eager,
+            "checkpoint requires CleanupPolicy::Eager (lazy markers would reject the reinstall)"
+        );
+        let entries = self.snapshot_entries();
+        let mut b = CheckpointBuilder::new();
+        b.word(self.flows as u64);
+        b.word(self.buffer.capacity() as u64);
+        b.word(admission_word(self.admission));
+        b.word(self.paged as u64);
+        b.word(policy_name_word(self.policy.name()));
+        b.word(self.next_stamp);
+        b.word(self.enqueued);
+        b.word(self.dequeued);
+        b.word(self.inversions);
+        b.word(self.pushed_out);
+        b.word(self.wred_coins);
+        b.word(self.migrated_in);
+        b.word(self.migrated_out);
+        b.slice(&self.quantizer.state_words());
+        b.slice(&self.policy.state_words());
+        b.word(entries.len() as u64);
+        for e in &entries {
+            b.word(u64::from(e.tag.value()));
+            b.word(e.tick);
+            b.word(e.stamp);
+            b.float(e.finish.value());
+            b.word(e.enq_cycle);
+            b.word(u64::from(e.pkt.flow.0));
+            b.word(e.pkt.seq);
+            b.word(u64::from(e.pkt.size_bytes));
+            b.float(e.pkt.arrival.seconds());
+        }
+        let ckpt = b.finish();
+        // The read was destructive (pop_min is the only ordered view a
+        // hardware sorter offers); put the queue back exactly as found.
+        self.install_entries(&entries);
+        ckpt
+    }
+
+    /// Rebuilds a scheduler from a [`Checkpoint`] taken by
+    /// [`HwScheduler::checkpoint`]. The caller supplies the same flow
+    /// table, link rate, configuration, and policy prototype the
+    /// original was built with; the checkpoint carries echoes of the
+    /// load-bearing ones and refuses a mismatch. The restored scheduler
+    /// continues the original's departure sequence exactly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`statesync::CheckpointError`]: corrupted words (including
+    /// faultsim bit flips into the checkpoint itself), truncation, or a
+    /// foreign/duplicate format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` disagrees with the checkpoint (flow count,
+    /// capacity, admission policy, rank-policy name), if `config` has a
+    /// fault campaign or lazy cleanup (see [`HwScheduler::checkpoint`]),
+    /// or on invalid flow specs (as the constructors).
+    pub fn restore(
+        flows: &[FlowSpec],
+        link_rate_bps: f64,
+        config: SchedulerConfig,
+        prototype: &P,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, statesync::CheckpointError> {
+        assert!(
+            config.faults.is_none(),
+            "restore requires a fault-free configuration"
+        );
+        let mut r = ckpt.reader()?;
+        let mut s = Self::with_backend_and_policy(flows, link_rate_bps, config, prototype);
+        let ckpt_flows = r.word()?;
+        assert_eq!(
+            ckpt_flows as usize,
+            flows.len(),
+            "checkpoint was taken with {ckpt_flows} flows, restore offers {}",
+            flows.len()
+        );
+        let ckpt_cap = r.word()?;
+        assert_eq!(
+            ckpt_cap as usize, config.capacity,
+            "checkpoint was taken at capacity {ckpt_cap}, restore offers {}",
+            config.capacity
+        );
+        let ckpt_adm = r.word()?;
+        assert_eq!(
+            ckpt_adm,
+            admission_word(config.admission),
+            "checkpoint admission policy differs from the restore configuration"
+        );
+        if r.word()? != 0 {
+            s.set_paged_state();
+        }
+        let ckpt_policy = r.word()?;
+        assert_eq!(
+            ckpt_policy,
+            policy_name_word(s.policy.name()),
+            "checkpoint rank policy differs from the restore prototype ({})",
+            s.policy.name()
+        );
+        s.next_stamp = r.word()?;
+        s.enqueued = r.word()?;
+        s.dequeued = r.word()?;
+        s.inversions = r.word()?;
+        s.pushed_out = r.word()?;
+        s.wred_coins = r.word()?;
+        s.migrated_in = r.word()?;
+        s.migrated_out = r.word()?;
+        s.quantizer.load_state_words(&r.slice()?);
+        s.policy.load_state_words(&r.slice()?);
+        let n = r.word()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = Tag(u32::try_from(r.word()?).expect("checkpointed tag fits the geometry"));
+            let tick = r.word()?;
+            let stamp = r.word()?;
+            let finish = VirtualTime(r.float()?);
+            let enq_cycle = r.word()?;
+            let flow = FlowId(u32::try_from(r.word()?).expect("checkpointed flow id fits u32"));
+            let seq = r.word()?;
+            let size_bytes = u32::try_from(r.word()?).expect("checkpointed packet size fits u32");
+            let arrival = Time(r.float()?);
+            entries.push(CkptEntry {
+                tag,
+                tick,
+                stamp,
+                finish,
+                enq_cycle,
+                pkt: Packet {
+                    flow,
+                    size_bytes,
+                    arrival,
+                    seq,
+                },
+            });
+        }
+        s.install_entries(&entries);
+        Ok(s)
+    }
+
+    /// Drains every queued entry (ascending tag, FIFO among ties) with
+    /// its full sideband, releasing buffer slots and clearing the
+    /// outstanding-tick window. The queue is empty afterwards; pair
+    /// with [`HwScheduler::install_entries`] to put it back.
+    fn snapshot_entries(&mut self) -> Vec<CkptEntry> {
+        let mut out = Vec::with_capacity(self.sorter.len());
+        while let Some((tag, slot)) = self.sorter.pop_min() {
+            let (tick, stamp, finish, enq_cycle, full) = self.slot_info[slot.index() as usize]
+                .take()
+                .expect("sorter entry has sideband");
+            let pkt = self
+                .buffer
+                .try_release(full)
+                .expect("sorter entry has a live buffer slot");
+            out.push(CkptEntry {
+                tag,
+                tick,
+                stamp,
+                finish,
+                enq_cycle,
+                pkt,
+            });
+        }
+        self.outstanding.clear();
+        out
+    }
+
+    /// Reinstalls snapshot entries in order: buffer slot, sorter tag,
+    /// outstanding tick, sideband. Slot indices may differ from the
+    /// original run (the buffer free list is private); every observable
+    /// — tag order, FIFO ties, ranks, stamps — is preserved.
+    fn install_entries(&mut self, entries: &[CkptEntry]) {
+        for e in entries {
+            let full = self
+                .buffer
+                .store(e.pkt)
+                .expect("restored queue fits the checkpointed capacity");
+            let slot = PacketRef(full.index());
+            self.sorter
+                .insert(e.tag, slot)
+                .expect("checkpointed tag reinserts under eager cleanup");
+            self.outstanding.insert((e.tick, e.stamp));
+            self.slot_info[slot.index() as usize] =
+                Some((e.tick, e.stamp, e.finish, e.enq_cycle, full));
+        }
+    }
+
+    /// Extracts every queued packet of `flow` — in service order, with
+    /// exact (pre-quantization) ranks — together with the flow's rank
+    /// bookkeeping, for installation on another shard via
+    /// [`HwScheduler::install_flow`]. The remaining flows' service
+    /// order is untouched; the extracted packets count as
+    /// `migrated_out`, not drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is not configured, or under
+    /// [`CleanupPolicy::Lazy`] (the survivor reinsert requires eager
+    /// marker cleanup — see [`SortBackend::extract_flow`]).
+    pub fn extract_flow(&mut self, flow: FlowId) -> MigratedFlow {
+        assert!(
+            (flow.0 as usize) < self.flows,
+            "flow {} not configured ({} flows)",
+            flow.0,
+            self.flows
+        );
+        assert_eq!(
+            self.cleanup,
+            CleanupPolicy::Eager,
+            "extract_flow requires CleanupPolicy::Eager"
+        );
+        let slot_info = &self.slot_info;
+        let buffer = &self.buffer;
+        let taken = self.sorter.extract_flow(&mut |slot: PacketRef| {
+            slot_info[slot.index() as usize]
+                .map(|(_, _, _, _, full)| buffer.peek(full).flow == flow)
+                .unwrap_or(false)
+        });
+        let mut entries = Vec::with_capacity(taken.len());
+        for (_, slot) in taken {
+            let (tick, stamp, finish, _enq_cycle, full) = self.slot_info[slot.index() as usize]
+                .take()
+                .expect("extracted entry has sideband");
+            let packet = self
+                .buffer
+                .try_release(full)
+                .expect("extracted entry has a live buffer slot");
+            self.outstanding.remove(&(tick, stamp));
+            entries.push(MigratedEntry { packet, finish });
+        }
+        self.migrated_out += entries.len() as u64;
+        self.instr
+            .migrated_out
+            .inc(self.instr.shard, entries.len() as u64);
+        self.note_depth();
+        self.instr.tracer.emit(
+            self.instr.shard,
+            self.sorter.cycles(),
+            EventKind::MigrateOut,
+            self.event_flow(flow.0),
+            entries.len() as u64,
+        );
+        MigratedFlow {
+            entries,
+            last_finish: self.policy.flow_finish(flow),
+            floor: self.policy.rank_floor(),
+        }
+    }
+
+    /// Installs a flow extracted from another shard as local flow
+    /// `flow`: the source ranks are re-anchored onto this shard's
+    /// virtual-time axis through a [`VClockXlat`] (order-preserving,
+    /// floor-respecting), the rank policy adopts the flow's translated
+    /// finish history, and every packet is admitted with its translated
+    /// rank. Service on this shard is never paused — the install is an
+    /// ordinary sequence of sorter inserts, work-conserving throughout.
+    /// Installed packets count as `migrated_in`, not `enqueued`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::BufferFull`] if the backlog does not fit;
+    /// checked up front, so a refused install leaves this shard's state
+    /// untouched (the caller still owns the [`MigratedFlow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is not configured.
+    pub fn install_flow(&mut self, flow: FlowId, mf: &MigratedFlow) -> Result<(), SchedulerError> {
+        assert!(
+            (flow.0 as usize) < self.flows,
+            "flow {} not configured ({} flows)",
+            flow.0,
+            self.flows
+        );
+        let free = self.buffer.capacity() - self.buffer.stats().occupied;
+        if mf.entries.len() > free {
+            return Err(SchedulerError::BufferFull {
+                capacity: self.buffer.capacity(),
+            });
+        }
+        let xlat = VClockXlat::new(mf.floor, self.policy.rank_floor());
+        self.policy.adopt_flow(flow, xlat.translate(mf.last_finish));
+        for e in &mf.entries {
+            let mut pkt = e.packet;
+            pkt.flow = flow;
+            self.admit_ranked(pkt, xlat.translate(e.finish), false)?;
+        }
+        self.migrated_in += mf.entries.len() as u64;
+        self.instr
+            .migrated_in
+            .inc(self.instr.shard, mf.entries.len() as u64);
+        self.instr.tracer.emit(
+            self.instr.shard,
+            self.sorter.cycles(),
+            EventKind::MigrateIn,
+            self.event_flow(flow.0),
+            mf.entries.len() as u64,
+        );
+        Ok(())
+    }
+}
+
+/// One packet in transit between shards: the packet plus its exact
+/// (source-axis, pre-quantization) finishing rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigratedEntry {
+    /// The packet, flow id still in the source shard's local space
+    /// ([`HwScheduler::install_flow`] rewrites it).
+    pub packet: Packet,
+    /// The rank the source shard's policy assigned, on the source
+    /// shard's virtual-time axis.
+    pub finish: VirtualTime,
+}
+
+/// A flow's complete portable state: its queued backlog (service
+/// order, exact ranks) and the rank bookkeeping needed to continue the
+/// flow's relative schedule on another shard. Produced by
+/// [`HwScheduler::extract_flow`], consumed by
+/// [`HwScheduler::install_flow`]; plain data, so it crosses worker
+/// channels as-is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigratedFlow {
+    /// Queued packets in service order.
+    pub entries: Vec<MigratedEntry>,
+    /// The flow's last finishing rank on the source shard (its
+    /// [`RankPolicy::flow_finish`]), which the destination adopts so
+    /// the flow cannot dodge its backlog debt by migrating.
+    pub last_finish: VirtualTime,
+    /// The source shard's rank floor at extraction — the anchor
+    /// [`VClockXlat`] re-bases the ranks from.
+    pub floor: VirtualTime,
+}
+
+impl MigratedFlow {
+    /// Queued packets being moved.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the flow had no queued backlog (migration then moves
+    /// only its rank bookkeeping).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One checkpointed queue entry: the sorter tag, its quantizer tick and
+/// FIFO stamp, the exact rank, the enqueue cycle stamp, and the packet.
+struct CkptEntry {
+    tag: Tag,
+    tick: u64,
+    stamp: u64,
+    finish: VirtualTime,
+    enq_cycle: u64,
+    pkt: Packet,
+}
+
+/// Packs an admission policy into one checkpoint word (tag byte plus
+/// WRED parameters), so restore can refuse a mismatched configuration.
+fn admission_word(a: AdmissionPolicy) -> u64 {
+    match a {
+        AdmissionPolicy::TailDrop => 0,
+        AdmissionPolicy::PushOut => 1,
+        AdmissionPolicy::Wred {
+            min_pct,
+            max_pct,
+            max_p_pm,
+        } => 2 | (min_pct as u64) << 8 | (max_pct as u64) << 16 | (max_p_pm as u64) << 24,
+    }
+}
+
+/// First eight bytes of a rank policy's name packed little-endian —
+/// enough to tell the seven shipped policies apart at restore.
+fn policy_name_word(name: &str) -> u64 {
+    let mut w = 0u64;
+    for (i, b) in name.bytes().take(8).enumerate() {
+        w |= (b as u64) << (8 * i);
+    }
+    w
 }
 
 #[cfg(test)]
@@ -1589,5 +2174,308 @@ mod tests {
         assert_eq!(e.to_string(), "shared packet buffer full (7 packets)");
         let e = SchedulerError::UnknownFlow { flow: 3, flows: 2 };
         assert_eq!(e.to_string(), "flow 3 not configured (2 flows)");
+    }
+
+    #[test]
+    fn admission_policy_parses_and_displays_wred() {
+        assert_eq!(
+            "wred".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::wred()
+        );
+        assert_eq!(AdmissionPolicy::wred().to_string(), "wred");
+        let custom: AdmissionPolicy = "wred:10:60:500".parse().unwrap();
+        assert_eq!(
+            custom,
+            AdmissionPolicy::Wred {
+                min_pct: 10,
+                max_pct: 60,
+                max_p_pm: 500
+            }
+        );
+        assert_eq!(custom.to_string(), "wred:10:60:500");
+        assert_eq!(
+            custom.to_string().parse::<AdmissionPolicy>().unwrap(),
+            custom
+        );
+        assert!("wred:90:50:100".parse::<AdmissionPolicy>().is_err());
+        assert!("wred:0:101:100".parse::<AdmissionPolicy>().is_err());
+        assert!("wred:0:50:2000".parse::<AdmissionPolicy>().is_err());
+        assert!("wred:1:2".parse::<AdmissionPolicy>().is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_the_departure_sequence() {
+        let fl = flows(&[1.0, 3.0, 2.0]);
+        let cfg = SchedulerConfig::default();
+        let mut original = HwScheduler::new(&fl, 1e9, cfg);
+        for i in 0..60u64 {
+            original
+                .enqueue(pkt(
+                    i,
+                    (i % 3) as u32,
+                    i as f64 * 1e-6,
+                    200 + (i * 37 % 900) as u32,
+                ))
+                .unwrap();
+        }
+        for _ in 0..15 {
+            original.dequeue().unwrap();
+        }
+        let ckpt = original.checkpoint();
+        let mut restored =
+            HwScheduler::<SortRetrieveCircuit>::restore(&fl, 1e9, cfg, &WfqRank::default(), &ckpt)
+                .unwrap();
+        // Both continue: more arrivals, then drain. Sequences must agree
+        // packet for packet.
+        let mut tails = Vec::new();
+        for s in [&mut original, &mut restored] {
+            for i in 60..80u64 {
+                s.enqueue(pkt(i, (i % 3) as u32, 1e-3 + i as f64 * 1e-6, 400))
+                    .unwrap();
+            }
+            tails.push(
+                std::iter::from_fn(|| s.dequeue())
+                    .map(|p| p.seq)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(tails[0], tails[1], "restored departure sequence diverged");
+        let (a, b) = (original.stats(), restored.stats());
+        assert_eq!(a.enqueued, b.enqueued);
+        assert_eq!(a.dequeued, b.dequeued);
+    }
+
+    #[test]
+    fn checkpoint_is_byte_deterministic_and_nondestructive() {
+        let fl = flows(&[1.0, 2.0]);
+        let mut s = sched(&[1.0, 2.0]);
+        for i in 0..30u64 {
+            s.enqueue(pkt(i, (i % 2) as u32, i as f64 * 1e-6, 500))
+                .unwrap();
+        }
+        let first = s.checkpoint();
+        first.verify().unwrap();
+        // The read reinstalled the queue: a second checkpoint of the
+        // same logical state is byte-identical (the CI determinism gate).
+        let second = s.checkpoint();
+        assert_eq!(first.to_bytes(), second.to_bytes());
+        // And an identically-driven scheduler checkpoints identically.
+        let mut twin = HwScheduler::new(&fl, 1e9, SchedulerConfig::default());
+        for i in 0..30u64 {
+            twin.enqueue(pkt(i, (i % 2) as u32, i as f64 * 1e-6, 500))
+                .unwrap();
+        }
+        assert_eq!(twin.checkpoint().to_bytes(), first.to_bytes());
+        // The queue still drains completely after all three reads.
+        assert_eq!(std::iter::from_fn(|| s.dequeue()).count(), 30);
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_refused_at_restore() {
+        use faultsim::FaultTarget;
+        let fl = flows(&[1.0]);
+        let mut s = sched(&[1.0]);
+        s.enqueue(pkt(0, 0, 0.0, 100)).unwrap();
+        let mut ckpt = s.checkpoint();
+        ckpt.inject_fault(5, 1 << 13);
+        assert!(
+            HwScheduler::<SortRetrieveCircuit>::restore(
+                &fl,
+                1e9,
+                SchedulerConfig::default(),
+                &WfqRank::default(),
+                &ckpt
+            )
+            .is_err(),
+            "bit-flipped checkpoint must not restore"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn restore_refuses_a_mismatched_capacity() {
+        let fl = flows(&[1.0]);
+        let mut s = sched(&[1.0]);
+        s.enqueue(pkt(0, 0, 0.0, 100)).unwrap();
+        let ckpt = s.checkpoint();
+        let small = SchedulerConfig {
+            capacity: 8,
+            ..SchedulerConfig::default()
+        };
+        let _ = HwScheduler::<SortRetrieveCircuit>::restore(
+            &fl,
+            1e9,
+            small,
+            &WfqRank::default(),
+            &ckpt,
+        );
+    }
+
+    #[test]
+    fn wred_sheds_worst_ranked_backlog_before_the_buffer_fills() {
+        let mut s = HwScheduler::new(
+            &flows(&[1.0, 1.0]),
+            1e6,
+            SchedulerConfig {
+                capacity: 16,
+                admission: AdmissionPolicy::Wred {
+                    min_pct: 25,
+                    max_pct: 50,
+                    max_p_pm: 1000,
+                },
+                ..SchedulerConfig::default()
+            },
+        );
+        // Flow 0's big packets pile up worst-ranked backlog; flow 1's
+        // small packets keep arriving with better ranks. Above 50%
+        // occupancy every flow-1 arrival evicts flow 0's maximum.
+        for i in 0..12u64 {
+            s.enqueue(pkt(i, 0, 0.0, 1500)).unwrap();
+        }
+        for i in 12..20u64 {
+            s.enqueue(pkt(i, 1, 0.0, 100)).unwrap();
+        }
+        let stats = s.stats();
+        assert!(
+            stats.pushed_out > 0,
+            "the unconditional region above max_pct must evict"
+        );
+        assert!(
+            s.len() < 20,
+            "eviction keeps occupancy below the raw arrival count"
+        );
+        // Every flow-1 packet survived (they outrank the backlog).
+        let served: Vec<u64> = std::iter::from_fn(|| s.dequeue()).map(|p| p.seq).collect();
+        for seq in 12..20 {
+            assert!(served.contains(&seq), "best-ranked packet {seq} evicted");
+        }
+    }
+
+    #[test]
+    fn wred_decisions_are_deterministic_across_runs() {
+        let run = || {
+            let mut s = HwScheduler::new(
+                &flows(&[1.0, 2.0]),
+                1e6,
+                SchedulerConfig {
+                    capacity: 32,
+                    admission: AdmissionPolicy::wred(),
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..200u64 {
+                let _ = s.enqueue(pkt(
+                    i,
+                    (i % 2) as u32,
+                    i as f64 * 1e-6,
+                    300 + (i * 53 % 1100) as u32,
+                ));
+            }
+            let order: Vec<u64> = std::iter::from_fn(|| s.dequeue()).map(|p| p.seq).collect();
+            (order, s.stats().pushed_out)
+        };
+        assert_eq!(run(), run(), "counter-keyed coin must reproduce exactly");
+    }
+
+    #[test]
+    fn extract_and_install_migrate_a_flow_between_schedulers() {
+        let fl = flows(&[1.0, 2.0]);
+        let cfg = SchedulerConfig::default();
+        let mut src = HwScheduler::new(&fl, 1e9, cfg);
+        let mut dst = HwScheduler::new(&fl, 1e9, cfg);
+        // Advance the source clock well past the destination's so the
+        // translation actually has work to do.
+        for i in 0..40u64 {
+            src.enqueue(pkt(i, (i % 2) as u32, i as f64 * 1e-6, 1000))
+                .unwrap();
+        }
+        for _ in 0..20 {
+            src.dequeue().unwrap();
+        }
+        let queued_before = src.len();
+        let mf = src.extract_flow(FlowId(1));
+        assert!(!mf.is_empty(), "flow 1 had backlog to move");
+        assert_eq!(
+            src.len() + mf.len(),
+            queued_before,
+            "extraction is lossless"
+        );
+        assert_eq!(src.stats().migrated_out, mf.len() as u64);
+        // Source no longer serves flow 1.
+        let rest: Vec<Packet> = std::iter::from_fn(|| src.dequeue()).collect();
+        assert!(rest.iter().all(|p| p.flow == FlowId(0)));
+        // Destination installs and serves the backlog in order,
+        // interleaved fairly with its own traffic.
+        dst.enqueue(pkt(100, 0, 0.0, 500)).unwrap();
+        dst.install_flow(FlowId(1), &mf).unwrap();
+        assert_eq!(dst.stats().migrated_in, mf.len() as u64);
+        assert_eq!(dst.stats().enqueued, 1, "installs are not arrivals");
+        let served: Vec<Packet> = std::iter::from_fn(|| dst.dequeue()).collect();
+        let flow1: Vec<u64> = served
+            .iter()
+            .filter(|p| p.flow == FlowId(1))
+            .map(|p| p.seq)
+            .collect();
+        let expected: Vec<u64> = mf.entries.iter().map(|e| e.packet.seq).collect();
+        assert_eq!(flow1, expected, "per-flow order survives migration");
+        assert_eq!(
+            served.len(),
+            mf.len() + 1,
+            "nothing lost, nothing duplicated"
+        );
+    }
+
+    #[test]
+    fn install_refuses_a_backlog_that_does_not_fit() {
+        let fl = flows(&[1.0, 1.0]);
+        let mut src = HwScheduler::new(&fl, 1e9, SchedulerConfig::default());
+        for i in 0..8u64 {
+            src.enqueue(pkt(i, 1, 0.0, 500)).unwrap();
+        }
+        let mf = src.extract_flow(FlowId(1));
+        let mut dst = HwScheduler::new(
+            &fl,
+            1e9,
+            SchedulerConfig {
+                capacity: 4,
+                ..SchedulerConfig::default()
+            },
+        );
+        assert!(matches!(
+            dst.install_flow(FlowId(1), &mf),
+            Err(SchedulerError::BufferFull { capacity: 4 })
+        ));
+        assert!(
+            dst.is_empty(),
+            "a refused install leaves the shard untouched"
+        );
+        assert_eq!(dst.stats().migrated_in, 0);
+    }
+
+    #[test]
+    fn migration_preserves_the_flows_rank_debt() {
+        // A flow that built up finishing-tag debt on the source cannot
+        // reset to the destination floor by migrating: its adopted
+        // history keeps its next arrival ranked behind a fresh flow.
+        let fl = flows(&[1.0, 1.0]);
+        let mut src = HwScheduler::new(&fl, 1e9, SchedulerConfig::default());
+        for i in 0..10u64 {
+            src.enqueue(pkt(i, 1, 0.0, 1500)).unwrap();
+        }
+        let mf = src.extract_flow(FlowId(1));
+        let mut dst = HwScheduler::new(&fl, 1e9, SchedulerConfig::default());
+        dst.install_flow(FlowId(1), &mf).unwrap();
+        // Same-size packets arrive simultaneously on both flows: the
+        // fresh flow 0 must finish first — flow 1 still owes its debt.
+        dst.enqueue(pkt(100, 0, 0.0, 1000)).unwrap();
+        dst.enqueue(pkt(200, 1, 0.0, 1000)).unwrap();
+        let served: Vec<u64> = std::iter::from_fn(|| dst.dequeue())
+            .map(|p| p.seq)
+            .collect();
+        let pos = |seq: u64| served.iter().position(|&s| s == seq).unwrap();
+        assert!(
+            pos(100) < pos(200),
+            "migrated flow dodged its backlog debt: {served:?}"
+        );
     }
 }

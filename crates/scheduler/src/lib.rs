@@ -50,10 +50,13 @@ mod shard;
 pub use buffer::{BufferStats, PacketBuffer};
 pub use egress::{DropPolicy, HwLinkSim};
 pub use hwsched::{
-    AdmissionPolicy, HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp,
+    AdmissionPolicy, HwScheduler, MigratedEntry, MigratedFlow, SchedulerConfig, SchedulerError,
+    SchedulerStats, SojournStamp,
 };
 pub use quantize::{QuantizeOutcome, TagQuantizer, WrapPolicy};
 pub use shard::parallel::ParallelShardedScheduler;
 pub use shard::{
-    shard_of, BatchError, PortDeparture, ShardError, ShardStats, ShardedLinkSim, ShardedScheduler,
+    shard_of, BatchError, PortDeparture, ShardError, ShardMap, ShardStats, ShardedLinkSim,
+    ShardedScheduler,
 };
+pub use statesync::{Placement, RebalanceHint, Rebalancer, RebalancerConfig, ShardLoad};

@@ -215,6 +215,33 @@ impl TagQuantizer {
         self.max_tick = 0;
         self.prepared_through = self.geometry.tag_space() - 1;
     }
+
+    /// The quantizer's mutable state as checkpoint words (base, tick
+    /// high-water mark, section preparation cursor, clamp count).
+    /// Configuration — geometry, scale, policy — is not included: a
+    /// restore rebuilds the quantizer identically configured and then
+    /// loads these words.
+    pub fn state_words(&self) -> Vec<u64> {
+        vec![
+            self.base.to_bits(),
+            self.max_tick,
+            self.prepared_through,
+            self.clamped,
+        ]
+    }
+
+    /// Restores the state captured by [`TagQuantizer::state_words`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count is wrong.
+    pub fn load_state_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), 4, "quantizer state is four words");
+        self.base = f64::from_bits(words[0]);
+        self.max_tick = words[1];
+        self.prepared_through = words[2];
+        self.clamped = words[3];
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ use std::error::Error;
 use std::fmt;
 
 use fairq::{Departure, RankPolicy, WfqRank};
+use statesync::{Placement, Rebalancer, RebalancerConfig, ShardLoad};
 use tagsort::{CircuitStats, SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, EventKind, LatencyTracker, Snapshot, Telemetry, Tracer};
 use traffic::{FlowId, FlowSpec, Packet, Time};
@@ -78,6 +79,120 @@ pub fn shard_of(flow: FlowId, ports: usize) -> usize {
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;
     (z % ports as u64) as usize
+}
+
+/// The live flow → port ownership table shared by the sequential and
+/// parallel frontends — one source of truth for every routing decision,
+/// including enqueues that race an in-flight migration.
+///
+/// Under [`Placement::Hash`] the table is exactly [`shard_of`] and never
+/// changes. Under [`Placement::Dynamic`] it starts as [`shard_of`] and
+/// is rewritten as flows migrate between ports.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    ports: usize,
+    placement: Placement,
+    /// Global flow id → owning port.
+    owner: Vec<u32>,
+    /// A migration the frontend has begun but not yet committed:
+    /// `(flow, from, to)`. Enqueues landing in this window route to the
+    /// **new** owner — the frontends send the install ahead of any
+    /// later arrival, so FIFO delivery keeps per-flow order intact.
+    in_flight: Option<(u32, u32, u32)>,
+}
+
+impl ShardMap {
+    /// Builds the initial map: every flow owned by its [`shard_of`]
+    /// port, regardless of placement mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(flows: usize, ports: usize, placement: Placement) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self {
+            ports,
+            placement,
+            owner: (0..flows)
+                .map(|f| shard_of(FlowId(f as u32), ports) as u32)
+                .collect(),
+            in_flight: None,
+        }
+    }
+
+    /// The placement mode the map was built with.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Number of output ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of configured flows.
+    pub fn flows(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The port currently owning `flow`, or `None` for an unknown flow.
+    /// A flow whose migration is in flight already answers with its
+    /// **destination** port.
+    pub fn port_of(&self, flow: FlowId) -> Option<usize> {
+        if let Some((f, _, to)) = self.in_flight {
+            if f == flow.0 {
+                return Some(to as usize);
+            }
+        }
+        self.owner.get(flow.0 as usize).map(|&p| p as usize)
+    }
+
+    /// Opens a migration window: subsequent [`ShardMap::port_of`] calls
+    /// for `flow` answer `to` while the backlog is still moving. Returns
+    /// the current owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Placement::Hash`] (the hash map is immutable), if
+    /// another migration is already in flight, or if `flow`/`to` are out
+    /// of range.
+    pub fn begin_migration(&mut self, flow: FlowId, to: usize) -> usize {
+        assert_eq!(
+            self.placement,
+            Placement::Dynamic,
+            "flow migration requires Placement::Dynamic"
+        );
+        assert!(self.in_flight.is_none(), "a migration is already in flight");
+        assert!(
+            to < self.ports,
+            "port {to} out of range ({} ports)",
+            self.ports
+        );
+        let from = self.owner[flow.0 as usize];
+        self.in_flight = Some((flow.0, from, to as u32));
+        from as usize
+    }
+
+    /// Commits the in-flight migration: the destination becomes the
+    /// durable owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no migration is in flight.
+    pub fn commit_migration(&mut self) {
+        let (flow, _, to) = self.in_flight.take().expect("no migration in flight");
+        self.owner[flow as usize] = to;
+    }
+
+    /// Abandons the in-flight migration (destination refused the
+    /// backlog); ownership stays with the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no migration is in flight.
+    pub fn abort_migration(&mut self) {
+        assert!(self.in_flight.take().is_some(), "no migration in flight");
+    }
 }
 
 /// Errors from the sharded frontend.
@@ -184,6 +299,20 @@ impl ShardStats {
         self.modeled_packets_per_second(clock_hz) * mean_packet_bytes * 8.0
     }
 
+    /// Load-balance quality: the max/mean ratio of per-port admitted
+    /// packets (`enqueued`). 1.0 is a perfectly even spread; N means
+    /// everything landed on one of N ports. An idle frontend (no
+    /// admissions anywhere) reports 1.0.
+    pub fn shard_balance(&self) -> f64 {
+        let max = self.per_port.iter().map(|s| s.enqueued).max().unwrap_or(0);
+        let total: u64 = self.per_port.iter().map(|s| s.enqueued).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.per_port.len() as f64;
+        max as f64 / mean
+    }
+
     /// Routes the aggregate under `{prefix}_agg` and each port's
     /// headline occupancy figures under `{prefix}_port{i}_*` into a
     /// telemetry snapshot — the multi-port analogue of
@@ -228,6 +357,8 @@ fn aggregate_stats(per_port: Vec<SchedulerStats>, peak: usize) -> ShardStats {
         aggregate.clamped += s.clamped;
         aggregate.inversions += s.inversions;
         aggregate.pushed_out += s.pushed_out;
+        aggregate.migrated_in += s.migrated_in;
+        aggregate.migrated_out += s.migrated_out;
     }
     // The frontend-wide high-water mark, not the sum of per-port
     // peaks: ports peak at different times, so summing would
@@ -252,13 +383,20 @@ struct Routing {
 }
 
 impl Routing {
-    /// Partitions `flows` across `ports` by [`shard_of`].
+    /// Partitions `flows` across `ports` according to `placement`.
+    ///
+    /// Under [`Placement::Hash`], each port gets only its [`shard_of`]
+    /// subset, renumbered into a dense local space. Under
+    /// [`Placement::Dynamic`], **every** port is built with the full
+    /// flow table and identity local ids, so any flow's backlog can be
+    /// installed on any port later without renumbering; initial
+    /// ownership is still [`shard_of`].
     ///
     /// # Panics
     ///
-    /// Panics if `ports` is zero, flow ids are not dense, or the hash
-    /// leaves some port without any flow.
-    fn build(flows: &[FlowSpec], ports: usize) -> Self {
+    /// Panics if `ports` is zero, flow ids are not dense, or (hash
+    /// placement only) the hash leaves some port without any flow.
+    fn build(flows: &[FlowSpec], ports: usize, placement: Placement) -> Self {
         assert!(ports > 0, "at least one port required");
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(
@@ -266,6 +404,19 @@ impl Routing {
                 "flow ids must be dense (flow {} at index {i})",
                 f.id.0
             );
+        }
+        if placement == Placement::Dynamic {
+            let identity: Vec<u32> = (0..flows.len() as u32).collect();
+            return Self {
+                local: vec![flows.to_vec(); ports],
+                // The port component is the *initial* owner; the live
+                // [`ShardMap`] supersedes it once flows migrate.
+                route: identity
+                    .iter()
+                    .map(|&f| (shard_of(FlowId(f), ports), f))
+                    .collect(),
+                global_of: vec![identity; ports],
+            };
         }
         let mut local: Vec<Vec<FlowSpec>> = vec![Vec::new(); ports];
         let mut route = Vec::with_capacity(flows.len());
@@ -320,10 +471,24 @@ pub struct ShardedScheduler<B: SortBackend = SortRetrieveCircuit, P: RankPolicy 
     shards: Vec<HwScheduler<B, P>>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
-    /// Global flow id → (port, local flow id).
+    /// Global flow id → (initial port, local flow id). The live port is
+    /// [`ShardedScheduler::map`]'s answer; this keeps the local id.
     route: Vec<(usize, u32)>,
     /// Per port: local flow id → global flow id.
     global_of: Vec<Vec<u32>>,
+    /// Live flow → port ownership (mutated by migrations).
+    map: ShardMap,
+    /// Per-flow admitted-packet counts (global ids) — the rebalancer's
+    /// signal for *which* flow to move off a hot port.
+    flow_arrivals: Vec<u64>,
+    /// Per-port `enqueued` at the last rebalance round, for arrival
+    /// deltas.
+    last_enqueued: Vec<u64>,
+    /// Migration advisor (None until
+    /// [`ShardedScheduler::with_rebalancer`]).
+    rebalancer: Option<Rebalancer>,
+    /// Completed flow migrations.
+    migrations: u64,
     /// Next port the work-conserving round-robin inspects.
     cursor: usize,
     /// Frontend-wide high-water mark of queued packets (all ports at
@@ -377,6 +542,34 @@ impl ShardedScheduler {
         config: SchedulerConfig,
     ) -> Self {
         Self::with_backend_port_rates(flows, port_rates_bps, config)
+    }
+
+    /// [`ShardedScheduler::new`] with an explicit [`Placement`] mode.
+    /// [`Placement::Hash`] is byte-identical to [`ShardedScheduler::new`];
+    /// [`Placement::Dynamic`] builds every port with the full flow table
+    /// (identity local ids) so [`ShardedScheduler::migrate_flow`] can
+    /// move any flow's backlog between ports later.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::new`], plus: dynamic placement requires
+    /// `config.cleanup == CleanupPolicy::Eager` (flow extraction walks
+    /// live tree markers).
+    pub fn with_placement(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+        placement: Placement,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_policy_port_rates_placement(
+            flows,
+            &vec![port_rate_bps; ports],
+            config,
+            &WfqRank::default(),
+            placement,
+        )
     }
 }
 
@@ -453,8 +646,39 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
         config: SchedulerConfig,
         prototype: &P,
     ) -> Self {
+        Self::with_policy_port_rates_placement(
+            flows,
+            port_rates_bps,
+            config,
+            prototype,
+            Placement::Hash,
+        )
+    }
+
+    /// [`ShardedScheduler::with_policy_port_rates`] with an explicit
+    /// [`Placement`] mode (see [`ShardedScheduler::with_placement`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedScheduler::with_policy_port_rates`], plus: dynamic
+    /// placement requires `config.cleanup == CleanupPolicy::Eager`.
+    pub fn with_policy_port_rates_placement(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        prototype: &P,
+        placement: Placement,
+    ) -> Self {
         check_rates(port_rates_bps);
-        let routing = Routing::build(flows, port_rates_bps.len());
+        if placement == Placement::Dynamic {
+            assert_eq!(
+                config.cleanup,
+                tagsort::CleanupPolicy::Eager,
+                "dynamic placement requires CleanupPolicy::Eager \
+                 (flow extraction walks live tree markers)"
+            );
+        }
+        let routing = Routing::build(flows, port_rates_bps.len(), placement);
         let shards = routing
             .local
             .iter()
@@ -473,6 +697,11 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
         Self {
             shards,
             rates: port_rates_bps.to_vec(),
+            map: ShardMap::new(flows.len(), port_rates_bps.len(), placement),
+            flow_arrivals: vec![0; flows.len()],
+            last_enqueued: vec![0; port_rates_bps.len()],
+            rebalancer: None,
+            migrations: 0,
             route: routing.route,
             global_of: routing.global_of,
             cursor: 0,
@@ -480,6 +709,23 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
             handoffs: Counter::disabled(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Arms dynamic rebalancing: [`ShardedScheduler::maybe_rebalance`]
+    /// rounds feed a [`Rebalancer`] with per-port load and execute the
+    /// migration it advises.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frontend was built with [`Placement::Dynamic`].
+    pub fn with_rebalancer(mut self, cfg: RebalancerConfig) -> Self {
+        assert_eq!(
+            self.map.placement(),
+            Placement::Dynamic,
+            "rebalancing requires Placement::Dynamic"
+        );
+        self.rebalancer = Some(Rebalancer::new(self.shards.len(), cfg));
+        self
     }
 
     /// Connects the frontend — and every port's scheduler, each as its
@@ -543,9 +789,26 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
     }
 
     /// The port a configured flow is routed to, or `None` for an
-    /// unknown flow id.
+    /// unknown flow id. Under [`Placement::Dynamic`] this answer tracks
+    /// migrations.
     pub fn port_of(&self, flow: FlowId) -> Option<usize> {
-        self.route.get(flow.0 as usize).map(|&(port, _)| port)
+        self.map.port_of(flow)
+    }
+
+    /// The placement mode the frontend was built with.
+    pub fn placement(&self) -> Placement {
+        self.map.placement()
+    }
+
+    /// The live flow → port ownership table.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Completed flow migrations (see
+    /// [`ShardedScheduler::migrate_flow`]).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
     }
 
     /// Read access to one port's scheduler (for experiments).
@@ -558,15 +821,21 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
     }
 
     /// Looks up a packet's route, renumbering its flow id into the
-    /// shard's local space.
+    /// shard's local space. The port comes from the live [`ShardMap`],
+    /// so packets racing an in-flight migration go to the flow's **new**
+    /// owner rather than being dropped or stranded.
     fn route_packet(&self, pkt: &Packet) -> Result<(usize, Packet), ShardError> {
-        let &(port, local) =
-            self.route
-                .get(pkt.flow.0 as usize)
-                .ok_or(ShardError::UnknownFlow {
-                    flow: pkt.flow.0,
-                    flows: self.route.len(),
-                })?;
+        let &(_, local) = self
+            .route
+            .get(pkt.flow.0 as usize)
+            .ok_or(ShardError::UnknownFlow {
+                flow: pkt.flow.0,
+                flows: self.route.len(),
+            })?;
+        let port = self
+            .map
+            .port_of(pkt.flow)
+            .expect("flow validated against the route table");
         let mut routed = *pkt;
         routed.flow = FlowId(local);
         Ok((port, routed))
@@ -575,17 +844,19 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
     /// Admits an already-routed packet to its shard, maintaining the
     /// frontend-wide occupancy high-water mark.
     fn admit(&mut self, port: usize, routed: Packet) -> Result<(), ShardError> {
+        let global = self.global_of[port][routed.flow.0 as usize];
         self.tracer.emit(
             port,
             self.shards[port].cycles(),
             EventKind::ShardHandoff,
-            u64::from(self.global_of[port][routed.flow.0 as usize]),
+            u64::from(global),
             routed.seq,
         );
         self.shards[port]
             .enqueue(routed)
             .map_err(|source| ShardError::Port { port, source })?;
         self.handoffs.inc(port, 1);
+        self.flow_arrivals[global as usize] += 1;
         self.peak = self.peak.max(self.len());
         Ok(())
     }
@@ -699,6 +970,105 @@ impl<B: SortBackend, P: RankPolicy> ShardedScheduler<B, P> {
             (acc.0 + i, acc.1 + d, acc.2 + r, acc.3 + s)
         })
     }
+
+    /// Moves one flow's entire queued backlog — and its rank state —
+    /// from its current port to `to`, preserving per-flow packet order
+    /// and translating finishing tags into the destination's virtual
+    /// clock (see [`HwScheduler::extract_flow`] /
+    /// [`HwScheduler::install_flow`]). Subsequent enqueues for the flow
+    /// route to `to`. Returns the number of packets moved (0 if the
+    /// flow already lives on `to`).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnknownFlow`] for an unconfigured flow;
+    /// [`ShardError::Port`] if the destination refuses the backlog
+    /// (buffer full) — the flow is reinstalled on its source port
+    /// unchanged and ownership does not move.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frontend was built with [`Placement::Dynamic`],
+    /// or if `to` is out of range.
+    pub fn migrate_flow(&mut self, flow: FlowId, to: usize) -> Result<usize, ShardError> {
+        assert!(
+            to < self.shards.len(),
+            "port {to} out of range ({} ports)",
+            self.shards.len()
+        );
+        let from = self.map.port_of(flow).ok_or(ShardError::UnknownFlow {
+            flow: flow.0,
+            flows: self.route.len(),
+        })?;
+        if from == to {
+            return Ok(0);
+        }
+        self.map.begin_migration(flow, to);
+        // Dynamic placement gives every shard identity local ids, so the
+        // global flow id is also the local one on both ports.
+        let moved = self.shards[from].extract_flow(flow);
+        let packets = moved.len();
+        if let Err(source) = self.shards[to].install_flow(flow, &moved) {
+            self.shards[from]
+                .install_flow(flow, &moved)
+                .expect("reinstalling into the slots just vacated cannot fail");
+            self.map.abort_migration();
+            return Err(ShardError::Port { port: to, source });
+        }
+        self.map.commit_migration();
+        self.migrations += 1;
+        self.peak = self.peak.max(self.len());
+        Ok(packets)
+    }
+
+    /// One rebalance round: feeds the [`Rebalancer`] each port's load
+    /// (admitted packets since the last round, plus current backlog)
+    /// and, if it advises a migration, moves the **hottest** flow of
+    /// the overloaded port — most admitted packets overall, lowest id
+    /// on ties — to the advised destination. Returns the migration
+    /// performed, if any; a destination refusal (buffer full) skips
+    /// the round.
+    ///
+    /// Call this at natural batch boundaries; the rebalancer's EWMA and
+    /// cooldown assume roughly comparable rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ShardedScheduler::with_rebalancer`] armed a
+    /// rebalancer (which implies [`Placement::Dynamic`]).
+    pub fn maybe_rebalance(&mut self) -> Option<(FlowId, usize, usize)> {
+        assert!(
+            self.rebalancer.is_some(),
+            "no rebalancer armed; use with_rebalancer"
+        );
+        let loads: Vec<ShardLoad> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(port, shard)| {
+                let enqueued = shard.stats().enqueued;
+                let arrivals = enqueued - self.last_enqueued[port];
+                self.last_enqueued[port] = enqueued;
+                ShardLoad {
+                    arrivals,
+                    backlog: shard.len() as u64,
+                }
+            })
+            .collect();
+        let hint = self
+            .rebalancer
+            .as_mut()
+            .expect("checked above")
+            .observe(&loads)?;
+        let flow = (0..self.flow_arrivals.len())
+            .filter(|&f| self.map.port_of(FlowId(f as u32)) == Some(hint.from))
+            .max_by_key(|&f| (self.flow_arrivals[f], std::cmp::Reverse(f)))?;
+        let flow = FlowId(flow as u32);
+        match self.migrate_flow(flow, hint.to) {
+            Ok(_) => Some((flow, hint.from, hint.to)),
+            Err(_) => None,
+        }
+    }
 }
 
 /// One departure from a multi-port frontend: which port served the
@@ -733,6 +1103,7 @@ pub struct ShardedLinkSim<B: SortBackend = SortRetrieveCircuit, P: RankPolicy = 
     drop_policy: DropPolicy,
     latency: Option<LatencyTracker>,
     drops: u64,
+    rebalance_every: Option<usize>,
 }
 
 impl<B: SortBackend, P: RankPolicy> ShardedLinkSim<B, P> {
@@ -745,7 +1116,25 @@ impl<B: SortBackend, P: RankPolicy> ShardedLinkSim<B, P> {
             drop_policy: DropPolicy::default(),
             latency: None,
             drops: 0,
+            rebalance_every: None,
         }
+    }
+
+    /// Enables live rebalancing: every `arrivals` enqueues the run
+    /// executes one [`ShardedScheduler::maybe_rebalance`] round. Because
+    /// migration re-couples the ports, runs switch from the decoupled
+    /// per-port loop to a single global-arrival-order loop (identical
+    /// service semantics: each port is still an independent link at its
+    /// own rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is zero, or (at run time) if the frontend
+    /// has no rebalancer armed ([`ShardedScheduler::with_rebalancer`]).
+    pub fn with_rebalance_every(mut self, arrivals: usize) -> Self {
+        assert!(arrivals > 0, "rebalance cadence must be positive");
+        self.rebalance_every = Some(arrivals);
+        self
     }
 
     /// Sets the refusal handling for subsequent runs (default
@@ -784,6 +1173,9 @@ impl<B: SortBackend, P: RankPolicy> ShardedLinkSim<B, P> {
             trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "trace must be sorted by arrival time"
         );
+        if self.rebalance_every.is_some() {
+            return self.run_interleaved(trace);
+        }
         let ports = self.frontend.ports();
         let mut per_port: Vec<Vec<Packet>> = vec![Vec::new(); ports];
         for pkt in trace {
@@ -857,6 +1249,94 @@ impl<B: SortBackend, P: RankPolicy> ShardedLinkSim<B, P> {
                 .then(a.port.cmp(&b.port))
         });
         Ok(out)
+    }
+
+    /// The rebalance-aware run mode: arrivals are enqueued in global
+    /// trace order (migration means a port's future service can depend
+    /// on another port's past arrivals, so the loops cannot decouple),
+    /// with one rebalance round every [`ShardedLinkSim::rebalance_every`]
+    /// enqueues. Each port remains an independent egress link at its own
+    /// rate: a packet's service starts at the later of the port's
+    /// free-instant and its own arrival.
+    fn run_interleaved(&mut self, trace: &[Packet]) -> Result<Vec<PortDeparture>, ShardError> {
+        let every = self
+            .rebalance_every
+            .expect("run_interleaved only runs with a cadence set");
+        assert!(
+            self.frontend.rebalancer.is_some(),
+            "rebalance cadence set but no rebalancer armed; use with_rebalancer"
+        );
+        let ports = self.frontend.ports();
+        let mut free_at = vec![Time::ZERO; ports];
+        let mut out = Vec::with_capacity(trace.len());
+        let mut arrivals = 0usize;
+        for pkt in trace {
+            for port in 0..ports {
+                self.serve_through(port, pkt.arrival, &mut free_at, &mut out);
+            }
+            if let Err(e) = self.frontend.enqueue(*pkt) {
+                match (self.drop_policy, &e) {
+                    (
+                        DropPolicy::CountAndContinue,
+                        ShardError::Port {
+                            source: SchedulerError::BufferFull { .. } | SchedulerError::Sorter(_),
+                            ..
+                        },
+                    ) => self.drops += 1,
+                    _ => return Err(e),
+                }
+            }
+            arrivals += 1;
+            if arrivals.is_multiple_of(every) {
+                self.frontend.maybe_rebalance();
+            }
+        }
+        for port in 0..ports {
+            self.serve_through(port, Time(f64::INFINITY), &mut free_at, &mut out);
+        }
+        out.sort_by(|a, b| {
+            a.departure
+                .finish
+                .cmp(&b.departure.finish)
+                .then(a.port.cmp(&b.port))
+        });
+        Ok(out)
+    }
+
+    /// Serves `port`'s backlog for as long as its link comes free by
+    /// `now`, advancing the port's free-instant past each departure.
+    fn serve_through(
+        &mut self,
+        port: usize,
+        now: Time,
+        free_at: &mut [Time],
+        out: &mut Vec<PortDeparture>,
+    ) {
+        while free_at[port] <= now {
+            let Some((pkt, stamp)) = self.frontend.dequeue_port_stamped(port) else {
+                break;
+            };
+            let start = free_at[port].max(pkt.arrival);
+            let finish = start + pkt.service_time(self.frontend.port_rate(port));
+            if let Some(lat) = &mut self.latency {
+                lat.record(
+                    pkt.flow.0,
+                    stamp.cycles(),
+                    start.0 - pkt.arrival.0,
+                    finish.0 - start.0,
+                );
+            }
+            out.push(PortDeparture {
+                port,
+                departure: Departure {
+                    packet: pkt,
+                    start,
+                    finish,
+                },
+                cycles: stamp,
+            });
+            free_at[port] = finish;
+        }
     }
 
     /// Packets refused and skipped under
@@ -1198,6 +1678,201 @@ mod tests {
             ShardedScheduler::new(&flows(1), 1e9, 8, SchedulerConfig::default())
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn shard_map_routes_in_flight_migrations_to_the_new_owner() {
+        let mut map = ShardMap::new(8, 2, Placement::Dynamic);
+        for f in 0..8u32 {
+            assert_eq!(map.port_of(FlowId(f)), Some(shard_of(FlowId(f), 2)));
+        }
+        let flow = FlowId(3);
+        let from = map.port_of(flow).unwrap();
+        let to = 1 - from;
+        assert_eq!(map.begin_migration(flow, to), from);
+        assert_eq!(
+            map.port_of(flow),
+            Some(to),
+            "an in-flight migration already routes to the new owner"
+        );
+        map.abort_migration();
+        assert_eq!(map.port_of(flow), Some(from), "abort keeps the source");
+        map.begin_migration(flow, to);
+        map.commit_migration();
+        assert_eq!(map.port_of(flow), Some(to));
+        assert_eq!(map.port_of(FlowId(99)), None);
+        // The hash map is immutable.
+        let mut hash = ShardMap::new(4, 2, Placement::Hash);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hash.begin_migration(FlowId(0), 1)
+        }));
+        assert!(caught.is_err(), "hash placement accepted a migration");
+    }
+
+    #[test]
+    fn dynamic_placement_serves_like_hash_before_any_migration() {
+        let fl = flows(8);
+        let mut hash = ShardedScheduler::new(&fl, 1e9, 2, SchedulerConfig::default());
+        let mut dynamic = ShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        );
+        let batch: Vec<Packet> = (0..48)
+            .map(|i| pkt(i, (i % 8) as u32, i as f64 * 1e-6, 500))
+            .collect();
+        assert_eq!(hash.enqueue_batch(&batch).unwrap(), 48);
+        assert_eq!(dynamic.enqueue_batch(&batch).unwrap(), 48);
+        loop {
+            let a = hash.dequeue().map(|(port, p)| (port, p.flow, p.seq));
+            let b = dynamic.dequeue().map(|(port, p)| (port, p.flow, p.seq));
+            assert_eq!(a, b, "departure sequences diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_flow_moves_backlog_and_reroutes_later_enqueues() {
+        let fl = flows(8);
+        let mut fe = ShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        );
+        let flow = FlowId(0);
+        let from = fe.port_of(flow).unwrap();
+        let to = 1 - from;
+        let neighbor = (1..8u32)
+            .map(FlowId)
+            .find(|&f| fe.port_of(f) == Some(from))
+            .expect("another flow shares the source port");
+        for i in 0..4 {
+            fe.enqueue(pkt(i, flow.0, 0.0, 500)).unwrap();
+        }
+        fe.enqueue(pkt(100, neighbor.0, 0.0, 500)).unwrap();
+        let moved = fe.migrate_flow(flow, to).unwrap();
+        assert_eq!(moved, 4);
+        assert_eq!(fe.port_of(flow), Some(to), "ownership moved");
+        assert_eq!(fe.port_of(neighbor), Some(from), "the neighbor stayed");
+        assert_eq!(fe.migrations(), 1);
+        assert_eq!(fe.len(), 5, "no packet lost in transit");
+        // Later arrivals follow the flow to its new port, behind the
+        // migrated backlog.
+        fe.enqueue(pkt(4, flow.0, 0.0, 500)).unwrap();
+        let mut seqs = Vec::new();
+        while let Some(p) = fe.dequeue_port(to) {
+            assert_eq!(p.flow, flow, "only the migrated flow lives here");
+            seqs.push(p.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4], "per-flow order survived");
+        assert_eq!(fe.dequeue_port(from).unwrap().flow, neighbor);
+        let stats = fe.stats();
+        assert_eq!(stats.aggregate.migrated_out, 4);
+        assert_eq!(stats.aggregate.migrated_in, 4);
+        // Migrating a flow onto the port it already owns is a no-op.
+        assert_eq!(fe.migrate_flow(flow, to).unwrap(), 0);
+        assert_eq!(fe.migrations(), 1);
+    }
+
+    #[test]
+    fn migration_refused_by_a_full_destination_rolls_back() {
+        let small = SchedulerConfig {
+            capacity: 4,
+            ..SchedulerConfig::default()
+        };
+        let mut fe = ShardedScheduler::with_placement(&flows(8), 1e9, 2, small, Placement::Dynamic);
+        let flow = FlowId(0);
+        let from = fe.port_of(flow).unwrap();
+        let to = 1 - from;
+        let resident = (1..8u32)
+            .map(FlowId)
+            .find(|&f| fe.port_of(f) == Some(to))
+            .expect("a flow lives on the destination");
+        for i in 0..4 {
+            fe.enqueue(pkt(i, resident.0, 0.0, 500)).unwrap();
+        }
+        for i in 0..3 {
+            fe.enqueue(pkt(10 + i, flow.0, 0.0, 500)).unwrap();
+        }
+        let err = fe.migrate_flow(flow, to).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ShardError::Port {
+                    port,
+                    source: SchedulerError::BufferFull { .. }
+                } if port == to
+            ),
+            "unexpected error {err:?}"
+        );
+        assert_eq!(fe.port_of(flow), Some(from), "ownership did not move");
+        assert_eq!(fe.migrations(), 0);
+        assert_eq!(fe.port_len(from), 3, "backlog reinstalled at the source");
+        let mut seqs = Vec::new();
+        while let Some(p) = fe.dequeue_port(from) {
+            seqs.push(p.seq);
+        }
+        assert_eq!(seqs, vec![10, 11, 12], "reinstalled backlog kept its order");
+    }
+
+    #[test]
+    fn rebalancer_moves_the_hottest_flow_off_the_hot_port() {
+        let fl = flows(8);
+        let mut fe = ShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        )
+        .with_rebalancer(RebalancerConfig::default());
+        let hot: Vec<u32> = (0..8u32).filter(|&f| shard_of(FlowId(f), 2) == 0).collect();
+        assert!(!hot.is_empty(), "some flow hashes to port 0");
+        let mut migrated = None;
+        let mut seq = 0;
+        for _round in 0..8 {
+            for _ in 0..16 {
+                for &f in &hot {
+                    fe.enqueue(pkt(seq, f, 0.0, 500)).unwrap();
+                    seq += 1;
+                }
+            }
+            if let Some(m) = fe.maybe_rebalance() {
+                migrated = Some(m);
+                break;
+            }
+        }
+        let (flow, from, to) = migrated.expect("skewed load trips the rebalancer");
+        assert_eq!((from, to), (0, 1), "load moves off the hot port");
+        assert_eq!(fe.port_of(flow), Some(1));
+        assert_eq!(fe.migrations(), 1);
+        // Nothing was lost along the way.
+        let total = fe.len();
+        let mut served = 0;
+        while fe.dequeue().is_some() {
+            served += 1;
+        }
+        assert_eq!(served, total);
+        assert_eq!(served as u64, fe.stats().aggregate.dequeued);
+    }
+
+    #[test]
+    fn shard_balance_is_max_over_mean() {
+        let mut fe = ShardedScheduler::new(&flows(8), 1e9, 2, SchedulerConfig::default());
+        assert_eq!(fe.stats().shard_balance(), 1.0, "idle frontend reads 1.0");
+        let f = (0..8u32).find(|&f| shard_of(FlowId(f), 2) == 0).unwrap();
+        for i in 0..10 {
+            fe.enqueue(pkt(i, f, 0.0, 500)).unwrap();
+        }
+        // All 10 admissions on one of two ports: max/mean = 10/5.
+        assert_eq!(fe.stats().shard_balance(), 2.0);
+        while fe.dequeue().is_some() {}
     }
 
     #[test]

@@ -69,13 +69,16 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 use fairq::{RankPolicy, WfqRank};
+use statesync::{Placement, Rebalancer, RebalancerConfig, ShardLoad};
 use tagsort::{SortBackend, SortRetrieveCircuit};
 use telemetry::{Counter, Telemetry};
 use traffic::{FlowId, FlowSpec, Packet};
 
-use crate::hwsched::{HwScheduler, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp};
+use crate::hwsched::{
+    HwScheduler, MigratedFlow, SchedulerConfig, SchedulerError, SchedulerStats, SojournStamp,
+};
 
-use super::{aggregate_stats, check_rates, BatchError, Routing, ShardError, ShardStats};
+use super::{aggregate_stats, check_rates, BatchError, Routing, ShardError, ShardMap, ShardStats};
 
 /// Commands the frontend sends to a shard worker. Packets carry the
 /// shard's **local** flow ids (the frontend routes and renumbers before
@@ -93,6 +96,20 @@ enum Command {
     /// Run end-of-run fault accounting on the shard; reply with
     /// [`Reply::FaultTotals`].
     ReconcileFaults,
+    /// Extract one flow's queued backlog and rank state for migration
+    /// (local flow id); reply with [`Reply::Extracted`].
+    ExtractFlow {
+        /// The flow to pull out (local id).
+        flow: FlowId,
+    },
+    /// Install a migrated flow's backlog (local flow id); reply with
+    /// [`Reply::Installed`].
+    InstallFlow {
+        /// The flow to install under (local id).
+        flow: FlowId,
+        /// The backlog extracted from the source shard.
+        backlog: Box<MigratedFlow>,
+    },
 }
 
 /// Worker replies, one per command, in command order.
@@ -111,6 +128,15 @@ enum Reply {
     /// The shard's reconciled `(injected, detected, repaired, silent)`
     /// fault-ledger totals.
     FaultTotals((u64, u64, u64, u64)),
+    /// A flow's extracted backlog and rank state.
+    Extracted(Box<MigratedFlow>),
+    /// Outcome of an install: `None` on success; on refusal the error
+    /// **and the backlog itself**, so the frontend can reinstall it on
+    /// the source shard without ever cloning it.
+    Installed {
+        /// The refusal and the returned backlog, if the shard said no.
+        refused: Option<(SchedulerError, Box<MigratedFlow>)>,
+    },
 }
 
 /// Commands in flight per worker. Every public operation is
@@ -159,6 +185,13 @@ fn worker_loop<B: SortBackend, P: RankPolicy>(
                 shard.reconcile_faults();
                 Reply::FaultTotals(shard.fault_totals())
             }
+            Command::ExtractFlow { flow } => Reply::Extracted(Box::new(shard.extract_flow(flow))),
+            Command::InstallFlow { flow, backlog } => Reply::Installed {
+                refused: match shard.install_flow(flow, &backlog) {
+                    Ok(()) => None,
+                    Err(e) => Some((e, backlog)),
+                },
+            },
         };
         if replies.send(reply).is_err() {
             // Frontend dropped mid-command; nothing left to serve.
@@ -207,10 +240,27 @@ pub struct ParallelShardedScheduler<
     backend: std::marker::PhantomData<(B, P)>,
     /// Each port's egress link rate, bits per second.
     rates: Vec<f64>,
-    /// Global flow id → (port, local flow id).
+    /// Global flow id → (initial port, local flow id). The live port is
+    /// [`ParallelShardedScheduler::map`]'s answer; this keeps the local
+    /// id.
     route: Vec<(usize, u32)>,
     /// Per port: local flow id → global flow id.
     global_of: Vec<Vec<u32>>,
+    /// Live flow → port ownership (mutated by migrations).
+    map: ShardMap,
+    /// Per-flow admitted-packet counts (global ids), maintained from
+    /// admission replies — the rebalancer's victim-selection signal.
+    flow_arrivals: Vec<u64>,
+    /// Cumulative admitted packets per port (from admission replies).
+    admitted: Vec<u64>,
+    /// Per-port `admitted` at the last rebalance round, for arrival
+    /// deltas.
+    last_admitted: Vec<u64>,
+    /// Migration advisor (None until
+    /// [`ParallelShardedScheduler::with_rebalancer`]).
+    rebalancer: Option<Rebalancer>,
+    /// Completed flow migrations.
+    migrations: u64,
     /// Queued packets per port, maintained from command replies (exact:
     /// every mutation flows through a reply).
     occupancy: Vec<usize>,
@@ -291,6 +341,32 @@ impl ParallelShardedScheduler {
     ) -> Self {
         Self::with_backend_telemetry(flows, port_rates_bps, config, tel)
     }
+
+    /// [`ParallelShardedScheduler::new`] with an explicit [`Placement`]
+    /// mode (see [`super::ShardedScheduler::with_placement`] — the
+    /// semantics are shared).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::new`], plus: dynamic placement
+    /// requires `config.cleanup == CleanupPolicy::Eager`.
+    pub fn with_placement(
+        flows: &[FlowSpec],
+        port_rate_bps: f64,
+        ports: usize,
+        config: SchedulerConfig,
+        placement: Placement,
+    ) -> Self {
+        assert!(ports > 0, "at least one port required");
+        Self::with_policy_telemetry_placement(
+            flows,
+            &vec![port_rate_bps; ports],
+            config,
+            &WfqRank::default(),
+            &Telemetry::disabled(),
+            placement,
+        )
+    }
 }
 
 impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
@@ -369,6 +445,56 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
         prototype: &P,
         tel: &Telemetry,
     ) -> Self {
+        Self::with_policy_telemetry_placement(
+            flows,
+            port_rates_bps,
+            config,
+            prototype,
+            tel,
+            Placement::Hash,
+        )
+    }
+
+    /// [`ParallelShardedScheduler::with_policy_telemetry_placement`]
+    /// without a telemetry registry.
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_policy_telemetry_placement`].
+    pub fn with_policy_placement(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        prototype: &P,
+        placement: Placement,
+    ) -> Self {
+        Self::with_policy_telemetry_placement(
+            flows,
+            port_rates_bps,
+            config,
+            prototype,
+            &Telemetry::disabled(),
+            placement,
+        )
+    }
+
+    /// [`ParallelShardedScheduler::with_policy_telemetry`] with an
+    /// explicit [`Placement`] mode (see
+    /// [`super::ShardedScheduler::with_placement`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParallelShardedScheduler::with_policy_telemetry`], plus:
+    /// dynamic placement requires `config.cleanup ==
+    /// CleanupPolicy::Eager`.
+    pub fn with_policy_telemetry_placement(
+        flows: &[FlowSpec],
+        port_rates_bps: &[f64],
+        config: SchedulerConfig,
+        prototype: &P,
+        tel: &Telemetry,
+        placement: Placement,
+    ) -> Self {
         check_rates(port_rates_bps);
         if tel.is_enabled() {
             assert_eq!(
@@ -377,7 +503,15 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
                 "registry shard count must match port count"
             );
         }
-        let routing = Routing::build(flows, port_rates_bps.len());
+        if placement == Placement::Dynamic {
+            assert_eq!(
+                config.cleanup,
+                tagsort::CleanupPolicy::Eager,
+                "dynamic placement requires CleanupPolicy::Eager \
+                 (flow extraction walks live tree markers)"
+            );
+        }
+        let routing = Routing::build(flows, port_rates_bps.len(), placement);
         let workers = routing
             .local
             .iter()
@@ -412,11 +546,33 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
             rates: port_rates_bps.to_vec(),
             route: routing.route,
             global_of: routing.global_of,
+            map: ShardMap::new(flows.len(), port_rates_bps.len(), placement),
+            flow_arrivals: vec![0; flows.len()],
+            admitted: vec![0; port_rates_bps.len()],
+            last_admitted: vec![0; port_rates_bps.len()],
+            rebalancer: None,
+            migrations: 0,
             occupancy: vec![0; port_rates_bps.len()],
             peak: 0,
             cursor: 0,
             handoffs: tel.counter("shard_handoffs"),
         }
+    }
+
+    /// Arms dynamic rebalancing (see
+    /// [`super::ShardedScheduler::with_rebalancer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frontend was built with [`Placement::Dynamic`].
+    pub fn with_rebalancer(mut self, cfg: RebalancerConfig) -> Self {
+        assert_eq!(
+            self.map.placement(),
+            Placement::Dynamic,
+            "rebalancing requires Placement::Dynamic"
+        );
+        self.rebalancer = Some(Rebalancer::new(self.workers.len(), cfg));
+        self
     }
 
     /// Number of output ports (= worker threads).
@@ -459,10 +615,27 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
     }
 
     /// The port a configured flow is routed to, or `None` for an
-    /// unknown flow id. Identical to the sequential frontend's map (both
-    /// are [`super::shard_of`]).
+    /// unknown flow id. Identical to the sequential frontend's map
+    /// (both share [`ShardMap`]); under [`Placement::Dynamic`] the
+    /// answer tracks migrations.
     pub fn port_of(&self, flow: FlowId) -> Option<usize> {
-        self.route.get(flow.0 as usize).map(|&(port, _)| port)
+        self.map.port_of(flow)
+    }
+
+    /// The placement mode the frontend was built with.
+    pub fn placement(&self) -> Placement {
+        self.map.placement()
+    }
+
+    /// The live flow → port ownership table.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Completed flow migrations (see
+    /// [`ParallelShardedScheduler::migrate_flow`]).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
     }
 
     /// Sends a command to one worker, converting a closed channel —
@@ -501,14 +674,22 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
 
     /// Looks up a packet's route, renumbering its flow id into the
     /// shard's local space (same contract as the sequential frontend).
+    /// The port comes from the live [`ShardMap`], so packets racing an
+    /// in-flight migration are routed to the flow's **new** owner — the
+    /// install command precedes them in that worker's FIFO, keeping
+    /// per-flow order intact.
     fn route_packet(&self, pkt: &Packet) -> Result<(usize, Packet), ShardError> {
-        let &(port, local) =
-            self.route
-                .get(pkt.flow.0 as usize)
-                .ok_or(ShardError::UnknownFlow {
-                    flow: pkt.flow.0,
-                    flows: self.route.len(),
-                })?;
+        let &(_, local) = self
+            .route
+            .get(pkt.flow.0 as usize)
+            .ok_or(ShardError::UnknownFlow {
+                flow: pkt.flow.0,
+                flows: self.route.len(),
+            })?;
+        let port = self
+            .map
+            .port_of(pkt.flow)
+            .expect("flow validated against the route table");
         let mut routed = *pkt;
         routed.flow = FlowId(local);
         Ok((port, routed))
@@ -558,10 +739,12 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
     pub fn enqueue_batch(&mut self, pkts: &[Packet]) -> Result<usize, BatchError> {
         let ports = self.workers.len();
         let mut buckets: Vec<Vec<Packet>> = vec![Vec::new(); ports];
+        let mut bucket_flows: Vec<Vec<u32>> = vec![Vec::new(); ports];
         for pkt in pkts {
             let (port, routed) = self
                 .route_packet(pkt)
                 .map_err(|error| BatchError { accepted: 0, error })?;
+            bucket_flows[port].push(pkt.flow.0);
             buckets[port].push(routed);
         }
         // Scatter: every involved worker gets its whole bucket at once.
@@ -580,6 +763,13 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
                 Reply::Enqueued { accepted, error } => {
                     total += accepted;
                     self.occupancy[port] += accepted;
+                    self.admitted[port] += accepted as u64;
+                    // The shard admits its bucket as a prefix, so the
+                    // first `accepted` bucket entries are the admitted
+                    // flows.
+                    for &f in &bucket_flows[port][..accepted] {
+                        self.flow_arrivals[f as usize] += 1;
+                    }
                     self.handoffs.inc(port, accepted as u64);
                     if let (Some(source), None) = (error, first_error.as_ref()) {
                         first_error = Some(ShardError::Port { port, source });
@@ -785,6 +975,116 @@ impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static>
         }
         totals
     }
+
+    /// Moves one flow's entire queued backlog — and its rank state —
+    /// from its current port's worker to `to`'s, preserving per-flow
+    /// order and translating finishing tags into the destination's
+    /// virtual clock. Identical semantics to
+    /// [`super::ShardedScheduler::migrate_flow`]; the [`ShardMap`] flips
+    /// ownership **before** the install command is sent, so any enqueue
+    /// issued after this call returns (or racing it through the same
+    /// coordinator) lands behind the installed backlog in the new
+    /// worker's FIFO. Returns the number of packets moved.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnknownFlow`] for an unconfigured flow;
+    /// [`ShardError::Port`] if the destination refuses the backlog
+    /// (buffer full) — the flow is reinstalled on its source port
+    /// unchanged and ownership does not move.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frontend was built with [`Placement::Dynamic`],
+    /// or if `to` is out of range.
+    pub fn migrate_flow(&mut self, flow: FlowId, to: usize) -> Result<usize, ShardError> {
+        assert!(
+            to < self.workers.len(),
+            "port {to} out of range ({} ports)",
+            self.workers.len()
+        );
+        let from = self.map.port_of(flow).ok_or(ShardError::UnknownFlow {
+            flow: flow.0,
+            flows: self.route.len(),
+        })?;
+        if from == to {
+            return Ok(0);
+        }
+        self.map.begin_migration(flow, to);
+        // Dynamic placement gives every shard identity local ids, so
+        // the global flow id is also the local one on both workers.
+        self.send(from, Command::ExtractFlow { flow });
+        let backlog = match self.recv(from) {
+            Reply::Extracted(backlog) => backlog,
+            _ => unreachable!("worker replies in command order"),
+        };
+        let packets = backlog.len();
+        self.occupancy[from] -= packets;
+        self.send(to, Command::InstallFlow { flow, backlog });
+        match self.recv(to) {
+            Reply::Installed { refused: None } => {
+                self.occupancy[to] += packets;
+                self.map.commit_migration();
+                self.migrations += 1;
+                self.peak = self.peak.max(self.len());
+                Ok(packets)
+            }
+            Reply::Installed {
+                refused: Some((source, backlog)),
+            } => {
+                self.send(from, Command::InstallFlow { flow, backlog });
+                match self.recv(from) {
+                    Reply::Installed { refused: None } => {}
+                    _ => unreachable!("reinstalling into the slots just vacated cannot fail"),
+                }
+                self.occupancy[from] += packets;
+                self.map.abort_migration();
+                Err(ShardError::Port { port: to, source })
+            }
+            _ => unreachable!("worker replies in command order"),
+        }
+    }
+
+    /// One rebalance round, identical in policy to
+    /// [`super::ShardedScheduler::maybe_rebalance`]: per-port load is
+    /// the admitted packets since the last round plus the current
+    /// backlog (both tracked frontend-side — no worker round trip), and
+    /// the advised migration moves the hottest flow of the overloaded
+    /// port. Returns the migration performed, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ParallelShardedScheduler::with_rebalancer`]
+    /// armed a rebalancer.
+    pub fn maybe_rebalance(&mut self) -> Option<(FlowId, usize, usize)> {
+        assert!(
+            self.rebalancer.is_some(),
+            "no rebalancer armed; use with_rebalancer"
+        );
+        let loads: Vec<ShardLoad> = (0..self.workers.len())
+            .map(|port| {
+                let arrivals = self.admitted[port] - self.last_admitted[port];
+                self.last_admitted[port] = self.admitted[port];
+                ShardLoad {
+                    arrivals,
+                    backlog: self.occupancy[port] as u64,
+                }
+            })
+            .collect();
+        let hint = self
+            .rebalancer
+            .as_mut()
+            .expect("checked above")
+            .observe(&loads)?;
+        let flow = (0..self.flow_arrivals.len())
+            .filter(|&f| self.map.port_of(FlowId(f as u32)) == Some(hint.from))
+            .max_by_key(|&f| (self.flow_arrivals[f], std::cmp::Reverse(f)))?;
+        let flow = FlowId(flow as u32);
+        match self.migrate_flow(flow, hint.to) {
+            Ok(_) => Some((flow, hint.from, hint.to)),
+            Err(_) => None,
+        }
+    }
 }
 
 impl<B: SortBackend + Send + 'static, P: RankPolicy + Send + 'static> Drop
@@ -989,6 +1289,102 @@ mod tests {
         assert_eq!(fe.ports(), 2);
         assert_eq!(fe.port_rate(0), 4e9);
         assert_eq!(fe.port_rate(1), 1e9);
+    }
+
+    #[test]
+    fn migration_matches_the_sequential_frontend_departure_for_departure() {
+        let fl = flows(8);
+        let batch: Vec<Packet> = (0..48)
+            .map(|i| pkt(i, (i % 8) as u32, i as f64 * 1e-6, 500))
+            .collect();
+        let flow = FlowId(0);
+        let mut seq = ShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        );
+        let mut par = ParallelShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        );
+        let to = 1 - seq.port_of(flow).unwrap();
+        seq.enqueue_batch(&batch).unwrap();
+        par.enqueue_batch(&batch).unwrap();
+        assert_eq!(
+            seq.migrate_flow(flow, to).unwrap(),
+            par.migrate_flow(flow, to).unwrap(),
+            "both frontends move the same backlog"
+        );
+        assert_eq!(par.port_of(flow), Some(to));
+        assert_eq!(par.migrations(), 1);
+        // Post-migration arrivals chase the flow to its new port.
+        let late: Vec<Packet> = (48..56).map(|i| pkt(i, 0, i as f64 * 1e-6, 500)).collect();
+        seq.enqueue_batch(&late).unwrap();
+        par.enqueue_batch(&late).unwrap();
+        let mut expected = Vec::new();
+        while let Some((port, p)) = seq.dequeue() {
+            expected.push((port, p.flow, p.seq));
+        }
+        let got: Vec<_> = par
+            .drain()
+            .into_iter()
+            .map(|(port, p)| (port, p.flow, p.seq))
+            .collect();
+        assert_eq!(got, expected, "departure sequences diverged");
+        let stats = par.stats();
+        assert_eq!(stats.aggregate.migrated_out, stats.aggregate.migrated_in);
+        assert!(stats.aggregate.migrated_out > 0);
+    }
+
+    #[test]
+    fn parallel_rebalancer_drains_everything_it_admitted() {
+        let fl = flows(8);
+        let mut fe = ParallelShardedScheduler::with_placement(
+            &fl,
+            1e9,
+            2,
+            SchedulerConfig::default(),
+            Placement::Dynamic,
+        )
+        .with_rebalancer(RebalancerConfig::default());
+        let hot: Vec<u32> = (0..8u32)
+            .filter(|&f| crate::shard::shard_of(FlowId(f), 2) == 0)
+            .collect();
+        let mut admitted = 0usize;
+        let mut migrated = None;
+        let mut seq = 0;
+        for _round in 0..8 {
+            let mut batch = Vec::new();
+            for _ in 0..16 {
+                for &f in &hot {
+                    batch.push(pkt(seq, f, 0.0, 500));
+                    seq += 1;
+                }
+            }
+            admitted += fe.enqueue_batch(&batch).unwrap();
+            if let Some(m) = fe.maybe_rebalance() {
+                migrated = Some(m);
+                break;
+            }
+        }
+        let (flow, from, to) = migrated.expect("skewed load trips the rebalancer");
+        assert_eq!((from, to), (0, 1));
+        assert_eq!(fe.port_of(flow), Some(1));
+        // Every admitted packet is still serviceable, per-flow order
+        // intact.
+        let served = fe.drain();
+        assert_eq!(served.len(), admitted);
+        let mut last: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for (_, p) in served {
+            if let Some(prev) = last.insert(p.flow.0, p.seq) {
+                assert!(prev < p.seq, "flow {} reordered", p.flow.0);
+            }
+        }
     }
 
     #[test]

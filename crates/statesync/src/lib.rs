@@ -1,0 +1,40 @@
+//! Live state management for the scheduler stack.
+//!
+//! Software packet schedulers only earn their flexibility if their state
+//! can move at runtime (Eiffel, NSDI '19): per-flow virtual clocks,
+//! in-flight tags, and buffer descriptors must be *extractable*,
+//! *translatable*, and *re-installable* while the dataplane keeps
+//! serving. This crate holds the three scheduler-agnostic pieces:
+//!
+//! * [`Checkpoint`] — a deterministic, versioned, CRC-sealed word-stream
+//!   format for full scheduler state. The scheduler crate serializes
+//!   into it ([`CheckpointBuilder`]) and restores from it
+//!   ([`CheckpointReader`]); identical scheduler states produce
+//!   byte-identical checkpoints. Checkpoint words are a
+//!   [`faultsim::FaultTarget`], so SEU campaigns can strike a
+//!   checkpoint in flight — the CRC catches the damage at restore time.
+//! * [`VClockXlat`] — the cross-shard virtual-clock reconciliation the
+//!   ROADMAP carried since PR 1: an order-preserving, floor-respecting
+//!   affine map from one shard's virtual-time axis onto another's, so a
+//!   migrated flow's ranks stay meaningful at the destination.
+//! * [`Rebalancer`] — the placement brain: per-shard arrival-rate EWMA
+//!   plus instantaneous backlog, emitting migration hints when one
+//!   shard runs hot. [`Placement`] switches a sharded frontend between
+//!   today's static flow-affinity `hash` mode and the `dynamic` mode
+//!   that acts on those hints.
+//!
+//! The crate deliberately knows nothing about sorters or schedulers —
+//! it speaks words, virtual times, and shard indices. The scheduler
+//! crate owns the other half of the protocol (what the words mean, how
+//! an extracted flow is re-enqueued).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod rebalance;
+mod xlat;
+
+pub use checkpoint::{Checkpoint, CheckpointBuilder, CheckpointError, CheckpointReader, VERSION};
+pub use rebalance::{Placement, RebalanceHint, Rebalancer, RebalancerConfig, ShardLoad};
+pub use xlat::VClockXlat;

@@ -1,0 +1,321 @@
+//! The shard-placement brain: load watching and migration hints.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How a sharded frontend places flows on ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Static flow-affinity hashing — today's behavior: a flow's port
+    /// is a pure function of its id, forever.
+    #[default]
+    Hash,
+    /// Hash-seeded ownership that a [`Rebalancer`] may revise at
+    /// runtime by migrating flows between ports.
+    Dynamic,
+}
+
+impl Placement {
+    /// Stable lowercase name (CLI syntax and report lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Hash => "hash",
+            Placement::Dynamic => "dynamic",
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "hash" => Ok(Placement::Hash),
+            "dynamic" => Ok(Placement::Dynamic),
+            other => Err(format!(
+                "unknown placement {other:?} (expected hash or dynamic)"
+            )),
+        }
+    }
+}
+
+/// One observation round's load figures for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// Packets that arrived at the shard since the last observation.
+    pub arrivals: u64,
+    /// Packets currently queued at the shard (buffer occupancy).
+    pub backlog: u64,
+}
+
+/// Tuning for the [`Rebalancer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancerConfig {
+    /// EWMA smoothing factor for arrival rates, in (0, 1]; higher
+    /// weighs the latest round more.
+    pub alpha: f64,
+    /// Migration trigger: the hottest shard's load score must exceed
+    /// `imbalance ×` the mean score. Must be > 1.
+    pub imbalance: f64,
+    /// Observation rounds to sit out after issuing a hint, letting the
+    /// migration land before re-measuring (migration has a cost; this
+    /// is the knob that bounds it).
+    pub cooldown_rounds: u32,
+}
+
+impl Default for RebalancerConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.3,
+            imbalance: 1.5,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+/// A migration suggestion: move load off `from`, onto `to`.
+///
+/// The rebalancer picks shards; the frontend picks *which flow* (it
+/// knows per-flow arrival counts, the rebalancer deliberately does
+/// not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceHint {
+    /// The overloaded source shard.
+    pub from: usize,
+    /// The most lightly loaded destination shard.
+    pub to: usize,
+}
+
+/// Watches per-shard load and emits [`RebalanceHint`]s.
+///
+/// Load is scored as `EWMA(arrivals) + backlog`: the EWMA tracks where
+/// traffic is *going*, the backlog where it already *piled up* — a
+/// flash crowd trips the arrival term before queues grow, a legacy
+/// imbalance trips the backlog term even after arrivals even out.
+/// Everything is integer-fed and seeded by construction, so identical
+/// observation sequences produce identical hint sequences.
+///
+/// # Example
+///
+/// ```
+/// use statesync::{Rebalancer, RebalancerConfig, ShardLoad};
+///
+/// let mut r = Rebalancer::new(2, RebalancerConfig::default());
+/// let hot = ShardLoad { arrivals: 900, backlog: 50 };
+/// let cold = ShardLoad { arrivals: 10, backlog: 0 };
+/// let hint = r.observe(&[hot, cold]).expect("a 90x skew trips at once");
+/// assert_eq!((hint.from, hint.to), (0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rebalancer {
+    cfg: RebalancerConfig,
+    ewma: Vec<f64>,
+    cooldown: u32,
+    hints: u64,
+    rounds: u64,
+}
+
+impl Rebalancer {
+    /// A rebalancer over `ports` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or the config is out of range.
+    pub fn new(ports: usize, cfg: RebalancerConfig) -> Self {
+        assert!(ports > 0, "at least one shard required");
+        assert!(
+            cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+            "alpha must be in (0, 1], got {}",
+            cfg.alpha
+        );
+        assert!(
+            cfg.imbalance > 1.0 && cfg.imbalance.is_finite(),
+            "imbalance trigger must exceed 1, got {}",
+            cfg.imbalance
+        );
+        Self {
+            cfg,
+            ewma: vec![0.0; ports],
+            cooldown: 0,
+            hints: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Feeds one observation round; returns a hint when one shard runs
+    /// hot enough (and the cooldown from the previous hint has
+    /// elapsed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not cover every shard.
+    pub fn observe(&mut self, loads: &[ShardLoad]) -> Option<RebalanceHint> {
+        assert_eq!(
+            loads.len(),
+            self.ewma.len(),
+            "one load figure per shard required"
+        );
+        self.rounds += 1;
+        for (ewma, load) in self.ewma.iter_mut().zip(loads) {
+            *ewma += self.cfg.alpha * (load.arrivals as f64 - *ewma);
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        let score = |i: usize| -> f64 { self.ewma[i] + loads[i].backlog as f64 };
+        let mut hot = 0;
+        let mut cold = 0;
+        let mut total = 0.0;
+        for i in 0..self.ewma.len() {
+            let s = score(i);
+            total += s;
+            if s > score(hot) {
+                hot = i;
+            }
+            if s < score(cold) {
+                cold = i;
+            }
+        }
+        let mean = total / self.ewma.len() as f64;
+        if hot == cold || mean <= 0.0 || score(hot) <= self.cfg.imbalance * mean {
+            return None;
+        }
+        self.cooldown = self.cfg.cooldown_rounds;
+        self.hints += 1;
+        Some(RebalanceHint {
+            from: hot,
+            to: cold,
+        })
+    }
+
+    /// Hints issued so far.
+    pub fn hints(&self) -> u64 {
+        self.hints
+    }
+
+    /// Observation rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(arrivals: u64, backlog: u64) -> ShardLoad {
+        ShardLoad { arrivals, backlog }
+    }
+
+    #[test]
+    fn placement_parses_and_names() {
+        for p in [Placement::Hash, Placement::Dynamic] {
+            assert_eq!(p.name().parse::<Placement>().unwrap(), p);
+        }
+        assert_eq!(Placement::default(), Placement::Hash);
+        assert!("zipf".parse::<Placement>().is_err());
+    }
+
+    #[test]
+    fn balanced_load_never_trips() {
+        let mut r = Rebalancer::new(4, RebalancerConfig::default());
+        for _ in 0..50 {
+            assert_eq!(r.observe(&[load(100, 5); 4]), None);
+        }
+        assert_eq!(r.hints(), 0);
+        assert_eq!(r.rounds(), 50);
+    }
+
+    #[test]
+    fn idle_system_never_trips() {
+        let mut r = Rebalancer::new(2, RebalancerConfig::default());
+        for _ in 0..10 {
+            assert_eq!(r.observe(&[load(0, 0); 2]), None);
+        }
+    }
+
+    #[test]
+    fn skew_trips_from_hot_to_coldest() {
+        let mut r = Rebalancer::new(4, RebalancerConfig::default());
+        let loads = [load(10, 0), load(800, 40), load(20, 0), load(5, 0)];
+        let mut hint = None;
+        for _ in 0..10 {
+            if let Some(h) = r.observe(&loads) {
+                hint = Some(h);
+                break;
+            }
+        }
+        let hint = hint.expect("persistent 40x skew must trip");
+        assert_eq!((hint.from, hint.to), (1, 3));
+    }
+
+    #[test]
+    fn backlog_alone_trips_even_with_even_arrivals() {
+        let mut r = Rebalancer::new(2, RebalancerConfig::default());
+        let loads = [load(50, 900), load(50, 0)];
+        let hint = (0..10).find_map(|_| r.observe(&loads));
+        assert_eq!(hint, Some(RebalanceHint { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn cooldown_spaces_hints() {
+        let cfg = RebalancerConfig {
+            cooldown_rounds: 3,
+            ..RebalancerConfig::default()
+        };
+        let mut r = Rebalancer::new(2, cfg);
+        let loads = [load(1000, 100), load(1, 0)];
+        let mut gaps = Vec::new();
+        let mut last = None;
+        for round in 0..20 {
+            if r.observe(&loads).is_some() {
+                if let Some(prev) = last {
+                    gaps.push(round - prev);
+                }
+                last = Some(round);
+            }
+        }
+        assert!(!gaps.is_empty(), "skew must keep tripping");
+        assert!(
+            gaps.iter().all(|&g| g > 3),
+            "hints inside the cooldown window: gaps {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_identical_feeds_identical_hints() {
+        let run = || {
+            let mut r = Rebalancer::new(3, RebalancerConfig::default());
+            let mut out = Vec::new();
+            for i in 0..30u64 {
+                let loads = [load(i * 37 % 500, i % 7), load(400, 30), load(3, 0)];
+                out.push(r.observe(&loads));
+            }
+            (out, r.hints())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "one load figure per shard")]
+    fn wrong_arity_is_rejected() {
+        Rebalancer::new(3, RebalancerConfig::default()).observe(&[load(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalance trigger")]
+    fn degenerate_trigger_is_rejected() {
+        let cfg = RebalancerConfig {
+            imbalance: 1.0,
+            ..RebalancerConfig::default()
+        };
+        let _ = Rebalancer::new(2, cfg);
+    }
+}

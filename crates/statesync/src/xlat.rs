@@ -1,0 +1,155 @@
+//! Cross-shard virtual-clock translation.
+
+use fairq::VirtualTime;
+
+/// Maps one shard's virtual-time axis onto another's.
+///
+/// Every shard runs its own GPS virtual clock, so "finish at V=4000" on
+/// the source shard means nothing to the destination — V=4000 there may
+/// be the distant past (its clock ran ahead) or the far future. What
+/// *is* transferable is the offset above the source's rank floor: how
+/// far ahead of "everything already served here" a rank sits. The
+/// translation re-anchors that offset on the destination's floor:
+///
+/// ```text
+/// translate(v) = dst_floor + max(0, v − src_floor)
+/// ```
+///
+/// Three properties make migrated ranks safe, each pinned by proptest:
+///
+/// * **order-preserving** — `a <= b` implies
+///   `translate(a) <= translate(b)`, so a flow's packets keep their
+///   relative service order across the move;
+/// * **floor-respecting** — the output never precedes the
+///   destination's rank floor, so the destination's quantizer (whose
+///   virtual-time base never runs backwards) and its wrap window both
+///   stay valid — this is what makes the map wrap-safe; and
+/// * **anchored** — the source floor maps exactly onto the destination
+///   floor, so a flow with no queued backlog restarts at the
+///   destination as if it had just gone idle there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VClockXlat {
+    src_floor: f64,
+    dst_floor: f64,
+}
+
+impl VClockXlat {
+    /// A translation from the shard whose rank floor is `src_floor`
+    /// onto the shard whose rank floor is `dst_floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either floor is non-finite.
+    pub fn new(src_floor: VirtualTime, dst_floor: VirtualTime) -> Self {
+        assert!(
+            src_floor.value().is_finite() && dst_floor.value().is_finite(),
+            "rank floors must be finite: src {src_floor}, dst {dst_floor}"
+        );
+        Self {
+            src_floor: src_floor.value(),
+            dst_floor: dst_floor.value(),
+        }
+    }
+
+    /// The identity translation (checkpoint restore onto the same
+    /// clock, or a migration between shards whose clocks happen to
+    /// agree at zero).
+    pub fn identity() -> Self {
+        Self {
+            src_floor: 0.0,
+            dst_floor: 0.0,
+        }
+    }
+
+    /// The source-shard rank floor this translation is anchored at.
+    pub fn src_floor(&self) -> VirtualTime {
+        VirtualTime(self.src_floor)
+    }
+
+    /// The destination-shard rank floor ranks are re-anchored onto.
+    pub fn dst_floor(&self) -> VirtualTime {
+        VirtualTime(self.dst_floor)
+    }
+
+    /// Translates one source-shard virtual time onto the destination's
+    /// axis (see the type-level contract).
+    pub fn translate(&self, v: VirtualTime) -> VirtualTime {
+        VirtualTime(self.dst_floor + (v.value() - self.src_floor).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn anchors_the_source_floor_on_the_destination_floor() {
+        let x = VClockXlat::new(VirtualTime(100.0), VirtualTime(7000.0));
+        assert_eq!(x.translate(VirtualTime(100.0)), VirtualTime(7000.0));
+        // Below-floor stragglers (a rank already served at the source)
+        // clamp to the destination floor rather than its past.
+        assert_eq!(x.translate(VirtualTime(40.0)), VirtualTime(7000.0));
+        assert_eq!(x.translate(VirtualTime(160.0)), VirtualTime(7060.0));
+        assert_eq!(x.src_floor(), VirtualTime(100.0));
+        assert_eq!(x.dst_floor(), VirtualTime(7000.0));
+    }
+
+    #[test]
+    fn identity_is_the_zero_anchor() {
+        let x = VClockXlat::identity();
+        assert_eq!(x.translate(VirtualTime(123.5)), VirtualTime(123.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_floors_are_rejected() {
+        let _ = VClockXlat::new(VirtualTime(f64::NAN), VirtualTime(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn order_preserving(
+            src in -1e12f64..1e12,
+            dst in -1e12f64..1e12,
+            a in -1e12f64..1e12,
+            b in -1e12f64..1e12,
+        ) {
+            let x = VClockXlat::new(VirtualTime(src), VirtualTime(dst));
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                x.translate(VirtualTime(lo)) <= x.translate(VirtualTime(hi)),
+                "order inverted: {lo} -> {}, {hi} -> {}",
+                x.translate(VirtualTime(lo)),
+                x.translate(VirtualTime(hi)),
+            );
+        }
+
+        #[test]
+        fn floor_respecting(
+            src in -1e12f64..1e12,
+            dst in -1e12f64..1e12,
+            v in -1e12f64..1e12,
+        ) {
+            let x = VClockXlat::new(VirtualTime(src), VirtualTime(dst));
+            prop_assert!(
+                x.translate(VirtualTime(v)) >= VirtualTime(dst),
+                "translated {v} below destination floor {dst}"
+            );
+        }
+
+        #[test]
+        fn offsets_above_the_floor_are_preserved_exactly(
+            src in -1e9f64..1e9,
+            dst in -1e9f64..1e9,
+            off in 0.0f64..1e9,
+        ) {
+            // The transferable quantity *is* the offset above the
+            // floor: whatever headroom a rank had at the source, it has
+            // at the destination (exact for representable sums).
+            let x = VClockXlat::new(VirtualTime(src), VirtualTime(dst));
+            let got = x.translate(VirtualTime(src + off));
+            prop_assert_eq!(got, VirtualTime(dst + (src + off - src)));
+        }
+    }
+}

@@ -58,6 +58,14 @@ pub enum EventKind {
     /// The scrubber repaired a trie section: `a` = section, `b` =
     /// markers re-inserted.
     Repair,
+    /// A flow's queued packets left a scheduler for another shard:
+    /// `a` = flow id (global when the frontend installed a map), `b` =
+    /// packets extracted.
+    MigrateOut,
+    /// A migrated flow's packets were installed into a scheduler:
+    /// `a` = flow id (global when the frontend installed a map), `b` =
+    /// packets installed.
+    MigrateIn,
 }
 
 impl EventKind {
@@ -73,6 +81,8 @@ impl EventKind {
             EventKind::FaultInject => "fault_inject",
             EventKind::FaultDetect => "fault_detect",
             EventKind::Repair => "repair",
+            EventKind::MigrateOut => "migrate_out",
+            EventKind::MigrateIn => "migrate_in",
         }
     }
 
@@ -89,6 +99,8 @@ impl EventKind {
             EventKind::FaultInject => 6,
             EventKind::FaultDetect => 7,
             EventKind::Repair => 8,
+            EventKind::MigrateOut => 9,
+            EventKind::MigrateIn => 10,
         }
     }
 
@@ -104,6 +116,8 @@ impl EventKind {
             6 => EventKind::FaultInject,
             7 => EventKind::FaultDetect,
             8 => EventKind::Repair,
+            9 => EventKind::MigrateOut,
+            10 => EventKind::MigrateIn,
             _ => return None,
         })
     }
@@ -405,15 +419,17 @@ mod tests {
         assert_eq!(EventKind::FaultInject.name(), "fault_inject");
         assert_eq!(EventKind::FaultDetect.name(), "fault_detect");
         assert_eq!(EventKind::Repair.name(), "repair");
+        assert_eq!(EventKind::MigrateOut.name(), "migrate_out");
+        assert_eq!(EventKind::MigrateIn.name(), "migrate_in");
     }
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=8u8 {
+        for code in 0..=10u8 {
             let kind = EventKind::from_code(code).expect("assigned code");
             assert_eq!(kind.code(), code);
         }
-        assert_eq!(EventKind::from_code(9), None);
+        assert_eq!(EventKind::from_code(11), None);
         assert_eq!(EventKind::from_code(255), None);
     }
 }

@@ -44,8 +44,8 @@ use wfq_sorter::fairq::{
 use wfq_sorter::fastpath::FfsSorter;
 use wfq_sorter::faultsim::{FaultConfig, FaultPolicy, FaultSpec};
 use wfq_sorter::scheduler::{
-    shard_of, AdmissionPolicy, HwLinkSim, HwScheduler, SchedulerConfig, SchedulerStats,
-    ShardedLinkSim, ShardedScheduler,
+    shard_of, AdmissionPolicy, HwLinkSim, HwScheduler, Placement, RebalancerConfig,
+    SchedulerConfig, SchedulerStats, ShardedLinkSim, ShardedScheduler,
 };
 use wfq_sorter::tagsort::Geometry;
 use wfq_sorter::tagsort::{
@@ -82,8 +82,11 @@ OPTIONS:
   --admission P      what a full packet buffer does to an arrival:
                      tail-drop | push-out (evict the worst-ranked
                      resident packet when the arrival ranks
-                     strictly better); needs --scheduler hw or
-                     --ports > 1               (default: tail-drop)
+                     strictly better) | wred[:MIN:MAX:PERMILLE]
+                     (WRED-style probabilistic push-out with a
+                     seeded deterministic coin); needs
+                     --scheduler hw or --ports > 1
+                                               (default: tail-drop)
   --rate BPS         link rate in bits/s             (default: 2e6)
   --ports N          multi-port frontend: N egress links, one hardware
                      sorter each, flows routed by affinity hash
@@ -91,6 +94,12 @@ OPTIONS:
   --port-rates LIST  per-port link rates in bits/s, comma-separated;
                      must list exactly --ports rates (default: --rate
                      on every port)
+  --rebalance MODE   shard placement policy: hash (static
+                     flow-affinity, today's behavior) | dynamic
+                     (live flow migration: a rebalancer watches
+                     per-port load and moves the hottest flow off
+                     an overloaded shard every 1024 arrivals);
+                     needs --ports > 1             (default: hash)
   --metrics FILE     write a deterministic telemetry snapshot (flat
                      JSON) after the run; hardware pipeline only
   --trace-events N   with --metrics: keep the last N cycle-stamped
@@ -187,6 +196,9 @@ struct Args {
     rate: f64,
     ports: usize,
     port_rates: Option<Vec<f64>>,
+    /// `None` until resolved: static hash placement unless
+    /// `--rebalance` says otherwise.
+    rebalance: Option<Placement>,
     trace: Option<String>,
     flows: usize,
     horizon: f64,
@@ -244,6 +256,7 @@ fn parse_args() -> Result<Args, String> {
         rate: 2e6,
         ports: 1,
         port_rates: None,
+        rebalance: None,
         trace: None,
         flows: 4,
         horizon: 1.0,
@@ -312,6 +325,13 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.port_rates = Some(rates);
             }
+            "--rebalance" => {
+                args.rebalance = Some(
+                    value("--rebalance")?
+                        .parse()
+                        .map_err(|e| format!("--rebalance: {e}"))?,
+                );
+            }
             "--trace" => args.trace = Some(value("--trace")?),
             "--flows" => {
                 args.flows = value("--flows")?
@@ -379,6 +399,11 @@ fn parse_args() -> Result<Args, String> {
                 args.ports
             ));
         }
+    }
+    if args.rebalance.is_some() && args.ports <= 1 {
+        return Err(
+            "--rebalance: shard placement needs a multi-port frontend (use --ports > 1)".into(),
+        );
     }
     if args.trace_events > 0 && args.metrics.is_none() {
         return Err(
@@ -465,6 +490,10 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(args)
 }
+
+/// Rebalance cadence for `--rebalance dynamic`: one
+/// [`ShardedScheduler::maybe_rebalance`] round per this many arrivals.
+const REBALANCE_EVERY: usize = 1024;
 
 /// Ring capacity per shard when `--event-log` enables tracing on its
 /// own. The streamed sink sees every event regardless, so the ring only
@@ -678,7 +707,8 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
     // The quantizer's tick must resolve the *fastest* port's tag steps.
     let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
     let policy = args.policy_choice();
-    let mut fe = ShardedScheduler::<B, AnyPolicy>::with_policy_port_rates(
+    let placement = args.rebalance.unwrap_or_default();
+    let mut fe = ShardedScheduler::<B, AnyPolicy>::with_policy_port_rates_placement(
         flows,
         &rates,
         SchedulerConfig {
@@ -690,7 +720,11 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
             ..SchedulerConfig::default()
         },
         &policy,
+        placement,
     );
+    if placement == Placement::Dynamic {
+        fe = fe.with_rebalancer(RebalancerConfig::default());
+    }
     let tel = build_telemetry(args, args.ports);
     fe.attach_telemetry(&tel);
     if let Err(msg) = attach_event_sink(args, &tel) {
@@ -698,6 +732,9 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
         return ExitCode::FAILURE;
     }
     let mut sim = ShardedLinkSim::new(fe);
+    if placement == Placement::Dynamic {
+        sim = sim.with_rebalance_every(REBALANCE_EVERY);
+    }
     if args.latency_report.is_some() {
         sim = sim.with_latency();
     }
@@ -800,6 +837,13 @@ fn run_multiport<B: SortBackend>(args: &Args, flows: &[FlowSpec], trace: &[Packe
         stats.modeled_packets_per_second(PAPER_CLOCK_HZ) / 1e6,
         PAPER_CLOCK_HZ / 1e6,
     );
+    if let Some(placement) = args.rebalance {
+        println!(
+            "placement {placement}: {} migration(s), shard balance {:.3} (max/mean admissions)",
+            sim.frontend().migrations(),
+            stats.shard_balance(),
+        );
+    }
     if let Some(path) = &args.metrics {
         let mut snap = tel.snapshot();
         stats.export("hw", &mut snap);

@@ -59,6 +59,7 @@ pub use faultsim;
 pub use hwsim;
 pub use matcher;
 pub use scheduler;
+pub use statesync;
 pub use tagsort;
 pub use telemetry;
 pub use traffic;
